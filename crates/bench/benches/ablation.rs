@@ -1,0 +1,94 @@
+//! Ablation of Smart EXP3's design choices (the DESIGN.md callouts):
+//! the Table III feature ladder (blocking → greedy → switch-back → reset) and
+//! the block-growth factor β.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim::{setting1_networks, DeviceSetup, Simulation, SimulationConfig};
+use smartexp3_bench::run_homogeneous;
+use smartexp3_core::{PolicyKind, SmartExp3, SmartExp3Config, SmartExp3Features};
+use std::time::Duration;
+
+fn run_with_beta(beta: f64, slots: usize, seed: u64) -> (f64, f64) {
+    let networks = setting1_networks();
+    let config = SmartExp3Config {
+        beta,
+        ..SmartExp3Config::default()
+    };
+    let mut simulation = Simulation::single_area(
+        networks.clone(),
+        SimulationConfig {
+            total_slots: slots,
+            ..SimulationConfig::default()
+        },
+    );
+    let ids: Vec<_> = networks.iter().map(|n| n.id).collect();
+    for id in 0..20u32 {
+        let policy = SmartExp3::new(ids.clone(), config).expect("valid config");
+        simulation.add_device(DeviceSetup::new(id, Box::new(policy)));
+    }
+    let result = simulation.run(seed);
+    let switches: f64 = result.switch_counts().iter().sum::<f64>() / 20.0;
+    (switches, result.total_download_megabits() / 8000.0)
+}
+
+fn bench(c: &mut Criterion) {
+    // Feature ladder: how each mechanism changes switches and downloads.
+    println!("## Ablation — Table III feature ladder (Setting 1, 400 slots)");
+    println!("| variant | mean switches | total download (GB) |");
+    for kind in [
+        PolicyKind::Exp3,
+        PolicyKind::BlockExp3,
+        PolicyKind::HybridBlockExp3,
+        PolicyKind::SmartExp3WithoutReset,
+        PolicyKind::SmartExp3,
+    ] {
+        let result = run_homogeneous(setting1_networks(), kind, 20, 400, 3);
+        let switches: f64 = result.switch_counts().iter().sum::<f64>() / 20.0;
+        println!(
+            "| {} | {switches:.1} | {:.2} |",
+            kind.label(),
+            result.total_download_megabits() / 8000.0
+        );
+    }
+
+    // Block-growth factor β: the Theorem 2 trade-off.
+    println!("\n## Ablation — block growth factor β (Smart EXP3, Setting 1, 400 slots)");
+    println!("| beta | mean switches | total download (GB) |");
+    for beta in [0.05, 0.1, 0.3, 0.6, 1.0] {
+        let (switches, download) = run_with_beta(beta, 400, 4);
+        println!("| {beta} | {switches:.1} | {download:.2} |");
+    }
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, features) in [
+        ("block_exp3", SmartExp3Features::block_exp3()),
+        ("hybrid_block_exp3", SmartExp3Features::hybrid_block_exp3()),
+        ("smart_no_reset", SmartExp3Features::smart_exp3_without_reset()),
+        ("smart_exp3", SmartExp3Features::smart_exp3()),
+    ] {
+        group.bench_with_input(BenchmarkId::new("variant", name), &features, |b, features| {
+            let networks = setting1_networks();
+            let ids: Vec<_> = networks.iter().map(|n| n.id).collect();
+            b.iter(|| {
+                let mut simulation = Simulation::single_area(
+                    networks.clone(),
+                    SimulationConfig::quick(120),
+                );
+                for id in 0..20u32 {
+                    let policy = SmartExp3::new(
+                        ids.clone(),
+                        SmartExp3Config::with_features(*features),
+                    )
+                    .expect("valid config");
+                    simulation.add_device(DeviceSetup::new(id, Box::new(policy)));
+                }
+                simulation.run(5)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 11 — robustness against "greedy" devices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::robustness;
+use experiments::settings::mixed_simulation;
+use netsim::{setting1_networks, SimulationConfig};
+use smartexp3_bench::tiny_scale;
+use smartexp3_core::PolicyKind;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", robustness::run(&tiny_scale().with_slots(250)));
+
+    let mut group = c.benchmark_group("fig11_robustness");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for scenario in robustness::scenarios() {
+        group.bench_with_input(
+            BenchmarkId::new("scenario", scenario.index),
+            &scenario,
+            |b, scenario| {
+                b.iter(|| {
+                    let (simulation, _) = mixed_simulation(
+                        setting1_networks(),
+                        &[
+                            (PolicyKind::SmartExp3, scenario.smart_devices),
+                            (PolicyKind::Greedy, scenario.greedy_devices),
+                        ],
+                        SimulationConfig::quick(150),
+                    )
+                    .expect("valid scenario");
+                    simulation.run(9)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figures 13–15 and Table VII — controlled (testbed-emulation) experiments.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::controlled::{self, ControlledScenario};
+use experiments::settings::controlled_simulation;
+use smartexp3_bench::tiny_scale;
+use smartexp3_core::PolicyKind;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let scale = tiny_scale().with_slots(400);
+    println!("{}", controlled::run(&scale, ControlledScenario::Static));
+    println!("{}", controlled::run(&scale, ControlledScenario::DevicesLeave));
+    println!("{}", controlled::run(&scale, ControlledScenario::Mixed));
+
+    let mut group = c.benchmark_group("fig13_15_controlled");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for kind in [PolicyKind::SmartExp3, PolicyKind::Greedy] {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                controlled_simulation(kind, 160, None)
+                    .expect("valid scenario")
+                    .run(10)
+            })
+        });
+    }
+    group.bench_function("dynamic (9 devices leave)", |b| {
+        b.iter(|| {
+            controlled_simulation(PolicyKind::SmartExp3, 160, Some(80))
+                .expect("valid scenario")
+                .run(11)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 2 — number of network switches per algorithm.
+//!
+//! Prints the regenerated figure at a reduced scale, then benchmarks a
+//! Setting-1 run of each algorithm the figure compares.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::switching;
+use netsim::setting1_networks;
+use smartexp3_bench::{bench_scale, run_homogeneous};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", switching::run(&bench_scale()));
+
+    let mut group = c.benchmark_group("fig2_switches");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for kind in switching::figure2_algorithms() {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| run_homogeneous(setting1_networks(), kind, 20, 120, 1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

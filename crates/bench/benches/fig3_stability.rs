@@ -1,0 +1,23 @@
+//! Figure 3 / Table IV — stable states and time to reach them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::stability;
+use netsim::setting1_networks;
+use smartexp3_bench::{bench_scale, run_homogeneous};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", stability::run(&bench_scale().with_slots(400)));
+
+    let mut group = c.benchmark_group("fig3_stability");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for kind in stability::figure3_algorithms() {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| run_homogeneous(setting1_networks(), kind, 20, 150, 2))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 4 — average distance to Nash equilibrium over time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::distance;
+use netsim::{setting1_networks, setting2_networks};
+use smartexp3_bench::{bench_scale, run_homogeneous};
+use smartexp3_core::PolicyKind;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "{}",
+        distance::run_for(
+            &bench_scale(),
+            &[
+                PolicyKind::Exp3,
+                PolicyKind::SmartExp3,
+                PolicyKind::SmartExp3WithoutReset,
+                PolicyKind::Greedy,
+                PolicyKind::Centralized,
+                PolicyKind::FixedRandom,
+            ],
+        )
+    );
+
+    let mut group = c.benchmark_group("fig4_distance");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("smart_exp3_setting1", |b| {
+        b.iter(|| run_homogeneous(setting1_networks(), PolicyKind::SmartExp3, 20, 150, 3))
+    });
+    group.bench_function("smart_exp3_setting2", |b| {
+        b.iter(|| run_homogeneous(setting2_networks(), PolicyKind::SmartExp3, 20, 150, 3))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

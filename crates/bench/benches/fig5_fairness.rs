@@ -1,0 +1,36 @@
+//! Figure 5 — fairness (standard deviation of per-device downloads).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use congestion_game::standard_deviation;
+use experiments::fairness;
+use netsim::setting1_networks;
+use smartexp3_bench::{bench_scale, run_homogeneous};
+use smartexp3_core::PolicyKind;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "{}",
+        fairness::run_for(
+            &bench_scale(),
+            &[PolicyKind::Exp3, PolicyKind::SmartExp3, PolicyKind::Greedy],
+        )
+    );
+
+    let mut group = c.benchmark_group("fig5_fairness");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for kind in [PolicyKind::SmartExp3, PolicyKind::Greedy] {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let result = run_homogeneous(setting1_networks(), kind, 20, 150, 5);
+                let downloads: Vec<f64> =
+                    result.devices.iter().map(|d| d.download_megabytes()).collect();
+                standard_deviation(&downloads)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

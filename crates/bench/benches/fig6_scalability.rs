@@ -1,0 +1,52 @@
+//! Figure 6 — scalability of Smart EXP3 w/o Reset with the number of
+//! networks and devices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::scalability;
+use smartexp3_bench::{run_homogeneous, tiny_scale};
+use smartexp3_core::PolicyKind;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "{}",
+        scalability::run_with(&tiny_scale().with_slots(600), &[3, 5], &[20, 40])
+    );
+
+    let mut group = c.benchmark_group("fig6_scalability");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for networks in [3usize, 5, 7] {
+        group.bench_with_input(
+            BenchmarkId::new("networks", networks),
+            &networks,
+            |b, &n| {
+                b.iter(|| {
+                    run_homogeneous(
+                        scalability::network_sweep(n),
+                        PolicyKind::SmartExp3WithoutReset,
+                        20,
+                        120,
+                        6,
+                    )
+                })
+            },
+        );
+    }
+    for devices in [20usize, 40, 80] {
+        group.bench_with_input(BenchmarkId::new("devices", devices), &devices, |b, &d| {
+            b.iter(|| {
+                run_homogeneous(
+                    scalability::network_sweep(3),
+                    PolicyKind::SmartExp3WithoutReset,
+                    d,
+                    120,
+                    6,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figures 7 and 8 — adaptability to devices joining and leaving.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::dynamics;
+use experiments::settings::DynamicSetting;
+use netsim::SimulationConfig;
+use smartexp3_bench::tiny_scale;
+use smartexp3_core::PolicyKind;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let scale = tiny_scale().with_slots(300);
+    println!("{}", dynamics::run(&scale, DynamicSetting::DevicesJoinAndLeave));
+    println!("{}", dynamics::run(&scale, DynamicSetting::DevicesLeave));
+
+    let mut group = c.benchmark_group("fig7_8_dynamics");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, setting) in [
+        ("fig7_join_leave", DynamicSetting::DevicesJoinAndLeave),
+        ("fig8_leave", DynamicSetting::DevicesLeave),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                setting
+                    .build(PolicyKind::SmartExp3, SimulationConfig::quick(150))
+                    .expect("valid scenario")
+                    .run(7)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

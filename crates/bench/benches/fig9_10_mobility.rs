@@ -1,0 +1,32 @@
+//! Figures 9 and 10 — mobility across service areas.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::mobility;
+use experiments::settings::mobility_simulation;
+use netsim::SimulationConfig;
+use smartexp3_bench::tiny_scale;
+use smartexp3_core::PolicyKind;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "{}",
+        mobility::run_for(&tiny_scale(), &[PolicyKind::SmartExp3, PolicyKind::Greedy])
+    );
+
+    let mut group = c.benchmark_group("fig9_10_mobility");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for kind in [PolicyKind::SmartExp3, PolicyKind::Greedy, PolicyKind::Exp3] {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let (simulation, _groups) =
+                    mobility_simulation(kind, SimulationConfig::quick(150)).expect("valid scenario");
+                simulation.run(8)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Micro-benchmarks of the per-slot cost of each policy (choose + observe),
+//! i.e. what a device would actually execute online.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use smartexp3_core::{NetworkId, Observation, PolicyFactory, PolicyKind};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let rates: Vec<(NetworkId, f64)> = vec![
+        (NetworkId(0), 4.0),
+        (NetworkId(1), 7.0),
+        (NetworkId(2), 22.0),
+    ];
+
+    let mut group = c.benchmark_group("policy_micro");
+    group.sample_size(60).measurement_time(Duration::from_secs(2));
+    for kind in PolicyKind::all() {
+        group.bench_function(kind.label(), |b| {
+            let mut factory = PolicyFactory::new(rates.clone()).expect("valid rates");
+            let mut policy = factory.build(kind).expect("valid policy");
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut slot = 0usize;
+            b.iter(|| {
+                let chosen = policy.choose(slot, &mut rng);
+                let gain = 0.3 + 0.4 * (chosen.index() as f64 / 3.0);
+                let observation = Observation::bandit(slot, chosen, gain * 22.0, gain);
+                policy.observe(&observation, &mut rng);
+                slot += 1;
+                chosen
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

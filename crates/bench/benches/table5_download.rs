@@ -1,0 +1,39 @@
+//! Table V — per-run median cumulative download.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::download;
+use netsim::setting1_networks;
+use smartexp3_bench::{bench_scale, run_homogeneous};
+use smartexp3_core::PolicyKind;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "{}",
+        download::run_for(
+            &bench_scale(),
+            &[
+                PolicyKind::Exp3,
+                PolicyKind::BlockExp3,
+                PolicyKind::SmartExp3,
+                PolicyKind::Greedy,
+                PolicyKind::Centralized,
+                PolicyKind::FixedRandom,
+            ],
+        )
+    );
+
+    let mut group = c.benchmark_group("table5_download");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for kind in [PolicyKind::SmartExp3, PolicyKind::Greedy, PolicyKind::Centralized] {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                run_homogeneous(setting1_networks(), kind, 20, 150, 4).total_download_megabits()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

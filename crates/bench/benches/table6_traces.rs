@@ -1,0 +1,37 @@
+//! Table VI and Figure 12 — trace-driven evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::tracedriven;
+use smartexp3_bench::bench_scale;
+use smartexp3_core::{Greedy, SmartExp3};
+use std::time::Duration;
+use tracegen::{run_policy_on_pair, trace_networks, TraceSimulationConfig};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", tracedriven::run(&bench_scale()));
+    println!("{}", tracedriven::illustrate(1, 1));
+    println!("{}", tracedriven::illustrate(3, 1));
+
+    let mut group = c.benchmark_group("table6_traces");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    let config = TraceSimulationConfig::default();
+    for trace in 1..=4usize {
+        let pair = tracedriven::trace_pair(trace);
+        group.bench_with_input(BenchmarkId::new("smart_exp3", trace), &pair, |b, pair| {
+            b.iter(|| {
+                let mut policy = SmartExp3::with_defaults(trace_networks()).expect("valid");
+                run_policy_on_pair(&mut policy, pair, &config, 1)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", trace), &pair, |b, pair| {
+            b.iter(|| {
+                let mut policy = Greedy::new(trace_networks()).expect("valid");
+                run_policy_on_pair(&mut policy, pair, &config, 1)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

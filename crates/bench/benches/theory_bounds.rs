@@ -1,0 +1,48 @@
+//! Theorems 2 and 3 — tabulates the closed-form bounds against measured
+//! switch counts, and benchmarks their evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netsim::setting1_networks;
+use smartexp3_bench::run_homogeneous;
+use smartexp3_core::theory::{regret_bound, switch_bound, switch_bound_no_reset, RegretBoundParams};
+use smartexp3_core::PolicyKind;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    println!("## Theorem 2 — switch bound vs measured (Setting 1, Smart EXP3)");
+    println!("| slots | bound (no reset) | measured mean switches |");
+    for slots in [300usize, 600, 1200] {
+        let result = run_homogeneous(setting1_networks(), PolicyKind::SmartExp3, 20, slots, 1);
+        let measured: f64 =
+            result.switch_counts().iter().sum::<f64>() / result.devices.len() as f64;
+        println!(
+            "| {slots} | {:.0} | {measured:.1} |",
+            switch_bound_no_reset(3, 0.1, slots as f64)
+        );
+    }
+
+    let mut group = c.benchmark_group("theory_bounds");
+    group.sample_size(50).measurement_time(Duration::from_secs(2));
+    group.bench_function("switch_bound", |b| {
+        b.iter(|| switch_bound(criterion::black_box(3), 0.1, 1.0, 1200.0, 8640.0))
+    });
+    group.bench_function("regret_bound", |b| {
+        let params = RegretBoundParams {
+            networks: 3,
+            gamma: 0.1,
+            beta: 0.1,
+            max_block_length: 40.0,
+            best_gain_per_period: 1200.0,
+            slot_duration: 1.0,
+            tau: 1200.0,
+            total_time: 8640.0,
+            mean_delay: 0.3,
+            mean_gain: 0.5,
+        };
+        b.iter(|| regret_bound(criterion::black_box(&params)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! §VII-B — in-the-wild 500 MB download comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::wild;
+use smartexp3_bench::tiny_scale;
+use smartexp3_core::{Greedy, SmartExp3};
+use std::time::Duration;
+use tracegen::{run_policy_on_pair, trace_networks, TraceSimulationConfig};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", wild::run(&tiny_scale().with_runs(6)));
+
+    let mut group = c.benchmark_group("wild_download");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    let pair = wild::wild_conditions(42);
+    let config = TraceSimulationConfig::default();
+    group.bench_function("smart_exp3", |b| {
+        b.iter(|| {
+            let mut policy = SmartExp3::with_defaults(trace_networks()).expect("valid");
+            run_policy_on_pair(&mut policy, &pair, &config, 5)
+        })
+    });
+    group.bench_function("greedy", |b| {
+        b.iter(|| {
+            let mut policy = Greedy::new(trace_networks()).expect("valid");
+            run_policy_on_pair(&mut policy, &pair, &config, 5)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

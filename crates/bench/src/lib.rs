@@ -1,0 +1,71 @@
+//! Shared helpers for the Criterion benchmark harness.
+//!
+//! Every bench target regenerates one of the paper's tables or figures:
+//! it prints the experiment's output once (at a reduced scale, so the bench
+//! suite stays laptop-friendly) and then benchmarks the underlying simulation
+//! workload so regressions in the simulator or the algorithms show up as
+//! timing changes. Run `cargo bench` for everything or
+//! `cargo bench --bench fig2_switches` for a single artifact; use the `repro`
+//! binary for full-scale reproduction runs.
+
+use experiments::config::Scale;
+use netsim::{DeviceSetup, NetworkSpec, RunResult, Simulation, SimulationConfig};
+use smartexp3_core::{PolicyFactory, PolicyKind};
+
+/// The reduced scale used when a bench prints a table/figure.
+#[must_use]
+pub fn bench_scale() -> Scale {
+    Scale::quick().with_runs(2).with_slots(240).with_threads(1)
+}
+
+/// An even smaller scale for the heavyweight scenarios (mobility, testbed).
+#[must_use]
+pub fn tiny_scale() -> Scale {
+    Scale::quick().with_runs(1).with_slots(150).with_threads(1)
+}
+
+/// Runs one homogeneous single-area simulation and returns its result.
+///
+/// # Panics
+///
+/// Panics on invalid scenario construction (programming error in the bench).
+#[must_use]
+pub fn run_homogeneous(
+    networks: Vec<NetworkSpec>,
+    kind: PolicyKind,
+    devices: usize,
+    slots: usize,
+    seed: u64,
+) -> RunResult {
+    let mut factory =
+        PolicyFactory::new(networks.iter().map(|n| (n.id, n.bandwidth_mbps)).collect())
+            .expect("valid networks");
+    let mut simulation = Simulation::single_area(
+        networks,
+        SimulationConfig {
+            total_slots: slots,
+            ..SimulationConfig::default()
+        },
+    );
+    for id in 0..devices {
+        let mut setup = DeviceSetup::new(id as u32, factory.build(kind).expect("valid policy"));
+        if kind.needs_full_information() {
+            setup = setup.with_full_information();
+        }
+        simulation.add_device(setup);
+    }
+    simulation.run(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::setting1_networks;
+
+    #[test]
+    fn helper_runs_a_short_simulation() {
+        let result = run_homogeneous(setting1_networks(), PolicyKind::SmartExp3, 5, 50, 1);
+        assert_eq!(result.slots, 50);
+        assert!(bench_scale().runs >= tiny_scale().runs);
+    }
+}

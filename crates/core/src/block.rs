@@ -1,0 +1,151 @@
+//! Adaptive blocking: the mechanism Smart EXP3 uses to bound switching cost.
+//!
+//! A device partitions time into *blocks* of consecutive slots spent on one
+//! network. The length of the next block for network `i` is
+//! `⌈(1 + β)^{x_i}⌉`, where `x_i` counts how many blocks have already been
+//! spent on `i` (§III, "Adaptive blocking"). Block lengths therefore grow
+//! geometrically on frequently selected networks, which is what yields the
+//! logarithmic switch bound of Theorem 2.
+
+use crate::{NetworkId, SelectionKind};
+use serde::{Deserialize, Serialize};
+
+/// Length (in slots) of the next block of a network that has already been
+/// selected `times_selected` times, for growth factor `beta`.
+///
+/// ```rust
+/// use smartexp3_core::block_length;
+/// assert_eq!(block_length(0.1, 0), 1);
+/// assert_eq!(block_length(0.1, 8), 3); // ⌈1.1^8⌉ = ⌈2.14…⌉
+/// assert!(block_length(1.0, 10) >= 1024);
+/// ```
+#[must_use]
+pub fn block_length(beta: f64, times_selected: u64) -> u64 {
+    let raw = (1.0 + beta).powf(times_selected as f64);
+    // Guard against overflow for absurd inputs; the simulator never reaches
+    // block lengths anywhere near u64::MAX.
+    if raw >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        raw.ceil() as u64
+    }
+}
+
+/// The block a device is currently executing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockState {
+    /// Network selected for this block.
+    pub network: NetworkId,
+    /// Total length of the block, in slots.
+    pub length: u64,
+    /// Number of slots of this block that have already elapsed.
+    pub elapsed: u64,
+    /// Probability with which the network was chosen (the `p(b)` of
+    /// Algorithm 1, which depends on the selection kind).
+    pub probability: f64,
+    /// How the network was chosen.
+    pub kind: SelectionKind,
+    /// Sum of scaled per-slot gains observed so far in this block
+    /// (`g_{i_b}(b) ∈ [0, l_{i_b}]`).
+    pub accumulated_gain: f64,
+    /// Scaled gains of every elapsed slot, most recent last. Used by the
+    /// switch-back rule, which inspects (a suffix of) the previous block.
+    pub slot_gains: Vec<f64>,
+}
+
+impl BlockState {
+    /// Starts a fresh block.
+    #[must_use]
+    pub fn new(network: NetworkId, length: u64, probability: f64, kind: SelectionKind) -> Self {
+        BlockState {
+            network,
+            length: length.max(1),
+            elapsed: 0,
+            probability,
+            kind,
+            accumulated_gain: 0.0,
+            slot_gains: Vec::new(),
+        }
+    }
+
+    /// Records the scaled gain of one elapsed slot.
+    pub fn record_slot(&mut self, scaled_gain: f64) {
+        self.elapsed += 1;
+        self.accumulated_gain += scaled_gain;
+        self.slot_gains.push(scaled_gain);
+    }
+
+    /// `true` once every slot of the block has elapsed.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.elapsed >= self.length
+    }
+
+    /// Average scaled gain over the elapsed slots (0 if none elapsed yet).
+    #[must_use]
+    pub fn average_gain(&self) -> f64 {
+        if self.elapsed == 0 {
+            0.0
+        } else {
+            self.accumulated_gain / self.elapsed as f64
+        }
+    }
+
+    /// Scaled gain of the most recent elapsed slot, if any.
+    #[must_use]
+    pub fn last_slot_gain(&self) -> Option<f64> {
+        self.slot_gains.last().copied()
+    }
+
+    /// The most recent `n` per-slot gains (fewer if the block is shorter).
+    #[must_use]
+    pub fn recent_gains(&self, n: usize) -> &[f64] {
+        let start = self.slot_gains.len().saturating_sub(n);
+        &self.slot_gains[start..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_length_matches_paper_formula() {
+        // β = 0.1 (paper default): lengths 1,2,2,2,2,2,2,2,3,…
+        assert_eq!(block_length(0.1, 0), 1);
+        assert_eq!(block_length(0.1, 1), 2);
+        assert_eq!(block_length(0.1, 7), 2);
+        assert_eq!(block_length(0.1, 8), 3);
+        assert_eq!(block_length(0.1, 39), 42); // 1.1^39 ≈ 41.14 → ⌈·⌉ = 42 (reset threshold region)
+    }
+
+    #[test]
+    fn block_length_is_monotone_in_selections_and_beta() {
+        for x in 0..50u64 {
+            assert!(block_length(0.1, x + 1) >= block_length(0.1, x));
+            assert!(block_length(0.5, x) >= block_length(0.1, x));
+        }
+    }
+
+    #[test]
+    fn block_state_accounting() {
+        let mut block = BlockState::new(NetworkId(3), 3, 0.5, SelectionKind::Random);
+        assert!(!block.is_finished());
+        block.record_slot(0.2);
+        block.record_slot(0.6);
+        assert_eq!(block.last_slot_gain(), Some(0.6));
+        assert!((block.average_gain() - 0.4).abs() < 1e-12);
+        assert!(!block.is_finished());
+        block.record_slot(0.7);
+        assert!(block.is_finished());
+        assert!((block.accumulated_gain - 1.5).abs() < 1e-12);
+        assert_eq!(block.recent_gains(2), &[0.6, 0.7]);
+        assert_eq!(block.recent_gains(10).len(), 3);
+    }
+
+    #[test]
+    fn zero_length_blocks_are_promoted_to_one_slot() {
+        let block = BlockState::new(NetworkId(0), 0, 1.0, SelectionKind::SwitchBack);
+        assert_eq!(block.length, 1);
+    }
+}

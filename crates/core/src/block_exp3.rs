@@ -1,0 +1,42 @@
+//! Block EXP3 (Table III): EXP3 with adaptive blocking, and nothing else.
+//!
+//! This is a thin constructor around [`SmartExp3`] with only the blocking
+//! mechanism enabled (see [`SmartExp3Features::block_exp3`]). It exists as a
+//! named type because the paper evaluates it as a distinct algorithm.
+
+use crate::{ConfigError, NetworkId, SmartExp3, SmartExp3Config, SmartExp3Features};
+
+/// EXP3 that commits to each selection for a geometrically growing block.
+pub type BlockExp3 = SmartExp3;
+
+impl BlockExp3 {
+    /// Creates a Block EXP3 policy over `networks` with the paper's default
+    /// parameters (β = 0.1, γ = b^{-1/3}).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `networks` is empty or contains duplicates.
+    pub fn block_exp3(networks: Vec<NetworkId>) -> Result<BlockExp3, ConfigError> {
+        SmartExp3::new(
+            networks,
+            SmartExp3Config::with_features(SmartExp3Features::block_exp3()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Policy;
+
+    #[test]
+    fn block_exp3_constructor_disables_all_extras() {
+        let policy = BlockExp3::block_exp3((0..3).map(NetworkId).collect()).unwrap();
+        assert_eq!(policy.name(), "Block EXP3");
+        let features = policy.config().features;
+        assert!(!features.initial_exploration);
+        assert!(!features.greedy);
+        assert!(!features.switch_back);
+        assert!(!features.reset);
+    }
+}

@@ -1,0 +1,131 @@
+//! Error types returned by policy constructors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a policy is constructed with an invalid configuration.
+///
+/// All policy constructors validate their arguments (`C-VALIDATE`): parameters
+/// such as γ and β must lie in `(0, 1]`, and at least one network must be
+/// available.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A numeric parameter was outside its documented range.
+    ParameterOutOfRange {
+        /// Name of the offending parameter (e.g. `"beta"`).
+        parameter: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable description of the accepted range.
+        expected: &'static str,
+    },
+    /// The policy was constructed with an empty set of networks.
+    NoNetworks,
+    /// The same network identifier appeared more than once.
+    DuplicateNetwork(crate::NetworkId),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ParameterOutOfRange {
+                parameter,
+                value,
+                expected,
+            } => write!(
+                f,
+                "parameter `{parameter}` = {value} is out of range (expected {expected})"
+            ),
+            ConfigError::NoNetworks => write!(f, "at least one network must be available"),
+            ConfigError::DuplicateNetwork(id) => {
+                write!(f, "network {id} appears more than once in the available set")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Validates that `value` lies in the half-open unit interval `(0, 1]`.
+pub(crate) fn check_unit_interval(
+    parameter: &'static str,
+    value: f64,
+) -> Result<(), ConfigError> {
+    if value.is_finite() && value > 0.0 && value <= 1.0 {
+        Ok(())
+    } else {
+        Err(ConfigError::ParameterOutOfRange {
+            parameter,
+            value,
+            expected: "a finite value in (0, 1]",
+        })
+    }
+}
+
+/// Validates that `value` is finite and strictly positive.
+pub(crate) fn check_positive(parameter: &'static str, value: f64) -> Result<(), ConfigError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(())
+    } else {
+        Err(ConfigError::ParameterOutOfRange {
+            parameter,
+            value,
+            expected: "a finite value > 0",
+        })
+    }
+}
+
+/// Validates an arm list: non-empty and free of duplicates.
+pub(crate) fn check_networks(networks: &[crate::NetworkId]) -> Result<(), ConfigError> {
+    if networks.is_empty() {
+        return Err(ConfigError::NoNetworks);
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for &n in networks {
+        if !seen.insert(n) {
+            return Err(ConfigError::DuplicateNetwork(n));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetworkId;
+
+    #[test]
+    fn unit_interval_accepts_boundary_one() {
+        assert!(check_unit_interval("gamma", 1.0).is_ok());
+        assert!(check_unit_interval("gamma", 0.5).is_ok());
+    }
+
+    #[test]
+    fn unit_interval_rejects_zero_and_above_one() {
+        assert!(check_unit_interval("gamma", 0.0).is_err());
+        assert!(check_unit_interval("gamma", 1.5).is_err());
+        assert!(check_unit_interval("gamma", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn networks_must_be_unique_and_nonempty() {
+        assert_eq!(check_networks(&[]), Err(ConfigError::NoNetworks));
+        assert_eq!(
+            check_networks(&[NetworkId(1), NetworkId(1)]),
+            Err(ConfigError::DuplicateNetwork(NetworkId(1)))
+        );
+        assert!(check_networks(&[NetworkId(0), NetworkId(1)]).is_ok());
+    }
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let err = ConfigError::ParameterOutOfRange {
+            parameter: "beta",
+            value: 2.0,
+            expected: "a finite value in (0, 1]",
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("beta"));
+        assert!(msg.contains("2"));
+    }
+}

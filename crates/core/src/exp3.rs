@@ -1,0 +1,240 @@
+//! Textbook EXP3 (Auer, Cesa-Bianchi, Freund, Schapire 2002), operating at the
+//! granularity of a single time slot.
+//!
+//! This is the baseline whose practical shortcomings (frequent switching, slow
+//! convergence, no adaptation mechanism) motivate Smart EXP3. It keeps one
+//! exponential weight per network and, every slot, samples a network from the
+//! γ-mixed distribution, then applies the importance-weighted multiplicative
+//! update to the chosen network only.
+
+use crate::error::{check_networks, check_unit_interval};
+use crate::policy::{Observation, Policy, PolicyStats, SelectionKind};
+use crate::{ConfigError, GammaSchedule, NetworkId, SlotIndex, WeightTable};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the [`Exp3`] baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exp3Config {
+    /// Exploration-rate schedule, evaluated at the slot index (1-based).
+    pub gamma: GammaSchedule,
+}
+
+impl Default for Exp3Config {
+    fn default() -> Self {
+        Exp3Config {
+            gamma: GammaSchedule::paper_default(),
+        }
+    }
+}
+
+impl Exp3Config {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ParameterOutOfRange`] if a fixed γ lies outside
+    /// `(0, 1]`.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if let GammaSchedule::Fixed(g) = self.gamma {
+            check_unit_interval("gamma", g)?;
+        }
+        Ok(())
+    }
+}
+
+/// The EXP3 adversarial-bandit algorithm, one decision per slot.
+#[derive(Debug, Clone)]
+pub struct Exp3 {
+    config: Exp3Config,
+    weights: WeightTable,
+    decisions: usize,
+    current: Option<NetworkId>,
+    current_probability: f64,
+    current_gamma: f64,
+    last_kind: SelectionKind,
+    stats: PolicyStats,
+}
+
+impl Exp3 {
+    /// Creates an EXP3 policy over `networks`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `networks` is empty or contains duplicates, or if
+    /// the configuration is invalid.
+    pub fn new(networks: Vec<NetworkId>, config: Exp3Config) -> Result<Self, ConfigError> {
+        check_networks(&networks)?;
+        config.validate()?;
+        Ok(Exp3 {
+            config,
+            weights: WeightTable::uniform(&networks),
+            decisions: 0,
+            current: None,
+            current_probability: 1.0,
+            current_gamma: config.gamma.value(1),
+            last_kind: SelectionKind::Random,
+            stats: PolicyStats::default(),
+        })
+    }
+
+    /// The γ used for the most recent decision.
+    #[must_use]
+    pub fn current_gamma(&self) -> f64 {
+        self.current_gamma
+    }
+
+    /// Read access to the weight table (useful for inspection in tests).
+    #[must_use]
+    pub fn weights(&self) -> &WeightTable {
+        &self.weights
+    }
+}
+
+impl Policy for Exp3 {
+    fn name(&self) -> &'static str {
+        "EXP3"
+    }
+
+    fn choose(&mut self, _slot: SlotIndex, rng: &mut dyn RngCore) -> NetworkId {
+        self.decisions += 1;
+        self.current_gamma = self.config.gamma.value(self.decisions);
+        let (network, probability) = self.weights.sample(self.current_gamma, rng);
+        if let Some(previous) = self.current {
+            if previous != network {
+                self.stats.switches += 1;
+            }
+        }
+        self.stats.blocks += 1;
+        self.current = Some(network);
+        self.current_probability = probability;
+        self.last_kind = SelectionKind::Random;
+        network
+    }
+
+    fn observe(&mut self, observation: &Observation, _rng: &mut dyn RngCore) {
+        if Some(observation.network) != self.current {
+            // Feedback for a network we did not (any longer) select — ignore.
+            return;
+        }
+        let estimated = observation.scaled_gain / self.current_probability.max(f64::MIN_POSITIVE);
+        self.weights
+            .multiplicative_update(observation.network, self.current_gamma, estimated);
+    }
+
+    fn on_networks_changed(&mut self, available: &[NetworkId], _rng: &mut dyn RngCore) {
+        for &n in available {
+            self.weights.add_arm(n);
+        }
+        let to_remove: Vec<NetworkId> = self
+            .weights
+            .arms()
+            .iter()
+            .copied()
+            .filter(|n| !available.contains(n))
+            .collect();
+        for n in to_remove {
+            self.weights.remove_arm(n);
+        }
+        if let Some(current) = self.current {
+            if !available.contains(&current) {
+                self.current = None;
+            }
+        }
+    }
+
+    fn probabilities(&self) -> Vec<(NetworkId, f64)> {
+        let probs = self.weights.probabilities(self.current_gamma);
+        self.weights.arms().iter().copied().zip(probs).collect()
+    }
+
+    fn last_selection_kind(&self) -> SelectionKind {
+        self.last_kind
+    }
+
+    fn stats(&self) -> PolicyStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::probability_of;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn nets(k: u32) -> Vec<NetworkId> {
+        (0..k).map(NetworkId).collect()
+    }
+
+    fn run_slots(policy: &mut Exp3, best: NetworkId, slots: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for t in 0..slots {
+            let chosen = policy.choose(t, &mut rng);
+            let gain = if chosen == best { 0.9 } else { 0.1 };
+            let obs = Observation::bandit(t, chosen, gain * 22.0, gain);
+            policy.observe(&obs, &mut rng);
+        }
+    }
+
+    #[test]
+    fn construction_rejects_bad_inputs() {
+        assert!(Exp3::new(vec![], Exp3Config::default()).is_err());
+        let bad = Exp3Config {
+            gamma: GammaSchedule::Fixed(0.0),
+        };
+        assert!(Exp3::new(nets(2), bad).is_err());
+    }
+
+    #[test]
+    fn learns_the_best_network() {
+        let mut policy = Exp3::new(nets(3), Exp3Config::default()).unwrap();
+        run_slots(&mut policy, NetworkId(2), 800, 11);
+        let probs = policy.probabilities();
+        let best = probability_of(&probs, NetworkId(2));
+        assert!(best > 0.5, "best-network probability was {best}");
+    }
+
+    #[test]
+    fn probabilities_always_sum_to_one() {
+        let mut policy = Exp3::new(nets(4), Exp3Config::default()).unwrap();
+        run_slots(&mut policy, NetworkId(0), 200, 3);
+        let sum: f64 = policy.probabilities().iter().map(|(_, p)| p).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn switches_are_counted() {
+        let mut policy = Exp3::new(nets(3), Exp3Config::default()).unwrap();
+        run_slots(&mut policy, NetworkId(1), 100, 5);
+        let stats = policy.stats();
+        assert_eq!(stats.blocks, 100);
+        assert!(stats.switches > 0, "EXP3 with decaying gamma should switch early on");
+    }
+
+    #[test]
+    fn handles_network_set_changes() {
+        let mut policy = Exp3::new(nets(3), Exp3Config::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        run_slots(&mut policy, NetworkId(2), 50, 1);
+        policy.on_networks_changed(&[NetworkId(2), NetworkId(3)], &mut rng);
+        let probs = policy.probabilities();
+        assert_eq!(probs.len(), 2);
+        assert!(probs.iter().any(|(n, _)| *n == NetworkId(3)));
+        // Still able to make decisions afterwards.
+        let chosen = policy.choose(51, &mut rng);
+        assert!(chosen == NetworkId(2) || chosen == NetworkId(3));
+    }
+
+    #[test]
+    fn ignores_feedback_for_stale_network() {
+        let mut policy = Exp3::new(nets(2), Exp3Config::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let chosen = policy.choose(0, &mut rng);
+        let other = if chosen == NetworkId(0) { NetworkId(1) } else { NetworkId(0) };
+        let before = policy.probabilities();
+        policy.observe(&Observation::bandit(0, other, 22.0, 1.0), &mut rng);
+        assert_eq!(before, policy.probabilities());
+    }
+}

@@ -1,0 +1,270 @@
+//! Convenience factory that builds any of the paper's nine algorithms by name.
+//!
+//! The evaluation harness (and downstream users comparing algorithms) can
+//! iterate over [`PolicyKind::all`] and construct one policy per device with a
+//! [`PolicyFactory`], without caring about the per-algorithm constructor
+//! signatures (the centralized oracle, for instance, needs a shared
+//! coordinator that knows every network's bandwidth).
+
+use crate::{
+    CentralizedCoordinator, ConfigError, Exp3, Exp3Config, FixedRandom, FullInformation,
+    FullInformationConfig, Greedy, NetworkId, Policy, SmartExp3, SmartExp3Config,
+    SmartExp3Features,
+};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The nine selection algorithms evaluated in the paper (Tables II and III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Slot-level EXP3 (Auer et al.).
+    Exp3,
+    /// EXP3 with adaptive blocking only.
+    BlockExp3,
+    /// Block EXP3 plus the greedy policy (and initial exploration).
+    HybridBlockExp3,
+    /// Smart EXP3 with the reset mechanism disabled.
+    SmartExp3WithoutReset,
+    /// The full Smart EXP3 algorithm.
+    SmartExp3,
+    /// Explore once, then always pick the best empirical average.
+    Greedy,
+    /// Pick a network uniformly at random once and never move.
+    FixedRandom,
+    /// Exponentially weighted forecaster with full (counterfactual) feedback.
+    FullInformation,
+    /// Centralized oracle that assigns devices to a Nash-equilibrium allocation.
+    Centralized,
+}
+
+impl PolicyKind {
+    /// Every algorithm, in the order the paper's figures list them.
+    #[must_use]
+    pub fn all() -> [PolicyKind; 9] {
+        [
+            PolicyKind::Exp3,
+            PolicyKind::BlockExp3,
+            PolicyKind::HybridBlockExp3,
+            PolicyKind::SmartExp3WithoutReset,
+            PolicyKind::SmartExp3,
+            PolicyKind::Greedy,
+            PolicyKind::FullInformation,
+            PolicyKind::Centralized,
+            PolicyKind::FixedRandom,
+        ]
+    }
+
+    /// The bandit-feedback members of the EXP3 family (Table III ablation).
+    #[must_use]
+    pub fn exp3_family() -> [PolicyKind; 5] {
+        [
+            PolicyKind::Exp3,
+            PolicyKind::BlockExp3,
+            PolicyKind::HybridBlockExp3,
+            PolicyKind::SmartExp3WithoutReset,
+            PolicyKind::SmartExp3,
+        ]
+    }
+
+    /// Display label matching the paper's figures.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyKind::Exp3 => "EXP3",
+            PolicyKind::BlockExp3 => "Block EXP3",
+            PolicyKind::HybridBlockExp3 => "Hybrid Block EXP3",
+            PolicyKind::SmartExp3WithoutReset => "Smart EXP3 w/o Reset",
+            PolicyKind::SmartExp3 => "Smart EXP3",
+            PolicyKind::Greedy => "Greedy",
+            PolicyKind::FixedRandom => "Fixed Random",
+            PolicyKind::FullInformation => "Full Information",
+            PolicyKind::Centralized => "Centralized",
+        }
+    }
+
+    /// `true` for algorithms that require full (counterfactual) feedback from
+    /// the environment.
+    #[must_use]
+    pub fn needs_full_information(&self) -> bool {
+        matches!(self, PolicyKind::FullInformation)
+    }
+
+    /// `true` for algorithms that cannot be deployed without coordination
+    /// (included in the paper only as idealised baselines).
+    #[must_use]
+    pub fn is_oracle(&self) -> bool {
+        matches!(self, PolicyKind::Centralized | PolicyKind::FullInformation)
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Builds policies of any [`PolicyKind`] for one common environment.
+#[derive(Debug, Clone)]
+pub struct PolicyFactory {
+    networks: Vec<NetworkId>,
+    network_rates: Vec<(NetworkId, f64)>,
+    smart_config: SmartExp3Config,
+    exp3_config: Exp3Config,
+    full_information_config: FullInformationConfig,
+    coordinator: Option<CentralizedCoordinator>,
+}
+
+impl PolicyFactory {
+    /// Creates a factory for an environment whose networks have the given
+    /// bandwidths (Mbps). The bandwidths are only used by the centralized
+    /// oracle; bandit policies never see them.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the network list is empty or contains duplicates.
+    pub fn new(network_rates: Vec<(NetworkId, f64)>) -> Result<Self, ConfigError> {
+        let networks: Vec<NetworkId> = network_rates.iter().map(|(n, _)| *n).collect();
+        crate::error::check_networks(&networks)?;
+        Ok(PolicyFactory {
+            networks,
+            network_rates,
+            smart_config: SmartExp3Config::default(),
+            exp3_config: Exp3Config::default(),
+            full_information_config: FullInformationConfig::default(),
+            coordinator: None,
+        })
+    }
+
+    /// Overrides the Smart EXP3 configuration used for the whole EXP3 family
+    /// (the feature set is still chosen per [`PolicyKind`]).
+    #[must_use]
+    pub fn with_smart_config(mut self, config: SmartExp3Config) -> Self {
+        self.smart_config = config;
+        self
+    }
+
+    /// Overrides the slot-level EXP3 configuration.
+    #[must_use]
+    pub fn with_exp3_config(mut self, config: Exp3Config) -> Self {
+        self.exp3_config = config;
+        self
+    }
+
+    /// The networks this factory builds policies for.
+    #[must_use]
+    pub fn networks(&self) -> &[NetworkId] {
+        &self.networks
+    }
+
+    /// Builds one policy of the requested kind.
+    ///
+    /// Each call for [`PolicyKind::Centralized`] registers one more device
+    /// with the shared coordinator, so calling it once per device yields the
+    /// Nash-equilibrium allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the underlying constructors.
+    pub fn build(&mut self, kind: PolicyKind) -> Result<Box<dyn Policy>, ConfigError> {
+        let networks = self.networks.clone();
+        let policy: Box<dyn Policy> = match kind {
+            PolicyKind::Exp3 => Box::new(Exp3::new(networks, self.exp3_config)?),
+            PolicyKind::BlockExp3 => Box::new(SmartExp3::new(
+                networks,
+                SmartExp3Config {
+                    features: SmartExp3Features::block_exp3(),
+                    ..self.smart_config
+                },
+            )?),
+            PolicyKind::HybridBlockExp3 => Box::new(SmartExp3::new(
+                networks,
+                SmartExp3Config {
+                    features: SmartExp3Features::hybrid_block_exp3(),
+                    ..self.smart_config
+                },
+            )?),
+            PolicyKind::SmartExp3WithoutReset => Box::new(SmartExp3::new(
+                networks,
+                SmartExp3Config {
+                    features: SmartExp3Features::smart_exp3_without_reset(),
+                    ..self.smart_config
+                },
+            )?),
+            PolicyKind::SmartExp3 => Box::new(SmartExp3::new(
+                networks,
+                SmartExp3Config {
+                    features: SmartExp3Features::smart_exp3(),
+                    ..self.smart_config
+                },
+            )?),
+            PolicyKind::Greedy => Box::new(Greedy::new(networks)?),
+            PolicyKind::FixedRandom => Box::new(FixedRandom::new(networks)?),
+            PolicyKind::FullInformation => Box::new(FullInformation::new(
+                networks,
+                self.full_information_config,
+            )?),
+            PolicyKind::Centralized => {
+                if self.coordinator.is_none() {
+                    self.coordinator =
+                        Some(CentralizedCoordinator::new(self.network_rates.clone())?);
+                }
+                Box::new(
+                    self.coordinator
+                        .as_ref()
+                        .expect("coordinator initialised above")
+                        .join(),
+                )
+            }
+        };
+        Ok(policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rates() -> Vec<(NetworkId, f64)> {
+        vec![
+            (NetworkId(0), 4.0),
+            (NetworkId(1), 7.0),
+            (NetworkId(2), 22.0),
+        ]
+    }
+
+    #[test]
+    fn every_kind_builds_and_reports_its_label() {
+        let mut factory = PolicyFactory::new(rates()).unwrap();
+        for kind in PolicyKind::all() {
+            let policy = factory.build(kind).unwrap();
+            assert_eq!(policy.name(), kind.label(), "label mismatch for {kind:?}");
+        }
+    }
+
+    #[test]
+    fn centralized_devices_share_one_coordinator() {
+        let mut factory = PolicyFactory::new(rates()).unwrap();
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let mut counts = std::collections::BTreeMap::new();
+        for _ in 0..20 {
+            let mut policy = factory.build(PolicyKind::Centralized).unwrap();
+            *counts.entry(policy.choose(0, &mut rng)).or_insert(0) += 1;
+        }
+        assert_eq!(counts.get(&NetworkId(2)), Some(&14));
+        assert_eq!(counts.get(&NetworkId(1)), Some(&4));
+        assert_eq!(counts.get(&NetworkId(0)), Some(&2));
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::BTreeSet<&str> =
+            PolicyKind::all().iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), PolicyKind::all().len());
+    }
+
+    #[test]
+    fn duplicate_networks_are_rejected() {
+        let result = PolicyFactory::new(vec![(NetworkId(0), 4.0), (NetworkId(0), 7.0)]);
+        assert!(result.is_err());
+    }
+}

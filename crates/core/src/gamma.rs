@@ -1,0 +1,82 @@
+//! Exploration-rate (γ) schedules.
+//!
+//! The paper's implementation (§V) uses `γ = b^{-1/3}` where `b` is the block
+//! index, so exploration decays over time and the convergence argument of
+//! Theorem 1 (which requires γ → 0) applies. A fixed γ is also provided for
+//! textbook EXP3.
+
+use serde::{Deserialize, Serialize};
+
+/// A schedule mapping a decision index (block or slot, 1-based) to γ ∈ (0, 1].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GammaSchedule {
+    /// Constant exploration rate.
+    Fixed(f64),
+    /// `γ(b) = b^{-1/3}`, clamped to `[floor, 1]`; the paper's choice, after
+    /// Maghsudi & Stanczak (relay selection with adversarial bandits).
+    InverseCubeRoot {
+        /// Lower clamp preventing γ from reaching exactly 0 (keeps the
+        /// distribution mixed); the paper effectively uses 0.
+        floor: f64,
+    },
+}
+
+impl GammaSchedule {
+    /// The paper's default schedule: `γ = b^{-1/3}` with a tiny floor.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        GammaSchedule::InverseCubeRoot { floor: 1e-3 }
+    }
+
+    /// Evaluates the schedule at `index` (1-based). An `index` of 0 is treated
+    /// as 1.
+    #[must_use]
+    pub fn value(&self, index: usize) -> f64 {
+        match *self {
+            GammaSchedule::Fixed(gamma) => gamma.clamp(f64::MIN_POSITIVE, 1.0),
+            GammaSchedule::InverseCubeRoot { floor } => {
+                let b = index.max(1) as f64;
+                b.powf(-1.0 / 3.0).clamp(floor.max(f64::MIN_POSITIVE), 1.0)
+            }
+        }
+    }
+}
+
+impl Default for GammaSchedule {
+    fn default() -> Self {
+        GammaSchedule::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_schedule_is_constant_and_clamped() {
+        let schedule = GammaSchedule::Fixed(0.3);
+        assert_eq!(schedule.value(1), 0.3);
+        assert_eq!(schedule.value(1000), 0.3);
+        assert_eq!(GammaSchedule::Fixed(5.0).value(10), 1.0);
+    }
+
+    #[test]
+    fn inverse_cube_root_starts_at_one_and_decays() {
+        let schedule = GammaSchedule::paper_default();
+        assert!((schedule.value(1) - 1.0).abs() < 1e-12);
+        assert!((schedule.value(8) - 0.5).abs() < 1e-12);
+        assert!(schedule.value(1000) < schedule.value(10));
+    }
+
+    #[test]
+    fn floor_is_respected() {
+        let schedule = GammaSchedule::InverseCubeRoot { floor: 0.05 };
+        assert!(schedule.value(usize::MAX / 2) >= 0.05);
+    }
+
+    #[test]
+    fn index_zero_is_treated_as_one() {
+        let schedule = GammaSchedule::paper_default();
+        assert_eq!(schedule.value(0), schedule.value(1));
+    }
+}

@@ -1,0 +1,42 @@
+//! Hybrid Block EXP3 (Table III): Block EXP3 plus Smart EXP3's greedy policy
+//! (and the initial exploration phase that feeds it).
+//!
+//! Like [`BlockExp3`](crate::BlockExp3) this is a named constructor over
+//! [`SmartExp3`] with the corresponding feature set.
+
+use crate::{ConfigError, NetworkId, SmartExp3, SmartExp3Config, SmartExp3Features};
+
+/// Block EXP3 augmented with the coin-flip greedy policy.
+pub type HybridBlockExp3 = SmartExp3;
+
+impl HybridBlockExp3 {
+    /// Creates a Hybrid Block EXP3 policy over `networks` with the paper's
+    /// default parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `networks` is empty or contains duplicates.
+    pub fn hybrid_block_exp3(networks: Vec<NetworkId>) -> Result<HybridBlockExp3, ConfigError> {
+        SmartExp3::new(
+            networks,
+            SmartExp3Config::with_features(SmartExp3Features::hybrid_block_exp3()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Policy;
+
+    #[test]
+    fn hybrid_constructor_enables_greedy_and_exploration_only() {
+        let policy = HybridBlockExp3::hybrid_block_exp3((0..3).map(NetworkId).collect()).unwrap();
+        assert_eq!(policy.name(), "Hybrid Block EXP3");
+        let features = policy.config().features;
+        assert!(features.initial_exploration);
+        assert!(features.greedy);
+        assert!(!features.switch_back);
+        assert!(!features.reset);
+    }
+}

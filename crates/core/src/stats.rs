@@ -1,0 +1,161 @@
+//! Per-network gain statistics used by greedy choices and reset detection.
+
+use crate::NetworkId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Running statistics about the gains observed from each network.
+///
+/// Smart EXP3 uses these for its greedy choices ("the network from which the
+/// highest average gain has been observed"), for its reset heuristic (a
+/// sustained ≥15 % drop on the most-used network), and the [`Greedy`]
+/// baseline uses them as its whole decision rule.
+///
+/// [`Greedy`]: crate::Greedy
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetworkStats {
+    per_network: BTreeMap<NetworkId, PerNetwork>,
+}
+
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+struct PerNetwork {
+    slots: u64,
+    blocks: u64,
+    total_gain: f64,
+}
+
+impl NetworkStats {
+    /// Creates an empty statistics table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one slot's scaled gain on `network`.
+    pub fn record_slot(&mut self, network: NetworkId, scaled_gain: f64) {
+        let entry = self.per_network.entry(network).or_default();
+        entry.slots += 1;
+        entry.total_gain += scaled_gain;
+    }
+
+    /// Records that a block was started on `network`.
+    pub fn record_block(&mut self, network: NetworkId) {
+        self.per_network.entry(network).or_default().blocks += 1;
+    }
+
+    /// Number of blocks started on `network`.
+    #[must_use]
+    pub fn blocks(&self, network: NetworkId) -> u64 {
+        self.per_network.get(&network).map_or(0, |e| e.blocks)
+    }
+
+    /// Number of slots spent on `network`.
+    #[must_use]
+    pub fn slots(&self, network: NetworkId) -> u64 {
+        self.per_network.get(&network).map_or(0, |e| e.slots)
+    }
+
+    /// Average scaled gain per slot on `network` (`None` if never visited).
+    #[must_use]
+    pub fn average_gain(&self, network: NetworkId) -> Option<f64> {
+        self.per_network.get(&network).and_then(|e| {
+            if e.slots == 0 {
+                None
+            } else {
+                Some(e.total_gain / e.slots as f64)
+            }
+        })
+    }
+
+    /// The network with the highest average gain, breaking ties towards the
+    /// lowest identifier. `None` when nothing has been observed yet.
+    #[must_use]
+    pub fn best_average(&self) -> Option<NetworkId> {
+        self.per_network
+            .iter()
+            .filter(|(_, e)| e.slots > 0)
+            .map(|(&n, e)| (n, e.total_gain / e.slots as f64))
+            .fold(None, |best: Option<(NetworkId, f64)>, (n, avg)| match best {
+                Some((_, best_avg)) if best_avg >= avg => best,
+                _ => Some((n, avg)),
+            })
+            .map(|(n, _)| n)
+    }
+
+    /// The network on which the most slots have been spent (the `i_max` of
+    /// §V), if any observation was made.
+    #[must_use]
+    pub fn most_used(&self) -> Option<NetworkId> {
+        self.per_network
+            .iter()
+            .filter(|(_, e)| e.slots > 0)
+            .max_by_key(|(_, e)| e.slots)
+            .map(|(&n, _)| n)
+    }
+
+    /// Forgets everything (used by Smart EXP3's minimal reset, which clears
+    /// the data backing greedy decisions while *keeping* the EXP3 weights).
+    pub fn clear(&mut self) {
+        self.per_network.clear();
+    }
+
+    /// Drops statistics about networks not in `available` (after mobility).
+    pub fn retain_networks(&mut self, available: &[NetworkId]) {
+        self.per_network.retain(|n, _| available.contains(n));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_and_best_network() {
+        let mut stats = NetworkStats::new();
+        stats.record_slot(NetworkId(0), 0.2);
+        stats.record_slot(NetworkId(0), 0.4);
+        stats.record_slot(NetworkId(1), 0.9);
+        let avg = stats.average_gain(NetworkId(0)).unwrap();
+        assert!((avg - 0.3).abs() < 1e-12);
+        assert_eq!(stats.best_average(), Some(NetworkId(1)));
+        assert_eq!(stats.average_gain(NetworkId(9)), None);
+    }
+
+    #[test]
+    fn most_used_counts_slots_not_gain() {
+        let mut stats = NetworkStats::new();
+        for _ in 0..5 {
+            stats.record_slot(NetworkId(2), 0.1);
+        }
+        stats.record_slot(NetworkId(3), 1.0);
+        assert_eq!(stats.most_used(), Some(NetworkId(2)));
+    }
+
+    #[test]
+    fn tie_break_prefers_lower_id() {
+        let mut stats = NetworkStats::new();
+        stats.record_slot(NetworkId(5), 0.5);
+        stats.record_slot(NetworkId(1), 0.5);
+        assert_eq!(stats.best_average(), Some(NetworkId(1)));
+    }
+
+    #[test]
+    fn clear_and_retain() {
+        let mut stats = NetworkStats::new();
+        stats.record_slot(NetworkId(0), 0.5);
+        stats.record_slot(NetworkId(1), 0.5);
+        stats.record_block(NetworkId(1));
+        stats.retain_networks(&[NetworkId(1)]);
+        assert_eq!(stats.average_gain(NetworkId(0)), None);
+        assert_eq!(stats.blocks(NetworkId(1)), 1);
+        stats.clear();
+        assert_eq!(stats.best_average(), None);
+    }
+
+    #[test]
+    fn empty_stats_have_no_best() {
+        let stats = NetworkStats::new();
+        assert_eq!(stats.best_average(), None);
+        assert_eq!(stats.most_used(), None);
+    }
+}

@@ -1,0 +1,147 @@
+//! Closed forms of the paper's theoretical guarantees.
+//!
+//! * **Theorem 2** — the expected number of network switches of Smart EXP3
+//!   over a horizon `T` is at most `(T/τ) · 3k·log(τ/t_d + 1) / log(1+β)`.
+//! * **Theorem 3** — the expected weak regret is at most
+//!   `(T·t_d/τ)·((1 + γ·l·(e−2))·G_max(τ) + k·ln k / γ)
+//!    + (T·µ_d·µ_g/τ)·3k·log(τ/t_d + 1)/log(1+β)`.
+//!
+//! These functions are used by the test suite (the empirical switch counts of
+//! every simulated run must stay below the Theorem 2 bound) and by the
+//! `theory_bounds` bench, which tabulates how the bounds scale with `k`, `β`
+//! and `τ` alongside measured values.
+
+/// Theorem 2: upper bound on the expected number of switches over horizon
+/// `total_time`, with `k` networks, block growth factor `beta`, slot duration
+/// `slot_duration` and reset period `tau` (all in the same time unit).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or any duration is non-positive (these are programming
+/// errors in the calling experiment, not data-dependent conditions).
+#[must_use]
+pub fn switch_bound(k: usize, beta: f64, slot_duration: f64, tau: f64, total_time: f64) -> f64 {
+    assert!(k > 0, "at least one network is required");
+    assert!(slot_duration > 0.0 && tau > 0.0 && total_time > 0.0);
+    assert!(beta > 0.0 && beta <= 1.0);
+    let per_period = 3.0 * k as f64 * (tau / slot_duration + 1.0).ln() / (1.0 + beta).ln();
+    (total_time / tau) * per_period
+}
+
+/// Theorem 2 specialised to `t_d = 1`, `τ = T` (no reset):
+/// `3k·log(T+1)/log(1+β)`.
+#[must_use]
+pub fn switch_bound_no_reset(k: usize, beta: f64, total_slots: f64) -> f64 {
+    switch_bound(k, beta, 1.0, total_slots, total_slots)
+}
+
+/// Parameters of the Theorem 3 weak-regret bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegretBoundParams {
+    /// Number of networks `k`.
+    pub networks: usize,
+    /// Exploration rate γ ∈ (0, 1].
+    pub gamma: f64,
+    /// Block growth factor β ∈ (0, 1].
+    pub beta: f64,
+    /// Largest block length `l` reached.
+    pub max_block_length: f64,
+    /// Cumulative gain of the best single network over one reset period,
+    /// `G_max(τ)` (in scaled-gain units, i.e. slots).
+    pub best_gain_per_period: f64,
+    /// Slot duration `t_d` (seconds).
+    pub slot_duration: f64,
+    /// Reset period `τ` (seconds).
+    pub tau: f64,
+    /// Total horizon `T` (seconds).
+    pub total_time: f64,
+    /// Mean switching delay `µ_d` (seconds).
+    pub mean_delay: f64,
+    /// Mean observed gain `µ_g` (scaled units).
+    pub mean_gain: f64,
+}
+
+/// Theorem 3: upper bound on the expected weak regret.
+///
+/// # Panics
+///
+/// Panics on non-positive durations or `networks == 0`.
+#[must_use]
+pub fn regret_bound(params: &RegretBoundParams) -> f64 {
+    let RegretBoundParams {
+        networks,
+        gamma,
+        beta,
+        max_block_length,
+        best_gain_per_period,
+        slot_duration,
+        tau,
+        total_time,
+        mean_delay,
+        mean_gain,
+    } = *params;
+    assert!(networks > 0);
+    assert!(slot_duration > 0.0 && tau > 0.0 && total_time > 0.0);
+    let k = networks as f64;
+    let e_minus_2 = std::f64::consts::E - 2.0;
+    let learning_term = (total_time * slot_duration / tau)
+        * ((1.0 + gamma * max_block_length * e_minus_2) * best_gain_per_period
+            + k * k.ln() / gamma);
+    let switching_term = (total_time * mean_delay * mean_gain / tau)
+        * (3.0 * k * (tau / slot_duration + 1.0).ln() / (1.0 + beta).ln());
+    learning_term + switching_term
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switch_bound_matches_hand_computation() {
+        // 3 networks, beta = 0.1, td = 1, tau = T = 1200:
+        // 3*3*ln(1201)/ln(1.1) ≈ 9 * 7.0909 / 0.09531 ≈ 669.6
+        let bound = switch_bound_no_reset(3, 0.1, 1200.0);
+        assert!((bound - 669.0).abs() < 5.0, "bound = {bound}");
+    }
+
+    #[test]
+    fn switch_bound_decreases_with_beta_and_increases_with_k() {
+        let base = switch_bound_no_reset(3, 0.1, 1000.0);
+        assert!(switch_bound_no_reset(3, 0.5, 1000.0) < base);
+        assert!(switch_bound_no_reset(7, 0.1, 1000.0) > base);
+    }
+
+    #[test]
+    fn more_frequent_resets_allow_more_switches() {
+        let rare = switch_bound(3, 0.1, 1.0, 1000.0, 10_000.0);
+        let frequent = switch_bound(3, 0.1, 1.0, 100.0, 10_000.0);
+        assert!(frequent > rare);
+    }
+
+    #[test]
+    fn regret_bound_is_positive_and_grows_with_horizon() {
+        let mut params = RegretBoundParams {
+            networks: 3,
+            gamma: 0.1,
+            beta: 0.1,
+            max_block_length: 40.0,
+            best_gain_per_period: 1200.0,
+            slot_duration: 1.0,
+            tau: 1200.0,
+            total_time: 1200.0,
+            mean_delay: 0.3,
+            mean_gain: 0.5,
+        };
+        let short = regret_bound(&params);
+        assert!(short > 0.0);
+        params.total_time = 2400.0;
+        let long = regret_bound(&params);
+        assert!(long > short);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one network")]
+    fn zero_networks_panics() {
+        let _ = switch_bound(0, 0.1, 1.0, 10.0, 10.0);
+    }
+}

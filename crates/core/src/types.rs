@@ -1,0 +1,69 @@
+//! Fundamental identifier and index types shared by all policies.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a wireless network (an "arm" of the bandit).
+///
+/// Identifiers are assigned by the environment (simulator, testbed driver, …);
+/// policies treat them as opaque. A device's set of available networks may
+/// change over time (mobility, APs appearing/disappearing), which is why
+/// policies index their internal state by `NetworkId` rather than by position.
+///
+/// ```rust
+/// use smartexp3_core::NetworkId;
+/// let wifi = NetworkId(3);
+/// assert_eq!(wifi.index(), 3);
+/// assert_eq!(format!("{wifi}"), "net#3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NetworkId(pub u32);
+
+impl NetworkId {
+    /// Returns the raw index carried by this identifier.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetworkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "net#{}", self.0)
+    }
+}
+
+impl From<u32> for NetworkId {
+    fn from(value: u32) -> Self {
+        NetworkId(value)
+    }
+}
+
+/// Index of a time slot (the paper uses 15-second slots).
+///
+/// Slots are numbered from 0 by the environment. Policies only use slot
+/// indices for bookkeeping (e.g. reset heuristics); no wall-clock time is
+/// assumed.
+pub type SlotIndex = usize;
+
+/// Index of a block (a maximal run of consecutive slots spent on one network).
+pub type BlockIndex = usize;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn network_id_roundtrip_and_display() {
+        let id = NetworkId::from(7u32);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "net#7");
+    }
+
+    #[test]
+    fn network_id_ordering_is_by_raw_value() {
+        let mut ids = vec![NetworkId(3), NetworkId(0), NetworkId(2)];
+        ids.sort();
+        assert_eq!(ids, vec![NetworkId(0), NetworkId(2), NetworkId(3)]);
+    }
+}

@@ -1,0 +1,302 @@
+//! Numerically stable exponential weights shared by the EXP3 family.
+//!
+//! EXP3 maintains a multiplicative weight per arm and mixes the normalised
+//! weights with a uniform distribution:
+//!
+//! ```text
+//! p_i = (1 - γ) · w_i / Σ_j w_j  +  γ / k
+//! ```
+//!
+//! Because the estimated gains `ĝ = g / p` can be large (blocks of dozens of
+//! slots divided by small probabilities), weights are stored in the **log
+//! domain** and probabilities computed with a max-shifted softmax, which keeps
+//! the computation stable over arbitrarily long horizons.
+
+use crate::NetworkId;
+use rand::Rng;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// Exponential weight table over a (possibly changing) set of networks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightTable {
+    arms: Vec<NetworkId>,
+    /// Natural-log weights; `log_weights[i]` corresponds to `arms[i]`.
+    log_weights: Vec<f64>,
+}
+
+impl WeightTable {
+    /// Creates a table with uniform (unit) weights over `arms`.
+    ///
+    /// Duplicate arms are collapsed; the caller is expected to have validated
+    /// the arm list already (see [`ConfigError`](crate::ConfigError)).
+    #[must_use]
+    pub fn uniform(arms: &[NetworkId]) -> Self {
+        let mut table = WeightTable {
+            arms: Vec::new(),
+            log_weights: Vec::new(),
+        };
+        for &arm in arms {
+            if !table.arms.contains(&arm) {
+                table.arms.push(arm);
+                table.log_weights.push(0.0);
+            }
+        }
+        table
+    }
+
+    /// Number of arms currently tracked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.arms.len()
+    }
+
+    /// Returns `true` when no arms are tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.arms.is_empty()
+    }
+
+    /// The tracked arms, in insertion order.
+    #[must_use]
+    pub fn arms(&self) -> &[NetworkId] {
+        &self.arms
+    }
+
+    /// Returns the position of `arm` in the table, if tracked.
+    #[must_use]
+    pub fn position(&self, arm: NetworkId) -> Option<usize> {
+        self.arms.iter().position(|&a| a == arm)
+    }
+
+    /// Log-weight of `arm`, or `None` if the arm is not tracked.
+    #[must_use]
+    pub fn log_weight(&self, arm: NetworkId) -> Option<f64> {
+        self.position(arm).map(|i| self.log_weights[i])
+    }
+
+    /// Applies the EXP3 multiplicative update `w ← w · exp(γ ĝ / k)` to `arm`.
+    ///
+    /// `estimated_gain` is the importance-weighted gain `ĝ = g / p`.
+    /// Unknown arms are ignored (this can only happen transiently around a
+    /// change in the available-network set).
+    pub fn multiplicative_update(&mut self, arm: NetworkId, gamma: f64, estimated_gain: f64) {
+        let k = self.arms.len().max(1) as f64;
+        if let Some(i) = self.position(arm) {
+            self.log_weights[i] += gamma * estimated_gain / k;
+        }
+        self.renormalize();
+    }
+
+    /// EXP3 probability distribution `p_i = (1-γ)·softmax(w)_i + γ/k`,
+    /// returned in the same order as [`arms`](Self::arms).
+    #[must_use]
+    pub fn probabilities(&self, gamma: f64) -> Vec<f64> {
+        let k = self.arms.len();
+        if k == 0 {
+            return Vec::new();
+        }
+        let soft = self.softmax();
+        soft.into_iter()
+            .map(|s| (1.0 - gamma) * s + gamma / k as f64)
+            .collect()
+    }
+
+    /// Probability of a specific arm under the EXP3 rule.
+    #[must_use]
+    pub fn probability_of(&self, arm: NetworkId, gamma: f64) -> f64 {
+        match self.position(arm) {
+            Some(i) => self.probabilities(gamma)[i],
+            None => 0.0,
+        }
+    }
+
+    /// Samples an arm from the EXP3 distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty.
+    pub fn sample(&self, gamma: f64, rng: &mut dyn RngCore) -> (NetworkId, f64) {
+        assert!(!self.arms.is_empty(), "cannot sample from an empty weight table");
+        let probs = self.probabilities(gamma);
+        let mut target: f64 = rng.gen();
+        for (i, &p) in probs.iter().enumerate() {
+            if target < p || i + 1 == probs.len() {
+                return (self.arms[i], p);
+            }
+            target -= p;
+        }
+        unreachable!("probabilities sum to 1");
+    }
+
+    /// Adds a newly discovered arm.
+    ///
+    /// Following §III ("Change in set of networks"), the new arm's weight is
+    /// set to the maximum weight of the existing arms (or 1 if the table was
+    /// empty), so that it has a realistic chance of being explored.
+    pub fn add_arm(&mut self, arm: NetworkId) {
+        if self.position(arm).is_some() {
+            return;
+        }
+        let max_lw = self
+            .log_weights
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let lw = if max_lw.is_finite() { max_lw } else { 0.0 };
+        self.arms.push(arm);
+        self.log_weights.push(lw);
+    }
+
+    /// Removes an arm that is no longer available. Returns `true` if it was
+    /// present.
+    pub fn remove_arm(&mut self, arm: NetworkId) -> bool {
+        match self.position(arm) {
+            Some(i) => {
+                self.arms.remove(i);
+                self.log_weights.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Resets every weight back to 1 (log-weight 0), keeping the arm set.
+    pub fn reset_uniform(&mut self) {
+        for lw in &mut self.log_weights {
+            *lw = 0.0;
+        }
+    }
+
+    /// Max-shifted softmax of the log-weights.
+    fn softmax(&self) -> Vec<f64> {
+        let max_lw = self
+            .log_weights
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = self
+            .log_weights
+            .iter()
+            .map(|&lw| (lw - max_lw).exp())
+            .collect();
+        let sum: f64 = exps.iter().sum();
+        exps.into_iter().map(|e| e / sum).collect()
+    }
+
+    /// Keeps log-weights centred around zero so they never overflow even over
+    /// billions of updates. Shifting all log-weights by a constant does not
+    /// change the softmax.
+    fn renormalize(&mut self) {
+        let max_lw = self
+            .log_weights
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        if max_lw.is_finite() && max_lw.abs() > 1e3 {
+            for lw in &mut self.log_weights {
+                *lw -= max_lw;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn arms(k: u32) -> Vec<NetworkId> {
+        (0..k).map(NetworkId).collect()
+    }
+
+    #[test]
+    fn uniform_table_gives_uniform_probabilities() {
+        let table = WeightTable::uniform(&arms(4));
+        let probs = table.probabilities(0.1);
+        for p in probs {
+            assert!((p - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_after_updates() {
+        let mut table = WeightTable::uniform(&arms(3));
+        table.multiplicative_update(NetworkId(1), 0.3, 5.0);
+        table.multiplicative_update(NetworkId(2), 0.3, 1.0);
+        let probs = table.probabilities(0.2);
+        let sum: f64 = probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rewarded_arm_gains_probability() {
+        let mut table = WeightTable::uniform(&arms(3));
+        for _ in 0..20 {
+            table.multiplicative_update(NetworkId(2), 0.2, 2.0);
+        }
+        let probs = table.probabilities(0.1);
+        assert!(probs[2] > probs[0]);
+        assert!(probs[2] > probs[1]);
+    }
+
+    #[test]
+    fn gamma_one_forces_uniform_exploration() {
+        let mut table = WeightTable::uniform(&arms(5));
+        table.multiplicative_update(NetworkId(0), 0.5, 50.0);
+        let probs = table.probabilities(1.0);
+        for p in probs {
+            assert!((p - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn huge_updates_do_not_overflow() {
+        let mut table = WeightTable::uniform(&arms(3));
+        for _ in 0..10_000 {
+            table.multiplicative_update(NetworkId(0), 1.0, 500.0);
+        }
+        let probs = table.probabilities(0.01);
+        assert!(probs.iter().all(|p| p.is_finite()));
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(probs[0] > 0.98);
+    }
+
+    #[test]
+    fn new_arm_inherits_max_weight() {
+        let mut table = WeightTable::uniform(&arms(2));
+        table.multiplicative_update(NetworkId(1), 0.5, 10.0);
+        let best_lw = table.log_weight(NetworkId(1)).unwrap();
+        table.add_arm(NetworkId(7));
+        assert_eq!(table.log_weight(NetworkId(7)), Some(best_lw));
+    }
+
+    #[test]
+    fn remove_arm_shrinks_distribution() {
+        let mut table = WeightTable::uniform(&arms(3));
+        assert!(table.remove_arm(NetworkId(1)));
+        assert!(!table.remove_arm(NetworkId(1)));
+        assert_eq!(table.len(), 2);
+        let probs = table.probabilities(0.0);
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_respects_distribution() {
+        let mut table = WeightTable::uniform(&arms(2));
+        for _ in 0..50 {
+            table.multiplicative_update(NetworkId(1), 0.3, 3.0);
+        }
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut hits = 0;
+        for _ in 0..2000 {
+            let (arm, p) = table.sample(0.1, &mut rng);
+            assert!(p > 0.0 && p <= 1.0);
+            if arm == NetworkId(1) {
+                hits += 1;
+            }
+        }
+        assert!(hits > 1600, "expected heavy bias towards arm 1, got {hits}");
+    }
+}

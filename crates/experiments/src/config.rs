@@ -1,0 +1,118 @@
+//! Common knobs shared by every experiment: how many repetitions, how many
+//! slots, how many worker threads, which base seed.
+
+use serde::{Deserialize, Serialize};
+
+/// Scale of an experiment.
+///
+/// The paper's evaluation uses 500 runs of 1200 slots (5 simulated hours),
+/// which takes a while on a laptop. The default here is a reduced scale that
+/// preserves the qualitative results; [`Scale::paper`] reproduces the paper's
+/// numbers of runs and slots exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scale {
+    /// Number of independent runs to aggregate over.
+    pub runs: usize,
+    /// Number of time slots per run.
+    pub slots: usize,
+    /// Worker threads used to fan runs out (1 = sequential).
+    pub threads: usize,
+    /// Base seed; run `i` uses seed `base_seed + i`.
+    pub base_seed: u64,
+}
+
+impl Scale {
+    /// The paper's scale: 500 runs × 1200 slots.
+    #[must_use]
+    pub fn paper() -> Self {
+        Scale {
+            runs: 500,
+            slots: 1200,
+            threads: default_threads(),
+            base_seed: 1,
+        }
+    }
+
+    /// A quick scale for tests and smoke runs.
+    #[must_use]
+    pub fn quick() -> Self {
+        Scale {
+            runs: 5,
+            slots: 300,
+            threads: 1,
+            base_seed: 1,
+        }
+    }
+
+    /// Overrides the number of runs.
+    #[must_use]
+    pub fn with_runs(mut self, runs: usize) -> Self {
+        self.runs = runs.max(1);
+        self
+    }
+
+    /// Overrides the number of slots.
+    #[must_use]
+    pub fn with_slots(mut self, slots: usize) -> Self {
+        self.slots = slots.max(1);
+        self
+    }
+
+    /// Overrides the number of worker threads.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The seed of run `index`.
+    #[must_use]
+    pub fn seed(&self, index: usize) -> u64 {
+        self.base_seed.wrapping_add(index as u64)
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale {
+            runs: 30,
+            slots: 1200,
+            threads: default_threads(),
+            base_seed: 1,
+        }
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_the_paper() {
+        let scale = Scale::paper();
+        assert_eq!(scale.runs, 500);
+        assert_eq!(scale.slots, 1200);
+    }
+
+    #[test]
+    fn seeds_are_distinct_per_run() {
+        let scale = Scale::default();
+        let seeds: std::collections::BTreeSet<u64> = (0..100).map(|i| scale.seed(i)).collect();
+        assert_eq!(seeds.len(), 100);
+    }
+
+    #[test]
+    fn builders_clamp_to_at_least_one() {
+        let scale = Scale::quick().with_runs(0).with_slots(0).with_threads(0);
+        assert_eq!(scale.runs, 1);
+        assert_eq!(scale.slots, 1);
+        assert_eq!(scale.threads, 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Plain-text rendering of experiment results (tables and figure-like series).
+
+use std::fmt::Write as _;
+
+/// Renders a fixed-width table with a header row.
+#[must_use]
+pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (column, cell) in row.iter().enumerate() {
+            if column >= widths.len() {
+                widths.push(cell.len());
+            } else {
+                widths[column] = widths[column].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "## {title}");
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{h:<width$}", width = widths.get(i).copied().unwrap_or(h.len())))
+        .collect();
+    let _ = writeln!(out, "| {} |", header_line.join(" | "));
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    let _ = writeln!(out, "|-{}-|", rule.join("-|-"));
+    for row in rows {
+        let cells: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:<width$}", width = widths.get(i).copied().unwrap_or(c.len())))
+            .collect();
+        let _ = writeln!(out, "| {} |", cells.join(" | "));
+    }
+    out
+}
+
+/// Renders a per-slot series as labelled buckets (a textual stand-in for the
+/// paper's line figures).
+#[must_use]
+pub fn format_series(title: &str, slot_bucket: usize, labelled_series: &[(String, Vec<f64>)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## {title}");
+    let buckets = labelled_series
+        .iter()
+        .map(|(_, s)| s.len())
+        .max()
+        .unwrap_or(0);
+    let mut headers = vec!["series".to_string()];
+    for bucket in 0..buckets {
+        headers.push(format!("t≈{}", bucket * slot_bucket + slot_bucket / 2));
+    }
+    let header_line = headers.join(" | ");
+    let _ = writeln!(out, "| {header_line} |");
+    for (label, series) in labelled_series {
+        let cells: Vec<String> = series.iter().map(|v| format!("{v:.1}")).collect();
+        let _ = writeln!(out, "| {label} | {} |", cells.join(" | "));
+    }
+    out
+}
+
+/// Formats a float with one decimal, or `"-"` for non-finite values.
+#[must_use]
+pub fn cell(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.1}")
+    } else {
+        "-".to_string()
+    }
+}
+
+/// Formats a float with two decimals, or `"-"` for non-finite values.
+#[must_use]
+pub fn cell2(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.2}")
+    } else {
+        "-".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_contains_every_cell() {
+        let table = format_table(
+            "Demo",
+            &["algorithm", "switches"],
+            &[
+                vec!["EXP3".to_string(), "641".to_string()],
+                vec!["Smart EXP3".to_string(), "65".to_string()],
+            ],
+        );
+        assert!(table.contains("Demo"));
+        assert!(table.contains("EXP3"));
+        assert!(table.contains("65"));
+    }
+
+    #[test]
+    fn series_lists_every_label() {
+        let text = format_series(
+            "Distance",
+            100,
+            &[
+                ("Smart EXP3".to_string(), vec![10.0, 5.0]),
+                ("Greedy".to_string(), vec![30.0, 30.0]),
+            ],
+        );
+        assert!(text.contains("Smart EXP3"));
+        assert!(text.contains("30.0"));
+    }
+
+    #[test]
+    fn cells_handle_non_finite_values() {
+        assert_eq!(cell(1.25), "1.2");
+        assert_eq!(cell(f64::NAN), "-");
+        assert_eq!(cell2(1.256), "1.26");
+    }
+}

@@ -1,0 +1,103 @@
+//! Fan-out of independent simulation runs across worker threads.
+
+use crate::config::Scale;
+
+/// Executes `scale.runs` independent evaluations of `job` (one per seed) and
+/// collects the results in run order.
+///
+/// `job` receives the run's seed. With `scale.threads == 1` everything runs on
+/// the calling thread; otherwise runs are distributed over scoped worker
+/// threads (results are still returned in deterministic run order).
+pub fn run_many<T, F>(scale: &Scale, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let runs = scale.runs;
+    if runs == 0 {
+        return Vec::new();
+    }
+    if scale.threads <= 1 || runs == 1 {
+        return (0..runs).map(|i| job(scale.seed(i))).collect();
+    }
+
+    let threads = scale.threads.min(runs);
+    let mut results: Vec<Option<T>> = (0..runs).map(|_| None).collect();
+    let chunk = runs.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (worker, slots) in results.chunks_mut(chunk).enumerate() {
+            let job = &job;
+            scope.spawn(move |_| {
+                for (offset, slot) in slots.iter_mut().enumerate() {
+                    let run_index = worker * chunk + offset;
+                    *slot = Some(job(scale.seed(run_index)));
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results
+        .into_iter()
+        .map(|r| r.expect("every run slot is filled"))
+        .collect()
+}
+
+/// Averages per-slot series element-wise, ignoring series that are shorter
+/// than the longest one beyond their end (useful for averaging distance
+/// curves over runs).
+#[must_use]
+pub fn average_series(series: &[Vec<f64>]) -> Vec<f64> {
+    let longest = series.iter().map(Vec::len).max().unwrap_or(0);
+    let mut sums = vec![0.0; longest];
+    let mut counts = vec![0usize; longest];
+    for run in series {
+        for (slot, &value) in run.iter().enumerate() {
+            sums[slot] += value;
+            counts[slot] += 1;
+        }
+    }
+    sums.into_iter()
+        .zip(counts)
+        .map(|(sum, count)| if count == 0 { 0.0 } else { sum / count as f64 })
+        .collect()
+}
+
+/// Down-samples a series by averaging consecutive buckets of `bucket` slots;
+/// used to print figure-like series compactly.
+#[must_use]
+pub fn downsample(series: &[f64], bucket: usize) -> Vec<f64> {
+    if bucket == 0 {
+        return series.to_vec();
+    }
+    series
+        .chunks(bucket.max(1))
+        .map(|chunk| chunk.iter().sum::<f64>() / chunk.len() as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let sequential = run_many(&Scale::quick().with_runs(9).with_threads(1), |seed| seed * 2);
+        let parallel = run_many(&Scale::quick().with_runs(9).with_threads(4), |seed| seed * 2);
+        assert_eq!(sequential, parallel);
+        assert_eq!(sequential.len(), 9);
+    }
+
+    #[test]
+    fn averaging_handles_unequal_lengths() {
+        let series = vec![vec![1.0, 3.0], vec![3.0, 5.0, 7.0]];
+        assert_eq!(average_series(&series), vec![2.0, 4.0, 7.0]);
+        assert!(average_series(&[]).is_empty());
+    }
+
+    #[test]
+    fn downsampling_averages_buckets() {
+        let series = vec![1.0, 3.0, 5.0, 7.0, 9.0];
+        assert_eq!(downsample(&series, 2), vec![2.0, 6.0, 9.0]);
+        assert_eq!(downsample(&series, 0), series);
+    }
+}

@@ -1,0 +1,168 @@
+//! Figure 6 — scalability of Smart EXP3 w/o Reset: how the time to reach a
+//! stable state grows with the number of networks (3/5/7, 20 devices) and
+//! with the number of devices (20/40/80, 3 networks).
+
+use crate::config::Scale;
+use crate::report::{cell, format_table};
+use crate::runner::run_many;
+use crate::settings::homogeneous_simulation;
+use congestion_game::median;
+use netsim::{NetworkSpec, SimulationConfig};
+use smartexp3_core::PolicyKind;
+use std::fmt;
+
+/// One point of Figure 6.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalabilityPoint {
+    /// Number of networks in the scenario.
+    pub networks: usize,
+    /// Number of devices in the scenario.
+    pub devices: usize,
+    /// Fraction of runs that reached a stable state.
+    pub stable_fraction: f64,
+    /// Fraction of runs stable at a Nash equilibrium.
+    pub stable_at_nash_fraction: f64,
+    /// Median slots to reach the stable state, over stable runs.
+    pub median_slots_to_stable: Option<f64>,
+}
+
+/// The regenerated Figure 6.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalabilityResult {
+    /// Varying number of networks (20 devices).
+    pub by_networks: Vec<ScalabilityPoint>,
+    /// Varying number of devices (3 networks).
+    pub by_devices: Vec<ScalabilityPoint>,
+}
+
+/// Network sets used when sweeping the number of networks.
+#[must_use]
+pub fn network_sweep(count: usize) -> Vec<NetworkSpec> {
+    let rates = [4.0, 7.0, 22.0, 10.0, 14.0, 5.0, 8.0];
+    rates
+        .iter()
+        .take(count.clamp(1, rates.len()))
+        .enumerate()
+        .map(|(id, &rate)| {
+            if id == 2 {
+                NetworkSpec::cellular(id as u32, rate)
+            } else {
+                NetworkSpec::wifi(id as u32, rate)
+            }
+        })
+        .collect()
+}
+
+fn measure(scale: &Scale, networks: Vec<NetworkSpec>, devices: usize) -> ScalabilityPoint {
+    let network_count = networks.len();
+    let outcomes: Vec<(Option<usize>, bool)> = run_many(scale, |seed| {
+        let simulation = homogeneous_simulation(
+            networks.clone(),
+            PolicyKind::SmartExp3WithoutReset,
+            devices,
+            SimulationConfig {
+                total_slots: scale.slots,
+                ..SimulationConfig::default()
+            },
+        )
+        .expect("scalability scenario construction cannot fail");
+        let result = simulation.run(seed);
+        (result.stable_slot, result.stable_at_nash)
+    });
+    let runs = outcomes.len().max(1) as f64;
+    let stable: Vec<f64> = outcomes
+        .iter()
+        .filter_map(|(slot, _)| slot.map(|s| s as f64))
+        .collect();
+    let at_nash = outcomes.iter().filter(|(_, nash)| *nash).count();
+    ScalabilityPoint {
+        networks: network_count,
+        devices,
+        stable_fraction: stable.len() as f64 / runs,
+        stable_at_nash_fraction: at_nash as f64 / runs,
+        median_slots_to_stable: if stable.is_empty() {
+            None
+        } else {
+            Some(median(&stable))
+        },
+    }
+}
+
+/// Runs the Figure 6 experiment with the paper's sweeps (networks 3/5/7 at 20
+/// devices; devices 20/40/80 at 3 networks).
+#[must_use]
+pub fn run(scale: &Scale) -> ScalabilityResult {
+    run_with(scale, &[3, 5, 7], &[20, 40, 80])
+}
+
+/// Runs the Figure 6 experiment with custom sweeps.
+#[must_use]
+pub fn run_with(scale: &Scale, network_counts: &[usize], device_counts: &[usize]) -> ScalabilityResult {
+    let by_networks = network_counts
+        .iter()
+        .map(|&count| measure(scale, network_sweep(count), 20))
+        .collect();
+    let by_devices = device_counts
+        .iter()
+        .map(|&devices| measure(scale, network_sweep(3), devices))
+        .collect();
+    ScalabilityResult {
+        by_networks,
+        by_devices,
+    }
+}
+
+impl fmt::Display for ScalabilityResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rows: Vec<Vec<String>> = self
+            .by_networks
+            .iter()
+            .chain(self.by_devices.iter())
+            .map(|p| {
+                vec![
+                    p.networks.to_string(),
+                    p.devices.to_string(),
+                    cell(p.stable_fraction * 100.0),
+                    cell(p.stable_at_nash_fraction * 100.0),
+                    p.median_slots_to_stable.map_or("-".to_string(), cell),
+                ]
+            })
+            .collect();
+        f.write_str(&format_table(
+            "Figure 6 — scalability of Smart EXP3 w/o Reset",
+            &[
+                "networks",
+                "devices",
+                "% runs stable",
+                "% stable at NE",
+                "median slots to stable",
+            ],
+            &rows,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_networks_slow_down_stabilisation() {
+        let scale = Scale::quick().with_runs(2).with_slots(900);
+        let result = run_with(&scale, &[3, 5], &[20]);
+        assert_eq!(result.by_networks.len(), 2);
+        assert_eq!(result.by_devices.len(), 1);
+        // Both sweeps should produce mostly-stable runs at this horizon.
+        for point in result.by_networks.iter().chain(&result.by_devices) {
+            assert!(point.stable_fraction > 0.0, "{point:?} never stabilised");
+        }
+        assert!(result.to_string().contains("Figure 6"));
+    }
+
+    #[test]
+    fn network_sweep_produces_requested_sizes() {
+        assert_eq!(network_sweep(3).len(), 3);
+        assert_eq!(network_sweep(7).len(), 7);
+        assert_eq!(network_sweep(100).len(), 7);
+    }
+}

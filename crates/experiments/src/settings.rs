@@ -1,0 +1,368 @@
+//! Scenario builders for every setting the paper evaluates.
+
+use netsim::{
+    figure1_networks, setting1_networks, setting2_networks, AreaId, DeviceSetup, NetworkSpec,
+    SharingModel, Simulation, SimulationConfig, Topology,
+};
+use serde::{Deserialize, Serialize};
+use smartexp3_core::{ConfigError, PolicyFactory, PolicyKind};
+
+/// The two static simulation settings of §VI-A (20 devices, 3 networks,
+/// 33 Mbps aggregate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StaticSetting {
+    /// Non-uniform rates 4 / 7 / 22 Mbps (unique Nash equilibrium).
+    Setting1,
+    /// Uniform rates 11 / 11 / 11 Mbps (three symmetric equilibria).
+    Setting2,
+}
+
+impl StaticSetting {
+    /// Both static settings.
+    #[must_use]
+    pub fn both() -> [StaticSetting; 2] {
+        [StaticSetting::Setting1, StaticSetting::Setting2]
+    }
+
+    /// Display label.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            StaticSetting::Setting1 => "Setting 1",
+            StaticSetting::Setting2 => "Setting 2",
+        }
+    }
+
+    /// The networks of the setting.
+    #[must_use]
+    pub fn networks(&self) -> Vec<NetworkSpec> {
+        match self {
+            StaticSetting::Setting1 => setting1_networks(),
+            StaticSetting::Setting2 => setting2_networks(),
+        }
+    }
+
+    /// Number of devices the paper uses in this setting.
+    #[must_use]
+    pub fn devices(&self) -> usize {
+        20
+    }
+}
+
+/// Builds a [`PolicyFactory`] over `networks`.
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from the factory constructor.
+pub fn factory_for(networks: &[NetworkSpec]) -> Result<PolicyFactory, ConfigError> {
+    PolicyFactory::new(networks.iter().map(|n| (n.id, n.bandwidth_mbps)).collect())
+}
+
+/// Builds a single-area simulation with `devices` devices all running `kind`.
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from policy construction.
+pub fn homogeneous_simulation(
+    networks: Vec<NetworkSpec>,
+    kind: PolicyKind,
+    devices: usize,
+    config: SimulationConfig,
+) -> Result<Simulation, ConfigError> {
+    let mut factory = factory_for(&networks)?;
+    let mut simulation = Simulation::single_area(networks, config);
+    for id in 0..devices {
+        let mut setup = DeviceSetup::new(id as u32, factory.build(kind)?);
+        if kind.needs_full_information() {
+            setup = setup.with_full_information();
+        }
+        simulation.add_device(setup);
+    }
+    Ok(simulation)
+}
+
+/// Builds a single-area simulation with a mix of policies: `counts` lists how
+/// many devices run each kind (used by the robustness scenarios of Fig. 11 and
+/// the mixed controlled experiment of Fig. 15). Returns the simulation and,
+/// for each device id, the kind it runs.
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from policy construction.
+pub fn mixed_simulation(
+    networks: Vec<NetworkSpec>,
+    counts: &[(PolicyKind, usize)],
+    config: SimulationConfig,
+) -> Result<(Simulation, Vec<PolicyKind>), ConfigError> {
+    let mut factory = factory_for(&networks)?;
+    let mut simulation = Simulation::single_area(networks, config);
+    let mut kinds = Vec::new();
+    let mut id = 0u32;
+    for &(kind, count) in counts {
+        for _ in 0..count {
+            let mut setup = DeviceSetup::new(id, factory.build(kind)?);
+            if kind.needs_full_information() {
+                setup = setup.with_full_information();
+            }
+            simulation.add_device(setup);
+            kinds.push(kind);
+            id += 1;
+        }
+    }
+    Ok((simulation, kinds))
+}
+
+/// The dynamic settings of §VI-A (Figures 7 and 8); all devices run `kind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DynamicSetting {
+    /// Dynamic setting 1: 11 devices stay throughout; 9 more join at slot 401
+    /// and leave after slot 800.
+    DevicesJoinAndLeave,
+    /// Dynamic setting 2: 16 devices leave after slot 600, freeing resources
+    /// for the remaining 4.
+    DevicesLeave,
+}
+
+impl DynamicSetting {
+    /// Display label.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            DynamicSetting::DevicesJoinAndLeave => "9 devices join at t=401, leave after t=800",
+            DynamicSetting::DevicesLeave => "16 devices leave after t=600",
+        }
+    }
+
+    /// Number of devices that stay for the whole run.
+    #[must_use]
+    pub fn persistent_devices(&self) -> usize {
+        match self {
+            DynamicSetting::DevicesJoinAndLeave => 11,
+            DynamicSetting::DevicesLeave => 4,
+        }
+    }
+
+    /// Builds the simulation (3 networks at 4/7/22 Mbps as in the paper).
+    ///
+    /// The join/leave slots are scaled proportionally if `config.total_slots`
+    /// differs from the paper's 1200.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`] from policy construction.
+    pub fn build(
+        &self,
+        kind: PolicyKind,
+        config: SimulationConfig,
+    ) -> Result<Simulation, ConfigError> {
+        let networks = setting1_networks();
+        let mut factory = factory_for(&networks)?;
+        let mut simulation = Simulation::single_area(networks, config);
+        let scale = |slot: usize| slot * config.total_slots / 1200;
+        match self {
+            DynamicSetting::DevicesJoinAndLeave => {
+                for id in 0..11u32 {
+                    simulation.add_device(DeviceSetup::new(id, factory.build(kind)?));
+                }
+                for id in 11..20u32 {
+                    simulation.add_device(
+                        DeviceSetup::new(id, factory.build(kind)?)
+                            .active_between(scale(400), Some(scale(800))),
+                    );
+                }
+            }
+            DynamicSetting::DevicesLeave => {
+                for id in 0..4u32 {
+                    simulation.add_device(DeviceSetup::new(id, factory.build(kind)?));
+                }
+                for id in 4..20u32 {
+                    simulation.add_device(
+                        DeviceSetup::new(id, factory.build(kind)?)
+                            .active_between(0, Some(scale(600))),
+                    );
+                }
+            }
+        }
+        Ok(simulation)
+    }
+}
+
+/// The mobility scenario of §VI-A setting 3 (Figure 9): the Figure 1 map with
+/// 20 devices, 8 of which move from the food court to the study area at slot
+/// 401 and on to the bus stop at slot 801.
+///
+/// Returns the simulation and, per device id, its *group* for reporting:
+/// 0 = moving devices (1–8), 1 = food-court stayers (9–10),
+/// 2 = study-area devices (11–15), 3 = bus-stop devices (16–20).
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from policy construction.
+pub fn mobility_simulation(
+    kind: PolicyKind,
+    config: SimulationConfig,
+) -> Result<(Simulation, Vec<usize>), ConfigError> {
+    let networks = figure1_networks();
+    let topology = Topology::figure1();
+    let scale = |slot: usize| slot * config.total_slots / 1200;
+    let mut simulation = Simulation::new(networks.clone(), topology.clone(), config);
+    let mut groups = Vec::new();
+
+    // Policies are constructed over the networks visible from the device's
+    // starting area (a device cannot know about networks it has never seen).
+    let area_factory = |area: AreaId| -> Result<PolicyFactory, ConfigError> {
+        let visible = topology.networks_in(area);
+        PolicyFactory::new(
+            networks
+                .iter()
+                .filter(|n| visible.contains(&n.id))
+                .map(|n| (n.id, n.bandwidth_mbps))
+                .collect(),
+        )
+    };
+
+    // Devices 1-8 (ids 0-7): food court, moving at t=401 and t=801.
+    let mut food_court = area_factory(AreaId(0))?;
+    for id in 0..8u32 {
+        simulation.add_device(
+            DeviceSetup::new(id, food_court.build(kind)?)
+                .in_area(AreaId(0))
+                .moving_to(scale(400), AreaId(1))
+                .moving_to(scale(800), AreaId(2)),
+        );
+        groups.push(0);
+    }
+    // Devices 9-10 (ids 8-9): food court, stationary.
+    for id in 8..10u32 {
+        simulation.add_device(DeviceSetup::new(id, food_court.build(kind)?).in_area(AreaId(0)));
+        groups.push(1);
+    }
+    // Devices 11-15 (ids 10-14): study area.
+    let mut study = area_factory(AreaId(1))?;
+    for id in 10..15u32 {
+        simulation.add_device(DeviceSetup::new(id, study.build(kind)?).in_area(AreaId(1)));
+        groups.push(2);
+    }
+    // Devices 16-20 (ids 15-19): bus stop.
+    let mut bus_stop = area_factory(AreaId(2))?;
+    for id in 15..20u32 {
+        simulation.add_device(DeviceSetup::new(id, bus_stop.build(kind)?).in_area(AreaId(2)));
+        groups.push(3);
+    }
+    Ok((simulation, groups))
+}
+
+/// Human-readable labels of the mobility groups returned by
+/// [`mobility_simulation`].
+#[must_use]
+pub fn mobility_group_labels() -> [&'static str; 4] {
+    [
+        "devices 1-8 (moving)",
+        "devices 9-10 (food court)",
+        "devices 11-15 (study area)",
+        "devices 16-20 (bus stop)",
+    ]
+}
+
+/// The controlled-experiment (testbed) scenario of §VII-A: 14 devices, 3 APs,
+/// noisy unequal sharing, 480 slots. `leave_after` removes 9 of the 14
+/// devices after that slot (the dynamic experiment of Figure 14).
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from policy construction.
+pub fn controlled_simulation(
+    kind: PolicyKind,
+    total_slots: usize,
+    leave_after: Option<usize>,
+) -> Result<Simulation, ConfigError> {
+    let networks = netsim::testbed::testbed_networks();
+    let config = SimulationConfig {
+        total_slots,
+        sharing: SharingModel::testbed(),
+        ..SimulationConfig::default()
+    };
+    let mut factory = factory_for(&networks)?;
+    let mut simulation = Simulation::single_area(networks, config);
+    for id in 0..netsim::testbed::TESTBED_DEVICES as u32 {
+        let mut setup = DeviceSetup::new(id, factory.build(kind)?);
+        if let Some(leave_slot) = leave_after {
+            if id >= 5 {
+                // Devices 5..14 (9 devices) leave after `leave_slot`.
+                setup = setup.active_between(0, Some(leave_slot));
+            }
+        }
+        simulation.add_device(setup);
+    }
+    Ok(simulation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_settings_have_twenty_devices_and_33_mbps() {
+        for setting in StaticSetting::both() {
+            assert_eq!(setting.devices(), 20);
+            let total: f64 = setting.networks().iter().map(|n| n.bandwidth_mbps).sum();
+            assert_eq!(total, 33.0);
+        }
+    }
+
+    #[test]
+    fn homogeneous_simulation_builds_all_devices() {
+        let simulation = homogeneous_simulation(
+            setting1_networks(),
+            PolicyKind::SmartExp3,
+            20,
+            SimulationConfig::quick(10),
+        )
+        .unwrap();
+        assert_eq!(simulation.device_count(), 20);
+    }
+
+    #[test]
+    fn mixed_simulation_reports_kinds_in_device_order() {
+        let (simulation, kinds) = mixed_simulation(
+            setting1_networks(),
+            &[(PolicyKind::SmartExp3, 3), (PolicyKind::Greedy, 2)],
+            SimulationConfig::quick(10),
+        )
+        .unwrap();
+        assert_eq!(simulation.device_count(), 5);
+        assert_eq!(kinds.len(), 5);
+        assert_eq!(kinds.iter().filter(|k| **k == PolicyKind::Greedy).count(), 2);
+    }
+
+    #[test]
+    fn dynamic_settings_have_expected_population() {
+        let config = SimulationConfig::quick(1200);
+        for (setting, expected) in [
+            (DynamicSetting::DevicesJoinAndLeave, 20),
+            (DynamicSetting::DevicesLeave, 20),
+        ] {
+            let simulation = setting.build(PolicyKind::SmartExp3, config).unwrap();
+            assert_eq!(simulation.device_count(), expected);
+            assert!(setting.persistent_devices() < expected);
+        }
+    }
+
+    #[test]
+    fn mobility_simulation_has_twenty_devices_in_four_groups() {
+        let (simulation, groups) =
+            mobility_simulation(PolicyKind::SmartExp3, SimulationConfig::quick(50)).unwrap();
+        assert_eq!(simulation.device_count(), 20);
+        assert_eq!(groups.len(), 20);
+        for group in 0..4 {
+            assert!(groups.iter().any(|&g| g == group), "group {group} missing");
+        }
+        assert_eq!(mobility_group_labels().len(), 4);
+    }
+
+    #[test]
+    fn controlled_simulation_matches_testbed_population() {
+        let simulation = controlled_simulation(PolicyKind::Greedy, 60, Some(30)).unwrap();
+        assert_eq!(simulation.device_count(), 14);
+    }
+}

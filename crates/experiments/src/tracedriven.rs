@@ -1,0 +1,204 @@
+//! Table VI and Figure 12 — trace-driven evaluation: Smart EXP3 vs Greedy on
+//! four pairs of WiFi/cellular bit-rate traces.
+
+use crate::config::Scale;
+use crate::report::{cell, cell2, format_table};
+use crate::runner::run_many;
+use congestion_game::median;
+use smartexp3_core::{Greedy, SmartExp3};
+use std::fmt;
+use tracegen::{
+    paper_trace_pair, run_policy_on_pair, trace_networks, TracePair, TraceRunResult,
+    TraceSimulationConfig,
+};
+
+/// Median download and switching cost of one algorithm on one trace pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceCells {
+    /// Median cumulative download over the runs, MB.
+    pub download_mb: f64,
+    /// Median switching cost over the runs, MB.
+    pub switching_cost_mb: f64,
+    /// Median number of switches.
+    pub switches: f64,
+}
+
+/// One row of Table VI (one trace pair).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRow {
+    /// Paper trace index (1–4).
+    pub trace: usize,
+    /// Smart EXP3's numbers.
+    pub smart: TraceCells,
+    /// Greedy's numbers.
+    pub greedy: TraceCells,
+}
+
+/// The regenerated Table VI.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceDrivenResult {
+    /// One row per trace pair.
+    pub rows: Vec<TraceRow>,
+}
+
+fn summarize(runs: &[TraceRunResult]) -> TraceCells {
+    TraceCells {
+        download_mb: median(&runs.iter().map(|r| r.download_megabytes).collect::<Vec<_>>()),
+        switching_cost_mb: median(
+            &runs
+                .iter()
+                .map(|r| r.switching_cost_megabytes)
+                .collect::<Vec<_>>(),
+        ),
+        switches: median(&runs.iter().map(|r| r.switches as f64).collect::<Vec<_>>()),
+    }
+}
+
+/// Number of slots per trace (the paper's 25-minute traces at 15 s per slot).
+pub const TRACE_SLOTS: usize = 100;
+
+/// Generates the synthetic trace pair used for paper trace `index` (fixed seed
+/// so every experiment and bench sees the same pair).
+#[must_use]
+pub fn trace_pair(index: usize) -> TracePair {
+    paper_trace_pair(index, TRACE_SLOTS, 1000 + index as u64)
+}
+
+/// Runs the Table VI experiment.
+#[must_use]
+pub fn run(scale: &Scale) -> TraceDrivenResult {
+    let config = TraceSimulationConfig::default();
+    let rows = (1..=4)
+        .map(|trace| {
+            let pair = trace_pair(trace);
+            let smart_runs: Vec<TraceRunResult> = run_many(scale, |seed| {
+                let mut policy =
+                    SmartExp3::with_defaults(trace_networks()).expect("two networks are valid");
+                run_policy_on_pair(&mut policy, &pair, &config, seed)
+            });
+            let greedy_runs: Vec<TraceRunResult> = run_many(scale, |seed| {
+                let mut policy = Greedy::new(trace_networks()).expect("two networks are valid");
+                run_policy_on_pair(&mut policy, &pair, &config, seed)
+            });
+            TraceRow {
+                trace,
+                smart: summarize(&smart_runs),
+                greedy: summarize(&greedy_runs),
+            }
+        })
+        .collect();
+    TraceDrivenResult { rows }
+}
+
+impl fmt::Display for TraceDrivenResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("Trace {}", r.trace),
+                    cell2(r.smart.download_mb),
+                    cell2(r.smart.switching_cost_mb),
+                    cell2(r.greedy.download_mb),
+                    cell2(r.greedy.switching_cost_mb),
+                ]
+            })
+            .collect();
+        f.write_str(&format_table(
+            "Table VI — trace-driven median download and switching cost (MB)",
+            &[
+                "trace",
+                "Smart EXP3 download",
+                "Smart EXP3 cost",
+                "Greedy download",
+                "Greedy cost",
+            ],
+            &rows,
+        ))
+    }
+}
+
+/// Figure 12 — the per-slot selection of a single representative Smart EXP3
+/// run overlaid on the trace pair: `(wifi rate, cellular rate, rate obtained)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceIllustration {
+    /// Paper trace index.
+    pub trace: usize,
+    /// Per-slot `(wifi, cellular, obtained)` rates in Mbps.
+    pub series: Vec<(f64, f64, f64)>,
+}
+
+/// Produces the Figure 12 illustration for `trace` (1 or 3 in the paper).
+#[must_use]
+pub fn illustrate(trace: usize, seed: u64) -> TraceIllustration {
+    let pair = trace_pair(trace);
+    let mut policy = SmartExp3::with_defaults(trace_networks()).expect("two networks are valid");
+    let result = run_policy_on_pair(&mut policy, &pair, &TraceSimulationConfig::default(), seed);
+    let series = result
+        .selections
+        .iter()
+        .enumerate()
+        .map(|(slot, &(_, rate))| (pair.wifi.rate_at(slot), pair.cellular.rate_at(slot), rate))
+        .collect();
+    TraceIllustration { trace, series }
+}
+
+impl fmt::Display for TraceIllustration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "## Figure 12 — trace {} selection overlay (every 10th slot)",
+            self.trace
+        )?;
+        writeln!(f, "| slot | WiFi Mbps | cellular Mbps | Smart EXP3 Mbps |")?;
+        for (slot, (wifi, cellular, chosen)) in self.series.iter().enumerate() {
+            if slot % 10 == 0 {
+                writeln!(
+                    f,
+                    "| {slot} | {} | {} | {} |",
+                    cell(*wifi),
+                    cell(*cellular),
+                    cell(*chosen)
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smart_beats_greedy_on_trace3_and_matches_on_trace2() {
+        let scale = Scale::quick().with_runs(3);
+        let result = run(&scale);
+        assert_eq!(result.rows.len(), 4);
+        let trace3 = &result.rows[2];
+        assert!(
+            trace3.smart.download_mb > trace3.greedy.download_mb,
+            "trace 3: smart {:.0} MB vs greedy {:.0} MB",
+            trace3.smart.download_mb,
+            trace3.greedy.download_mb
+        );
+        let trace2 = &result.rows[1];
+        assert!(
+            trace2.smart.download_mb > trace2.greedy.download_mb * 0.85,
+            "trace 2: smart {:.0} MB should be close to greedy {:.0} MB",
+            trace2.smart.download_mb,
+            trace2.greedy.download_mb
+        );
+        // Smart explores, so it pays a visibly higher switching cost.
+        assert!(trace3.smart.switching_cost_mb >= trace3.greedy.switching_cost_mb);
+        assert!(result.to_string().contains("Table VI"));
+    }
+
+    #[test]
+    fn illustration_covers_every_slot() {
+        let illustration = illustrate(1, 7);
+        assert_eq!(illustration.series.len(), TRACE_SLOTS);
+        assert!(illustration.to_string().contains("Figure 12"));
+    }
+}

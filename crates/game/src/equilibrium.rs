@@ -1,0 +1,183 @@
+//! Nash equilibria of the equal-share resource-selection game.
+//!
+//! With singleton strategies and equal-share utilities, a pure Nash
+//! equilibrium always exists (Rosenthal). The equilibrium *allocation* —
+//! how many devices sit on each network — can be computed greedily: insert
+//! devices one at a time, each onto the network that maximises its marginal
+//! share. The resulting allocation is an equilibrium, and for generic rates
+//! it is unique.
+
+use crate::game::{Allocation, NetworkId, ResourceSelectionGame};
+
+/// Computes a pure Nash equilibrium allocation of `devices` devices.
+///
+/// Devices are inserted one at a time onto the network offering the best
+/// marginal share `rate / (load + 1)`, breaking ties towards the lower
+/// network identifier (which makes the result deterministic).
+#[must_use]
+pub fn nash_allocation(game: &ResourceSelectionGame, devices: usize) -> Allocation {
+    let mut allocation: Allocation = game.networks().into_iter().map(|n| (n, 0)).collect();
+    if allocation.is_empty() {
+        return allocation;
+    }
+    for _ in 0..devices {
+        let best = allocation
+            .iter()
+            .map(|(&n, &load)| (n, game.share(n, load + 1)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(n, _)| n)
+            .expect("allocation is non-empty");
+        *allocation.get_mut(&best).expect("key exists") += 1;
+    }
+    allocation
+}
+
+/// The bit rate each device on each network observes under `allocation`
+/// (equal share). Networks with zero devices report the rate a first device
+/// would observe.
+#[must_use]
+pub fn allocation_shares(
+    game: &ResourceSelectionGame,
+    allocation: &Allocation,
+) -> Vec<(NetworkId, f64)> {
+    allocation
+        .iter()
+        .map(|(&n, &load)| (n, game.share(n, load)))
+        .collect()
+}
+
+/// The largest relative gain (in percent) any single device could obtain by
+/// unilaterally moving to another network, given `allocation`.
+///
+/// Returns 0.0 for the empty allocation.
+#[must_use]
+pub fn max_unilateral_improvement(game: &ResourceSelectionGame, allocation: &Allocation) -> f64 {
+    let mut worst: f64 = 0.0;
+    for (&from, &load) in allocation {
+        if load == 0 {
+            continue;
+        }
+        let current = game.share(from, load);
+        for (&to, &other_load) in allocation {
+            if to == from {
+                continue;
+            }
+            let moved = game.share(to, other_load + 1);
+            if current > 0.0 {
+                worst = worst.max((moved - current) / current * 100.0);
+            } else if moved > 0.0 {
+                worst = f64::INFINITY;
+            }
+        }
+    }
+    worst
+}
+
+/// `true` when no device can improve its share at all by unilaterally moving
+/// (up to a small numerical tolerance).
+#[must_use]
+pub fn is_nash_allocation(game: &ResourceSelectionGame, allocation: &Allocation) -> bool {
+    is_epsilon_equilibrium(game, allocation, 1e-9)
+}
+
+/// `true` when no device can improve its share by more than
+/// `epsilon_percent` % by unilaterally moving (the ε-equilibrium of the
+/// paper's Figure 4, with ε expressed as a percentage).
+#[must_use]
+pub fn is_epsilon_equilibrium(
+    game: &ResourceSelectionGame,
+    allocation: &Allocation,
+    epsilon_percent: f64,
+) -> bool {
+    max_unilateral_improvement(game, allocation) <= epsilon_percent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setting1() -> ResourceSelectionGame {
+        ResourceSelectionGame::new(vec![
+            (NetworkId(0), 4.0),
+            (NetworkId(1), 7.0),
+            (NetworkId(2), 22.0),
+        ])
+    }
+
+    fn setting2() -> ResourceSelectionGame {
+        ResourceSelectionGame::new(vec![
+            (NetworkId(0), 11.0),
+            (NetworkId(1), 11.0),
+            (NetworkId(2), 11.0),
+        ])
+    }
+
+    #[test]
+    fn setting1_equilibrium_is_2_4_14() {
+        let allocation = nash_allocation(&setting1(), 20);
+        assert_eq!(allocation[&NetworkId(0)], 2);
+        assert_eq!(allocation[&NetworkId(1)], 4);
+        assert_eq!(allocation[&NetworkId(2)], 14);
+        assert!(is_nash_allocation(&setting1(), &allocation));
+    }
+
+    #[test]
+    fn setting2_equilibrium_is_balanced() {
+        let allocation = nash_allocation(&setting2(), 20);
+        let mut counts: Vec<usize> = allocation.values().copied().collect();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![6, 7, 7]);
+        assert!(is_nash_allocation(&setting2(), &allocation));
+    }
+
+    #[test]
+    fn greedy_like_allocation_is_not_an_equilibrium() {
+        // Everyone crowds onto the two fastest networks, leaving 4 Mbps unused
+        // (the "tragedy of the commons" situation of §VI-A).
+        let game = setting1();
+        let mut allocation: Allocation = game.networks().into_iter().map(|n| (n, 0)).collect();
+        allocation.insert(NetworkId(1), 6);
+        allocation.insert(NetworkId(2), 14);
+        assert!(!is_nash_allocation(&game, &allocation));
+        let improvement = max_unilateral_improvement(&game, &allocation);
+        // A device on the 7 Mbps network (share 7/6 ≈ 1.17) could move to the
+        // empty 4 Mbps network and more than triple its share.
+        assert!(improvement > 200.0, "improvement = {improvement}");
+    }
+
+    #[test]
+    fn epsilon_relaxation_is_monotone() {
+        let game = setting1();
+        let mut allocation = nash_allocation(&game, 20);
+        // Perturb: move one device from the 22 Mbps to the 4 Mbps network.
+        *allocation.get_mut(&NetworkId(2)).unwrap() -= 1;
+        *allocation.get_mut(&NetworkId(0)).unwrap() += 1;
+        assert!(!is_epsilon_equilibrium(&game, &allocation, 1.0));
+        assert!(is_epsilon_equilibrium(&game, &allocation, 100.0));
+    }
+
+    #[test]
+    fn zero_devices_is_trivially_nash() {
+        let allocation = nash_allocation(&setting1(), 0);
+        assert_eq!(ResourceSelectionGame::devices_in(&allocation), 0);
+        assert!(is_nash_allocation(&setting1(), &allocation));
+        assert_eq!(max_unilateral_improvement(&setting1(), &allocation), 0.0);
+    }
+
+    #[test]
+    fn single_network_puts_everyone_there() {
+        let game = ResourceSelectionGame::new(vec![(NetworkId(5), 10.0)]);
+        let allocation = nash_allocation(&game, 7);
+        assert_eq!(allocation[&NetworkId(5)], 7);
+        assert!(is_nash_allocation(&game, &allocation));
+    }
+
+    #[test]
+    fn shares_at_equilibrium_match_hand_computation() {
+        let shares = allocation_shares(&setting1(), &nash_allocation(&setting1(), 20));
+        let lookup: std::collections::BTreeMap<NetworkId, f64> = shares.into_iter().collect();
+        assert!((lookup[&NetworkId(0)] - 2.0).abs() < 1e-12);
+        assert!((lookup[&NetworkId(1)] - 1.75).abs() < 1e-12);
+        assert!((lookup[&NetworkId(2)] - 22.0 / 14.0).abs() < 1e-12);
+    }
+}

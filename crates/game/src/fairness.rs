@@ -1,0 +1,72 @@
+//! Fairness metrics over per-device cumulative downloads.
+//!
+//! The paper evaluates fairness as the standard deviation of the cumulative
+//! downloads of the individual devices (Figure 5): the lower the standard
+//! deviation, the more evenly the available bandwidth was shared. Jain's
+//! fairness index is provided as an additional, scale-free measure.
+
+/// Sample standard deviation of `values` (the paper's fairness measure).
+///
+/// Returns 0.0 for fewer than two values.
+#[must_use]
+pub fn standard_deviation(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let variance = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    variance.sqrt()
+}
+
+/// Jain's fairness index `(Σx)² / (n·Σx²)` ∈ (0, 1]; 1 means perfectly fair.
+///
+/// Returns 1.0 for an empty slice (vacuously fair) and 0.0 if every value is
+/// zero.
+#[must_use]
+pub fn jain_index(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sum_sq: f64 = values.iter().map(|v| v * v).sum();
+    if sum_sq == 0.0 {
+        return 0.0;
+    }
+    sum * sum / (values.len() as f64 * sum_sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_downloads_are_perfectly_fair() {
+        let values = vec![3.2; 20];
+        assert!(standard_deviation(&values).abs() < 1e-12);
+        assert!((jain_index(&values) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dispersion_increases_both_metrics_in_the_right_direction() {
+        let fair = vec![10.0, 10.0, 10.0, 10.0];
+        let unfair = vec![1.0, 1.0, 1.0, 37.0];
+        assert!(standard_deviation(&unfair) > standard_deviation(&fair));
+        assert!(jain_index(&unfair) < jain_index(&fair));
+    }
+
+    #[test]
+    fn known_standard_deviation() {
+        // Sample std of [2, 4, 4, 4, 5, 5, 7, 9] is 2.138…
+        let values = vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((standard_deviation(&values) - 2.13809).abs() < 1e-4);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(standard_deviation(&[]), 0.0);
+        assert_eq!(standard_deviation(&[5.0]), 0.0);
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 0.0);
+    }
+}

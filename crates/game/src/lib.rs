@@ -1,0 +1,44 @@
+//! # congestion-game
+//!
+//! The game-theoretic backbone of the Smart EXP3 reproduction: the wireless
+//! network selection problem formulated as a repeated resource-selection
+//! (congestion) game (§II-B of the paper), together with every evaluation
+//! metric the paper's figures are built from:
+//!
+//! * [`ResourceSelectionGame`] — networks with bandwidths, equal-share
+//!   utilities, allocations of devices to networks;
+//! * [`nash_allocation`] — the pure Nash equilibrium allocation, plus
+//!   ε-equilibrium tests;
+//! * [`metrics`] — Definition 2 (*stable state*), Definition 3 (*distance to
+//!   Nash equilibrium*) and Definition 4 (*distance from average bit rate
+//!   available*);
+//! * [`fairness`] — per-device download dispersion (Figure 5) and Jain's
+//!   index;
+//! * [`summary`] — the mean/median/std/percentile helpers used by the
+//!   experiment harness to aggregate hundreds of runs.
+//!
+//! The crate is dependency-free (besides `serde`) and fully deterministic, so
+//! every metric can be unit- and property-tested in isolation from the
+//! simulator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod equilibrium;
+pub mod fairness;
+pub mod game;
+pub mod metrics;
+pub mod summary;
+
+pub use equilibrium::{
+    allocation_shares, is_epsilon_equilibrium, is_nash_allocation, max_unilateral_improvement,
+    nash_allocation,
+};
+pub use fairness::{jain_index, standard_deviation};
+pub use game::{Allocation, NetworkId, ResourceSelectionGame};
+pub use metrics::{
+    distance_from_average_bit_rate, distance_to_nash, distance_to_nash_given,
+    optimal_distance_from_average_bit_rate, stable_from_slot, DeviceState, StableStateDetector,
+};
+pub use summary::median;
+pub use summary::Summary;

@@ -1,0 +1,134 @@
+//! Small, dependency-free summary statistics used to aggregate repeated
+//! simulation runs (the paper reports means, medians and standard deviations
+//! over 500 runs).
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean (0 for an empty sample).
+    pub mean: f64,
+    /// Median (0 for an empty sample).
+    pub median: f64,
+    /// Sample standard deviation (0 for fewer than two observations).
+    pub std_dev: f64,
+    /// Minimum (0 for an empty sample).
+    pub min: f64,
+    /// Maximum (0 for an empty sample).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of `values`. Non-finite values are ignored.
+    #[must_use]
+    pub fn of(values: &[f64]) -> Self {
+        let mut clean: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        if clean.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                median: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        clean.sort_by(f64::total_cmp);
+        let count = clean.len();
+        let mean = clean.iter().sum::<f64>() / count as f64;
+        let median = median_of_sorted(&clean);
+        let std_dev = crate::fairness::standard_deviation(&clean);
+        Summary {
+            count,
+            mean,
+            median,
+            std_dev,
+            min: clean[0],
+            max: clean[count - 1],
+        }
+    }
+
+    /// The `p`-th percentile (0 ≤ p ≤ 100) of `values`, by linear
+    /// interpolation between order statistics. Returns 0 for an empty sample.
+    #[must_use]
+    pub fn percentile(values: &[f64], p: f64) -> f64 {
+        let mut clean: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        if clean.is_empty() {
+            return 0.0;
+        }
+        clean.sort_by(f64::total_cmp);
+        let p = p.clamp(0.0, 100.0) / 100.0;
+        let rank = p * (clean.len() - 1) as f64;
+        let low = rank.floor() as usize;
+        let high = rank.ceil() as usize;
+        if low == high {
+            clean[low]
+        } else {
+            let fraction = rank - low as f64;
+            clean[low] * (1.0 - fraction) + clean[high] * fraction
+        }
+    }
+}
+
+/// Median of `values`. Non-finite values are ignored; 0 for an empty sample.
+#[must_use]
+pub fn median(values: &[f64]) -> f64 {
+    Summary::of(values).median
+}
+
+fn median_of_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        0.0
+    } else if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let summary = Summary::of(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(summary.count, 4);
+        assert_eq!(summary.mean, 2.5);
+        assert_eq!(summary.median, 2.5);
+        assert_eq!(summary.min, 1.0);
+        assert_eq!(summary.max, 4.0);
+    }
+
+    #[test]
+    fn odd_length_median_is_the_middle_element() {
+        assert_eq!(median(&[9.0, 1.0, 5.0]), 5.0);
+    }
+
+    #[test]
+    fn non_finite_values_are_ignored() {
+        let summary = Summary::of(&[1.0, f64::NAN, 3.0, f64::INFINITY]);
+        assert_eq!(summary.count, 2);
+        assert_eq!(summary.mean, 2.0);
+    }
+
+    #[test]
+    fn empty_sample_is_all_zeros() {
+        let summary = Summary::of(&[]);
+        assert_eq!(summary.count, 0);
+        assert_eq!(summary.mean, 0.0);
+        assert_eq!(Summary::percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let values = vec![10.0, 20.0, 30.0, 40.0];
+        assert_eq!(Summary::percentile(&values, 0.0), 10.0);
+        assert_eq!(Summary::percentile(&values, 100.0), 40.0);
+        assert_eq!(Summary::percentile(&values, 50.0), 25.0);
+    }
+}

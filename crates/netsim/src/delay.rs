@@ -1,0 +1,125 @@
+//! Switching-delay models.
+//!
+//! Every time a device associates with a different network it pays a delay
+//! (re-association, DHCP, TCP re-establishment, …) during which it downloads
+//! nothing. The paper fits measured delays with a Johnson's SU distribution
+//! for WiFi and a Student's t distribution for cellular networks; the fitted
+//! parameters are not published, so [`DelayModel::paper_wifi`] and
+//! [`DelayModel::paper_cellular`] use plausible parameters producing delays
+//! of a few seconds, well below the 15-second slot (which the paper chose to
+//! exceed the largest observed delay).
+
+use crate::stats::{JohnsonSu, StudentT};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// A model of the switching delay (seconds) incurred when joining a network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DelayModel {
+    /// No switching cost (useful for isolating learning behaviour in tests).
+    None,
+    /// A fixed delay in seconds.
+    Constant(f64),
+    /// Johnson's SU distributed delay (the paper's WiFi fit).
+    JohnsonSu(JohnsonSu),
+    /// Student's t distributed delay (the paper's cellular fit).
+    StudentT(StudentT),
+}
+
+impl DelayModel {
+    /// The WiFi switching-delay model used throughout the reproduction:
+    /// Johnson's SU centred around ~1.6 s with a mild right skew.
+    #[must_use]
+    pub fn paper_wifi() -> Self {
+        DelayModel::JohnsonSu(JohnsonSu {
+            gamma: -1.0,
+            delta: 2.0,
+            xi: 1.2,
+            lambda: 0.6,
+        })
+    }
+
+    /// The cellular switching-delay model: Student's t centred around ~3.5 s
+    /// with heavier tails (cellular attach times vary much more).
+    #[must_use]
+    pub fn paper_cellular() -> Self {
+        DelayModel::StudentT(StudentT {
+            degrees_of_freedom: 4,
+            location: 3.5,
+            scale: 0.8,
+        })
+    }
+
+    /// Samples one switching delay, clamped to `[0, max_seconds]`.
+    #[must_use]
+    pub fn sample(&self, max_seconds: f64, rng: &mut dyn RngCore) -> f64 {
+        let raw = match self {
+            DelayModel::None => 0.0,
+            DelayModel::Constant(seconds) => *seconds,
+            DelayModel::JohnsonSu(params) => params.sample(rng),
+            DelayModel::StudentT(params) => params.sample(rng),
+        };
+        raw.clamp(0.0, max_seconds.max(0.0))
+    }
+
+    /// The model's approximate mean delay (by sampling), used when evaluating
+    /// the Theorem 3 regret bound.
+    #[must_use]
+    pub fn approximate_mean(&self, max_seconds: f64, rng: &mut dyn RngCore) -> f64 {
+        match self {
+            DelayModel::None => 0.0,
+            DelayModel::Constant(seconds) => seconds.clamp(0.0, max_seconds),
+            _ => {
+                let samples = 2000;
+                (0..samples).map(|_| self.sample(max_seconds, rng)).sum::<f64>() / samples as f64
+            }
+        }
+    }
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        DelayModel::paper_wifi()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn delays_are_always_within_the_slot() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for model in [
+            DelayModel::None,
+            DelayModel::Constant(20.0),
+            DelayModel::paper_wifi(),
+            DelayModel::paper_cellular(),
+        ] {
+            for _ in 0..2000 {
+                let delay = model.sample(15.0, &mut rng);
+                assert!((0.0..=15.0).contains(&delay), "{model:?} produced {delay}");
+            }
+        }
+    }
+
+    #[test]
+    fn cellular_delays_exceed_wifi_on_average() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let wifi = DelayModel::paper_wifi().approximate_mean(15.0, &mut rng);
+        let cellular = DelayModel::paper_cellular().approximate_mean(15.0, &mut rng);
+        assert!(cellular > wifi, "cellular {cellular} <= wifi {wifi}");
+        assert!(wifi > 0.5 && wifi < 5.0);
+        assert!(cellular > 2.0 && cellular < 8.0);
+    }
+
+    #[test]
+    fn constant_and_none_models_are_exact() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(DelayModel::None.sample(15.0, &mut rng), 0.0);
+        assert_eq!(DelayModel::Constant(3.0).sample(15.0, &mut rng), 3.0);
+        assert_eq!(DelayModel::Constant(30.0).sample(15.0, &mut rng), 15.0);
+    }
+}

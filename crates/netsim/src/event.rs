@@ -1,0 +1,62 @@
+//! Environment events that are not tied to a single device: bandwidth changes
+//! and network outages.
+//!
+//! Device-level dynamics (joining, leaving, moving between areas) are
+//! expressed directly on [`DeviceSetup`](crate::DeviceSetup); events here act
+//! on networks and affect every device that can see them.
+
+use serde::{Deserialize, Serialize};
+use smartexp3_core::NetworkId;
+
+/// A scheduled change to a network's capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthEvent {
+    /// Slot at whose start the change takes effect.
+    pub at_slot: usize,
+    /// Affected network.
+    pub network: NetworkId,
+    /// New total bandwidth in Mbps. `0.0` effectively takes the network down
+    /// (devices still see it but obtain no gain from it).
+    pub new_bandwidth_mbps: f64,
+}
+
+impl BandwidthEvent {
+    /// Creates a bandwidth-change event.
+    #[must_use]
+    pub fn new(at_slot: usize, network: NetworkId, new_bandwidth_mbps: f64) -> Self {
+        BandwidthEvent {
+            at_slot,
+            network,
+            new_bandwidth_mbps: new_bandwidth_mbps.max(0.0),
+        }
+    }
+}
+
+/// Returns the events of `events` scheduled for `slot`.
+#[must_use]
+pub fn events_at(events: &[BandwidthEvent], slot: usize) -> Vec<BandwidthEvent> {
+    events.iter().copied().filter(|e| e.at_slot == slot).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negative_bandwidth_is_clamped() {
+        let event = BandwidthEvent::new(5, NetworkId(1), -3.0);
+        assert_eq!(event.new_bandwidth_mbps, 0.0);
+    }
+
+    #[test]
+    fn events_are_filtered_by_slot() {
+        let events = vec![
+            BandwidthEvent::new(5, NetworkId(0), 1.0),
+            BandwidthEvent::new(6, NetworkId(1), 2.0),
+            BandwidthEvent::new(5, NetworkId(2), 3.0),
+        ];
+        let at5 = events_at(&events, 5);
+        assert_eq!(at5.len(), 2);
+        assert!(events_at(&events, 7).is_empty());
+    }
+}

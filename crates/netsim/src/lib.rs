@@ -1,0 +1,59 @@
+//! # netsim
+//!
+//! A slot-driven simulator of the wireless network selection environment used
+//! to evaluate Smart EXP3 (replacing the SimPy setup of the paper):
+//!
+//! * [`NetworkSpec`] / [`Technology`] — WiFi and cellular networks with a
+//!   shared bandwidth and technology-specific switching-delay models
+//!   (Johnson's SU for WiFi, Student's t for cellular, sampled by
+//!   [`stats`]);
+//! * [`Topology`] / [`ServiceArea`] — the Figure 1 map: which networks are
+//!   visible from where, and device mobility between areas;
+//! * [`DeviceSetup`] — a device running any [`smartexp3_core::Policy`], with
+//!   an activity window (join/leave) and scheduled moves;
+//! * [`SharingModel`] — equal-share bandwidth division (simulation) or noisy,
+//!   unequal shares (testbed emulation, [`testbed`]);
+//! * [`Simulation`] — the engine: per slot it collects each policy's choice,
+//!   splits bandwidth, charges switching delays, delivers observations and
+//!   records the paper's evaluation metrics into a [`RunResult`].
+//!
+//! ```rust
+//! use netsim::{DeviceSetup, Simulation, SimulationConfig, setting1_networks};
+//! use smartexp3_core::{PolicyFactory, PolicyKind};
+//!
+//! # fn main() -> Result<(), smartexp3_core::ConfigError> {
+//! let networks = setting1_networks();
+//! let mut factory =
+//!     PolicyFactory::new(networks.iter().map(|n| (n.id, n.bandwidth_mbps)).collect())?;
+//! let mut sim = Simulation::single_area(networks, SimulationConfig::quick(200));
+//! for id in 0..20 {
+//!     sim.add_device(DeviceSetup::new(id, factory.build(PolicyKind::SmartExp3)?));
+//! }
+//! let result = sim.run(42);
+//! assert!(result.total_download_megabits() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod delay;
+mod device;
+mod event;
+mod network;
+mod recorder;
+mod sharing;
+mod sim;
+pub mod stats;
+pub mod testbed;
+mod topology;
+
+pub use delay::DelayModel;
+pub use device::{DeviceId, DeviceOutcome, DeviceSetup};
+pub use event::{events_at, BandwidthEvent};
+pub use network::{figure1_networks, setting1_networks, setting2_networks, NetworkSpec, Technology};
+pub use recorder::{RunRecorder, RunResult, SelectionRecord};
+pub use sharing::SharingModel;
+pub use sim::{Simulation, SimulationConfig};
+pub use topology::{AreaId, ServiceArea, Topology};

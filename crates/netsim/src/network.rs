@@ -1,0 +1,140 @@
+//! Simulated wireless networks.
+
+use crate::delay::DelayModel;
+use serde::{Deserialize, Serialize};
+use smartexp3_core::NetworkId;
+use std::fmt;
+
+/// Radio technology of a network; determines its switching-delay model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Technology {
+    /// IEEE 802.11 WLAN access point.
+    WiFi,
+    /// Cellular network (LTE-class).
+    Cellular,
+}
+
+impl fmt::Display for Technology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Technology::WiFi => f.write_str("WiFi"),
+            Technology::Cellular => f.write_str("cellular"),
+        }
+    }
+}
+
+/// Static description of one simulated network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSpec {
+    /// Identifier the policies see.
+    pub id: NetworkId,
+    /// Human-readable name used in reports (e.g. `"WLAN-2"`).
+    pub name: String,
+    /// Radio technology.
+    pub technology: Technology,
+    /// Total bandwidth shared by the devices associated with the network, in
+    /// Mbps.
+    pub bandwidth_mbps: f64,
+}
+
+impl NetworkSpec {
+    /// Creates a WiFi network.
+    #[must_use]
+    pub fn wifi(id: u32, bandwidth_mbps: f64) -> Self {
+        NetworkSpec {
+            id: NetworkId(id),
+            name: format!("WLAN-{id}"),
+            technology: Technology::WiFi,
+            bandwidth_mbps,
+        }
+    }
+
+    /// Creates a cellular network.
+    #[must_use]
+    pub fn cellular(id: u32, bandwidth_mbps: f64) -> Self {
+        NetworkSpec {
+            id: NetworkId(id),
+            name: format!("Cell-{id}"),
+            technology: Technology::Cellular,
+            bandwidth_mbps,
+        }
+    }
+
+    /// The switching-delay model appropriate for this network's technology.
+    #[must_use]
+    pub fn delay_model(&self) -> DelayModel {
+        match self.technology {
+            Technology::WiFi => DelayModel::paper_wifi(),
+            Technology::Cellular => DelayModel::paper_cellular(),
+        }
+    }
+}
+
+/// The three-network setup of the paper's *Setting 1*: 4, 7 and 22 Mbps
+/// (two WLANs and one cellular network, 33 Mbps aggregate).
+#[must_use]
+pub fn setting1_networks() -> Vec<NetworkSpec> {
+    vec![
+        NetworkSpec::wifi(0, 4.0),
+        NetworkSpec::wifi(1, 7.0),
+        NetworkSpec::cellular(2, 22.0),
+    ]
+}
+
+/// The three-network setup of the paper's *Setting 2*: uniform 11 Mbps each.
+#[must_use]
+pub fn setting2_networks() -> Vec<NetworkSpec> {
+    vec![
+        NetworkSpec::wifi(0, 11.0),
+        NetworkSpec::wifi(1, 11.0),
+        NetworkSpec::cellular(2, 11.0),
+    ]
+}
+
+/// The five networks of the paper's Figure 1 mobility scenario
+/// (bandwidths 16, 14, 22, 7 and 4 Mbps).
+#[must_use]
+pub fn figure1_networks() -> Vec<NetworkSpec> {
+    vec![
+        NetworkSpec::cellular(0, 16.0), // network 1: cellular covering all areas
+        NetworkSpec::wifi(1, 14.0),     // network 2
+        NetworkSpec::wifi(2, 22.0),     // network 3
+        NetworkSpec::wifi(3, 7.0),      // network 4
+        NetworkSpec::wifi(4, 4.0),      // network 5
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_settings_have_expected_aggregate_bandwidth() {
+        let total: f64 = setting1_networks().iter().map(|n| n.bandwidth_mbps).sum();
+        assert_eq!(total, 33.0);
+        let total: f64 = setting2_networks().iter().map(|n| n.bandwidth_mbps).sum();
+        assert_eq!(total, 33.0);
+        assert_eq!(figure1_networks().len(), 5);
+    }
+
+    #[test]
+    fn delay_model_follows_technology() {
+        assert!(matches!(
+            NetworkSpec::wifi(0, 5.0).delay_model(),
+            DelayModel::JohnsonSu(_)
+        ));
+        assert!(matches!(
+            NetworkSpec::cellular(1, 5.0).delay_model(),
+            DelayModel::StudentT(_)
+        ));
+    }
+
+    #[test]
+    fn ids_are_distinct_within_each_preset() {
+        for networks in [setting1_networks(), setting2_networks(), figure1_networks()] {
+            let ids: std::collections::BTreeSet<NetworkId> =
+                networks.iter().map(|n| n.id).collect();
+            assert_eq!(ids.len(), networks.len());
+        }
+    }
+}

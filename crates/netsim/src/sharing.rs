@@ -1,0 +1,154 @@
+//! Bandwidth-sharing models: how a network's capacity is split among the
+//! devices associated with it during one slot.
+
+use rand::Rng;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// How a network's bandwidth is divided among its devices.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SharingModel {
+    /// The paper's simulation assumption: every device associated with a
+    /// network receives exactly `bandwidth / n`.
+    EqualShare,
+    /// The testbed/in-the-wild emulation: shares are unequal (devices closer
+    /// to the AP get more) and noisy, and occasionally a device experiences a
+    /// deep fade.
+    NoisyShare {
+        /// Standard deviation of the multiplicative log-normal noise applied
+        /// to each device's share (0 = no noise).
+        noise_sigma: f64,
+        /// Spread of the per-slot device weights: each device's weight is
+        /// drawn uniformly from `[1 − spread, 1 + spread]` before shares are
+        /// computed proportionally. 0 = equal weights.
+        weight_spread: f64,
+        /// Probability that a device's slot is disrupted (packet loss burst,
+        /// interference).
+        drop_probability: f64,
+        /// Multiplicative factor applied to the share during a disrupted slot.
+        drop_factor: f64,
+    },
+}
+
+impl SharingModel {
+    /// The testbed emulation parameters used for §VII (controlled
+    /// experiments): ±25 % weight spread, 15 % log-normal noise, and a 3 %
+    /// chance of a slot degraded to 30 % of its share.
+    #[must_use]
+    pub fn testbed() -> Self {
+        SharingModel::NoisyShare {
+            noise_sigma: 0.15,
+            weight_spread: 0.25,
+            drop_probability: 0.03,
+            drop_factor: 0.3,
+        }
+    }
+
+    /// Splits `bandwidth_mbps` among `devices` devices, returning the bit rate
+    /// each observes this slot. The returned vector has length `devices`.
+    ///
+    /// The aggregate of the returned rates never exceeds `bandwidth_mbps`
+    /// (noise only redistributes or destroys capacity, it never creates it).
+    #[must_use]
+    pub fn shares(&self, bandwidth_mbps: f64, devices: usize, rng: &mut dyn RngCore) -> Vec<f64> {
+        if devices == 0 {
+            return Vec::new();
+        }
+        let bandwidth = bandwidth_mbps.max(0.0);
+        match *self {
+            SharingModel::EqualShare => vec![bandwidth / devices as f64; devices],
+            SharingModel::NoisyShare {
+                noise_sigma,
+                weight_spread,
+                drop_probability,
+                drop_factor,
+            } => {
+                let mut weights: Vec<f64> = (0..devices)
+                    .map(|_| {
+                        let spread = weight_spread.clamp(0.0, 0.95);
+                        1.0 + spread * (rng.gen::<f64>() * 2.0 - 1.0)
+                    })
+                    .collect();
+                let total: f64 = weights.iter().sum();
+                for w in &mut weights {
+                    *w /= total;
+                }
+                weights
+                    .into_iter()
+                    .map(|w| {
+                        let mut share = bandwidth * w;
+                        if noise_sigma > 0.0 {
+                            // Multiplicative noise capped at 1 so the aggregate
+                            // never exceeds the configured bandwidth.
+                            let noise = crate::stats::sample_lognormal(
+                                -0.5 * noise_sigma * noise_sigma,
+                                noise_sigma,
+                                rng,
+                            )
+                            .min(1.0);
+                            share *= noise;
+                        }
+                        if drop_probability > 0.0 && rng.gen::<f64>() < drop_probability {
+                            share *= drop_factor.clamp(0.0, 1.0);
+                        }
+                        share
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+impl Default for SharingModel {
+    fn default() -> Self {
+        SharingModel::EqualShare
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn equal_share_is_exact() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let shares = SharingModel::EqualShare.shares(22.0, 4, &mut rng);
+        assert_eq!(shares, vec![5.5; 4]);
+        assert!(SharingModel::EqualShare.shares(22.0, 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn noisy_share_never_exceeds_capacity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = SharingModel::testbed();
+        for _ in 0..500 {
+            let shares = model.shares(22.0, 5, &mut rng);
+            assert_eq!(shares.len(), 5);
+            let total: f64 = shares.iter().sum();
+            assert!(total <= 22.0 + 1e-9, "total share {total} exceeds capacity");
+            assert!(shares.iter().all(|&s| s >= 0.0));
+        }
+    }
+
+    #[test]
+    fn noisy_share_is_actually_unequal() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let shares = SharingModel::testbed().shares(22.0, 6, &mut rng);
+        let min = shares.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = shares.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min > 0.1, "expected visible dispersion, got {shares:?}");
+    }
+
+    #[test]
+    fn single_device_on_noisy_network_gets_close_to_full_rate_on_average() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = SharingModel::testbed();
+        let mean: f64 = (0..2000)
+            .map(|_| model.shares(10.0, 1, &mut rng)[0])
+            .sum::<f64>()
+            / 2000.0;
+        assert!(mean > 8.0 && mean <= 10.0, "mean share {mean}");
+    }
+}

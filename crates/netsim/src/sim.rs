@@ -1,0 +1,526 @@
+//! The slot-driven wireless network selection simulator.
+//!
+//! This replaces the paper's SimPy setup: time is divided into slots of
+//! `slot_duration_s` (15 s in the paper); in every slot each active device's
+//! policy picks a network, the network's bandwidth is split among the devices
+//! that picked it, switching devices pay a technology-dependent delay, and
+//! each policy receives its observation. The recorder turns the run into the
+//! metrics the paper's figures use.
+
+use crate::delay::DelayModel;
+use crate::device::{DeviceOutcome, DeviceSetup};
+use crate::event::{events_at, BandwidthEvent};
+use crate::network::NetworkSpec;
+use crate::recorder::{RunRecorder, RunResult, SelectionRecord};
+use crate::sharing::SharingModel;
+use crate::topology::Topology;
+use congestion_game::ResourceSelectionGame;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use smartexp3_core::{NetworkId, Observation};
+use std::collections::BTreeMap;
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// Length of one slot in seconds (paper: 15 s, longer than the largest
+    /// observed switching delay).
+    pub slot_duration_s: f64,
+    /// Number of slots to simulate (paper: 1200 = 5 simulated hours).
+    pub total_slots: usize,
+    /// Bit rate that maps to a scaled gain of 1.0. `None` uses the largest
+    /// network bandwidth of the scenario.
+    pub gain_scale_mbps: Option<f64>,
+    /// How network bandwidth is split among devices.
+    pub sharing: SharingModel,
+    /// Definition 2 probability threshold (paper: 0.75).
+    pub stable_probability_threshold: f64,
+    /// ε (in percent) of the ε-equilibrium accounting (paper: 7.5).
+    pub epsilon_percent: f64,
+    /// Keep the raw per-slot selections in the [`RunResult`] (needed by the
+    /// mobility and trace-illustration experiments; costs memory).
+    pub keep_selections: bool,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            slot_duration_s: 15.0,
+            total_slots: 1200,
+            gain_scale_mbps: None,
+            sharing: SharingModel::EqualShare,
+            stable_probability_threshold: 0.75,
+            epsilon_percent: 7.5,
+            keep_selections: false,
+        }
+    }
+}
+
+impl SimulationConfig {
+    /// A shorter configuration for unit tests and quick examples.
+    #[must_use]
+    pub fn quick(total_slots: usize) -> Self {
+        SimulationConfig {
+            total_slots,
+            ..Self::default()
+        }
+    }
+}
+
+struct DeviceRuntime {
+    setup: DeviceSetup,
+    current_network: Option<NetworkId>,
+    available: Vec<NetworkId>,
+    was_active: bool,
+    download_megabits: f64,
+    active_slots: usize,
+    switches: u64,
+    total_delay_seconds: f64,
+}
+
+/// A configured simulation, ready to [`run`](Simulation::run).
+pub struct Simulation {
+    config: SimulationConfig,
+    networks: Vec<NetworkSpec>,
+    topology: Topology,
+    bandwidth_events: Vec<BandwidthEvent>,
+    devices: Vec<DeviceRuntime>,
+}
+
+impl Simulation {
+    /// Creates a simulation over `networks` with a given `topology`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `networks` is empty (an environment without networks is a
+    /// programming error in the experiment definition, not a data condition).
+    #[must_use]
+    pub fn new(networks: Vec<NetworkSpec>, topology: Topology, config: SimulationConfig) -> Self {
+        assert!(!networks.is_empty(), "a simulation needs at least one network");
+        Simulation {
+            config,
+            networks,
+            topology,
+            bandwidth_events: Vec::new(),
+            devices: Vec::new(),
+        }
+    }
+
+    /// Creates a simulation where every network is visible everywhere.
+    #[must_use]
+    pub fn single_area(networks: Vec<NetworkSpec>, config: SimulationConfig) -> Self {
+        let ids: Vec<NetworkId> = networks.iter().map(|n| n.id).collect();
+        Self::new(networks, Topology::single_area(&ids), config)
+    }
+
+    /// Adds a device.
+    pub fn add_device(&mut self, setup: DeviceSetup) -> &mut Self {
+        self.devices.push(DeviceRuntime {
+            available: Vec::new(),
+            current_network: None,
+            was_active: false,
+            download_megabits: 0.0,
+            active_slots: 0,
+            switches: 0,
+            total_delay_seconds: 0.0,
+            setup,
+        });
+        self
+    }
+
+    /// Schedules a bandwidth change.
+    pub fn add_bandwidth_event(&mut self, event: BandwidthEvent) -> &mut Self {
+        self.bandwidth_events.push(event);
+        self
+    }
+
+    /// Number of devices configured so far.
+    #[must_use]
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Runs the simulation to completion with a deterministic seed and
+    /// returns the collected measurements.
+    #[must_use]
+    pub fn run(mut self, seed: u64) -> RunResult {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bandwidths: BTreeMap<NetworkId, f64> = self
+            .networks
+            .iter()
+            .map(|n| (n.id, n.bandwidth_mbps))
+            .collect();
+        let delay_models: BTreeMap<NetworkId, DelayModel> = self
+            .networks
+            .iter()
+            .map(|n| (n.id, n.delay_model()))
+            .collect();
+        let gain_scale = self.config.gain_scale_mbps.unwrap_or_else(|| {
+            self.networks
+                .iter()
+                .map(|n| n.bandwidth_mbps)
+                .fold(1e-9, f64::max)
+        });
+
+        let mut recorder = RunRecorder::new(
+            self.devices.len(),
+            self.config.slot_duration_s,
+            self.config.stable_probability_threshold,
+            self.config.epsilon_percent,
+            self.config.keep_selections,
+        );
+
+        for slot in 0..self.config.total_slots {
+            // 1. Environment events.
+            for event in events_at(&self.bandwidth_events, slot) {
+                bandwidths.insert(event.network, event.new_bandwidth_mbps);
+            }
+            let game = ResourceSelectionGame::new(bandwidths.iter().map(|(&n, &r)| (n, r)));
+
+            // 2. Device life-cycle: activity, mobility, visibility changes.
+            for device in &mut self.devices {
+                let active = device.setup.is_active_at(slot);
+                if !active {
+                    device.was_active = false;
+                    continue;
+                }
+                let area = device.setup.area_at(slot);
+                let visible = self.topology.networks_in(area);
+                if device.available != visible {
+                    if device.available.is_empty() && !device.was_active {
+                        // First activation: the policy was constructed with its
+                        // initial network set; only notify if it differs.
+                        if policy_networks_differ(&device.setup, &visible) {
+                            device.setup.policy.on_networks_changed(&visible, &mut rng);
+                        }
+                    } else {
+                        device.setup.policy.on_networks_changed(&visible, &mut rng);
+                    }
+                    device.available = visible;
+                    if let Some(current) = device.current_network {
+                        if !device.available.contains(&current) {
+                            device.current_network = None;
+                        }
+                    }
+                }
+                device.was_active = true;
+            }
+
+            // 3. Selections.
+            let mut choices: Vec<(usize, NetworkId)> = Vec::new();
+            let mut load: BTreeMap<NetworkId, usize> = BTreeMap::new();
+            for (index, device) in self.devices.iter_mut().enumerate() {
+                if !device.setup.is_active_at(slot) {
+                    continue;
+                }
+                let chosen = device.setup.policy.choose(slot, &mut rng);
+                let valid = device.available.contains(&chosen);
+                if valid {
+                    *load.entry(chosen).or_insert(0) += 1;
+                }
+                choices.push((index, chosen));
+            }
+
+            // 4. Bandwidth sharing: per network, compute the share of each of
+            //    its devices this slot.
+            let mut shares: BTreeMap<NetworkId, Vec<f64>> = BTreeMap::new();
+            for (&network, &count) in &load {
+                let bandwidth = bandwidths.get(&network).copied().unwrap_or(0.0);
+                shares.insert(
+                    network,
+                    self.config.sharing.shares(bandwidth, count, &mut rng),
+                );
+            }
+            let mut next_share_index: BTreeMap<NetworkId, usize> = BTreeMap::new();
+
+            // 5. Feedback, goodput accounting and recording.
+            let mut records: Vec<SelectionRecord> = Vec::with_capacity(choices.len());
+            for &(index, chosen) in &choices {
+                let device = &mut self.devices[index];
+                let valid = device.available.contains(&chosen);
+                let observed_rate = if valid {
+                    let slot_index = next_share_index.entry(chosen).or_insert(0);
+                    let share = shares
+                        .get(&chosen)
+                        .and_then(|s| s.get(*slot_index))
+                        .copied()
+                        .unwrap_or(0.0);
+                    *slot_index += 1;
+                    share
+                } else {
+                    0.0
+                };
+
+                let switched = match device.current_network {
+                    Some(previous) => previous != chosen,
+                    None => false,
+                };
+                let delay = if switched {
+                    let model = delay_models
+                        .get(&chosen)
+                        .copied()
+                        .unwrap_or(DelayModel::None);
+                    model.sample(self.config.slot_duration_s, &mut rng)
+                } else {
+                    0.0
+                };
+                if switched {
+                    device.switches += 1;
+                    device.total_delay_seconds += delay;
+                }
+                device.current_network = Some(chosen);
+                device.active_slots += 1;
+                device.download_megabits +=
+                    observed_rate * (self.config.slot_duration_s - delay).max(0.0);
+
+                let scaled_gain = (observed_rate / gain_scale).clamp(0.0, 1.0);
+                let mut observation = Observation {
+                    slot,
+                    network: chosen,
+                    bit_rate_mbps: observed_rate,
+                    scaled_gain,
+                    switched,
+                    switching_delay_s: delay,
+                    full_gains: None,
+                };
+                if device.setup.needs_full_information {
+                    observation.full_gains = Some(full_information_gains(
+                        &device.available,
+                        chosen,
+                        &bandwidths,
+                        &load,
+                        gain_scale,
+                    ));
+                }
+                device.setup.policy.observe(&observation, &mut rng);
+
+                let top_choice = top_probability(&device.setup.policy.probabilities())
+                    .unwrap_or((chosen, 1.0));
+                records.push(SelectionRecord {
+                    device: device.setup.id,
+                    network: chosen,
+                    rate_mbps: observed_rate,
+                    top_choice,
+                });
+            }
+
+            recorder.record_slot(&game, &records);
+        }
+
+        let final_game = ResourceSelectionGame::new(bandwidths.iter().map(|(&n, &r)| (n, r)));
+        let outcomes: Vec<DeviceOutcome> = self
+            .devices
+            .iter()
+            .map(|device| DeviceOutcome {
+                id: device.setup.id,
+                policy_name: device.setup.policy.name().to_string(),
+                download_megabits: device.download_megabits,
+                switches: device.switches,
+                resets: device.setup.policy.stats().resets,
+                active_slots: device.active_slots,
+                total_delay_seconds: device.total_delay_seconds,
+            })
+            .collect();
+        recorder.finish(&final_game, outcomes)
+    }
+}
+
+/// Counterfactual scaled gains for full-information feedback: the share the
+/// device *would* have observed on each visible network this slot, given the
+/// other devices' choices.
+fn full_information_gains(
+    available: &[NetworkId],
+    chosen: NetworkId,
+    bandwidths: &BTreeMap<NetworkId, f64>,
+    load: &BTreeMap<NetworkId, usize>,
+    gain_scale: f64,
+) -> Vec<(NetworkId, f64)> {
+    available
+        .iter()
+        .map(|&network| {
+            let bandwidth = bandwidths.get(&network).copied().unwrap_or(0.0);
+            let others = load.get(&network).copied().unwrap_or(0)
+                - usize::from(network == chosen);
+            let rate = bandwidth / (others + 1) as f64;
+            (network, (rate / gain_scale).clamp(0.0, 1.0))
+        })
+        .collect()
+}
+
+fn top_probability(probabilities: &[(NetworkId, f64)]) -> Option<(NetworkId, f64)> {
+    probabilities
+        .iter()
+        .copied()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+}
+
+fn policy_networks_differ(setup: &DeviceSetup, visible: &[NetworkId]) -> bool {
+    let mut policy_nets: Vec<NetworkId> =
+        setup.policy.probabilities().iter().map(|(n, _)| *n).collect();
+    let mut visible_sorted = visible.to_vec();
+    policy_nets.sort();
+    visible_sorted.sort();
+    policy_nets != visible_sorted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{setting1_networks, setting2_networks};
+    use smartexp3_core::{PolicyFactory, PolicyKind};
+
+    fn factory(networks: &[NetworkSpec]) -> PolicyFactory {
+        PolicyFactory::new(networks.iter().map(|n| (n.id, n.bandwidth_mbps)).collect()).unwrap()
+    }
+
+    fn build_simulation(
+        networks: Vec<NetworkSpec>,
+        kind: PolicyKind,
+        devices: usize,
+        slots: usize,
+    ) -> Simulation {
+        let mut policies = factory(&networks);
+        let mut simulation = Simulation::single_area(networks, SimulationConfig::quick(slots));
+        for id in 0..devices {
+            let policy = policies.build(kind).unwrap();
+            let mut setup = DeviceSetup::new(id as u32, policy);
+            if kind.needs_full_information() {
+                setup = setup.with_full_information();
+            }
+            simulation.add_device(setup);
+        }
+        simulation
+    }
+
+    #[test]
+    fn centralized_devices_sit_at_equilibrium_from_the_start() {
+        let simulation = build_simulation(setting1_networks(), PolicyKind::Centralized, 20, 50);
+        let result = simulation.run(1);
+        assert_eq!(result.fraction_time_at_nash, 1.0);
+        assert!(result.distance_to_nash.iter().all(|&d| d < 1e-9));
+        assert!(result.devices.iter().all(|d| d.switches == 0));
+        assert_eq!(result.unutilized_megabits, 0.0);
+    }
+
+    #[test]
+    fn smart_exp3_converges_towards_equilibrium_in_setting1() {
+        let simulation = build_simulation(setting1_networks(), PolicyKind::SmartExp3, 20, 600);
+        let result = simulation.run(7);
+        let early = result.mean_distance_to_nash(0, 100);
+        let late = result.mean_distance_to_nash(500, 600);
+        assert!(
+            late < early,
+            "distance should shrink over time: early {early:.1}%, late {late:.1}%"
+        );
+        assert!(late < 60.0, "late distance still {late:.1}%");
+    }
+
+    #[test]
+    fn smart_exp3_switches_less_than_exp3() {
+        let smart = build_simulation(setting1_networks(), PolicyKind::SmartExp3, 10, 400).run(3);
+        let exp3 = build_simulation(setting1_networks(), PolicyKind::Exp3, 10, 400).run(3);
+        let smart_switches: f64 = smart.switch_counts().iter().sum();
+        let exp3_switches: f64 = exp3.switch_counts().iter().sum();
+        assert!(
+            smart_switches * 2.0 < exp3_switches,
+            "smart {smart_switches} vs exp3 {exp3_switches}"
+        );
+    }
+
+    #[test]
+    fn downloads_are_positive_and_bounded_by_capacity() {
+        let result = build_simulation(setting2_networks(), PolicyKind::Greedy, 20, 200).run(11);
+        let total = result.total_download_megabits();
+        // Capacity over the run: 33 Mbps * 200 slots * 15 s.
+        let capacity = 33.0 * 200.0 * 15.0;
+        assert!(total > 0.0);
+        assert!(total <= capacity + 1e-6, "total {total} exceeds capacity {capacity}");
+        assert!(result.devices.iter().all(|d| d.active_slots == 200));
+    }
+
+    #[test]
+    fn device_activity_windows_are_respected() {
+        let networks = setting1_networks();
+        let mut policies = factory(&networks);
+        let mut simulation = Simulation::single_area(networks, SimulationConfig::quick(100));
+        simulation.add_device(DeviceSetup::new(
+            0,
+            policies.build(PolicyKind::SmartExp3).unwrap(),
+        ));
+        simulation.add_device(
+            DeviceSetup::new(1, policies.build(PolicyKind::SmartExp3).unwrap())
+                .active_between(40, Some(80)),
+        );
+        let result = simulation.run(5);
+        assert_eq!(result.devices[0].active_slots, 100);
+        assert_eq!(result.devices[1].active_slots, 40);
+    }
+
+    #[test]
+    fn bandwidth_events_change_the_environment() {
+        let networks = setting1_networks();
+        let mut policies = factory(&networks);
+        let mut simulation = Simulation::single_area(networks, SimulationConfig::quick(60));
+        simulation.add_device(DeviceSetup::new(
+            0,
+            policies.build(PolicyKind::Greedy).unwrap(),
+        ));
+        // The 22 Mbps network collapses to 1 Mbps halfway through.
+        simulation.add_bandwidth_event(BandwidthEvent::new(30, NetworkId(2), 1.0));
+        let result = simulation.run(2);
+        assert_eq!(result.slots, 60);
+        // Downloads must reflect the collapse: strictly less than staying at
+        // 22 Mbps for the whole hour would give.
+        assert!(result.total_download_megabits() < 22.0 * 60.0 * 15.0);
+    }
+
+    #[test]
+    fn full_information_policy_receives_counterfactual_feedback() {
+        let networks = setting1_networks();
+        let mut policies = factory(&networks);
+        let mut simulation = Simulation::single_area(networks, SimulationConfig::quick(150));
+        for id in 0..5 {
+            simulation.add_device(
+                DeviceSetup::new(id, policies.build(PolicyKind::FullInformation).unwrap())
+                    .with_full_information(),
+            );
+        }
+        let result = simulation.run(9);
+        // With full feedback and only 5 devices on a 22 Mbps network, the run
+        // should spend a decent share of its time near equilibrium.
+        assert!(result.fraction_time_at_epsilon > 0.2);
+    }
+
+    #[test]
+    fn runs_are_reproducible_from_the_seed() {
+        let a = build_simulation(setting1_networks(), PolicyKind::SmartExp3, 8, 150).run(77);
+        let b = build_simulation(setting1_networks(), PolicyKind::SmartExp3, 8, 150).run(77);
+        assert_eq!(a.total_download_megabits(), b.total_download_megabits());
+        assert_eq!(a.switch_counts(), b.switch_counts());
+        let c = build_simulation(setting1_networks(), PolicyKind::SmartExp3, 8, 150).run(78);
+        assert_ne!(a.total_download_megabits(), c.total_download_megabits());
+    }
+
+    #[test]
+    fn mobility_changes_available_networks() {
+        use crate::network::figure1_networks;
+        use crate::topology::{AreaId, Topology};
+        let networks = figure1_networks();
+        let mut policies = factory(&networks);
+        let mut simulation = Simulation::new(
+            networks,
+            Topology::figure1(),
+            SimulationConfig::quick(120),
+        );
+        simulation.add_device(
+            DeviceSetup::new(0, policies.build(PolicyKind::SmartExp3).unwrap())
+                .in_area(AreaId(0))
+                .moving_to(40, AreaId(1))
+                .moving_to(80, AreaId(2)),
+        );
+        let result = simulation.run(4);
+        assert_eq!(result.devices[0].active_slots, 120);
+        assert!(result.devices[0].download_megabits > 0.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! From-scratch samplers for the distributions the paper's delay model needs.
+
+use rand::Rng;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// Draws a standard normal variate using the Box–Muller transform.
+#[must_use]
+pub fn sample_standard_normal(rng: &mut dyn RngCore) -> f64 {
+    // Open interval (0, 1] for u1 so the logarithm is finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws a log-normal variate with the given parameters of the underlying
+/// normal (so the median is `exp(mu)`).
+#[must_use]
+pub fn sample_lognormal(mu: f64, sigma: f64, rng: &mut dyn RngCore) -> f64 {
+    (mu + sigma * sample_standard_normal(rng)).exp()
+}
+
+/// Parameters of a Johnson's SU distribution.
+///
+/// If `Z` is standard normal, the variate is
+/// `xi + lambda · sinh((Z − gamma) / delta)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JohnsonSu {
+    /// Shape parameter γ (skewness).
+    pub gamma: f64,
+    /// Shape parameter δ > 0 (tail weight; larger = lighter tails).
+    pub delta: f64,
+    /// Location parameter ξ.
+    pub xi: f64,
+    /// Scale parameter λ > 0.
+    pub lambda: f64,
+}
+
+impl JohnsonSu {
+    /// Draws one variate.
+    #[must_use]
+    pub fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        sample_johnson_su(self.gamma, self.delta, self.xi, self.lambda, rng)
+    }
+}
+
+/// Draws a Johnson's SU variate (see [`JohnsonSu`] for the parameterisation).
+#[must_use]
+pub fn sample_johnson_su(
+    gamma: f64,
+    delta: f64,
+    xi: f64,
+    lambda: f64,
+    rng: &mut dyn RngCore,
+) -> f64 {
+    let z = sample_standard_normal(rng);
+    xi + lambda * ((z - gamma) / delta.max(f64::MIN_POSITIVE)).sinh()
+}
+
+/// Parameters of a (location-scale) Student's t distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StudentT {
+    /// Degrees of freedom ν ≥ 1 (integral, which is all the delay fit needs).
+    pub degrees_of_freedom: u32,
+    /// Location (the centre of the distribution).
+    pub location: f64,
+    /// Scale > 0.
+    pub scale: f64,
+}
+
+impl StudentT {
+    /// Draws one variate.
+    #[must_use]
+    pub fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.location
+            + self.scale * sample_student_t(self.degrees_of_freedom, rng)
+    }
+}
+
+/// Draws a standard Student's t variate with `nu` degrees of freedom, as
+/// `Z / sqrt(V / nu)` where `V` is a chi-square with `nu` degrees of freedom
+/// (the sum of `nu` squared standard normals).
+#[must_use]
+pub fn sample_student_t(nu: u32, rng: &mut dyn RngCore) -> f64 {
+    let nu = nu.max(1);
+    let z = sample_standard_normal(rng);
+    let mut chi_square = 0.0;
+    for _ in 0..nu {
+        let n = sample_standard_normal(rng);
+        chi_square += n * n;
+    }
+    z / (chi_square / nu as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_and_std(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        (mean, var.sqrt())
+    }
+
+    #[test]
+    fn standard_normal_has_zero_mean_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..50_000).map(|_| sample_standard_normal(&mut rng)).collect();
+        let (mean, std) = mean_and_std(&samples);
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((std - 1.0).abs() < 0.02, "std = {std}");
+    }
+
+    #[test]
+    fn lognormal_is_positive_with_correct_median() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut samples: Vec<f64> = (0..20_001).map(|_| sample_lognormal(0.5, 0.3, &mut rng)).collect();
+        assert!(samples.iter().all(|&s| s > 0.0));
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        assert!((median - 0.5f64.exp()).abs() < 0.05, "median = {median}");
+    }
+
+    #[test]
+    fn johnson_su_symmetric_case_recovers_location() {
+        // With gamma = 0 the distribution is symmetric around xi.
+        let mut rng = StdRng::seed_from_u64(3);
+        let params = JohnsonSu { gamma: 0.0, delta: 2.0, xi: 1.5, lambda: 0.5 };
+        let samples: Vec<f64> = (0..50_000).map(|_| params.sample(&mut rng)).collect();
+        let (mean, _) = mean_and_std(&samples);
+        assert!((mean - 1.5).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn johnson_su_negative_gamma_skews_right() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let params = JohnsonSu { gamma: -1.0, delta: 1.5, xi: 1.0, lambda: 0.4 };
+        let samples: Vec<f64> = (0..50_000).map(|_| params.sample(&mut rng)).collect();
+        let (mean, _) = mean_and_std(&samples);
+        assert!(mean > 1.0, "negative gamma should shift mass above xi, mean = {mean}");
+    }
+
+    #[test]
+    fn student_t_is_centred_and_heavier_tailed_than_normal() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples: Vec<f64> = (0..50_000).map(|_| sample_student_t(4, &mut rng)).collect();
+        let (mean, std) = mean_and_std(&samples);
+        assert!(mean.abs() < 0.05, "mean = {mean}");
+        // Var of t with 4 dof is nu/(nu-2) = 2 → std ≈ 1.41, clearly above 1.
+        assert!(std > 1.2, "std = {std}");
+    }
+
+    #[test]
+    fn student_t_location_scale() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let params = StudentT { degrees_of_freedom: 5, location: 3.0, scale: 0.2 };
+        let samples: Vec<f64> = (0..30_000).map(|_| params.sample(&mut rng)).collect();
+        let (mean, _) = mean_and_std(&samples);
+        assert!((mean - 3.0).abs() < 0.05, "mean = {mean}");
+    }
+
+    #[test]
+    fn samplers_are_deterministic_given_the_seed() {
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..10).map(|_| sample_standard_normal(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..10).map(|_| sample_standard_normal(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,22 @@
+//! Random-variate samplers used by the simulator.
+//!
+//! The paper models switching delay with a Johnson's SU distribution for WiFi
+//! and a Student's t distribution for cellular networks (identified as the
+//! best fits to 500 measured delay values, §VI-A). The `rand` crate alone
+//! only provides uniform variates, so the samplers needed by the simulator
+//! are implemented here from first principles:
+//!
+//! * standard normal via the Box–Muller transform,
+//! * Johnson's SU as a transformed normal,
+//! * Student's t as a normal scaled by an independent chi-square,
+//! * log-normal (used for measurement noise in the testbed emulation).
+//!
+//! All samplers take `&mut dyn RngCore`, so simulation runs stay reproducible
+//! from a single seed.
+
+mod distributions;
+
+pub use distributions::{
+    sample_johnson_su, sample_lognormal, sample_standard_normal, sample_student_t, JohnsonSu,
+    StudentT,
+};

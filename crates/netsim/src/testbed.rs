@@ -1,0 +1,92 @@
+//! Testbed emulation presets for the paper's §VII real-world experiments.
+//!
+//! The controlled experiments of §VII-A run 14 Raspberry-Pi clients against 3
+//! WiFi APs (4, 7 and 22 Mbps) for 480 slots of 15 seconds. Compared to the
+//! clean simulation, the real testbed exhibits (a) unequal and noisy per-device
+//! shares (distance to the AP, interference, packet loss) and (b) noisier gain
+//! estimates, which cause Smart EXP3 to switch and reset more often than in
+//! simulation. The presets here reproduce those conditions inside the
+//! simulator: same topology, [`SharingModel::testbed`] noise, 480 slots.
+//!
+//! The in-the-wild experiment of §VII-B (coffee shop, one device, unknown
+//! background load) is modelled in the `experiments` crate on top of
+//! [`BandwidthEvent`](crate::BandwidthEvent) schedules.
+
+use crate::network::NetworkSpec;
+use crate::sharing::SharingModel;
+use crate::sim::SimulationConfig;
+
+/// The three WiFi APs of the controlled experiments (channels 11, 6 and 1;
+/// 4, 7 and 22 Mbps).
+#[must_use]
+pub fn testbed_networks() -> Vec<NetworkSpec> {
+    vec![
+        NetworkSpec::wifi(0, 4.0),
+        NetworkSpec::wifi(1, 7.0),
+        NetworkSpec::wifi(2, 22.0),
+    ]
+}
+
+/// Number of client devices in the controlled experiments.
+pub const TESTBED_DEVICES: usize = 14;
+
+/// Number of 15-second slots in a 2-hour controlled run.
+pub const TESTBED_SLOTS: usize = 480;
+
+/// Simulation configuration reproducing the controlled-experiment conditions.
+#[must_use]
+pub fn testbed_config() -> SimulationConfig {
+    SimulationConfig {
+        total_slots: TESTBED_SLOTS,
+        sharing: SharingModel::testbed(),
+        ..SimulationConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSetup;
+    use crate::sim::Simulation;
+    use smartexp3_core::{PolicyFactory, PolicyKind};
+
+    #[test]
+    fn testbed_preset_matches_the_paper_setup() {
+        let networks = testbed_networks();
+        assert_eq!(networks.len(), 3);
+        let total: f64 = networks.iter().map(|n| n.bandwidth_mbps).sum();
+        assert_eq!(total, 33.0);
+        let config = testbed_config();
+        assert_eq!(config.total_slots, 480);
+        assert!(matches!(config.sharing, SharingModel::NoisyShare { .. }));
+    }
+
+    #[test]
+    fn testbed_noise_causes_more_resets_than_clean_simulation() {
+        let run = |sharing: SharingModel| {
+            let networks = testbed_networks();
+            let mut factory = PolicyFactory::new(
+                networks.iter().map(|n| (n.id, n.bandwidth_mbps)).collect(),
+            )
+            .unwrap();
+            let config = SimulationConfig {
+                total_slots: 480,
+                sharing,
+                ..SimulationConfig::default()
+            };
+            let mut simulation = Simulation::single_area(networks, config);
+            for id in 0..TESTBED_DEVICES as u32 {
+                simulation
+                    .add_device(DeviceSetup::new(id, factory.build(PolicyKind::SmartExp3).unwrap()));
+            }
+            let result = simulation.run(123);
+            result.devices.iter().map(|d| d.resets).sum::<u64>()
+        };
+        let clean_resets = run(SharingModel::EqualShare);
+        let noisy_resets = run(SharingModel::testbed());
+        assert!(
+            noisy_resets >= clean_resets,
+            "noisy {noisy_resets} < clean {clean_resets}"
+        );
+    }
+}

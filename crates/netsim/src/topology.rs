@@ -1,0 +1,134 @@
+//! Service areas and mobility (the map of Figure 1).
+//!
+//! Each service area exposes a subset of the networks; a device sees exactly
+//! the networks of the area it is currently in. Moving between areas changes
+//! the device's available-network set, which the simulator forwards to the
+//! device's policy via `Policy::on_networks_changed`.
+
+use serde::{Deserialize, Serialize};
+use smartexp3_core::NetworkId;
+
+/// Identifier of a service area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AreaId(pub u32);
+
+/// One service area and the networks visible inside it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceArea {
+    /// Identifier of the area.
+    pub id: AreaId,
+    /// Human-readable name (e.g. `"food court"`).
+    pub name: String,
+    /// Networks whose coverage includes this area.
+    pub networks: Vec<NetworkId>,
+}
+
+/// A set of service areas.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    areas: Vec<ServiceArea>,
+}
+
+impl Topology {
+    /// Builds a topology from a list of areas.
+    #[must_use]
+    pub fn new(areas: Vec<ServiceArea>) -> Self {
+        Topology { areas }
+    }
+
+    /// A single area in which every listed network is visible — the setup of
+    /// all non-mobility experiments.
+    #[must_use]
+    pub fn single_area(networks: &[NetworkId]) -> Self {
+        Topology {
+            areas: vec![ServiceArea {
+                id: AreaId(0),
+                name: "service area".to_string(),
+                networks: networks.to_vec(),
+            }],
+        }
+    }
+
+    /// The Figure 1 topology: a food court (cellular + WLANs 2 and 3), a study
+    /// area (cellular + WLANs 3 and 4) and a bus stop (cellular + WLAN 5),
+    /// using the network identifiers of
+    /// [`figure1_networks`](crate::network::figure1_networks).
+    #[must_use]
+    pub fn figure1() -> Self {
+        Topology {
+            areas: vec![
+                ServiceArea {
+                    id: AreaId(0),
+                    name: "food court".to_string(),
+                    networks: vec![NetworkId(0), NetworkId(1), NetworkId(2)],
+                },
+                ServiceArea {
+                    id: AreaId(1),
+                    name: "study area".to_string(),
+                    networks: vec![NetworkId(0), NetworkId(2), NetworkId(3)],
+                },
+                ServiceArea {
+                    id: AreaId(2),
+                    name: "bus stop".to_string(),
+                    networks: vec![NetworkId(0), NetworkId(4)],
+                },
+            ],
+        }
+    }
+
+    /// Default area for devices that do not specify one.
+    #[must_use]
+    pub fn default_area(&self) -> AreaId {
+        self.areas.first().map(|a| a.id).unwrap_or(AreaId(0))
+    }
+
+    /// The areas of this topology.
+    #[must_use]
+    pub fn areas(&self) -> &[ServiceArea] {
+        &self.areas
+    }
+
+    /// The networks visible from `area` (empty if the area is unknown).
+    #[must_use]
+    pub fn networks_in(&self, area: AreaId) -> Vec<NetworkId> {
+        self.areas
+            .iter()
+            .find(|a| a.id == area)
+            .map(|a| a.networks.clone())
+            .unwrap_or_default()
+    }
+
+    /// `true` if `network` is visible from `area`.
+    #[must_use]
+    pub fn is_visible(&self, area: AreaId, network: NetworkId) -> bool {
+        self.networks_in(area).contains(&network)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_area_shows_everything() {
+        let nets: Vec<NetworkId> = (0..3).map(NetworkId).collect();
+        let topology = Topology::single_area(&nets);
+        assert_eq!(topology.networks_in(topology.default_area()), nets);
+        assert!(topology.networks_in(AreaId(9)).is_empty());
+    }
+
+    #[test]
+    fn figure1_matches_the_paper_map() {
+        let topology = Topology::figure1();
+        assert_eq!(topology.areas().len(), 3);
+        // The cellular network (id 0) covers all three areas.
+        for area in topology.areas() {
+            assert!(area.networks.contains(&NetworkId(0)), "{} lacks cellular", area.name);
+        }
+        // The food court and the study area share WLAN 3 (id 2).
+        assert!(topology.is_visible(AreaId(0), NetworkId(2)));
+        assert!(topology.is_visible(AreaId(1), NetworkId(2)));
+        // The bus stop only sees cellular + WLAN 5 (id 4).
+        assert_eq!(topology.networks_in(AreaId(2)).len(), 2);
+    }
+}

@@ -1,0 +1,210 @@
+//! Trace-driven simulation: a single device choosing between a WiFi and a
+//! cellular network whose bit rates are replayed from a [`TracePair`]
+//! (§VI-B of the paper: Table VI and Figure 12).
+
+use crate::generator::TracePair;
+use netsim::DelayModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use smartexp3_core::{NetworkId, Observation, Policy};
+
+/// Network identifier used for the WiFi trace.
+pub const WIFI: NetworkId = NetworkId(0);
+/// Network identifier used for the cellular trace.
+pub const CELLULAR: NetworkId = NetworkId(1);
+
+/// Configuration of a trace-driven run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceSimulationConfig {
+    /// Bit rate mapping to a scaled gain of 1.0. `None` uses the larger of
+    /// the two traces' peak rates.
+    pub gain_scale_mbps: Option<f64>,
+    /// Switching-delay model applied when associating with the WiFi network.
+    pub wifi_delay: DelayModel,
+    /// Switching-delay model applied when associating with the cellular
+    /// network.
+    pub cellular_delay: DelayModel,
+}
+
+impl Default for TraceSimulationConfig {
+    fn default() -> Self {
+        TraceSimulationConfig {
+            gain_scale_mbps: None,
+            wifi_delay: DelayModel::paper_wifi(),
+            cellular_delay: DelayModel::paper_cellular(),
+        }
+    }
+}
+
+/// Result of replaying one policy against one trace pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRunResult {
+    /// Total goodput over the run, in megabytes (Table VI "Download").
+    pub download_megabytes: f64,
+    /// Download volume lost to switching delays, in megabytes
+    /// (Table VI "Cost").
+    pub switching_cost_megabytes: f64,
+    /// Number of network switches.
+    pub switches: u64,
+    /// Per-slot record of (chosen network, bit rate observed); the overlay of
+    /// Figure 12.
+    pub selections: Vec<(NetworkId, f64)>,
+}
+
+impl TraceRunResult {
+    /// Fraction of slots spent on the cellular network.
+    #[must_use]
+    pub fn cellular_fraction(&self) -> f64 {
+        if self.selections.is_empty() {
+            return 0.0;
+        }
+        let cellular = self
+            .selections
+            .iter()
+            .filter(|(network, _)| *network == CELLULAR)
+            .count();
+        cellular as f64 / self.selections.len() as f64
+    }
+}
+
+/// Replays `policy` against `pair`, slot by slot.
+///
+/// Every slot the policy picks WiFi or cellular, observes the corresponding
+/// trace's bit rate, pays a sampled switching delay if it changed network, and
+/// receives bandit feedback.
+#[must_use]
+pub fn run_policy_on_pair(
+    policy: &mut dyn Policy,
+    pair: &TracePair,
+    config: &TraceSimulationConfig,
+    seed: u64,
+) -> TraceRunResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let slots = pair.len();
+    let slot_duration = pair.wifi.slot_duration_s;
+    let gain_scale = config
+        .gain_scale_mbps
+        .unwrap_or_else(|| pair.wifi.peak_rate().max(pair.cellular.peak_rate()).max(1e-9));
+
+    let mut current: Option<NetworkId> = None;
+    let mut download_megabits = 0.0;
+    let mut lost_megabits = 0.0;
+    let mut switches = 0u64;
+    let mut selections = Vec::with_capacity(slots);
+
+    for slot in 0..slots {
+        let chosen = policy.choose(slot, &mut rng);
+        let rate = match chosen {
+            n if n == WIFI => pair.wifi.rate_at(slot),
+            n if n == CELLULAR => pair.cellular.rate_at(slot),
+            // A policy built over a different arm set gets nothing.
+            _ => 0.0,
+        };
+        let switched = current.is_some() && current != Some(chosen);
+        let delay = if switched {
+            switches += 1;
+            let model = if chosen == CELLULAR {
+                config.cellular_delay
+            } else {
+                config.wifi_delay
+            };
+            model.sample(slot_duration, &mut rng)
+        } else {
+            0.0
+        };
+        current = Some(chosen);
+
+        download_megabits += rate * (slot_duration - delay).max(0.0);
+        lost_megabits += rate * delay;
+
+        let scaled_gain = (rate / gain_scale).clamp(0.0, 1.0);
+        let mut observation = Observation::bandit(slot, chosen, rate, scaled_gain);
+        if switched {
+            observation = observation.with_switch(delay);
+        }
+        policy.observe(&observation, &mut rng);
+        selections.push((chosen, rate));
+    }
+
+    TraceRunResult {
+        download_megabytes: download_megabits / 8.0,
+        switching_cost_megabytes: lost_megabits / 8.0,
+        switches,
+        selections,
+    }
+}
+
+/// The two trace networks, for constructing policies.
+#[must_use]
+pub fn trace_networks() -> Vec<NetworkId> {
+    vec![WIFI, CELLULAR]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::paper_trace_pair;
+    use smartexp3_core::{Greedy, SmartExp3};
+
+    #[test]
+    fn oracle_bound_holds_for_any_policy() {
+        let pair = paper_trace_pair(1, 100, 9);
+        let mut policy = SmartExp3::with_defaults(trace_networks()).unwrap();
+        let result = run_policy_on_pair(&mut policy, &pair, &TraceSimulationConfig::default(), 1);
+        assert!(result.download_megabytes > 0.0);
+        assert!(result.download_megabytes <= pair.oracle_megabytes() + 1e-9);
+        assert_eq!(result.selections.len(), 100);
+    }
+
+    #[test]
+    fn greedy_sticks_after_exploring_both() {
+        let pair = paper_trace_pair(2, 100, 4);
+        let mut policy = Greedy::new(trace_networks()).unwrap();
+        let result = run_policy_on_pair(&mut policy, &pair, &TraceSimulationConfig::default(), 2);
+        // Two exploration slots, then the cellular network (always better in
+        // trace 2) should be selected almost exclusively.
+        assert!(result.cellular_fraction() > 0.9);
+        assert!(result.switches <= 3);
+    }
+
+    #[test]
+    fn smart_exp3_abandons_the_collapsing_network_in_trace3() {
+        let pair = paper_trace_pair(3, 100, 6);
+        let mut policy = SmartExp3::with_defaults(trace_networks()).unwrap();
+        let result = run_policy_on_pair(&mut policy, &pair, &TraceSimulationConfig::default(), 3);
+        // In the last third of the run the cellular network is clearly better;
+        // Smart EXP3 should spend the majority of those slots there.
+        let tail: Vec<_> = result.selections[70..].to_vec();
+        let cellular_tail = tail.iter().filter(|(n, _)| *n == CELLULAR).count();
+        assert!(
+            cellular_tail > tail.len() / 2,
+            "only {cellular_tail}/{} tail slots on cellular",
+            tail.len()
+        );
+    }
+
+    #[test]
+    fn switching_cost_is_zero_without_switches() {
+        let pair = paper_trace_pair(2, 50, 8);
+        let mut policy = Greedy::new(trace_networks()).unwrap();
+        let config = TraceSimulationConfig {
+            wifi_delay: DelayModel::None,
+            cellular_delay: DelayModel::None,
+            ..TraceSimulationConfig::default()
+        };
+        let result = run_policy_on_pair(&mut policy, &pair, &config, 5);
+        assert_eq!(result.switching_cost_megabytes, 0.0);
+    }
+
+    #[test]
+    fn results_are_reproducible() {
+        let pair = paper_trace_pair(4, 80, 2);
+        let run = |seed| {
+            let mut policy = SmartExp3::with_defaults(trace_networks()).unwrap();
+            run_policy_on_pair(&mut policy, &pair, &TraceSimulationConfig::default(), seed)
+        };
+        assert_eq!(run(10), run(10));
+        assert_ne!(run(10), run(11));
+    }
+}

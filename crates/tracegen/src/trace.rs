@@ -1,0 +1,180 @@
+//! Bit-rate traces: one measured (or synthesised) bit rate per 15-second slot
+//! for a single network.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error returned when parsing a trace from CSV text fails.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid trace at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// A per-slot bit-rate trace of one network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Name of the network the trace was collected from (e.g. `"public WiFi"`).
+    pub name: String,
+    /// Slot duration in seconds (the paper samples every 15 s).
+    pub slot_duration_s: f64,
+    /// Observed bit rate per slot, in Mbps.
+    pub rates_mbps: Vec<f64>,
+}
+
+impl Trace {
+    /// Creates a trace, clamping negative or non-finite rates to 0.
+    #[must_use]
+    pub fn new(name: impl Into<String>, slot_duration_s: f64, rates_mbps: Vec<f64>) -> Self {
+        Trace {
+            name: name.into(),
+            slot_duration_s,
+            rates_mbps: rates_mbps
+                .into_iter()
+                .map(|r| if r.is_finite() { r.max(0.0) } else { 0.0 })
+                .collect(),
+        }
+    }
+
+    /// Number of slots covered by the trace.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rates_mbps.len()
+    }
+
+    /// `true` if the trace has no slots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rates_mbps.is_empty()
+    }
+
+    /// The bit rate at `slot`, repeating the last value if the trace is
+    /// shorter than the requested slot (and 0 for an empty trace).
+    #[must_use]
+    pub fn rate_at(&self, slot: usize) -> f64 {
+        match self.rates_mbps.get(slot) {
+            Some(&rate) => rate,
+            None => self.rates_mbps.last().copied().unwrap_or(0.0),
+        }
+    }
+
+    /// Mean bit rate over the trace.
+    #[must_use]
+    pub fn mean_rate(&self) -> f64 {
+        if self.rates_mbps.is_empty() {
+            0.0
+        } else {
+            self.rates_mbps.iter().sum::<f64>() / self.rates_mbps.len() as f64
+        }
+    }
+
+    /// Largest bit rate in the trace.
+    #[must_use]
+    pub fn peak_rate(&self) -> f64 {
+        self.rates_mbps.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Total volume that could be downloaded by following this trace exactly,
+    /// in megabytes.
+    #[must_use]
+    pub fn total_megabytes(&self) -> f64 {
+        self.rates_mbps.iter().sum::<f64>() * self.slot_duration_s / 8.0
+    }
+
+    /// Serialises the trace as CSV: a header line followed by
+    /// `slot,rate_mbps` rows.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("slot,rate_mbps\n");
+        for (slot, rate) in self.rates_mbps.iter().enumerate() {
+            out.push_str(&format!("{slot},{rate}\n"));
+        }
+        out
+    }
+
+    /// Parses a trace from the CSV format produced by [`Trace::to_csv`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseTraceError`] describing the first malformed line.
+    pub fn from_csv(
+        name: impl Into<String>,
+        slot_duration_s: f64,
+        csv: &str,
+    ) -> Result<Self, ParseTraceError> {
+        let mut rates = Vec::new();
+        for (index, line) in csv.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || (index == 0 && line.starts_with("slot")) {
+                continue;
+            }
+            let rate_field = line.split(',').nth(1).ok_or_else(|| ParseTraceError {
+                line: index + 1,
+                message: "expected `slot,rate_mbps`".to_string(),
+            })?;
+            let rate: f64 = rate_field.trim().parse().map_err(|_| ParseTraceError {
+                line: index + 1,
+                message: format!("`{rate_field}` is not a number"),
+            })?;
+            rates.push(rate);
+        }
+        Ok(Trace::new(name, slot_duration_s, rates))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_statistics() {
+        let trace = Trace::new("wifi", 15.0, vec![2.0, 4.0, 6.0]);
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.mean_rate(), 4.0);
+        assert_eq!(trace.peak_rate(), 6.0);
+        assert_eq!(trace.rate_at(1), 4.0);
+        assert_eq!(trace.rate_at(99), 6.0);
+        assert!((trace.total_megabytes() - 12.0 * 15.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_rates_are_sanitised() {
+        let trace = Trace::new("x", 15.0, vec![-1.0, f64::NAN, 3.0]);
+        assert_eq!(trace.rates_mbps, vec![0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let trace = Trace::new("cell", 15.0, vec![1.5, 2.25, 0.0]);
+        let csv = trace.to_csv();
+        let parsed = Trace::from_csv("cell", 15.0, &csv).unwrap();
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn malformed_csv_is_rejected_with_line_number() {
+        let err = Trace::from_csv("x", 15.0, "slot,rate_mbps\n0,1.0\n1,abc\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.to_string().contains("abc"));
+        let err = Trace::from_csv("x", 15.0, "slot,rate_mbps\njustonefield\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn empty_trace_is_harmless() {
+        let trace = Trace::new("x", 15.0, vec![]);
+        assert!(trace.is_empty());
+        assert_eq!(trace.rate_at(0), 0.0);
+        assert_eq!(trace.mean_rate(), 0.0);
+    }
+}

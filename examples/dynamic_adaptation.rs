@@ -1,0 +1,65 @@
+//! Dynamic adaptation: reproduces the situation of the paper's Figure 8 —
+//! 16 of 20 devices leave halfway through the run, freeing most of the
+//! bandwidth — and compares how Smart EXP3 and Greedy react.
+//!
+//! Run with: `cargo run --release --example dynamic_adaptation`
+
+use smartexp3::core::{PolicyFactory, PolicyKind};
+use smartexp3::netsim::{setting1_networks, DeviceSetup, Simulation, SimulationConfig};
+
+fn run_with(kind: PolicyKind, slots: usize, departure: usize) -> smartexp3::RunResult {
+    let networks = setting1_networks();
+    let mut factory =
+        PolicyFactory::new(networks.iter().map(|n| (n.id, n.bandwidth_mbps)).collect())
+            .expect("three valid networks");
+    let mut sim = Simulation::single_area(
+        networks,
+        SimulationConfig {
+            total_slots: slots,
+            ..SimulationConfig::default()
+        },
+    );
+    // 4 devices stay for the whole run…
+    for id in 0..4 {
+        sim.add_device(DeviceSetup::new(id, factory.build(kind).expect("valid policy")));
+    }
+    // …and 16 leave after `departure` slots.
+    for id in 4..20 {
+        sim.add_device(
+            DeviceSetup::new(id, factory.build(kind).expect("valid policy"))
+                .active_between(0, Some(departure)),
+        );
+    }
+    sim.run(7)
+}
+
+fn main() {
+    let slots = 1200;
+    let departure = 600;
+    println!("16 of 20 devices leave after slot {departure}; 4 devices remain.\n");
+    println!("{:<22} {:>18} {:>18} {:>14}", "algorithm", "distance before", "distance after", "per-device GB");
+    for kind in [PolicyKind::SmartExp3, PolicyKind::SmartExp3WithoutReset, PolicyKind::Greedy] {
+        let result = run_with(kind, slots, departure);
+        let before = result.mean_distance_to_nash(departure / 2, departure);
+        let after = result.mean_distance_to_nash(departure + 200, slots);
+        let survivors_gb: f64 = result
+            .devices
+            .iter()
+            .take(4)
+            .map(|d| d.download_gigabytes())
+            .sum::<f64>()
+            / 4.0;
+        println!(
+            "{:<22} {:>17.1}% {:>17.1}% {:>14.2}",
+            kind.label(),
+            before,
+            after,
+            survivors_gb
+        );
+    }
+    println!(
+        "\nOnly the algorithm with the minimal-reset mechanism (Smart EXP3) rediscovers the freed\n\
+         bandwidth: its distance to equilibrium drops back down after the departure, and the four\n\
+         remaining devices end up with a larger download."
+    );
+}

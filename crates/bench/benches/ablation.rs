@@ -60,32 +60,37 @@ fn bench(c: &mut Criterion) {
     }
 
     let mut group = c.benchmark_group("ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for (name, features) in [
         ("block_exp3", SmartExp3Features::block_exp3()),
         ("hybrid_block_exp3", SmartExp3Features::hybrid_block_exp3()),
-        ("smart_no_reset", SmartExp3Features::smart_exp3_without_reset()),
+        (
+            "smart_no_reset",
+            SmartExp3Features::smart_exp3_without_reset(),
+        ),
         ("smart_exp3", SmartExp3Features::smart_exp3()),
     ] {
-        group.bench_with_input(BenchmarkId::new("variant", name), &features, |b, features| {
-            let networks = setting1_networks();
-            let ids: Vec<_> = networks.iter().map(|n| n.id).collect();
-            b.iter(|| {
-                let mut simulation = Simulation::single_area(
-                    networks.clone(),
-                    SimulationConfig::quick(120),
-                );
-                for id in 0..20u32 {
-                    let policy = SmartExp3::new(
-                        ids.clone(),
-                        SmartExp3Config::with_features(*features),
-                    )
-                    .expect("valid config");
-                    simulation.add_device(DeviceSetup::new(id, Box::new(policy)));
-                }
-                simulation.run(5)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("variant", name),
+            &features,
+            |b, features| {
+                let networks = setting1_networks();
+                let ids: Vec<_> = networks.iter().map(|n| n.id).collect();
+                b.iter(|| {
+                    let mut simulation =
+                        Simulation::single_area(networks.clone(), SimulationConfig::quick(120));
+                    for id in 0..20u32 {
+                        let policy =
+                            SmartExp3::new(ids.clone(), SmartExp3Config::with_features(*features))
+                                .expect("valid config");
+                        simulation.add_device(DeviceSetup::new(id, Box::new(policy)));
+                    }
+                    simulation.run(5)
+                })
+            },
+        );
     }
     group.finish();
 }

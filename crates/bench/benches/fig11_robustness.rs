@@ -12,7 +12,9 @@ fn bench(c: &mut Criterion) {
     println!("{}", robustness::run(&tiny_scale().with_slots(250)));
 
     let mut group = c.benchmark_group("fig11_robustness");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for scenario in robustness::scenarios() {
         group.bench_with_input(
             BenchmarkId::new("scenario", scenario.index),

@@ -10,11 +10,16 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     let scale = tiny_scale().with_slots(400);
     println!("{}", controlled::run(&scale, ControlledScenario::Static));
-    println!("{}", controlled::run(&scale, ControlledScenario::DevicesLeave));
+    println!(
+        "{}",
+        controlled::run(&scale, ControlledScenario::DevicesLeave)
+    );
     println!("{}", controlled::run(&scale, ControlledScenario::Mixed));
 
     let mut group = c.benchmark_group("fig13_15_controlled");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for kind in [PolicyKind::SmartExp3, PolicyKind::Greedy] {
         group.bench_function(kind.label(), |b| {
             b.iter(|| {

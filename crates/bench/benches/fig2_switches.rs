@@ -13,7 +13,9 @@ fn bench(c: &mut Criterion) {
     println!("{}", switching::run(&bench_scale()));
 
     let mut group = c.benchmark_group("fig2_switches");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for kind in switching::figure2_algorithms() {
         group.bench_function(kind.label(), |b| {
             b.iter(|| run_homogeneous(setting1_networks(), kind, 20, 120, 1))

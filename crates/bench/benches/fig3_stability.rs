@@ -10,7 +10,9 @@ fn bench(c: &mut Criterion) {
     println!("{}", stability::run(&bench_scale().with_slots(400)));
 
     let mut group = c.benchmark_group("fig3_stability");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for kind in stability::figure3_algorithms() {
         group.bench_function(kind.label(), |b| {
             b.iter(|| run_homogeneous(setting1_networks(), kind, 20, 150, 2))

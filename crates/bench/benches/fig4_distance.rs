@@ -24,7 +24,9 @@ fn bench(c: &mut Criterion) {
     );
 
     let mut group = c.benchmark_group("fig4_distance");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("smart_exp3_setting1", |b| {
         b.iter(|| run_homogeneous(setting1_networks(), PolicyKind::SmartExp3, 20, 150, 3))
     });

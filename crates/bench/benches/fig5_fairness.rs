@@ -1,7 +1,7 @@
 //! Figure 5 — fairness (standard deviation of per-device downloads).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use congestion_game::standard_deviation;
+use criterion::{criterion_group, criterion_main, Criterion};
 use experiments::fairness;
 use netsim::setting1_networks;
 use smartexp3_bench::{bench_scale, run_homogeneous};
@@ -18,13 +18,18 @@ fn bench(c: &mut Criterion) {
     );
 
     let mut group = c.benchmark_group("fig5_fairness");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for kind in [PolicyKind::SmartExp3, PolicyKind::Greedy] {
         group.bench_function(kind.label(), |b| {
             b.iter(|| {
                 let result = run_homogeneous(setting1_networks(), kind, 20, 150, 5);
-                let downloads: Vec<f64> =
-                    result.devices.iter().map(|d| d.download_megabytes()).collect();
+                let downloads: Vec<f64> = result
+                    .devices
+                    .iter()
+                    .map(|d| d.download_megabytes())
+                    .collect();
                 standard_deviation(&downloads)
             })
         });

@@ -14,7 +14,9 @@ fn bench(c: &mut Criterion) {
     );
 
     let mut group = c.benchmark_group("fig6_scalability");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for networks in [3usize, 5, 7] {
         group.bench_with_input(
             BenchmarkId::new("networks", networks),

@@ -10,11 +10,16 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let scale = tiny_scale().with_slots(300);
-    println!("{}", dynamics::run(&scale, DynamicSetting::DevicesJoinAndLeave));
+    println!(
+        "{}",
+        dynamics::run(&scale, DynamicSetting::DevicesJoinAndLeave)
+    );
     println!("{}", dynamics::run(&scale, DynamicSetting::DevicesLeave));
 
     let mut group = c.benchmark_group("fig7_8_dynamics");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for (name, setting) in [
         ("fig7_join_leave", DynamicSetting::DevicesJoinAndLeave),
         ("fig8_leave", DynamicSetting::DevicesLeave),

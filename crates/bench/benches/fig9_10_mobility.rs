@@ -15,12 +15,14 @@ fn bench(c: &mut Criterion) {
     );
 
     let mut group = c.benchmark_group("fig9_10_mobility");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for kind in [PolicyKind::SmartExp3, PolicyKind::Greedy, PolicyKind::Exp3] {
         group.bench_function(kind.label(), |b| {
             b.iter(|| {
-                let (simulation, _groups) =
-                    mobility_simulation(kind, SimulationConfig::quick(150)).expect("valid scenario");
+                let (simulation, _groups) = mobility_simulation(kind, SimulationConfig::quick(150))
+                    .expect("valid scenario");
                 simulation.run(8)
             })
         });

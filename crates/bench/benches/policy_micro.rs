@@ -15,7 +15,9 @@ fn bench(c: &mut Criterion) {
     ];
 
     let mut group = c.benchmark_group("policy_micro");
-    group.sample_size(60).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(60)
+        .measurement_time(Duration::from_secs(2));
     for kind in PolicyKind::all() {
         group.bench_function(kind.label(), |b| {
             let mut factory = PolicyFactory::new(rates.clone()).expect("valid rates");

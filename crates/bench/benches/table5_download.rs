@@ -24,8 +24,14 @@ fn bench(c: &mut Criterion) {
     );
 
     let mut group = c.benchmark_group("table5_download");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
-    for kind in [PolicyKind::SmartExp3, PolicyKind::Greedy, PolicyKind::Centralized] {
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for kind in [
+        PolicyKind::SmartExp3,
+        PolicyKind::Greedy,
+        PolicyKind::Centralized,
+    ] {
         group.bench_function(kind.label(), |b| {
             b.iter(|| {
                 run_homogeneous(setting1_networks(), kind, 20, 150, 4).total_download_megabits()

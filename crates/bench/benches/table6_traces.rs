@@ -13,7 +13,9 @@ fn bench(c: &mut Criterion) {
     println!("{}", tracedriven::illustrate(3, 1));
 
     let mut group = c.benchmark_group("table6_traces");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     let config = TraceSimulationConfig::default();
     for trace in 1..=4usize {
         let pair = tracedriven::trace_pair(trace);

@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use netsim::setting1_networks;
 use smartexp3_bench::run_homogeneous;
-use smartexp3_core::theory::{regret_bound, switch_bound, switch_bound_no_reset, RegretBoundParams};
+use smartexp3_core::theory::{
+    regret_bound, switch_bound, switch_bound_no_reset, RegretBoundParams,
+};
 use smartexp3_core::PolicyKind;
 use std::time::Duration;
 
@@ -22,7 +24,9 @@ fn bench(c: &mut Criterion) {
     }
 
     let mut group = c.benchmark_group("theory_bounds");
-    group.sample_size(50).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("switch_bound", |b| {
         b.iter(|| switch_bound(criterion::black_box(3), 0.1, 1.0, 1200.0, 8640.0))
     });

@@ -11,7 +11,9 @@ fn bench(c: &mut Criterion) {
     println!("{}", wild::run(&tiny_scale().with_runs(6)));
 
     let mut group = c.benchmark_group("wild_download");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     let pair = wild::wild_conditions(42);
     let config = TraceSimulationConfig::default();
     group.bench_function("smart_exp3", |b| {

@@ -1,0 +1,329 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! Implements the measurement surface the workspace's benches use —
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Bencher::iter`,
+//! `Throughput`, `black_box` and the `criterion_group!` / `criterion_main!`
+//! macros — with a simple but honest timing loop: a short warm-up, then
+//! batched timed iterations until the measurement budget is spent, reporting
+//! the mean time per iteration (and throughput when configured).
+//!
+//! It intentionally skips upstream's statistical machinery (outlier
+//! detection, HTML reports); benches print one line per benchmark and are
+//! runnable offline with `cargo bench`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput metadata attached to a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterised benchmark (`function_name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    #[must_use]
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter value alone.
+    #[must_use]
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Types usable as a benchmark identifier (`&str`, `String`, [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Renders the identifier as the display string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The benchmark driver handed to every bench target.
+#[derive(Debug)]
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Creates a driver with default settings.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the per-benchmark measurement budget.
+    #[must_use]
+    pub fn measurement_time(mut self, duration: Duration) -> Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            name,
+            measurement_time: self.measurement_time,
+            throughput: None,
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into_id(), self.measurement_time, None, |b| f(b));
+        self
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this implementation sizes sampling by
+    /// time budget rather than sample count.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Overrides the measurement budget for benchmarks in this group.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Declares the work performed per iteration, enabling throughput output.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks a closure under the given id.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into_id());
+        run_benchmark(&id, self.measurement_time, self.throughput, |b| f(b));
+        self
+    }
+
+    /// Benchmarks a closure that receives a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.into_id());
+        run_benchmark(&id, self.measurement_time, self.throughput, |b| {
+            f(b, input);
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Drives the timing loop for one benchmark target.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    total: Duration,
+    iterations: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly, timing it, until the budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed call (fills caches, triggers lazy init).
+        black_box(routine());
+
+        let start = Instant::now();
+        let mut batch = 1u64;
+        while start.elapsed() < self.budget {
+            let batch_start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = batch_start.elapsed();
+            self.total += elapsed;
+            self.iterations += batch;
+            // Grow batches until one batch costs ≥ ~1ms, amortising timer
+            // overhead for nanosecond-scale routines.
+            if elapsed < Duration::from_millis(1) && batch < u64::MAX / 2 {
+                batch *= 2;
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    budget: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        budget,
+        ..Bencher::default()
+    };
+    f(&mut bencher);
+    if bencher.iterations == 0 {
+        println!("{id:<56} (no iterations run)");
+        return;
+    }
+    let mean = bencher.total.as_secs_f64() / bencher.iterations as f64;
+    let mut line = format!("{id:<56} time: {}", format_seconds(mean));
+    if let Some(t) = throughput {
+        let (amount, unit) = match t {
+            Throughput::Elements(n) => (n as f64, "elem/s"),
+            Throughput::Bytes(n) => (n as f64, "B/s"),
+        };
+        if mean > 0.0 {
+            line.push_str(&format!("  thrpt: {}", format_rate(amount / mean, unit)));
+        }
+    }
+    println!("{line}");
+}
+
+fn format_seconds(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+fn format_rate(rate: f64, unit: &str) -> String {
+    if rate >= 1e9 {
+        format!("{:.3} G{unit}", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.3} M{unit}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.3} K{unit}", rate / 1e3)
+    } else {
+        format!("{rate:.1} {unit}")
+    }
+}
+
+/// Bundles bench functions into a named group runner, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `fn main()` running the given groups, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_reports() {
+        let mut c = Criterion::new().measurement_time(Duration::from_millis(10));
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(10));
+        group.throughput(Throughput::Elements(100));
+        let mut counter = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                counter = counter.wrapping_add(1);
+                counter
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        group.finish();
+        assert!(counter > 0);
+    }
+
+    #[test]
+    fn formatting_covers_magnitudes() {
+        assert!(format_seconds(2.0).ends_with(" s"));
+        assert!(format_seconds(2e-3).ends_with(" ms"));
+        assert!(format_seconds(2e-6).ends_with(" µs"));
+        assert!(format_seconds(2e-9).ends_with(" ns"));
+        assert!(format_rate(5e9, "elem/s").starts_with("5.000 G"));
+        assert!(format_rate(5e3, "elem/s").starts_with("5.000 K"));
+        assert!(format_rate(5.0, "elem/s").starts_with("5.0 "));
+    }
+}

@@ -1,0 +1,318 @@
+//! Offline, API-compatible subset of `rayon`.
+//!
+//! Provides the data-parallel surface the fleet engine uses — chunked
+//! parallel iteration over mutable slices plus a [`ThreadPool`] whose
+//! `install` scopes the worker count — implemented on `std::thread::scope`.
+//! Workers pull chunks off a shared atomic cursor, so load balancing is
+//! dynamic while the *assignment of work to chunks* stays fully deterministic
+//! (each chunk is processed exactly once, independently of which worker runs
+//! it or in which order).
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    //! Traits imported by `use rayon::prelude::*`.
+    pub use crate::{IndexedParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+thread_local! {
+    static SCOPED_THREADS: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// Number of worker threads a parallel operation started here will use.
+///
+/// Inside [`ThreadPool::install`] this is the pool's configured size;
+/// elsewhere it is the machine's available parallelism.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    SCOPED_THREADS
+        .with(std::cell::Cell::get)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`] (never produced by this
+/// implementation; present for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads (0 = available parallelism).
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in this implementation.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = match self.num_threads {
+            Some(0) | None => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A scoped worker-count context. Unlike upstream rayon this pool owns no
+/// long-lived threads: workers are spawned per parallel call, which keeps the
+/// implementation dependency-free while preserving the API and the scaling
+/// behaviour for coarse-grained workloads like fleet stepping.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Number of worker threads parallel calls inside `install` will use.
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `op` with this pool's worker count in effect for every parallel
+    /// operation it performs.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        let previous = SCOPED_THREADS.with(|cell| cell.replace(Some(self.threads)));
+        let result = op();
+        SCOPED_THREADS.with(|cell| cell.set(previous));
+        result
+    }
+}
+
+/// Runs every work item from `items` on a scoped worker crew, pulling items
+/// off an atomic cursor. The item order a worker observes is arbitrary, but
+/// every item runs exactly once.
+fn drive<T: Send, F: Fn(usize, T) + Sync>(items: Vec<T>, f: F) {
+    let total = items.len();
+    let workers = current_num_threads().min(total).max(1);
+    if workers <= 1 {
+        for (index, item) in items.into_iter().enumerate() {
+            f(index, item);
+        }
+        return;
+    }
+    let cells: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let cells = &cells;
+    let cursor = &cursor;
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(move || loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                if index >= total {
+                    return;
+                }
+                let item = cells[index]
+                    .lock()
+                    .expect("chunk cell poisoned")
+                    .take()
+                    .expect("chunk taken twice");
+                f(index, item);
+            });
+        }
+    });
+}
+
+/// Minimal parallel-iterator interface: consumption adapters only.
+pub trait ParallelIterator: Sized {
+    /// The items produced by this iterator.
+    type Item: Send;
+
+    /// Consumes the iterator, applying `f` to every item in parallel.
+    fn for_each<F: Fn(Self::Item) + Sync + Send>(self, f: F);
+}
+
+/// Parallel iterators with known length and stable indices.
+pub trait IndexedParallelIterator: ParallelIterator {
+    /// Pairs every item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { inner: self }
+    }
+}
+
+/// `par_chunks_mut` over a mutable slice.
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParallelIterator for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn for_each<F: Fn(Self::Item) + Sync + Send>(self, f: F) {
+        drive(self.chunks, |_, chunk| f(chunk));
+    }
+}
+
+impl<T: Send> IndexedParallelIterator for ParChunksMut<'_, T> {}
+
+/// `par_chunks` over a shared slice.
+pub struct ParChunks<'a, T> {
+    chunks: Vec<&'a [T]>,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+
+    fn for_each<F: Fn(Self::Item) + Sync + Send>(self, f: F) {
+        drive(self.chunks, |_, chunk| f(chunk));
+    }
+}
+
+impl<T: Sync> IndexedParallelIterator for ParChunks<'_, T> {}
+
+/// An indexed parallel iterator produced by
+/// [`IndexedParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    inner: I,
+}
+
+impl<'a, T: Send> ParallelIterator for Enumerate<ParChunksMut<'a, T>> {
+    type Item = (usize, &'a mut [T]);
+
+    fn for_each<F: Fn(Self::Item) + Sync + Send>(self, f: F) {
+        drive(self.inner.chunks, |index, chunk| f((index, chunk)));
+    }
+}
+
+impl<'a, T: Sync> ParallelIterator for Enumerate<ParChunks<'a, T>> {
+    type Item = (usize, &'a [T]);
+
+    fn for_each<F: Fn(Self::Item) + Sync + Send>(self, f: F) {
+        drive(self.inner.chunks, |index, chunk| f((index, chunk)));
+    }
+}
+
+/// Extension adding `par_chunks` to shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Splits the slice into chunks of at most `chunk_size` elements that can
+    /// be processed in parallel.
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParChunks {
+            chunks: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+/// Extension adding `par_chunks_mut` to mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits the slice into mutable chunks of at most `chunk_size` elements
+    /// that can be processed in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParChunksMut {
+            chunks: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn par_chunks_mut_touches_every_element_once() {
+        let mut data = vec![0u64; 1000];
+        data.par_chunks_mut(64).for_each(|chunk| {
+            for x in chunk {
+                *x += 1;
+            }
+        });
+        assert!(data.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn enumerate_reports_stable_chunk_indices() {
+        let mut data = vec![0usize; 300];
+        data.par_chunks_mut(100)
+            .enumerate()
+            .for_each(|(index, chunk)| {
+                for x in chunk {
+                    *x = index;
+                }
+            });
+        assert_eq!(data[0], 0);
+        assert_eq!(data[150], 1);
+        assert_eq!(data[299], 2);
+    }
+
+    #[test]
+    fn install_scopes_the_worker_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        let nested = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let inner = pool.install(|| nested.install(current_num_threads));
+        assert_eq!(inner, 1);
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn results_are_identical_across_worker_counts() {
+        let run = |threads: usize| {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                let mut data: Vec<u64> = (0..997).collect();
+                data.par_chunks_mut(10)
+                    .enumerate()
+                    .for_each(|(index, chunk)| {
+                        for x in chunk {
+                            *x = x.wrapping_mul(31).wrapping_add(index as u64);
+                        }
+                    });
+                data
+            })
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(8));
+    }
+}

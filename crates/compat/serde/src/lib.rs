@@ -1,0 +1,534 @@
+//! Offline, API-compatible subset of `serde`.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! slice of serde the workspace uses: the [`Serialize`] / [`Deserialize`]
+//! traits and their derive macros (re-exported from the sibling
+//! `serde_derive` proc-macro crate).
+//!
+//! Instead of upstream's visitor-based data model, serialization goes through
+//! an explicit [`Value`] tree — structs become maps, tuples and sequences
+//! become sequences, unit enum variants become strings and data-carrying
+//! variants become single-entry maps (the externally-tagged convention). The
+//! companion `serde_json` crate renders a [`Value`] to JSON text and parses it
+//! back, with `f64`s printed in shortest round-trip form so snapshots restore
+//! **bit-identically**.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing tree of serialized data (the crate's data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absence of a value (`Option::None`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer (positive ones normalise to [`Value::U64`]).
+    I64(i64),
+    /// A double-precision float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (struct fields, enum tags).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Returns the map entries when this value is a map.
+    #[must_use]
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Returns the sequence elements when this value is a sequence.
+    #[must_use]
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Returns the string when this value is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `f64` (exact for every stored numeric variant that
+    /// originated from an `f64`).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(x) => Some(*x),
+            Value::U64(x) => Some(*x as f64),
+            Value::I64(x) => Some(*x as f64),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `u64` (rejects negatives and non-integers).
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(x) => Some(*x),
+            Value::I64(x) => u64::try_from(*x).ok(),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `i64`.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(x) => Some(*x),
+            Value::U64(x) => i64::try_from(*x).ok(),
+            _ => None,
+        }
+    }
+
+    /// One-word description of the variant, for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Error produced when a [`Value`] tree does not match the target type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    #[must_use]
+    pub fn custom(message: impl fmt::Display) -> Self {
+        Error {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into the serde data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value from the serde data model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the tree's shape does not match `Self`.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Looks up field `key` in a struct map and deserializes it (used by the
+/// derive macro's generated code).
+///
+/// # Errors
+///
+/// Returns an error when the field is missing or has the wrong shape.
+pub fn from_field<T: Deserialize>(
+    entries: &[(String, Value)],
+    key: &str,
+    context: &str,
+) -> Result<T, Error> {
+    let value = entries
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::custom(format!("missing field `{key}` in `{context}`")))?;
+    T::from_value(value)
+        .map_err(|e| Error::custom(format!("field `{key}` of `{context}`: {}", e.message)))
+}
+
+/// Fetches element `index` of a sequence and deserializes it (used by the
+/// derive macro's generated code for tuple structs and tuple variants).
+///
+/// # Errors
+///
+/// Returns an error when the element is missing or has the wrong shape.
+pub fn from_element<T: Deserialize>(
+    items: &[Value],
+    index: usize,
+    context: &str,
+) -> Result<T, Error> {
+    let value = items
+        .get(index)
+        .ok_or_else(|| Error::custom(format!("missing element {index} in `{context}`")))?;
+    T::from_value(value)
+        .map_err(|e| Error::custom(format!("element {index} of `{context}`: {}", e.message)))
+}
+
+macro_rules! impl_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::U64(u64::from(*self))
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = value.as_u64().ok_or_else(|| {
+                    Error::custom(format!(
+                        "expected unsigned integer, found {}",
+                        value.kind()
+                    ))
+                })?;
+                <$ty>::try_from(raw)
+                    .map_err(|_| Error::custom(format!("{raw} out of range for {}", stringify!($ty))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64);
+
+macro_rules! impl_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                let wide = i64::from(*self);
+                if wide >= 0 {
+                    Value::U64(wide as u64)
+                } else {
+                    Value::I64(wide)
+                }
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = value.as_i64().ok_or_else(|| {
+                    Error::custom(format!("expected integer, found {}", value.kind()))
+                })?;
+                <$ty>::try_from(raw)
+                    .map_err(|_| Error::custom(format!("{raw} out of range for {}", stringify!($ty))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let raw = value
+            .as_u64()
+            .ok_or_else(|| Error::custom(format!("expected integer, found {}", value.kind())))?;
+        usize::try_from(raw).map_err(|_| Error::custom(format!("{raw} out of range for usize")))
+    }
+}
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        (*self as i64).to_value()
+    }
+}
+
+impl Deserialize for isize {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let raw = i64::from_value(value)?;
+        isize::try_from(raw).map_err(|_| Error::custom(format!("{raw} out of range for isize")))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::custom(format!("expected number, found {}", value.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(f64::from_value(value)? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::custom(format!("expected string, found {}", value.kind())))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(inner) => inner.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_seq()
+            .ok_or_else(|| Error::custom(format!("expected sequence, found {}", value.kind())))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(value)?;
+        let found = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::custom(format!("expected {N} elements, found {found}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let items = value.as_seq().ok_or_else(|| {
+                    Error::custom(format!("expected tuple sequence, found {}", value.kind()))
+                })?;
+                Ok(($(from_element::<$name>(items, $idx, "tuple")?,)+))
+            }
+        }
+    )+};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = value.as_seq().ok_or_else(|| {
+            Error::custom(format!("expected map entries, found {}", value.kind()))
+        })?;
+        items
+            .iter()
+            .map(|entry| {
+                let pair = entry.as_seq().ok_or_else(|| {
+                    Error::custom(format!(
+                        "expected [key, value] pair, found {}",
+                        entry.kind()
+                    ))
+                })?;
+                Ok((
+                    from_element::<K>(pair, 0, "map key")?,
+                    from_element::<V>(pair, 1, "map value")?,
+                ))
+            })
+            .collect()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![
+            Value::U64(self.as_secs()),
+            Value::U64(u64::from(self.subsec_nanos())),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = value
+            .as_seq()
+            .ok_or_else(|| Error::custom("expected [secs, nanos] for Duration"))?;
+        let secs = from_element::<u64>(items, 0, "Duration")?;
+        let nanos = from_element::<u32>(items, 1, "Duration")?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let x = 0.1f64 + 0.2;
+        assert_eq!(
+            f64::from_value(&x.to_value()).unwrap().to_bits(),
+            x.to_bits()
+        );
+    }
+
+    #[test]
+    fn options_use_null() {
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        let some = Some(3u32).to_value();
+        assert_eq!(Option::<u32>::from_value(&some).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1u32, 0.5f64), (2, 0.25)];
+        let back = Vec::<(u32, f64)>::from_value(&v.to_value()).unwrap();
+        assert_eq!(back, v);
+
+        let mut map = BTreeMap::new();
+        map.insert(3u32, "three".to_string());
+        let back = BTreeMap::<u32, String>::from_value(&map.to_value()).unwrap();
+        assert_eq!(back, map);
+    }
+
+    #[test]
+    fn shape_mismatches_error() {
+        assert!(u32::from_value(&Value::Str("x".into())).is_err());
+        assert!(bool::from_value(&Value::U64(1)).is_err());
+        assert!(Vec::<u32>::from_value(&Value::Bool(false)).is_err());
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+    }
+}

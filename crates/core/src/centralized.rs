@@ -13,10 +13,10 @@
 
 use crate::policy::{Observation, Policy, PolicyStats, SelectionKind};
 use crate::{ConfigError, NetworkId, SlotIndex};
-use parking_lot::Mutex;
 use rand::RngCore;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 #[derive(Debug)]
 struct CoordinatorState {
@@ -82,11 +82,11 @@ impl CentralizedCoordinator {
     /// restricted to `allowed`, and records the added load. Returns `None` if
     /// the restriction excludes every known network.
     fn assign_within(&self, allowed: Option<&[NetworkId]>) -> Option<NetworkId> {
-        let mut state = self.state.lock();
+        let mut state = self.state.lock().expect("coordinator lock poisoned");
         let assigned = state
             .rates
             .iter()
-            .filter(|(id, _)| allowed.map_or(true, |a| a.contains(id)))
+            .filter(|(id, _)| allowed.is_none_or(|a| a.contains(id)))
             .map(|(&id, &rate)| {
                 let load = state.loads.get(&id).copied().unwrap_or(0);
                 (id, rate / (load + 1) as f64)
@@ -101,7 +101,7 @@ impl CentralizedCoordinator {
     /// Removes a device previously assigned to `network` (used when devices
     /// leave the service area).
     pub fn leave(&self, network: NetworkId) {
-        let mut state = self.state.lock();
+        let mut state = self.state.lock().expect("coordinator lock poisoned");
         if let Some(load) = state.loads.get_mut(&network) {
             *load = load.saturating_sub(1);
         }
@@ -110,7 +110,7 @@ impl CentralizedCoordinator {
     /// Current number of devices assigned to each network.
     #[must_use]
     pub fn allocation(&self) -> Vec<(NetworkId, usize)> {
-        let state = self.state.lock();
+        let state = self.state.lock().expect("coordinator lock poisoned");
         state.loads.iter().map(|(&id, &n)| (id, n)).collect()
     }
 }
@@ -206,7 +206,11 @@ mod tests {
         ])
         .unwrap();
         let _policies: Vec<CentralizedPolicy> = (0..20).map(|_| coordinator.join()).collect();
-        let mut counts: Vec<usize> = coordinator.allocation().into_iter().map(|(_, n)| n).collect();
+        let mut counts: Vec<usize> = coordinator
+            .allocation()
+            .into_iter()
+            .map(|(_, n)| n)
+            .collect();
         counts.sort_unstable();
         assert_eq!(counts, vec![6, 7, 7]);
     }

@@ -38,7 +38,10 @@ impl fmt::Display for ConfigError {
             ),
             ConfigError::NoNetworks => write!(f, "at least one network must be available"),
             ConfigError::DuplicateNetwork(id) => {
-                write!(f, "network {id} appears more than once in the available set")
+                write!(
+                    f,
+                    "network {id} appears more than once in the available set"
+                )
             }
         }
     }
@@ -47,10 +50,7 @@ impl fmt::Display for ConfigError {
 impl Error for ConfigError {}
 
 /// Validates that `value` lies in the half-open unit interval `(0, 1]`.
-pub(crate) fn check_unit_interval(
-    parameter: &'static str,
-    value: f64,
-) -> Result<(), ConfigError> {
+pub(crate) fn check_unit_interval(parameter: &'static str, value: f64) -> Result<(), ConfigError> {
     if value.is_finite() && value > 0.0 && value <= 1.0 {
         Ok(())
     } else {

@@ -14,18 +14,10 @@ use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the [`Exp3`] baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct Exp3Config {
     /// Exploration-rate schedule, evaluated at the slot index (1-based).
     pub gamma: GammaSchedule,
-}
-
-impl Default for Exp3Config {
-    fn default() -> Self {
-        Exp3Config {
-            gamma: GammaSchedule::paper_default(),
-        }
-    }
 }
 
 impl Exp3Config {
@@ -44,7 +36,7 @@ impl Exp3Config {
 }
 
 /// The EXP3 adversarial-bandit algorithm, one decision per slot.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Exp3 {
     config: Exp3Config,
     weights: WeightTable,
@@ -92,6 +84,10 @@ impl Exp3 {
 }
 
 impl Policy for Exp3 {
+    fn state(&self) -> Option<crate::PolicyState> {
+        Some(crate::PolicyState::Exp3(Box::new(self.clone())))
+    }
+
     fn name(&self) -> &'static str {
         "EXP3"
     }
@@ -210,7 +206,10 @@ mod tests {
         run_slots(&mut policy, NetworkId(1), 100, 5);
         let stats = policy.stats();
         assert_eq!(stats.blocks, 100);
-        assert!(stats.switches > 0, "EXP3 with decaying gamma should switch early on");
+        assert!(
+            stats.switches > 0,
+            "EXP3 with decaying gamma should switch early on"
+        );
     }
 
     #[test]
@@ -232,7 +231,11 @@ mod tests {
         let mut policy = Exp3::new(nets(2), Exp3Config::default()).unwrap();
         let mut rng = StdRng::seed_from_u64(4);
         let chosen = policy.choose(0, &mut rng);
-        let other = if chosen == NetworkId(0) { NetworkId(1) } else { NetworkId(0) };
+        let other = if chosen == NetworkId(0) {
+            NetworkId(1)
+        } else {
+            NetworkId(0)
+        };
         let before = policy.probabilities();
         policy.observe(&Observation::bandit(0, other, 22.0, 1.0), &mut rng);
         assert_eq!(before, policy.probabilities());

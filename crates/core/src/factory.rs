@@ -156,6 +156,25 @@ impl PolicyFactory {
         &self.networks
     }
 
+    /// Builds `count` independent policies of the requested kind — the bulk
+    /// construction hook used by the fleet engine to spin up large fleets
+    /// without per-session factory plumbing.
+    ///
+    /// Equivalent to calling [`build`](Self::build) `count` times: for
+    /// [`PolicyKind::Centralized`] every instance registers one more device
+    /// with the shared coordinator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the underlying constructors.
+    pub fn build_fleet(
+        &mut self,
+        kind: PolicyKind,
+        count: usize,
+    ) -> Result<Vec<Box<dyn Policy>>, ConfigError> {
+        (0..count).map(|_| self.build(kind)).collect()
+    }
+
     /// Builds one policy of the requested kind.
     ///
     /// Each call for [`PolicyKind::Centralized`] registers one more device

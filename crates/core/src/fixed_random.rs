@@ -6,9 +6,10 @@ use crate::policy::{Observation, Policy, PolicyStats, SelectionKind};
 use crate::{ConfigError, NetworkId, SlotIndex};
 use rand::seq::SliceRandom;
 use rand::RngCore;
+use serde::{Deserialize, Serialize};
 
 /// Picks one network uniformly at random and stays on it forever.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FixedRandom {
     available: Vec<NetworkId>,
     chosen: Option<NetworkId>,
@@ -38,6 +39,10 @@ impl FixedRandom {
 }
 
 impl Policy for FixedRandom {
+    fn state(&self) -> Option<crate::PolicyState> {
+        Some(crate::PolicyState::FixedRandom(Box::new(self.clone())))
+    }
+
     fn name(&self) -> &'static str {
         "Fixed Random"
     }
@@ -111,7 +116,11 @@ mod tests {
         let mut policy = FixedRandom::new(nets).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let first = policy.choose(0, &mut rng);
-        let other = if first == NetworkId(0) { NetworkId(1) } else { NetworkId(0) };
+        let other = if first == NetworkId(0) {
+            NetworkId(1)
+        } else {
+            NetworkId(0)
+        };
         policy.on_networks_changed(&[other], &mut rng);
         assert_eq!(policy.choose(1, &mut rng), other);
         assert_eq!(policy.stats().switches, 1);

@@ -42,7 +42,7 @@ impl FullInformationConfig {
 }
 
 /// Full-feedback exponentially weighted forecaster.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FullInformation {
     config: FullInformationConfig,
     weights: WeightTable,
@@ -73,6 +73,10 @@ impl FullInformation {
 }
 
 impl Policy for FullInformation {
+    fn state(&self) -> Option<crate::PolicyState> {
+        Some(crate::PolicyState::FullInformation(Box::new(self.clone())))
+    }
+
     fn name(&self) -> &'static str {
         "Full Information"
     }
@@ -188,7 +192,10 @@ mod tests {
             policy.observe(&full_obs(t, chosen, &gains), &mut rng);
         }
         let p_best = probability_of(&policy.probabilities(), NetworkId(2));
-        assert!(p_best > 0.9, "full feedback should converge fast, p = {p_best}");
+        assert!(
+            p_best > 0.9,
+            "full feedback should converge fast, p = {p_best}"
+        );
     }
 
     #[test]

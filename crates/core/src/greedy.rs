@@ -11,9 +11,10 @@ use crate::policy::{Observation, Policy, PolicyStats, SelectionKind};
 use crate::{ConfigError, NetworkId, NetworkStats, SlotIndex};
 use rand::seq::SliceRandom;
 use rand::RngCore;
+use serde::{Deserialize, Serialize};
 
 /// Greedy network selection: explore once, then always pick the empirical best.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Greedy {
     available: Vec<NetworkId>,
     to_explore: Vec<NetworkId>,
@@ -54,6 +55,10 @@ impl Greedy {
 }
 
 impl Policy for Greedy {
+    fn state(&self) -> Option<crate::PolicyState> {
+        Some(crate::PolicyState::Greedy(Box::new(self.clone())))
+    }
+
     fn name(&self) -> &'static str {
         "Greedy"
     }
@@ -219,7 +224,10 @@ mod tests {
             }
             policy.observe(&Observation::bandit(t, n, 11.0, 0.5), &mut rng);
         }
-        assert!(visited_new, "the newly discovered network should be explored");
+        assert!(
+            visited_new,
+            "the newly discovered network should be explored"
+        );
     }
 
     #[test]

@@ -58,6 +58,7 @@ mod greedy;
 mod hybrid_block_exp3;
 mod policy;
 mod smart_exp3;
+mod state;
 mod stats;
 pub mod theory;
 mod types;
@@ -76,6 +77,7 @@ pub use greedy::Greedy;
 pub use hybrid_block_exp3::HybridBlockExp3;
 pub use policy::{probability_of, Observation, Policy, PolicyStats, SelectionKind};
 pub use smart_exp3::{SmartExp3, SmartExp3Config, SmartExp3Features};
+pub use state::PolicyState;
 pub use stats::NetworkStats;
 pub use types::{BlockIndex, NetworkId, SlotIndex};
 pub use weights::WeightTable;

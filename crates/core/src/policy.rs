@@ -149,15 +149,15 @@ pub trait Policy: Send {
 
     /// Informs the policy that its set of available networks changed.
     ///
-    /// The default implementation panics to surface accidental use with a
-    /// dynamic environment; policies that support dynamism override it.
+    /// The default implementation is a documented no-op: a policy that does
+    /// not track network churn simply keeps its current state and continues
+    /// choosing among the networks it already knows. This default must never
+    /// panic — a fleet engine hosts thousands of sessions in shared worker
+    /// threads, and one session in a dynamic environment must not be able to
+    /// take the whole fleet down. Policies that *do* adapt (Smart EXP3, the
+    /// greedy baseline, …) override this to re-target the new network set.
     fn on_networks_changed(&mut self, available: &[NetworkId], rng: &mut dyn RngCore) {
-        let _ = rng;
-        unimplemented!(
-            "policy `{}` does not support a changing set of networks ({} networks supplied)",
-            self.name(),
-            available.len()
-        )
+        let _ = (available, rng);
     }
 
     /// Current probability of selecting each network at the next fresh
@@ -170,6 +170,19 @@ pub trait Policy: Send {
 
     /// Behavioural counters (switches, resets, …) accumulated so far.
     fn stats(&self) -> PolicyStats;
+
+    /// Captures the policy's full learning state for checkpointing, or `None`
+    /// for policies whose state cannot be serialized (currently only the
+    /// centralized oracle, whose state lives in a shared coordinator).
+    ///
+    /// The fleet engine uses this to snapshot every session of a fleet; a
+    /// policy restored from the returned [`PolicyState`] must behave
+    /// bit-identically to the original from that point on.
+    ///
+    /// [`PolicyState`]: crate::PolicyState
+    fn state(&self) -> Option<crate::PolicyState> {
+        None
+    }
 }
 
 /// Returns the probability associated with `network` in a probability listing,

@@ -214,16 +214,22 @@ mod tests {
 
     #[test]
     fn invalid_parameters_are_rejected() {
-        let mut config = SmartExp3Config::default();
-        config.beta = 0.0;
+        let config = SmartExp3Config {
+            beta: 0.0,
+            ..SmartExp3Config::default()
+        };
         assert!(config.validate().is_err());
 
-        let mut config = SmartExp3Config::default();
-        config.switch_back_window = 0;
+        let config = SmartExp3Config {
+            switch_back_window: 0,
+            ..SmartExp3Config::default()
+        };
         assert!(config.validate().is_err());
 
-        let mut config = SmartExp3Config::default();
-        config.reset_drop_fraction = 1.5;
+        let config = SmartExp3Config {
+            reset_drop_fraction: 1.5,
+            ..SmartExp3Config::default()
+        };
         assert!(config.validate().is_err());
     }
 }

@@ -31,10 +31,11 @@ use crate::{ConfigError, NetworkId, NetworkStats, SlotIndex, WeightTable};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand::RngCore;
+use serde::{Deserialize, Serialize};
 
 /// The Smart EXP3 policy (and, depending on [`SmartExp3Features`], its
 /// ablation variants).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SmartExp3 {
     config: SmartExp3Config,
     available: Vec<NetworkId>,
@@ -170,7 +171,10 @@ impl SmartExp3 {
         if k < 2 {
             return false;
         }
-        let max_p = probabilities.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let max_p = probabilities
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         let min_p = probabilities.iter().cloned().fold(f64::INFINITY, f64::min);
         let near_uniform = max_p - min_p <= 1.0 / (k as f64 - 1.0);
         let (most_probable, _) = self.most_probable(probabilities);
@@ -221,8 +225,7 @@ impl SmartExp3 {
             self.do_reset();
         }
 
-        let (network, probability, kind) = if let Some(previous) = self.pending_switch_back.take()
-        {
+        let (network, probability, kind) = if let Some(previous) = self.pending_switch_back.take() {
             self.stats.switch_backs += 1;
             (previous, 1.0, SelectionKind::SwitchBack)
         } else if !self.explore_queue.is_empty() {
@@ -354,6 +357,10 @@ impl SmartExp3 {
 }
 
 impl Policy for SmartExp3 {
+    fn state(&self) -> Option<crate::PolicyState> {
+        Some(crate::PolicyState::SmartExp3(Box::new(self.clone())))
+    }
+
     fn name(&self) -> &'static str {
         match (
             self.config.features.initial_exploration,
@@ -370,16 +377,13 @@ impl Policy for SmartExp3 {
     }
 
     fn choose(&mut self, _slot: SlotIndex, rng: &mut dyn RngCore) -> NetworkId {
-        if self.needs_decision || self.current_block.is_none() {
-            self.start_new_block(rng)
-        } else {
-            let network = self
-                .current_block
-                .as_ref()
-                .expect("checked current block present")
-                .network;
-            self.last_kind = SelectionKind::Continuation;
-            network
+        match &self.current_block {
+            Some(block) if !self.needs_decision => {
+                let network = block.network;
+                self.last_kind = SelectionKind::Continuation;
+                network
+            }
+            _ => self.start_new_block(rng),
         }
     }
 
@@ -539,7 +543,11 @@ mod tests {
             seen.insert(n);
             policy.observe(&Observation::bandit(t, n, 5.0, 0.2), &mut rng);
         }
-        assert_eq!(seen.len(), 5, "first k blocks must visit k distinct networks");
+        assert_eq!(
+            seen.len(),
+            5,
+            "first k blocks must visit k distinct networks"
+        );
         assert_eq!(policy.stats().explorations, 5);
     }
 
@@ -548,7 +556,10 @@ mod tests {
         let mut policy = SmartExp3::with_defaults(nets(3)).unwrap();
         run_static(&mut policy, NetworkId(2), 0.9, 0.1, 600, 42);
         let p_best = probability_of(&policy.probabilities(), NetworkId(2));
-        assert!(p_best > 0.5, "expected concentration on the best arm, got {p_best}");
+        assert!(
+            p_best > 0.5,
+            "expected concentration on the best arm, got {p_best}"
+        );
     }
 
     #[test]
@@ -621,7 +632,11 @@ mod tests {
             let chosen = policy.choose(t, &mut rng);
             if policy.last_selection_kind() == SelectionKind::SwitchBack {
                 saw_switch_back = true;
-                assert_eq!(chosen, NetworkId(0), "switch back should return to the good network");
+                assert_eq!(
+                    chosen,
+                    NetworkId(0),
+                    "switch back should return to the good network"
+                );
             }
             let gain = if chosen == NetworkId(0) { 0.9 } else { 0.05 };
             policy.observe(&Observation::bandit(t, chosen, gain * 22.0, gain), &mut rng);
@@ -715,7 +730,10 @@ mod tests {
             let gain = if chosen == NetworkId(0) { 0.2 } else { 0.4 };
             policy.observe(&Observation::bandit(t, chosen, gain * 22.0, gain), &mut rng);
         }
-        assert!(on_new_best > 100, "only {on_new_best}/200 slots on the new best network");
+        assert!(
+            on_new_best > 100,
+            "only {on_new_best}/200 slots on the new best network"
+        );
     }
 
     #[test]
@@ -735,7 +753,10 @@ mod tests {
             let gain = if chosen == NetworkId(9) { 0.95 } else { 0.4 };
             policy.observe(&Observation::bandit(t, chosen, gain * 22.0, gain), &mut rng);
         }
-        assert!(visited_new, "the new network should be explored shortly after discovery");
+        assert!(
+            visited_new,
+            "the new network should be explored shortly after discovery"
+        );
     }
 
     #[test]
@@ -763,7 +784,10 @@ mod tests {
             policy.observe(&Observation::bandit(t, chosen, gain * 22.0, gain), &mut rng);
             let probs = policy.probabilities();
             let sum: f64 = probs.iter().map(|(_, p)| p).sum();
-            assert!((sum - 1.0).abs() < 1e-6, "probabilities drifted at slot {t}");
+            assert!(
+                (sum - 1.0).abs() < 1e-6,
+                "probabilities drifted at slot {t}"
+            );
             assert!(probs.iter().all(|(_, p)| *p >= 0.0 && *p <= 1.0 + 1e-9));
         }
     }

@@ -75,10 +75,13 @@ impl NetworkStats {
             .iter()
             .filter(|(_, e)| e.slots > 0)
             .map(|(&n, e)| (n, e.total_gain / e.slots as f64))
-            .fold(None, |best: Option<(NetworkId, f64)>, (n, avg)| match best {
-                Some((_, best_avg)) if best_avg >= avg => best,
-                _ => Some((n, avg)),
-            })
+            .fold(
+                None,
+                |best: Option<(NetworkId, f64)>, (n, avg)| match best {
+                    Some((_, best_avg)) if best_avg >= avg => best,
+                    _ => Some((n, avg)),
+                },
+            )
             .map(|(n, _)| n)
     }
 
@@ -91,6 +94,38 @@ impl NetworkStats {
             .filter(|(_, e)| e.slots > 0)
             .max_by_key(|(_, e)| e.slots)
             .map(|(&n, _)| n)
+    }
+
+    /// Folds another statistics table into this one, summing slot counts,
+    /// block counts and gain totals per network. Used by the fleet engine to
+    /// combine per-session (or per-shard) tables into fleet-wide aggregates;
+    /// merging is associative, so any grouping yields the same table, and the
+    /// fleet engine always merges in session order so the floating-point gain
+    /// totals are reproducible too.
+    pub fn merge(&mut self, other: &NetworkStats) {
+        for (&network, stats) in &other.per_network {
+            let entry = self.per_network.entry(network).or_default();
+            entry.slots += stats.slots;
+            entry.blocks += stats.blocks;
+            entry.total_gain += stats.total_gain;
+        }
+    }
+
+    /// Total slots recorded across all networks.
+    #[must_use]
+    pub fn total_slots(&self) -> u64 {
+        self.per_network.values().map(|e| e.slots).sum()
+    }
+
+    /// Total gain recorded across all networks.
+    #[must_use]
+    pub fn total_gain(&self) -> f64 {
+        self.per_network.values().map(|e| e.total_gain).sum()
+    }
+
+    /// The networks with at least one recorded slot or block, ascending.
+    pub fn networks(&self) -> impl Iterator<Item = NetworkId> + '_ {
+        self.per_network.keys().copied()
     }
 
     /// Forgets everything (used by Smart EXP3's minimal reset, which clears

@@ -117,7 +117,10 @@ impl WeightTable {
     ///
     /// Panics if the table is empty.
     pub fn sample(&self, gamma: f64, rng: &mut dyn RngCore) -> (NetworkId, f64) {
-        assert!(!self.arms.is_empty(), "cannot sample from an empty weight table");
+        assert!(
+            !self.arms.is_empty(),
+            "cannot sample from an empty weight table"
+        );
         let probs = self.probabilities(gamma);
         let mut target: f64 = rng.gen();
         for (i, &p) in probs.iter().enumerate() {

@@ -1,0 +1,893 @@
+//! # smartexp3-engine
+//!
+//! A high-throughput **fleet engine**: hosts thousands to millions of
+//! independent bandit sessions — each a boxed [`Policy`] from
+//! `smartexp3-core` plus its own deterministic RNG stream — and steps them in
+//! parallel with batched APIs.
+//!
+//! ## Seeding model
+//!
+//! A fleet is created from a single **root seed**. Every session draws its
+//! decisions from a private [`StdRng`] stream derived as
+//! `mix(root_seed, session_id)` (a SplitMix64-style avalanche over both
+//! words), so:
+//!
+//! * sessions never share RNG state — there is no cross-session ordering
+//!   dependency, which is what makes sharded parallel stepping legal;
+//! * the fleet's results are a pure function of `(root seed, session ids,
+//!   observations)` — **identical at any thread count and shard size**;
+//! * snapshots only need each stream's 256-bit state to resume bit-exactly.
+//!
+//! ## Batched stepping
+//!
+//! [`FleetEngine::choose_all`] / [`FleetEngine::observe_all`] run one slot in
+//! two phases (useful when feedback couples sessions, e.g. congestion
+//! sharing), while [`FleetEngine::step_with`] fuses both into a single
+//! parallel traversal for independent-feedback workloads. Sessions are
+//! processed in shards of [`FleetConfig::shard_size`] distributed over rayon
+//! workers.
+//!
+//! ## Checkpointing
+//!
+//! [`FleetEngine::snapshot`] captures every session (policy learning state
+//! via [`PolicyState`], RNG stream state, gain statistics) into a serde tree
+//! that [`FleetEngine::from_snapshot`] restores **bit-identically**: a
+//! restored fleet produces exactly the trajectory the original would have.
+//! [`FleetEngine::to_json`] / [`FleetEngine::from_json`] wrap that in a
+//! stable text format.
+//!
+//! ```rust
+//! use smartexp3_core::{NetworkId, Observation, PolicyFactory, PolicyKind};
+//! use smartexp3_engine::{FleetConfig, FleetEngine};
+//!
+//! # fn main() -> Result<(), smartexp3_core::ConfigError> {
+//! let mut factory = PolicyFactory::new(vec![
+//!     (NetworkId(0), 4.0),
+//!     (NetworkId(1), 7.0),
+//!     (NetworkId(2), 22.0),
+//! ])?;
+//! let mut fleet = FleetEngine::new(FleetConfig::with_root_seed(7));
+//! fleet.add_fleet(&mut factory, PolicyKind::SmartExp3, 1000)?;
+//! for _ in 0..50 {
+//!     fleet.step_with(|ctx| {
+//!         let gain = if ctx.chosen == NetworkId(2) { 0.9 } else { 0.2 };
+//!         Observation::bandit(ctx.slot, ctx.chosen, gain * 22.0, gain)
+//!     });
+//! }
+//! let metrics = fleet.metrics();
+//! assert_eq!(metrics.decisions, 50 * 1000);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use rayon::{ThreadPool, ThreadPoolBuilder};
+use serde::{Deserialize, Serialize};
+use smartexp3_core::{
+    ConfigError, NetworkId, NetworkStats, Observation, Policy, PolicyFactory, PolicyKind,
+    PolicyState, PolicyStats, SlotIndex,
+};
+use std::fmt;
+
+/// Identifier of one session (one simulated device) within a fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SessionId(pub u64);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "session#{}", self.0)
+    }
+}
+
+/// Configuration of a [`FleetEngine`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Root seed from which every session's RNG stream is derived.
+    pub root_seed: u64,
+    /// Sessions per shard (the unit of work handed to a rayon worker).
+    ///
+    /// Larger shards amortise scheduling overhead; smaller shards balance
+    /// load better. The default of 1024 keeps per-shard step cost in the
+    /// tens-of-microseconds range for slot-level policies. Results are
+    /// independent of this value.
+    pub shard_size: usize,
+    /// Worker threads for batched stepping. `None` uses the machine's
+    /// available parallelism; `Some(1)` forces sequential stepping. Results
+    /// are independent of this value.
+    pub threads: Option<usize>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            root_seed: 0,
+            shard_size: 1024,
+            threads: None,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Configuration with the given root seed and default parallelism.
+    #[must_use]
+    pub fn with_root_seed(root_seed: u64) -> Self {
+        FleetConfig {
+            root_seed,
+            ..FleetConfig::default()
+        }
+    }
+
+    /// Overrides the worker thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Overrides the shard size (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_shard_size(mut self, shard_size: usize) -> Self {
+        self.shard_size = shard_size.max(1);
+        self
+    }
+}
+
+/// SplitMix64 avalanche round; the workhorse of the seeding model.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives session `id`'s private RNG stream from the fleet's root seed.
+///
+/// Exposed so external drivers (benches, analysis tools) can reproduce a
+/// single session's stream without instantiating a fleet.
+#[must_use]
+pub fn session_rng(root_seed: u64, id: SessionId) -> StdRng {
+    // Avalanche the root, decorrelate nearby ids with an odd-constant
+    // multiply, and avalanche the combination; the result seeds the
+    // generator's full 256-bit state through `seed_from_u64`'s own SplitMix64
+    // expansion. The combine is deliberately asymmetric in (root, id) so
+    // fleet A's session B never shares a stream with fleet B's session A.
+    let mixed = splitmix64(root_seed) ^ id.0.wrapping_mul(0xA24B_AED4_963E_E407);
+    StdRng::seed_from_u64(splitmix64(mixed))
+}
+
+/// One hosted session: a policy plus its private RNG stream and statistics.
+struct Session {
+    id: SessionId,
+    kind: PolicyKind,
+    policy: Box<dyn Policy>,
+    rng: StdRng,
+    /// Per-session gain statistics ([`NetworkStats`]), merged into fleet-wide
+    /// per-kind aggregates by [`FleetEngine::metrics`].
+    gains: NetworkStats,
+    /// The network chosen for the slot currently in flight (or the most
+    /// recently completed one).
+    last_choice: Option<NetworkId>,
+}
+
+impl Session {
+    fn choose(&mut self, slot: SlotIndex) -> NetworkId {
+        let chosen = self.policy.choose(slot, &mut self.rng);
+        self.last_choice = Some(chosen);
+        chosen
+    }
+
+    fn observe(&mut self, observation: &Observation) {
+        self.gains
+            .record_slot(observation.network, observation.scaled_gain);
+        self.policy.observe(observation, &mut self.rng);
+    }
+}
+
+/// Everything [`FleetEngine::step_with`] tells the feedback closure about the
+/// decision it must grade.
+#[derive(Debug, Clone, Copy)]
+pub struct StepContext {
+    /// The deciding session.
+    pub session: SessionId,
+    /// The slot being stepped.
+    pub slot: SlotIndex,
+    /// The network the session chose for this slot.
+    pub chosen: NetworkId,
+    /// The network the session used in the previous slot (`None` on its
+    /// first slot), for switch accounting.
+    pub previous: Option<NetworkId>,
+}
+
+/// Aggregate behaviour of every session of one [`PolicyKind`] in the fleet.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct KindMetrics {
+    /// Number of sessions running this kind.
+    pub sessions: usize,
+    /// Summed behavioural counters of those sessions.
+    pub policy: PolicyStats,
+    /// Per-network gain statistics summed over those sessions.
+    pub gains: NetworkStats,
+}
+
+impl KindMetrics {
+    /// Mean scaled gain per slot across all sessions of this kind.
+    #[must_use]
+    pub fn mean_gain(&self) -> f64 {
+        let slots = self.gains.total_slots();
+        if slots == 0 {
+            0.0
+        } else {
+            self.gains.total_gain() / slots as f64
+        }
+    }
+}
+
+/// A point-in-time view of fleet-wide aggregate behaviour.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FleetMetrics {
+    /// Number of hosted sessions.
+    pub sessions: usize,
+    /// Slots stepped since the fleet was created (or restored state's value).
+    pub slot: SlotIndex,
+    /// Total decisions taken (`choose` calls) across all sessions.
+    pub decisions: u64,
+    /// Total network switches across all sessions.
+    pub switches: u64,
+    /// Total minimal resets across all sessions.
+    pub resets: u64,
+    /// Per-policy-kind aggregates, in [`PolicyKind::all`] order (only kinds
+    /// present in the fleet appear).
+    pub per_kind: Vec<(PolicyKind, KindMetrics)>,
+}
+
+impl FleetMetrics {
+    /// The aggregate for one policy kind, if any session runs it.
+    #[must_use]
+    pub fn kind(&self, kind: PolicyKind) -> Option<&KindMetrics> {
+        self.per_kind
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, m)| m)
+    }
+}
+
+impl fmt::Display for FleetMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fleet: {} sessions, slot {}, {} decisions, {} switches, {} resets",
+            self.sessions, self.slot, self.decisions, self.switches, self.resets
+        )?;
+        for (kind, metrics) in &self.per_kind {
+            writeln!(
+                f,
+                "  {:<22} {:>8} sessions  mean gain {:.4}  switches {:>10}  resets {:>6}",
+                kind.label(),
+                metrics.sessions,
+                metrics.mean_gain(),
+                metrics.policy.switches,
+                metrics.policy.resets,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors produced by fleet checkpointing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// A session's policy cannot capture serializable state (the centralized
+    /// oracle keeps its state in a shared coordinator).
+    UnsupportedPolicy {
+        /// The offending session.
+        session: SessionId,
+        /// Its policy kind.
+        kind: PolicyKind,
+    },
+    /// The snapshot was produced by an incompatible engine version.
+    UnsupportedVersion(u32),
+    /// The snapshot text could not be parsed.
+    Malformed(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::UnsupportedPolicy { session, kind } => write!(
+                f,
+                "{session} runs `{kind}`, whose state cannot be captured per session"
+            ),
+            SnapshotError::UnsupportedVersion(version) => {
+                write!(f, "unsupported fleet snapshot format version {version}")
+            }
+            SnapshotError::Malformed(message) => write!(f, "malformed fleet snapshot: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Snapshot format version written by this engine.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Checkpoint of one session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionSnapshot {
+    /// Session identifier.
+    pub id: u64,
+    /// Policy kind (kept alongside the state because the Smart EXP3 feature
+    /// ablations all share the [`PolicyState::SmartExp3`] variant).
+    pub kind: PolicyKind,
+    /// Full policy learning state.
+    pub policy: PolicyState,
+    /// The session RNG stream's 256-bit internal state.
+    pub rng: [u64; 4],
+    /// Per-session gain statistics.
+    pub gains: NetworkStats,
+    /// Network used in the most recent slot.
+    pub last_choice: Option<NetworkId>,
+}
+
+/// Checkpoint of a whole fleet; serializable with `serde_json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetSnapshot {
+    /// Snapshot format version ([`SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// Engine configuration (restored fleets keep it, including parallelism,
+    /// though results never depend on the parallelism fields).
+    pub config: FleetConfig,
+    /// Next slot to be stepped.
+    pub slot: SlotIndex,
+    /// Next session id to be assigned.
+    pub next_id: u64,
+    /// Decisions taken so far.
+    pub decisions: u64,
+    /// Every session, in session order.
+    pub sessions: Vec<SessionSnapshot>,
+}
+
+/// A manager for a fleet of concurrently learning bandit sessions.
+///
+/// See the [crate documentation](crate) for the seeding and determinism
+/// model. All batched entry points are deterministic given the root seed and
+/// the observation sequence, regardless of `threads` and `shard_size`.
+pub struct FleetEngine {
+    config: FleetConfig,
+    pool: Option<ThreadPool>,
+    sessions: Vec<Session>,
+    slot: SlotIndex,
+    next_id: u64,
+    decisions: u64,
+    choices: Vec<NetworkId>,
+}
+
+impl fmt::Debug for FleetEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FleetEngine")
+            .field("config", &self.config)
+            .field("sessions", &self.sessions.len())
+            .field("slot", &self.slot)
+            .field("decisions", &self.decisions)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FleetEngine {
+    /// Creates an empty fleet.
+    #[must_use]
+    pub fn new(config: FleetConfig) -> Self {
+        let pool = config.threads.map(|threads| {
+            ThreadPoolBuilder::new()
+                .num_threads(threads.max(1))
+                .build()
+                .expect("thread pool construction cannot fail")
+        });
+        FleetEngine {
+            config,
+            pool,
+            sessions: Vec::new(),
+            slot: 0,
+            next_id: 0,
+            decisions: 0,
+            choices: Vec::new(),
+        }
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Number of hosted sessions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// `true` when the fleet hosts no sessions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// The next slot to be stepped.
+    #[must_use]
+    pub fn slot(&self) -> SlotIndex {
+        self.slot
+    }
+
+    /// Adds one session running `policy`, assigning it the next session id
+    /// and its private RNG stream.
+    pub fn add_session(&mut self, kind: PolicyKind, policy: Box<dyn Policy>) -> SessionId {
+        let id = SessionId(self.next_id);
+        self.next_id += 1;
+        self.sessions.push(Session {
+            id,
+            kind,
+            rng: session_rng(self.config.root_seed, id),
+            policy,
+            gains: NetworkStats::new(),
+            last_choice: None,
+        });
+        id
+    }
+
+    /// Bulk-adds `count` sessions of `kind` built by `factory` (via the
+    /// factory's bulk-construction hook). Returns the ids of the new
+    /// sessions, which are always a contiguous run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates constructor errors from the factory; no sessions are added
+    /// on error.
+    pub fn add_fleet(
+        &mut self,
+        factory: &mut PolicyFactory,
+        kind: PolicyKind,
+        count: usize,
+    ) -> Result<Vec<SessionId>, ConfigError> {
+        let policies = factory.build_fleet(kind, count)?;
+        Ok(policies
+            .into_iter()
+            .map(|policy| self.add_session(kind, policy))
+            .collect())
+    }
+
+    /// Runs `operation` inside this engine's thread pool (or inline when no
+    /// explicit pool is configured — rayon then uses available parallelism).
+    fn in_pool<R>(pool: &Option<ThreadPool>, operation: impl FnOnce() -> R) -> R {
+        match pool {
+            Some(pool) => pool.install(operation),
+            None => operation(),
+        }
+    }
+
+    /// Phase 1 of a slot: every session picks its network for slot
+    /// [`slot()`](Self::slot), in parallel. Returns the choices in session
+    /// order. Must be followed by [`observe_all`](Self::observe_all) before
+    /// the next `choose_all`.
+    pub fn choose_all(&mut self) -> &[NetworkId] {
+        let slot = self.slot;
+        let shard_size = self.config.shard_size.max(1);
+        let sessions = &mut self.sessions;
+        Self::in_pool(&self.pool, || {
+            sessions.par_chunks_mut(shard_size).for_each(|shard| {
+                for session in shard {
+                    session.choose(slot);
+                }
+            });
+        });
+        self.decisions += self.sessions.len() as u64;
+        self.choices.clear();
+        self.choices.extend(
+            self.sessions
+                .iter()
+                .map(|s| s.last_choice.expect("choice just made")),
+        );
+        &self.choices
+    }
+
+    /// Phase 2 of a slot: delivers one [`Observation`] per session (in
+    /// session order, matching [`choose_all`](Self::choose_all)'s output) and
+    /// advances the fleet to the next slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `observations.len() != self.len()` — feedback and fleet
+    /// must stay aligned.
+    pub fn observe_all(&mut self, observations: &[Observation]) {
+        assert_eq!(
+            observations.len(),
+            self.sessions.len(),
+            "one observation per session required"
+        );
+        let shard_size = self.config.shard_size.max(1);
+        let sessions = &mut self.sessions;
+        Self::in_pool(&self.pool, || {
+            sessions
+                .par_chunks_mut(shard_size)
+                .enumerate()
+                .for_each(|(shard_index, shard)| {
+                    let offset = shard_index * shard_size;
+                    for (i, session) in shard.iter_mut().enumerate() {
+                        session.observe(&observations[offset + i]);
+                    }
+                });
+        });
+        self.slot += 1;
+    }
+
+    /// Fused step: every session chooses, the `feedback` closure grades the
+    /// choice, and the session observes — one parallel traversal, no
+    /// intermediate allocation. Use this when feedback for a session depends
+    /// only on that session's own choice; when sessions couple (congestion),
+    /// use [`choose_all`](Self::choose_all) +
+    /// [`observe_all`](Self::observe_all).
+    pub fn step_with<F>(&mut self, feedback: F)
+    where
+        F: Fn(&StepContext) -> Observation + Sync,
+    {
+        let slot = self.slot;
+        let shard_size = self.config.shard_size.max(1);
+        let sessions = &mut self.sessions;
+        let feedback = &feedback;
+        Self::in_pool(&self.pool, || {
+            sessions.par_chunks_mut(shard_size).for_each(|shard| {
+                for session in shard {
+                    let previous = session.last_choice;
+                    let chosen = session.choose(slot);
+                    let observation = feedback(&StepContext {
+                        session: session.id,
+                        slot,
+                        chosen,
+                        previous,
+                    });
+                    session.observe(&observation);
+                }
+            });
+        });
+        self.decisions += self.sessions.len() as u64;
+        self.slot += 1;
+    }
+
+    /// Convenience: runs `slots` fused steps.
+    pub fn run_with<F>(&mut self, slots: usize, feedback: F)
+    where
+        F: Fn(&StepContext) -> Observation + Sync,
+    {
+        for _ in 0..slots {
+            self.step_with(&feedback);
+        }
+    }
+
+    /// Broadcasts a network-set change to every session (e.g. AP churn in the
+    /// area the fleet simulates). Never panics: policies that do not support
+    /// dynamism keep their state (see [`Policy::on_networks_changed`]).
+    pub fn networks_changed(&mut self, available: &[NetworkId]) {
+        let shard_size = self.config.shard_size.max(1);
+        let sessions = &mut self.sessions;
+        Self::in_pool(&self.pool, || {
+            sessions.par_chunks_mut(shard_size).for_each(|shard| {
+                for session in shard {
+                    session
+                        .policy
+                        .on_networks_changed(available, &mut session.rng);
+                }
+            });
+        });
+    }
+
+    /// The most recent choice of every session, in session order (empty
+    /// before the first step).
+    #[must_use]
+    pub fn last_choices(&self) -> Vec<Option<NetworkId>> {
+        self.sessions.iter().map(|s| s.last_choice).collect()
+    }
+
+    /// Aggregates fleet-wide metrics.
+    ///
+    /// Sessions are folded **in session order**, so the floating-point gain
+    /// totals are identical across runs and thread counts.
+    #[must_use]
+    pub fn metrics(&self) -> FleetMetrics {
+        let mut per_kind: Vec<(PolicyKind, KindMetrics)> = Vec::new();
+        let mut switches = 0u64;
+        let mut resets = 0u64;
+        for session in &self.sessions {
+            let stats = session.policy.stats();
+            switches += stats.switches;
+            resets += stats.resets;
+            let entry = match per_kind.iter_mut().find(|(k, _)| *k == session.kind) {
+                Some((_, entry)) => entry,
+                None => {
+                    per_kind.push((session.kind, KindMetrics::default()));
+                    &mut per_kind.last_mut().expect("just pushed").1
+                }
+            };
+            entry.sessions += 1;
+            entry.policy.switches += stats.switches;
+            entry.policy.blocks += stats.blocks;
+            entry.policy.resets += stats.resets;
+            entry.policy.switch_backs += stats.switch_backs;
+            entry.policy.greedy_selections += stats.greedy_selections;
+            entry.policy.explorations += stats.explorations;
+            entry.gains.merge(&session.gains);
+        }
+        per_kind.sort_by_key(|(kind, _)| PolicyKind::all().iter().position(|k| k == kind));
+        FleetMetrics {
+            sessions: self.sessions.len(),
+            slot: self.slot,
+            decisions: self.decisions,
+            switches,
+            resets,
+            per_kind,
+        }
+    }
+
+    /// Captures the whole fleet for checkpointing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::UnsupportedPolicy`] when any session runs the
+    /// centralized oracle (its state lives in the shared coordinator).
+    pub fn snapshot(&self) -> Result<FleetSnapshot, SnapshotError> {
+        let mut sessions = Vec::with_capacity(self.sessions.len());
+        for session in &self.sessions {
+            let policy = session
+                .policy
+                .state()
+                .ok_or(SnapshotError::UnsupportedPolicy {
+                    session: session.id,
+                    kind: session.kind,
+                })?;
+            sessions.push(SessionSnapshot {
+                id: session.id.0,
+                kind: session.kind,
+                policy,
+                rng: session.rng.state(),
+                gains: session.gains.clone(),
+                last_choice: session.last_choice,
+            });
+        }
+        Ok(FleetSnapshot {
+            version: SNAPSHOT_VERSION,
+            config: self.config.clone(),
+            slot: self.slot,
+            next_id: self.next_id,
+            decisions: self.decisions,
+            sessions,
+        })
+    }
+
+    /// Restores a fleet from a snapshot. The restored fleet continues
+    /// bit-identically to the fleet the snapshot was taken from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::UnsupportedVersion`] for snapshots from an
+    /// incompatible engine version.
+    pub fn from_snapshot(snapshot: FleetSnapshot) -> Result<Self, SnapshotError> {
+        if snapshot.version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(snapshot.version));
+        }
+        let mut engine = FleetEngine::new(snapshot.config);
+        engine.slot = snapshot.slot;
+        engine.next_id = snapshot.next_id;
+        engine.decisions = snapshot.decisions;
+        engine.sessions = snapshot
+            .sessions
+            .into_iter()
+            .map(|s| Session {
+                id: SessionId(s.id),
+                kind: s.kind,
+                policy: s.policy.into_policy(),
+                rng: StdRng::from_state(s.rng),
+                gains: s.gains,
+                last_choice: s.last_choice,
+            })
+            .collect();
+        Ok(engine)
+    }
+
+    /// Serializes a snapshot of the fleet to JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`snapshot`](Self::snapshot) errors.
+    pub fn to_json(&self) -> Result<String, SnapshotError> {
+        let snapshot = self.snapshot()?;
+        serde_json::to_string(&snapshot).map_err(|e| SnapshotError::Malformed(e.to_string()))
+    }
+
+    /// Restores a fleet from JSON text produced by [`to_json`](Self::to_json).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Malformed`] on parse failures and
+    /// [`SnapshotError::UnsupportedVersion`] on version mismatches.
+    pub fn from_json(text: &str) -> Result<Self, SnapshotError> {
+        let snapshot: FleetSnapshot =
+            serde_json::from_str(text).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
+        Self::from_snapshot(snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartexp3_core::Observation;
+
+    fn rates() -> Vec<(NetworkId, f64)> {
+        vec![
+            (NetworkId(0), 4.0),
+            (NetworkId(1), 7.0),
+            (NetworkId(2), 22.0),
+        ]
+    }
+
+    fn feedback(ctx: &StepContext) -> Observation {
+        // Deterministic per-session environment: network 2 is best, with a
+        // session-dependent wobble so sessions do not all look identical.
+        let wobble = (ctx.session.0 % 7) as f64 / 100.0;
+        let gain = if ctx.chosen == NetworkId(2) {
+            0.85 - wobble
+        } else {
+            0.2 + wobble
+        };
+        let mut obs = Observation::bandit(ctx.slot, ctx.chosen, gain * 22.0, gain);
+        if ctx.previous.is_some_and(|p| p != ctx.chosen) {
+            obs = obs.with_switch(0.5);
+        }
+        obs
+    }
+
+    fn build_fleet(threads: Option<usize>, shard_size: usize, sessions: usize) -> FleetEngine {
+        let mut config = FleetConfig::with_root_seed(42).with_shard_size(shard_size);
+        config.threads = threads;
+        let mut factory = PolicyFactory::new(rates()).unwrap();
+        let mut fleet = FleetEngine::new(config);
+        fleet
+            .add_fleet(&mut factory, PolicyKind::SmartExp3, sessions / 2)
+            .unwrap();
+        fleet
+            .add_fleet(&mut factory, PolicyKind::Exp3, sessions / 4)
+            .unwrap();
+        fleet
+            .add_fleet(
+                &mut factory,
+                PolicyKind::Greedy,
+                sessions - sessions / 2 - sessions / 4,
+            )
+            .unwrap();
+        fleet
+    }
+
+    #[test]
+    fn session_streams_are_decorrelated() {
+        use rand::RngCore;
+        let mut a = session_rng(1, SessionId(0));
+        let mut b = session_rng(1, SessionId(1));
+        let mut c = session_rng(2, SessionId(0));
+        let xs: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        assert_ne!(xs, (0..4).map(|_| b.next_u64()).collect::<Vec<_>>());
+        assert_ne!(xs, (0..4).map(|_| c.next_u64()).collect::<Vec<_>>());
+        // The (root, id) combine must not be symmetric: fleet 1's session 2
+        // and fleet 2's session 1 are different streams.
+        let mut d = session_rng(1, SessionId(2));
+        let mut e = session_rng(2, SessionId(1));
+        assert_ne!(
+            (0..4).map(|_| d.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| e.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn two_phase_and_fused_stepping_agree() {
+        let mut fused = build_fleet(Some(2), 16, 100);
+        let mut phased = build_fleet(Some(2), 16, 100);
+        for _ in 0..30 {
+            fused.step_with(feedback);
+
+            let slot = phased.slot();
+            let previous = phased.last_choices();
+            let choices = phased.choose_all().to_vec();
+            let observations: Vec<Observation> = choices
+                .iter()
+                .enumerate()
+                .map(|(i, &chosen)| {
+                    feedback(&StepContext {
+                        session: SessionId(i as u64),
+                        slot,
+                        chosen,
+                        previous: previous[i],
+                    })
+                })
+                .collect();
+            phased.observe_all(&observations);
+        }
+        assert_eq!(fused.metrics(), phased.metrics());
+    }
+
+    #[test]
+    fn metrics_aggregate_per_kind() {
+        let mut fleet = build_fleet(Some(1), 32, 80);
+        fleet.run_with(50, feedback);
+        let metrics = fleet.metrics();
+        assert_eq!(metrics.sessions, 80);
+        assert_eq!(metrics.decisions, 50 * 80);
+        assert_eq!(metrics.slot, 50);
+        let smart = metrics.kind(PolicyKind::SmartExp3).unwrap();
+        assert_eq!(smart.sessions, 40);
+        assert!(smart.mean_gain() > 0.0);
+        assert_eq!(
+            smart.gains.total_slots(),
+            50 * 40,
+            "every smart session records every slot"
+        );
+        // Per-kind order follows PolicyKind::all().
+        let kinds: Vec<PolicyKind> = metrics.per_kind.iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            kinds,
+            vec![PolicyKind::Exp3, PolicyKind::SmartExp3, PolicyKind::Greedy]
+        );
+        let display = metrics.to_string();
+        assert!(display.contains("80 sessions"));
+        assert!(display.contains("Smart EXP3"));
+    }
+
+    #[test]
+    fn centralized_sessions_cannot_snapshot() {
+        let mut factory = PolicyFactory::new(rates()).unwrap();
+        let mut fleet = FleetEngine::new(FleetConfig::default());
+        fleet
+            .add_fleet(&mut factory, PolicyKind::Centralized, 3)
+            .unwrap();
+        match fleet.snapshot() {
+            Err(SnapshotError::UnsupportedPolicy { kind, .. }) => {
+                assert_eq!(kind, PolicyKind::Centralized);
+            }
+            other => panic!("expected UnsupportedPolicy, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_version_is_checked() {
+        let fleet = build_fleet(Some(1), 8, 4);
+        let mut snapshot = fleet.snapshot().unwrap();
+        snapshot.version = 999;
+        match FleetEngine::from_snapshot(snapshot) {
+            Err(SnapshotError::UnsupportedVersion(999)) => {}
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+        assert!(FleetEngine::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn networks_changed_never_panics_and_retargets() {
+        let mut fleet = build_fleet(Some(2), 8, 40);
+        fleet.run_with(10, feedback);
+        // Network 2 disappears; no session may panic, adaptive policies
+        // must stop choosing it.
+        let remaining = [NetworkId(0), NetworkId(1)];
+        fleet.networks_changed(&remaining);
+        fleet.step_with(|ctx| {
+            let gain = 0.4;
+            Observation::bandit(ctx.slot, ctx.chosen, gain * 22.0, gain)
+        });
+        for (session, choice) in fleet.sessions.iter().zip(fleet.last_choices()) {
+            if matches!(session.kind, PolicyKind::SmartExp3 | PolicyKind::Greedy) {
+                assert!(
+                    remaining.contains(&choice.unwrap()),
+                    "{} still on a vanished network",
+                    session.id
+                );
+            }
+        }
+    }
+}

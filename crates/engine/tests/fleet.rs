@@ -1,0 +1,155 @@
+//! Fleet-engine guarantees: thread-count determinism and bit-identical
+//! snapshot/restore.
+
+use smartexp3_core::{NetworkId, Observation, PolicyFactory, PolicyKind};
+use smartexp3_engine::{FleetConfig, FleetEngine, StepContext};
+
+fn rates() -> Vec<(NetworkId, f64)> {
+    netsim::setting1_networks()
+        .iter()
+        .map(|n| (n.id, n.bandwidth_mbps))
+        .collect()
+}
+
+fn mixed_fleet(config: FleetConfig, sessions: usize) -> FleetEngine {
+    let mut factory = PolicyFactory::new(rates()).unwrap();
+    let mut fleet = FleetEngine::new(config);
+    for kind in [
+        PolicyKind::SmartExp3,
+        PolicyKind::Exp3,
+        PolicyKind::Greedy,
+        PolicyKind::FixedRandom,
+    ] {
+        fleet.add_fleet(&mut factory, kind, sessions / 4).unwrap();
+    }
+    fleet
+}
+
+/// Congestion feedback: every session choosing network `n` receives an equal
+/// share of `n`'s bandwidth (the paper's sharing model), so sessions couple
+/// and the two-phase API is required.
+fn run_congestion(config: FleetConfig, sessions: usize, slots: usize) -> FleetEngine {
+    let bandwidth: Vec<(NetworkId, f64)> = rates();
+    let mut fleet = mixed_fleet(config, sessions);
+    for _ in 0..slots {
+        let slot = fleet.slot();
+        let choices = fleet.choose_all().to_vec();
+        let mut counts = std::collections::BTreeMap::new();
+        for &chosen in &choices {
+            *counts.entry(chosen).or_insert(0usize) += 1;
+        }
+        let observations: Vec<Observation> = choices
+            .iter()
+            .map(|&chosen| {
+                let capacity = bandwidth
+                    .iter()
+                    .find(|(n, _)| *n == chosen)
+                    .map(|(_, mbps)| *mbps)
+                    .unwrap_or(0.0);
+                let share = capacity / counts[&chosen] as f64;
+                Observation::bandit(slot, chosen, share, (share / 22.0).min(1.0))
+            })
+            .collect();
+        fleet.observe_all(&observations);
+    }
+    fleet
+}
+
+fn independent_feedback(ctx: &StepContext) -> Observation {
+    let gain = if ctx.chosen == NetworkId(2) {
+        0.8 + (ctx.session.0 % 5) as f64 / 50.0
+    } else {
+        0.25
+    };
+    Observation::bandit(ctx.slot, ctx.chosen, gain * 22.0, gain.min(1.0))
+}
+
+#[test]
+fn fleet_results_are_identical_at_1_2_and_8_threads() {
+    let reference = run_congestion(FleetConfig::with_root_seed(7).with_threads(1), 400, 60);
+    let reference_json = reference.to_json().unwrap();
+    let reference_metrics = reference.metrics();
+
+    for threads in [2usize, 8] {
+        let fleet = run_congestion(
+            FleetConfig::with_root_seed(7).with_threads(threads),
+            400,
+            60,
+        );
+        assert_eq!(
+            fleet.metrics(),
+            reference_metrics,
+            "metrics diverged at {threads} threads"
+        );
+        // The serialized fleets differ only in the recorded thread config;
+        // normalising that field, every byte of state must match.
+        let json = fleet.to_json().unwrap();
+        let normalise = |s: &str, t: usize| s.replace(&format!("\"threads\":{t}"), "\"threads\":1");
+        assert_eq!(
+            normalise(&json, threads),
+            normalise(&reference_json, 1),
+            "serialized state diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn fleet_results_are_independent_of_shard_size() {
+    let reference = run_congestion(
+        FleetConfig::with_root_seed(3)
+            .with_threads(4)
+            .with_shard_size(1024),
+        300,
+        40,
+    )
+    .metrics();
+    for shard_size in [1usize, 7, 64] {
+        let metrics = run_congestion(
+            FleetConfig::with_root_seed(3)
+                .with_threads(4)
+                .with_shard_size(shard_size),
+            300,
+            40,
+        )
+        .metrics();
+        assert_eq!(metrics, reference, "diverged at shard size {shard_size}");
+    }
+}
+
+#[test]
+fn snapshot_restore_resumes_the_exact_trajectory() {
+    let config = FleetConfig::with_root_seed(11).with_threads(4);
+    let total_slots = 80usize;
+    let cut = 35usize;
+
+    // Uninterrupted reference run.
+    let mut reference = mixed_fleet(config.clone(), 200);
+    reference.run_with(total_slots, independent_feedback);
+
+    // Interrupted run: step to `cut`, checkpoint through JSON, resume.
+    let mut first_half = mixed_fleet(config, 200);
+    first_half.run_with(cut, independent_feedback);
+    let checkpoint = first_half.to_json().unwrap();
+    drop(first_half);
+
+    let mut resumed = FleetEngine::from_json(&checkpoint).unwrap();
+    assert_eq!(resumed.slot(), cut);
+    assert_eq!(resumed.len(), 200);
+    resumed.run_with(total_slots - cut, independent_feedback);
+
+    assert_eq!(resumed.metrics(), reference.metrics());
+    assert_eq!(
+        resumed.to_json().unwrap(),
+        reference.to_json().unwrap(),
+        "resumed fleet must be bit-identical to the uninterrupted one"
+    );
+}
+
+#[test]
+fn snapshot_of_a_snapshot_is_stable() {
+    let mut fleet = mixed_fleet(FleetConfig::with_root_seed(5), 40);
+    fleet.run_with(25, independent_feedback);
+    let once = fleet.to_json().unwrap();
+    let twice = FleetEngine::from_json(&once).unwrap().to_json().unwrap();
+    assert_eq!(once, twice);
+}

@@ -18,7 +18,8 @@ use experiments::{
 };
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: repro <experiment> [--runs N] [--slots N] [--threads N] [--seed N] [--paper-scale]
+const USAGE: &str =
+    "usage: repro <experiment> [--runs N] [--slots N] [--threads N] [--seed N] [--paper-scale]
 
 experiments:
   fig2     number of network switches (Figure 2)
@@ -116,7 +117,10 @@ fn run_experiment(experiment: &str, scale: &Scale) -> bool {
         println!("{}", scalability::run(scale));
     }
     if wants(&["fig7"]) {
-        println!("{}", dynamics::run(scale, DynamicSetting::DevicesJoinAndLeave));
+        println!(
+            "{}",
+            dynamics::run(scale, DynamicSetting::DevicesJoinAndLeave)
+        );
     }
     if wants(&["fig8"]) {
         println!("{}", dynamics::run(scale, DynamicSetting::DevicesLeave));
@@ -138,7 +142,10 @@ fn run_experiment(experiment: &str, scale: &Scale) -> bool {
         println!("{}", controlled::run(scale, ControlledScenario::Static));
     }
     if wants(&["fig14"]) {
-        println!("{}", controlled::run(scale, ControlledScenario::DevicesLeave));
+        println!(
+            "{}",
+            controlled::run(scale, ControlledScenario::DevicesLeave)
+        );
     }
     if wants(&["fig15"]) {
         println!("{}", controlled::run(scale, ControlledScenario::Mixed));

@@ -9,8 +9,8 @@ use crate::config::Scale;
 use crate::report::{cell2, format_series, format_table};
 use crate::runner::{average_series, downsample, run_many};
 use crate::settings::{controlled_simulation, mixed_simulation};
-use congestion_game::{median, optimal_distance_from_average_bit_rate, ResourceSelectionGame};
 use congestion_game::standard_deviation;
+use congestion_game::{median, optimal_distance_from_average_bit_rate, ResourceSelectionGame};
 use netsim::testbed::{testbed_networks, TESTBED_DEVICES};
 use netsim::{SharingModel, SimulationConfig};
 use smartexp3_core::PolicyKind;
@@ -148,7 +148,10 @@ pub fn run(scale: &Scale, scenario: ControlledScenario) -> ControlledResult {
                         let distance = if rates.is_empty() {
                             0.0
                         } else {
-                            rates.iter().map(|&g| (fair - g).max(0.0) * 100.0 / fair).sum::<f64>()
+                            rates
+                                .iter()
+                                .map(|&g| (fair - g).max(0.0) * 100.0 / fair)
+                                .sum::<f64>()
                                 / rates.len() as f64
                         };
                         target.push(distance);
@@ -206,7 +209,11 @@ impl fmt::Display for ControlledResult {
                 .table7
                 .iter()
                 .map(|(kind, median_pct, std_pct)| {
-                    vec![kind.label().to_string(), cell2(*median_pct), cell2(*std_pct)]
+                    vec![
+                        kind.label().to_string(),
+                        cell2(*median_pct),
+                        cell2(*std_pct),
+                    ]
                 })
                 .collect();
             f.write_str(&format_table(
@@ -231,7 +238,10 @@ mod tests {
         assert_eq!(result.table7.len(), 2);
         let (_, smart_median, _) = result.table7[0];
         // With 14 devices sharing 33 Mbps, each device's fair share is ~7.1 %.
-        assert!(smart_median > 2.0 && smart_median < 10.0, "median % = {smart_median}");
+        assert!(
+            smart_median > 2.0 && smart_median < 10.0,
+            "median % = {smart_median}"
+        );
         assert!(result.optimal_distance >= 0.0);
         assert!(result.to_string().contains("Table VII"));
     }

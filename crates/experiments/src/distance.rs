@@ -112,7 +112,10 @@ impl fmt::Display for DistanceResult {
                 .filter(|c| c.setting == setting)
                 .map(|c| {
                     let bucket = (c.distance.len() / SERIES_BUCKETS).max(1);
-                    (c.algorithm.label().to_string(), downsample(&c.distance, bucket))
+                    (
+                        c.algorithm.label().to_string(),
+                        downsample(&c.distance, bucket),
+                    )
                 })
                 .collect();
             if curves.is_empty() {
@@ -156,7 +159,11 @@ mod tests {
         let scale = Scale::quick().with_runs(2).with_slots(400);
         let result = run_for(
             &scale,
-            &[PolicyKind::SmartExp3, PolicyKind::FixedRandom, PolicyKind::Centralized],
+            &[
+                PolicyKind::SmartExp3,
+                PolicyKind::FixedRandom,
+                PolicyKind::Centralized,
+            ],
         );
         for setting in StaticSetting::both() {
             let smart = result.curve(PolicyKind::SmartExp3, setting).unwrap();

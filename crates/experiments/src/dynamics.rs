@@ -92,7 +92,12 @@ impl fmt::Display for DynamicsResult {
         let series: Vec<(String, Vec<f64>)> = self
             .curves
             .iter()
-            .map(|c| (c.algorithm.label().to_string(), downsample(&c.distance, bucket)))
+            .map(|c| {
+                (
+                    c.algorithm.label().to_string(),
+                    downsample(&c.distance, bucket),
+                )
+            })
             .collect();
         f.write_str(&format_series(
             &format!(
@@ -114,7 +119,7 @@ mod tests {
         // Scaled-down version of Figure 8: 16 of 20 devices leave at 60 % of
         // the run; only algorithms with a reset mechanism rediscover the freed
         // resources.
-        let scale = Scale::quick().with_runs(2).with_slots(500);
+        let scale = Scale::quick().with_runs(3).with_slots(800);
         let result = run(&scale, DynamicSetting::DevicesLeave);
         let departure = scale.slots * 600 / 1200;
         let tail_from = departure + (scale.slots - departure) / 2;

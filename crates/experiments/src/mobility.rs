@@ -19,7 +19,9 @@ use crate::settings::{
     homogeneous_simulation, mobility_group_labels, mobility_simulation, DynamicSetting,
     StaticSetting,
 };
-use congestion_game::{distance_to_nash_given, nash_allocation, DeviceState, ResourceSelectionGame};
+use congestion_game::{
+    distance_to_nash_given, nash_allocation, DeviceState, ResourceSelectionGame,
+};
 use netsim::{figure1_networks, SimulationConfig};
 use smartexp3_core::PolicyKind;
 use std::fmt;
@@ -85,7 +87,7 @@ pub fn run_for(scale: &Scale, algorithms: &[PolicyKind]) -> MobilityResult {
             let equilibrium = nash_allocation(&game, groups.len());
             let mut group_series: Vec<Vec<f64>> = vec![Vec::new(); 4];
             for slot_records in selections {
-                for group in 0..4 {
+                for (group, series) in group_series.iter_mut().enumerate() {
                     let states: Vec<DeviceState> = slot_records
                         .iter()
                         .filter(|r| groups.get(r.device.0 as usize) == Some(&group))
@@ -99,7 +101,7 @@ pub fn run_for(scale: &Scale, algorithms: &[PolicyKind]) -> MobilityResult {
                     } else {
                         distance_to_nash_given(&game, &equilibrium, &states)
                     };
-                    group_series[group].push(distance);
+                    series.push(distance);
                 }
             }
             group_series
@@ -140,15 +142,18 @@ pub fn persistent_switches(scale: &Scale) -> Vec<(String, f64)> {
             let result = simulation.run(seed);
             mean(&result.switch_counts())
         });
-        rows.push((
-            format!("static ({})", setting.label()),
-            mean(&switches),
-        ));
+        rows.push((format!("static ({})", setting.label()), mean(&switches)));
     }
 
     for (setting, label) in [
-        (DynamicSetting::DevicesJoinAndLeave, "dynamic setting 1 (11 persistent devices)"),
-        (DynamicSetting::DevicesLeave, "dynamic setting 2 (4 persistent devices)"),
+        (
+            DynamicSetting::DevicesJoinAndLeave,
+            "dynamic setting 1 (11 persistent devices)",
+        ),
+        (
+            DynamicSetting::DevicesLeave,
+            "dynamic setting 2 (4 persistent devices)",
+        ),
     ] {
         let persistent = setting.persistent_devices();
         let switches: Vec<f64> = run_many(scale, |seed| {
@@ -194,11 +199,21 @@ pub fn persistent_switches(scale: &Scale) -> Vec<(String, f64)> {
     });
     rows.push((
         "setting 3 (8 moving devices)".to_string(),
-        mean(&moving_and_static.iter().map(|(m, _)| *m).collect::<Vec<_>>()),
+        mean(
+            &moving_and_static
+                .iter()
+                .map(|(m, _)| *m)
+                .collect::<Vec<_>>(),
+        ),
     ));
     rows.push((
         "setting 3 (other 12 devices)".to_string(),
-        mean(&moving_and_static.iter().map(|(_, s)| *s).collect::<Vec<_>>()),
+        mean(
+            &moving_and_static
+                .iter()
+                .map(|(_, s)| *s)
+                .collect::<Vec<_>>(),
+        ),
     ));
     rows
 }

@@ -20,7 +20,12 @@ pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
     let header_line: Vec<String> = headers
         .iter()
         .enumerate()
-        .map(|(i, h)| format!("{h:<width$}", width = widths.get(i).copied().unwrap_or(h.len())))
+        .map(|(i, h)| {
+            format!(
+                "{h:<width$}",
+                width = widths.get(i).copied().unwrap_or(h.len())
+            )
+        })
         .collect();
     let _ = writeln!(out, "| {} |", header_line.join(" | "));
     let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
@@ -29,7 +34,12 @@ pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
         let cells: Vec<String> = row
             .iter()
             .enumerate()
-            .map(|(i, c)| format!("{c:<width$}", width = widths.get(i).copied().unwrap_or(c.len())))
+            .map(|(i, c)| {
+                format!(
+                    "{c:<width$}",
+                    width = widths.get(i).copied().unwrap_or(c.len())
+                )
+            })
             .collect();
         let _ = writeln!(out, "| {} |", cells.join(" | "));
     }
@@ -39,7 +49,11 @@ pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
 /// Renders a per-slot series as labelled buckets (a textual stand-in for the
 /// paper's line figures).
 #[must_use]
-pub fn format_series(title: &str, slot_bucket: usize, labelled_series: &[(String, Vec<f64>)]) -> String {
+pub fn format_series(
+    title: &str,
+    slot_bucket: usize,
+    labelled_series: &[(String, Vec<f64>)],
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "## {title}");
     let buckets = labelled_series

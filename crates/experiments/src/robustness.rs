@@ -5,7 +5,9 @@ use crate::config::Scale;
 use crate::report::format_series;
 use crate::runner::{average_series, downsample, run_many};
 use crate::settings::mixed_simulation;
-use congestion_game::{distance_to_nash_given, nash_allocation, DeviceState, ResourceSelectionGame};
+use congestion_game::{
+    distance_to_nash_given, nash_allocation, DeviceState, ResourceSelectionGame,
+};
 use netsim::{setting1_networks, SimulationConfig};
 use smartexp3_core::PolicyKind;
 use std::fmt;
@@ -25,9 +27,21 @@ pub struct RobustnessScenario {
 #[must_use]
 pub fn scenarios() -> [RobustnessScenario; 3] {
     [
-        RobustnessScenario { index: 1, smart_devices: 19, greedy_devices: 1 },
-        RobustnessScenario { index: 2, smart_devices: 10, greedy_devices: 10 },
-        RobustnessScenario { index: 3, smart_devices: 1, greedy_devices: 19 },
+        RobustnessScenario {
+            index: 1,
+            smart_devices: 19,
+            greedy_devices: 1,
+        },
+        RobustnessScenario {
+            index: 2,
+            smart_devices: 10,
+            greedy_devices: 10,
+        },
+        RobustnessScenario {
+            index: 3,
+            smart_devices: 1,
+            greedy_devices: 19,
+        },
     ]
 }
 
@@ -104,9 +118,10 @@ pub fn run(scale: &Scale) -> RobustnessResult {
                 let mut smart = Vec::new();
                 let mut greedy = Vec::new();
                 for slot_records in selections {
-                    for (target, kind) in
-                        [(&mut smart, PolicyKind::SmartExp3), (&mut greedy, PolicyKind::Greedy)]
-                    {
+                    for (target, kind) in [
+                        (&mut smart, PolicyKind::SmartExp3),
+                        (&mut greedy, PolicyKind::Greedy),
+                    ] {
                         let states: Vec<DeviceState> = slot_records
                             .iter()
                             .filter(|r| kinds.get(r.device.0 as usize) == Some(&kind))

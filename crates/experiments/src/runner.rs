@@ -24,18 +24,17 @@ where
     let threads = scale.threads.min(runs);
     let mut results: Vec<Option<T>> = (0..runs).map(|_| None).collect();
     let chunk = runs.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (worker, slots) in results.chunks_mut(chunk).enumerate() {
             let job = &job;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (offset, slot) in slots.iter_mut().enumerate() {
                     let run_index = worker * chunk + offset;
                     *slot = Some(job(scale.seed(run_index)));
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     results
         .into_iter()
         .map(|r| r.expect("every run slot is filled"))
@@ -81,8 +80,12 @@ mod tests {
 
     #[test]
     fn sequential_and_parallel_agree() {
-        let sequential = run_many(&Scale::quick().with_runs(9).with_threads(1), |seed| seed * 2);
-        let parallel = run_many(&Scale::quick().with_runs(9).with_threads(4), |seed| seed * 2);
+        let sequential = run_many(&Scale::quick().with_runs(9).with_threads(1), |seed| {
+            seed * 2
+        });
+        let parallel = run_many(&Scale::quick().with_runs(9).with_threads(4), |seed| {
+            seed * 2
+        });
         assert_eq!(sequential, parallel);
         assert_eq!(sequential.len(), 9);
     }

@@ -97,7 +97,11 @@ pub fn run(scale: &Scale) -> ScalabilityResult {
 
 /// Runs the Figure 6 experiment with custom sweeps.
 #[must_use]
-pub fn run_with(scale: &Scale, network_counts: &[usize], device_counts: &[usize]) -> ScalabilityResult {
+pub fn run_with(
+    scale: &Scale,
+    network_counts: &[usize],
+    device_counts: &[usize],
+) -> ScalabilityResult {
     let by_networks = network_counts
         .iter()
         .map(|&count| measure(scale, network_sweep(count), 20))

@@ -332,7 +332,10 @@ mod tests {
         .unwrap();
         assert_eq!(simulation.device_count(), 5);
         assert_eq!(kinds.len(), 5);
-        assert_eq!(kinds.iter().filter(|k| **k == PolicyKind::Greedy).count(), 2);
+        assert_eq!(
+            kinds.iter().filter(|k| **k == PolicyKind::Greedy).count(),
+            2
+        );
     }
 
     #[test]
@@ -355,7 +358,7 @@ mod tests {
         assert_eq!(simulation.device_count(), 20);
         assert_eq!(groups.len(), 20);
         for group in 0..4 {
-            assert!(groups.iter().any(|&g| g == group), "group {group} missing");
+            assert!(groups.contains(&group), "group {group} missing");
         }
         assert_eq!(mobility_group_labels().len(), 4);
     }

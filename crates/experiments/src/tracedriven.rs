@@ -43,7 +43,12 @@ pub struct TraceDrivenResult {
 
 fn summarize(runs: &[TraceRunResult]) -> TraceCells {
     TraceCells {
-        download_mb: median(&runs.iter().map(|r| r.download_megabytes).collect::<Vec<_>>()),
+        download_mb: median(
+            &runs
+                .iter()
+                .map(|r| r.download_megabytes)
+                .collect::<Vec<_>>(),
+        ),
         switching_cost_mb: median(
             &runs
                 .iter()

@@ -33,20 +33,44 @@ pub fn wild_conditions(seed: u64) -> TracePair {
     let wifi = TraceProfile {
         name: "coffee-shop WiFi".to_string(),
         regimes: vec![
-            Regime { weight: 0.2, mean_mbps: 5.0 },
-            Regime { weight: 0.3, mean_mbps: 2.0 },
-            Regime { weight: 0.3, mean_mbps: 6.5 },
-            Regime { weight: 0.2, mean_mbps: 3.0 },
+            Regime {
+                weight: 0.2,
+                mean_mbps: 5.0,
+            },
+            Regime {
+                weight: 0.3,
+                mean_mbps: 2.0,
+            },
+            Regime {
+                weight: 0.3,
+                mean_mbps: 6.5,
+            },
+            Regime {
+                weight: 0.2,
+                mean_mbps: 3.0,
+            },
         ],
         noise: 0.35,
     };
     let cellular = TraceProfile {
         name: "tethered cellular".to_string(),
         regimes: vec![
-            Regime { weight: 0.25, mean_mbps: 4.5 },
-            Regime { weight: 0.25, mean_mbps: 6.0 },
-            Regime { weight: 0.25, mean_mbps: 2.5 },
-            Regime { weight: 0.25, mean_mbps: 5.0 },
+            Regime {
+                weight: 0.25,
+                mean_mbps: 4.5,
+            },
+            Regime {
+                weight: 0.25,
+                mean_mbps: 6.0,
+            },
+            Regime {
+                weight: 0.25,
+                mean_mbps: 2.5,
+            },
+            Regime {
+                weight: 0.25,
+                mean_mbps: 5.0,
+            },
         ],
         noise: 0.3,
     };
@@ -101,8 +125,7 @@ fn minutes_to_download(policy: &mut dyn Policy, pair: &TracePair, seed: u64) -> 
 pub fn run(scale: &Scale) -> WildResult {
     let times: Vec<(f64, f64)> = run_many(scale, |seed| {
         let pair = wild_conditions(seed);
-        let mut smart =
-            SmartExp3::with_defaults(trace_networks()).expect("two networks are valid");
+        let mut smart = SmartExp3::with_defaults(trace_networks()).expect("two networks are valid");
         let mut greedy = Greedy::new(trace_networks()).expect("two networks are valid");
         (
             minutes_to_download(&mut smart, &pair, seed),

@@ -78,10 +78,7 @@ pub fn distance_from_average_bit_rate(aggregate_rate: f64, observed_rates: &[f64
 /// the shares devices would observe at the Nash equilibrium allocation
 /// (the "Optimal" line of Figures 13–15).
 #[must_use]
-pub fn optimal_distance_from_average_bit_rate(
-    game: &ResourceSelectionGame,
-    devices: usize,
-) -> f64 {
+pub fn optimal_distance_from_average_bit_rate(game: &ResourceSelectionGame, devices: usize) -> f64 {
     if devices == 0 {
         return 0.0;
     }
@@ -231,9 +228,18 @@ mod tests {
         // Mbps; at NE each would observe 2 Mbps → distance 100 %.
         let game = ResourceSelectionGame::new(vec![(NetworkId(0), 2.0), (NetworkId(1), 4.0)]);
         let devices = vec![
-            DeviceState { network: NetworkId(0), observed_rate: 1.0 },
-            DeviceState { network: NetworkId(0), observed_rate: 1.0 },
-            DeviceState { network: NetworkId(1), observed_rate: 4.0 },
+            DeviceState {
+                network: NetworkId(0),
+                observed_rate: 1.0,
+            },
+            DeviceState {
+                network: NetworkId(0),
+                observed_rate: 1.0,
+            },
+            DeviceState {
+                network: NetworkId(1),
+                observed_rate: 4.0,
+            },
         ];
         let distance = distance_to_nash(&game, &devices);
         assert!((distance - 100.0).abs() < 1e-9, "distance = {distance}");
@@ -258,7 +264,10 @@ mod tests {
     #[test]
     fn distance_ignores_non_positive_rates() {
         let game = setting1();
-        let devices = vec![DeviceState { network: NetworkId(0), observed_rate: 0.0 }];
+        let devices = vec![DeviceState {
+            network: NetworkId(0),
+            observed_rate: 0.0,
+        }];
         assert_eq!(distance_to_nash(&game, &devices), 0.0);
         assert_eq!(distance_to_nash(&game, &[]), 0.0);
     }
@@ -277,7 +286,7 @@ mod tests {
     fn optimal_definition4_distance_is_attainable_and_nonnegative() {
         let game = setting1();
         let optimal = optimal_distance_from_average_bit_rate(&game, 14);
-        assert!(optimal >= 0.0 && optimal < 100.0);
+        assert!((0.0..100.0).contains(&optimal));
         assert_eq!(optimal_distance_from_average_bit_rate(&game, 0), 0.0);
     }
 

@@ -71,7 +71,10 @@ impl DelayModel {
             DelayModel::Constant(seconds) => seconds.clamp(0.0, max_seconds),
             _ => {
                 let samples = 2000;
-                (0..samples).map(|_| self.sample(max_seconds, rng)).sum::<f64>() / samples as f64
+                (0..samples)
+                    .map(|_| self.sample(max_seconds, rng))
+                    .sum::<f64>()
+                    / samples as f64
             }
         }
     }

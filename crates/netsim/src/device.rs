@@ -86,7 +86,7 @@ impl DeviceSetup {
     /// `true` if the device participates in slot `slot`.
     #[must_use]
     pub fn is_active_at(&self, slot: usize) -> bool {
-        slot >= self.active_from && self.active_until.map_or(true, |until| slot < until)
+        slot >= self.active_from && self.active_until.is_none_or(|until| slot < until)
     }
 
     /// The area the device is in at slot `slot`, accounting for scheduled

@@ -35,7 +35,11 @@ impl BandwidthEvent {
 /// Returns the events of `events` scheduled for `slot`.
 #[must_use]
 pub fn events_at(events: &[BandwidthEvent], slot: usize) -> Vec<BandwidthEvent> {
-    events.iter().copied().filter(|e| e.at_slot == slot).collect()
+    events
+        .iter()
+        .copied()
+        .filter(|e| e.at_slot == slot)
+        .collect()
 }
 
 #[cfg(test)]

@@ -52,7 +52,9 @@ mod topology;
 pub use delay::DelayModel;
 pub use device::{DeviceId, DeviceOutcome, DeviceSetup};
 pub use event::{events_at, BandwidthEvent};
-pub use network::{figure1_networks, setting1_networks, setting2_networks, NetworkSpec, Technology};
+pub use network::{
+    figure1_networks, setting1_networks, setting2_networks, NetworkSpec, Technology,
+};
 pub use recorder::{RunRecorder, RunResult, SelectionRecord};
 pub use sharing::SharingModel;
 pub use sim::{Simulation, SimulationConfig};

@@ -70,7 +70,11 @@ impl RunRecorder {
             slots_at_nash: 0,
             slots_at_epsilon: 0,
             unutilized_megabits: 0.0,
-            selections: if keep_selections { Some(Vec::new()) } else { None },
+            selections: if keep_selections {
+                Some(Vec::new())
+            } else {
+                None
+            },
             recorded_slots: 0,
         }
     }
@@ -91,10 +95,11 @@ impl RunRecorder {
             .push(distance_to_nash(game, &device_states));
 
         let observed_rates: Vec<f64> = records.iter().map(|r| r.rate_mbps).collect();
-        self.distance_from_average.push(distance_from_average_bit_rate(
-            game.aggregate_rate(),
-            &observed_rates,
-        ));
+        self.distance_from_average
+            .push(distance_from_average_bit_rate(
+                game.aggregate_rate(),
+                &observed_rates,
+            ));
 
         let choices: Vec<NetworkId> = records.iter().map(|r| r.network).collect();
         let allocation = game.allocation_from_choices(&choices);
@@ -180,7 +185,10 @@ impl RunResult {
     /// Per-device downloads in gigabytes (the unit of the paper's Table V).
     #[must_use]
     pub fn downloads_gigabytes(&self) -> Vec<f64> {
-        self.devices.iter().map(DeviceOutcome::download_gigabytes).collect()
+        self.devices
+            .iter()
+            .map(DeviceOutcome::download_gigabytes)
+            .collect()
     }
 
     /// Per-device switch counts.

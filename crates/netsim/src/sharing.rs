@@ -6,10 +6,11 @@ use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
 /// How a network's bandwidth is divided among its devices.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub enum SharingModel {
     /// The paper's simulation assumption: every device associated with a
     /// network receives exactly `bandwidth / n`.
+    #[default]
     EqualShare,
     /// The testbed/in-the-wild emulation: shares are unequal (devices closer
     /// to the AP get more) and noisy, and occasionally a device experiences a
@@ -99,12 +100,6 @@ impl SharingModel {
     }
 }
 
-impl Default for SharingModel {
-    fn default() -> Self {
-        SharingModel::EqualShare
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,7 +111,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let shares = SharingModel::EqualShare.shares(22.0, 4, &mut rng);
         assert_eq!(shares, vec![5.5; 4]);
-        assert!(SharingModel::EqualShare.shares(22.0, 0, &mut rng).is_empty());
+        assert!(SharingModel::EqualShare
+            .shares(22.0, 0, &mut rng)
+            .is_empty());
     }
 
     #[test]
@@ -138,7 +135,10 @@ mod tests {
         let shares = SharingModel::testbed().shares(22.0, 6, &mut rng);
         let min = shares.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = shares.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        assert!(max - min > 0.1, "expected visible dispersion, got {shares:?}");
+        assert!(
+            max - min > 0.1,
+            "expected visible dispersion, got {shares:?}"
+        );
     }
 
     #[test]

@@ -97,7 +97,10 @@ impl Simulation {
     /// programming error in the experiment definition, not a data condition).
     #[must_use]
     pub fn new(networks: Vec<NetworkSpec>, topology: Topology, config: SimulationConfig) -> Self {
-        assert!(!networks.is_empty(), "a simulation needs at least one network");
+        assert!(
+            !networks.is_empty(),
+            "a simulation needs at least one network"
+        );
         Simulation {
             config,
             networks,
@@ -295,8 +298,8 @@ impl Simulation {
                 }
                 device.setup.policy.observe(&observation, &mut rng);
 
-                let top_choice = top_probability(&device.setup.policy.probabilities())
-                    .unwrap_or((chosen, 1.0));
+                let top_choice =
+                    top_probability(&device.setup.policy.probabilities()).unwrap_or((chosen, 1.0));
                 records.push(SelectionRecord {
                     device: device.setup.id,
                     network: chosen,
@@ -340,8 +343,7 @@ fn full_information_gains(
         .iter()
         .map(|&network| {
             let bandwidth = bandwidths.get(&network).copied().unwrap_or(0.0);
-            let others = load.get(&network).copied().unwrap_or(0)
-                - usize::from(network == chosen);
+            let others = load.get(&network).copied().unwrap_or(0) - usize::from(network == chosen);
             let rate = bandwidth / (others + 1) as f64;
             (network, (rate / gain_scale).clamp(0.0, 1.0))
         })
@@ -356,8 +358,12 @@ fn top_probability(probabilities: &[(NetworkId, f64)]) -> Option<(NetworkId, f64
 }
 
 fn policy_networks_differ(setup: &DeviceSetup, visible: &[NetworkId]) -> bool {
-    let mut policy_nets: Vec<NetworkId> =
-        setup.policy.probabilities().iter().map(|(n, _)| *n).collect();
+    let mut policy_nets: Vec<NetworkId> = setup
+        .policy
+        .probabilities()
+        .iter()
+        .map(|(n, _)| *n)
+        .collect();
     let mut visible_sorted = visible.to_vec();
     policy_nets.sort();
     visible_sorted.sort();
@@ -435,7 +441,10 @@ mod tests {
         // Capacity over the run: 33 Mbps * 200 slots * 15 s.
         let capacity = 33.0 * 200.0 * 15.0;
         assert!(total > 0.0);
-        assert!(total <= capacity + 1e-6, "total {total} exceeds capacity {capacity}");
+        assert!(
+            total <= capacity + 1e-6,
+            "total {total} exceeds capacity {capacity}"
+        );
         assert!(result.devices.iter().all(|d| d.active_slots == 200));
     }
 
@@ -508,11 +517,8 @@ mod tests {
         use crate::topology::{AreaId, Topology};
         let networks = figure1_networks();
         let mut policies = factory(&networks);
-        let mut simulation = Simulation::new(
-            networks,
-            Topology::figure1(),
-            SimulationConfig::quick(120),
-        );
+        let mut simulation =
+            Simulation::new(networks, Topology::figure1(), SimulationConfig::quick(120));
         simulation.add_device(
             DeviceSetup::new(0, policies.build(PolicyKind::SmartExp3).unwrap())
                 .in_area(AreaId(0))

@@ -72,8 +72,7 @@ impl StudentT {
     /// Draws one variate.
     #[must_use]
     pub fn sample(&self, rng: &mut dyn RngCore) -> f64 {
-        self.location
-            + self.scale * sample_student_t(self.degrees_of_freedom, rng)
+        self.location + self.scale * sample_student_t(self.degrees_of_freedom, rng)
     }
 }
 
@@ -108,7 +107,9 @@ mod tests {
     #[test]
     fn standard_normal_has_zero_mean_unit_variance() {
         let mut rng = StdRng::seed_from_u64(1);
-        let samples: Vec<f64> = (0..50_000).map(|_| sample_standard_normal(&mut rng)).collect();
+        let samples: Vec<f64> = (0..50_000)
+            .map(|_| sample_standard_normal(&mut rng))
+            .collect();
         let (mean, std) = mean_and_std(&samples);
         assert!(mean.abs() < 0.02, "mean = {mean}");
         assert!((std - 1.0).abs() < 0.02, "std = {std}");
@@ -117,7 +118,9 @@ mod tests {
     #[test]
     fn lognormal_is_positive_with_correct_median() {
         let mut rng = StdRng::seed_from_u64(2);
-        let mut samples: Vec<f64> = (0..20_001).map(|_| sample_lognormal(0.5, 0.3, &mut rng)).collect();
+        let mut samples: Vec<f64> = (0..20_001)
+            .map(|_| sample_lognormal(0.5, 0.3, &mut rng))
+            .collect();
         assert!(samples.iter().all(|&s| s > 0.0));
         samples.sort_by(f64::total_cmp);
         let median = samples[samples.len() / 2];
@@ -128,7 +131,12 @@ mod tests {
     fn johnson_su_symmetric_case_recovers_location() {
         // With gamma = 0 the distribution is symmetric around xi.
         let mut rng = StdRng::seed_from_u64(3);
-        let params = JohnsonSu { gamma: 0.0, delta: 2.0, xi: 1.5, lambda: 0.5 };
+        let params = JohnsonSu {
+            gamma: 0.0,
+            delta: 2.0,
+            xi: 1.5,
+            lambda: 0.5,
+        };
         let samples: Vec<f64> = (0..50_000).map(|_| params.sample(&mut rng)).collect();
         let (mean, _) = mean_and_std(&samples);
         assert!((mean - 1.5).abs() < 0.02, "mean = {mean}");
@@ -137,10 +145,18 @@ mod tests {
     #[test]
     fn johnson_su_negative_gamma_skews_right() {
         let mut rng = StdRng::seed_from_u64(4);
-        let params = JohnsonSu { gamma: -1.0, delta: 1.5, xi: 1.0, lambda: 0.4 };
+        let params = JohnsonSu {
+            gamma: -1.0,
+            delta: 1.5,
+            xi: 1.0,
+            lambda: 0.4,
+        };
         let samples: Vec<f64> = (0..50_000).map(|_| params.sample(&mut rng)).collect();
         let (mean, _) = mean_and_std(&samples);
-        assert!(mean > 1.0, "negative gamma should shift mass above xi, mean = {mean}");
+        assert!(
+            mean > 1.0,
+            "negative gamma should shift mass above xi, mean = {mean}"
+        );
     }
 
     #[test]
@@ -156,7 +172,11 @@ mod tests {
     #[test]
     fn student_t_location_scale() {
         let mut rng = StdRng::seed_from_u64(6);
-        let params = StudentT { degrees_of_freedom: 5, location: 3.0, scale: 0.2 };
+        let params = StudentT {
+            degrees_of_freedom: 5,
+            location: 3.0,
+            scale: 0.2,
+        };
         let samples: Vec<f64> = (0..30_000).map(|_| params.sample(&mut rng)).collect();
         let (mean, _) = mean_and_std(&samples);
         assert!((mean - 3.0).abs() < 0.05, "mean = {mean}");

@@ -65,10 +65,9 @@ mod tests {
     fn testbed_noise_causes_more_resets_than_clean_simulation() {
         let run = |sharing: SharingModel| {
             let networks = testbed_networks();
-            let mut factory = PolicyFactory::new(
-                networks.iter().map(|n| (n.id, n.bandwidth_mbps)).collect(),
-            )
-            .unwrap();
+            let mut factory =
+                PolicyFactory::new(networks.iter().map(|n| (n.id, n.bandwidth_mbps)).collect())
+                    .unwrap();
             let config = SimulationConfig {
                 total_slots: 480,
                 sharing,
@@ -76,8 +75,10 @@ mod tests {
             };
             let mut simulation = Simulation::single_area(networks, config);
             for id in 0..TESTBED_DEVICES as u32 {
-                simulation
-                    .add_device(DeviceSetup::new(id, factory.build(PolicyKind::SmartExp3).unwrap()));
+                simulation.add_device(DeviceSetup::new(
+                    id,
+                    factory.build(PolicyKind::SmartExp3).unwrap(),
+                ));
             }
             let result = simulation.run(123);
             result.devices.iter().map(|d| d.resets).sum::<u64>()

@@ -123,7 +123,11 @@ mod tests {
         assert_eq!(topology.areas().len(), 3);
         // The cellular network (id 0) covers all three areas.
         for area in topology.areas() {
-            assert!(area.networks.contains(&NetworkId(0)), "{} lacks cellular", area.name);
+            assert!(
+                area.networks.contains(&NetworkId(0)),
+                "{} lacks cellular",
+                area.name
+            );
         }
         // The food court and the study area share WLAN 3 (id 2).
         assert!(topology.is_visible(AreaId(0), NetworkId(2)));

@@ -142,18 +142,36 @@ pub fn paper_trace_pair(index: usize, slots: usize, seed: u64) -> TracePair {
             TraceProfile {
                 name: "public WiFi".to_string(),
                 regimes: vec![
-                    Regime { weight: 0.3, mean_mbps: 2.8 },
-                    Regime { weight: 0.3, mean_mbps: 1.6 },
-                    Regime { weight: 0.4, mean_mbps: 3.2 },
+                    Regime {
+                        weight: 0.3,
+                        mean_mbps: 2.8,
+                    },
+                    Regime {
+                        weight: 0.3,
+                        mean_mbps: 1.6,
+                    },
+                    Regime {
+                        weight: 0.4,
+                        mean_mbps: 3.2,
+                    },
                 ],
                 noise: 0.25,
             },
             TraceProfile {
                 name: "cellular".to_string(),
                 regimes: vec![
-                    Regime { weight: 0.25, mean_mbps: 1.8 },
-                    Regime { weight: 0.35, mean_mbps: 4.2 },
-                    Regime { weight: 0.4, mean_mbps: 2.2 },
+                    Regime {
+                        weight: 0.25,
+                        mean_mbps: 1.8,
+                    },
+                    Regime {
+                        weight: 0.35,
+                        mean_mbps: 4.2,
+                    },
+                    Regime {
+                        weight: 0.4,
+                        mean_mbps: 2.2,
+                    },
                 ],
                 noise: 0.35,
             },
@@ -162,14 +180,23 @@ pub fn paper_trace_pair(index: usize, slots: usize, seed: u64) -> TracePair {
             // Cellular always better.
             TraceProfile {
                 name: "public WiFi".to_string(),
-                regimes: vec![Regime { weight: 1.0, mean_mbps: 2.0 }],
+                regimes: vec![Regime {
+                    weight: 1.0,
+                    mean_mbps: 2.0,
+                }],
                 noise: 0.2,
             },
             TraceProfile {
                 name: "cellular".to_string(),
                 regimes: vec![
-                    Regime { weight: 0.5, mean_mbps: 5.5 },
-                    Regime { weight: 0.5, mean_mbps: 6.2 },
+                    Regime {
+                        weight: 0.5,
+                        mean_mbps: 5.5,
+                    },
+                    Regime {
+                        weight: 0.5,
+                        mean_mbps: 6.2,
+                    },
                 ],
                 noise: 0.15,
             },
@@ -179,16 +206,28 @@ pub fn paper_trace_pair(index: usize, slots: usize, seed: u64) -> TracePair {
             TraceProfile {
                 name: "public WiFi".to_string(),
                 regimes: vec![
-                    Regime { weight: 0.35, mean_mbps: 3.5 },
-                    Regime { weight: 0.65, mean_mbps: 0.8 },
+                    Regime {
+                        weight: 0.35,
+                        mean_mbps: 3.5,
+                    },
+                    Regime {
+                        weight: 0.65,
+                        mean_mbps: 0.8,
+                    },
                 ],
                 noise: 0.3,
             },
             TraceProfile {
                 name: "cellular".to_string(),
                 regimes: vec![
-                    Regime { weight: 0.35, mean_mbps: 1.5 },
-                    Regime { weight: 0.65, mean_mbps: 4.5 },
+                    Regime {
+                        weight: 0.35,
+                        mean_mbps: 1.5,
+                    },
+                    Regime {
+                        weight: 0.65,
+                        mean_mbps: 4.5,
+                    },
                 ],
                 noise: 0.35,
             },
@@ -198,16 +237,28 @@ pub fn paper_trace_pair(index: usize, slots: usize, seed: u64) -> TracePair {
             TraceProfile {
                 name: "public WiFi".to_string(),
                 regimes: vec![
-                    Regime { weight: 0.5, mean_mbps: 3.0 },
-                    Regime { weight: 0.5, mean_mbps: 2.2 },
+                    Regime {
+                        weight: 0.5,
+                        mean_mbps: 3.0,
+                    },
+                    Regime {
+                        weight: 0.5,
+                        mean_mbps: 2.2,
+                    },
                 ],
                 noise: 0.2,
             },
             TraceProfile {
                 name: "cellular".to_string(),
                 regimes: vec![
-                    Regime { weight: 0.4, mean_mbps: 2.4 },
-                    Regime { weight: 0.6, mean_mbps: 3.8 },
+                    Regime {
+                        weight: 0.4,
+                        mean_mbps: 2.4,
+                    },
+                    Regime {
+                        weight: 0.6,
+                        mean_mbps: 3.8,
+                    },
                 ],
                 noise: 0.3,
             },

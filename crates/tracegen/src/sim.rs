@@ -83,9 +83,12 @@ pub fn run_policy_on_pair(
     let mut rng = StdRng::seed_from_u64(seed);
     let slots = pair.len();
     let slot_duration = pair.wifi.slot_duration_s;
-    let gain_scale = config
-        .gain_scale_mbps
-        .unwrap_or_else(|| pair.wifi.peak_rate().max(pair.cellular.peak_rate()).max(1e-9));
+    let gain_scale = config.gain_scale_mbps.unwrap_or_else(|| {
+        pair.wifi
+            .peak_rate()
+            .max(pair.cellular.peak_rate())
+            .max(1e-9)
+    });
 
     let mut current: Option<NetworkId> = None;
     let mut download_megabits = 0.0;

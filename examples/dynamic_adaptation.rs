@@ -21,7 +21,10 @@ fn run_with(kind: PolicyKind, slots: usize, departure: usize) -> smartexp3::RunR
     );
     // 4 devices stay for the whole run…
     for id in 0..4 {
-        sim.add_device(DeviceSetup::new(id, factory.build(kind).expect("valid policy")));
+        sim.add_device(DeviceSetup::new(
+            id,
+            factory.build(kind).expect("valid policy"),
+        ));
     }
     // …and 16 leave after `departure` slots.
     for id in 4..20 {
@@ -37,8 +40,15 @@ fn main() {
     let slots = 1200;
     let departure = 600;
     println!("16 of 20 devices leave after slot {departure}; 4 devices remain.\n");
-    println!("{:<22} {:>18} {:>18} {:>14}", "algorithm", "distance before", "distance after", "per-device GB");
-    for kind in [PolicyKind::SmartExp3, PolicyKind::SmartExp3WithoutReset, PolicyKind::Greedy] {
+    println!(
+        "{:<22} {:>18} {:>18} {:>14}",
+        "algorithm", "distance before", "distance after", "per-device GB"
+    );
+    for kind in [
+        PolicyKind::SmartExp3,
+        PolicyKind::SmartExp3WithoutReset,
+        PolicyKind::Greedy,
+    ] {
         let result = run_with(kind, slots, departure);
         let before = result.mean_distance_to_nash(departure / 2, departure);
         let after = result.mean_distance_to_nash(departure + 200, slots);

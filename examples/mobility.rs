@@ -5,14 +5,19 @@
 //! Run with: `cargo run --release --example mobility`
 
 use smartexp3::core::{PolicyFactory, PolicyKind};
-use smartexp3::netsim::{figure1_networks, AreaId, DeviceSetup, Simulation, SimulationConfig, Topology};
+use smartexp3::netsim::{
+    figure1_networks, AreaId, DeviceSetup, Simulation, SimulationConfig, Topology,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let networks = figure1_networks();
     let topology = Topology::figure1();
     println!("Service areas:");
     for area in topology.areas() {
-        println!("  {:?} ({}): networks {:?}", area.id, area.name, area.networks);
+        println!(
+            "  {:?} ({}): networks {:?}",
+            area.id, area.name, area.networks
+        );
     }
 
     let config = SimulationConfig {
@@ -63,8 +68,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let result = sim.run(11);
-    println!("\nPer-device outcome after {} slots (devices 0-7 are the moving ones):", result.slots);
-    println!("{:<8} {:>12} {:>10} {:>8}", "device", "download GB", "switches", "resets");
+    println!(
+        "\nPer-device outcome after {} slots (devices 0-7 are the moving ones):",
+        result.slots
+    );
+    println!(
+        "{:<8} {:>12} {:>10} {:>8}",
+        "device", "download GB", "switches", "resets"
+    );
     for device in &result.devices {
         println!(
             "{:<8} {:>12.2} {:>10} {:>8}",
@@ -74,9 +85,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             device.resets
         );
     }
-    let moving: f64 = result.devices.iter().take(8).map(|d| d.switches as f64).sum::<f64>() / 8.0;
-    let stationary: f64 =
-        result.devices.iter().skip(8).map(|d| d.switches as f64).sum::<f64>() / 12.0;
+    let moving: f64 = result
+        .devices
+        .iter()
+        .take(8)
+        .map(|d| d.switches as f64)
+        .sum::<f64>()
+        / 8.0;
+    let stationary: f64 = result
+        .devices
+        .iter()
+        .skip(8)
+        .map(|d| d.switches as f64)
+        .sum::<f64>()
+        / 12.0;
     println!(
         "\nMoving devices switch more ({moving:.1} on average) than stationary ones ({stationary:.1}),\n\
          because discovering new networks and losing the preferred one both trigger resets — the\n\

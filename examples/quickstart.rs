@@ -12,11 +12,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let networks = setting1_networks();
     println!("Networks:");
     for network in &networks {
-        println!("  {} — {} Mbps ({})", network.id, network.bandwidth_mbps, network.technology);
+        println!(
+            "  {} — {} Mbps ({})",
+            network.id, network.bandwidth_mbps, network.technology
+        );
     }
 
     let game = ResourceSelectionGame::new(
-        networks.iter().map(|n| (n.id, n.bandwidth_mbps)).collect::<Vec<_>>(),
+        networks
+            .iter()
+            .map(|n| (n.id, n.bandwidth_mbps))
+            .collect::<Vec<_>>(),
     );
     let equilibrium = nash_allocation(&game, 20);
     println!("\nNash equilibrium allocation for 20 devices: {equilibrium:?}");
@@ -36,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let result = sim.run(42);
     println!("\nAfter {} slots:", result.slots);
-    println!("  total download     : {:.2} GB", result.total_download_megabits() / 8000.0);
+    println!(
+        "  total download     : {:.2} GB",
+        result.total_download_megabits() / 8000.0
+    );
     println!(
         "  switches per device: {:.1}",
         result.switch_counts().iter().sum::<f64>() / result.devices.len() as f64

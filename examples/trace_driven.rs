@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut smart = SmartExp3::with_defaults(trace_networks())?;
     let result = run_policy_on_pair(&mut smart, &pair, &config, 1);
     println!("\nTrace 3 selection overlay (every 5th slot):");
-    println!("{:<6} {:>10} {:>12} {:>12}", "slot", "WiFi", "cellular", "chosen");
+    println!(
+        "{:<6} {:>10} {:>12} {:>12}",
+        "slot", "WiFi", "cellular", "chosen"
+    );
     for (slot, (network, rate)) in result.selections.iter().enumerate() {
         if slot % 5 == 0 {
             println!(
@@ -47,7 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 pair.wifi.rate_at(slot),
                 pair.cellular.rate_at(slot),
                 rate,
-                if *network == CELLULAR { "cellular" } else { "WiFi" }
+                if *network == CELLULAR {
+                    "cellular"
+                } else {
+                    "WiFi"
+                }
             );
         }
     }

@@ -15,7 +15,18 @@
 //!   and distance metrics;
 //! * [`netsim`] — networks, devices, mobility, delays and the simulator;
 //! * [`tracegen`] — synthetic WiFi/cellular traces and trace-driven runs;
-//! * [`experiments`] — one runner per paper table/figure and the `repro` CLI.
+//! * [`experiments`] — one runner per paper table/figure and the `repro` CLI;
+//! * [`engine`] (`smartexp3-engine`) — the [`FleetEngine`](engine::FleetEngine)
+//!   hosting thousands-to-millions of concurrent sessions with batched
+//!   parallel stepping and bit-identical snapshot/restore.
+//!
+//! ## Fleet engine
+//!
+//! The engine scales the reproduction from "one simulated area" to
+//! production-style fleets: each session is an independent boxed policy with
+//! a private RNG stream derived from a fleet-wide root seed and its session
+//! id, so batched steps parallelise freely and results are identical at any
+//! thread count. See [`engine`] for the seeding model and checkpoint format.
 //!
 //! ## Quickstart
 //!
@@ -48,6 +59,7 @@ pub use congestion_game as game;
 pub use experiments;
 pub use netsim;
 pub use smartexp3_core as core;
+pub use smartexp3_engine as engine;
 pub use tracegen;
 
 // Convenience re-exports of the most commonly used items.
@@ -57,3 +69,4 @@ pub use smartexp3_core::{
     Exp3, Greedy, NetworkId, Observation, Policy, PolicyFactory, PolicyKind, SmartExp3,
     SmartExp3Config, SmartExp3Features,
 };
+pub use smartexp3_engine::{FleetConfig, FleetEngine, FleetMetrics, SessionId};

@@ -125,7 +125,10 @@ fn equilibrium_math_matches_the_simulator() {
     // centralized coordinator in the core crate produces.
     let networks = setting1_networks();
     let game = ResourceSelectionGame::new(
-        networks.iter().map(|n| (n.id, n.bandwidth_mbps)).collect::<Vec<_>>(),
+        networks
+            .iter()
+            .map(|n| (n.id, n.bandwidth_mbps))
+            .collect::<Vec<_>>(),
     );
     let expected = nash_allocation(&game, 20);
     assert_eq!(expected[&NetworkId(0)], 2);
@@ -134,7 +137,13 @@ fn equilibrium_math_matches_the_simulator() {
 
     let result = build(networks, PolicyKind::Centralized, 20, 5).run(0);
     let mut counts = std::collections::BTreeMap::new();
-    for record in &result.selections.unwrap_or_default().first().cloned().unwrap_or_default() {
+    for record in &result
+        .selections
+        .unwrap_or_default()
+        .first()
+        .cloned()
+        .unwrap_or_default()
+    {
         *counts.entry(record.network).or_insert(0usize) += 1;
     }
     // selections were not kept (config default), so fall back to checking the

@@ -1,9 +1,14 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants: probability distributions stay normalised, block lengths obey
-//! the ⌈(1+β)^x⌉ law, equilibrium allocations really are equilibria, and the
+//! Property-based tests on the core data structures and invariants:
+//! probability distributions stay normalised, block lengths obey the
+//! ⌈(1+β)^x⌉ law, equilibrium allocations really are equilibria, and the
 //! metrics behave like metrics.
+//!
+//! The build environment is offline, so instead of `proptest` these use a
+//! small hand-rolled harness: every property is checked over `CASES`
+//! deterministic pseudo-random cases drawn from the vendored `rand` crate.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use smartexp3::core::{
     block_length, probability_of, Exp3, Exp3Config, NetworkId, Observation, Policy, SmartExp3,
     SmartExp3Config, WeightTable,
@@ -12,163 +17,236 @@ use smartexp3::game::{
     distance_to_nash, is_nash_allocation, jain_index, nash_allocation, standard_deviation,
     DeviceState, ResourceSelectionGame, Summary,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+
+const CASES: u64 = 64;
 
 fn network_ids(count: usize) -> Vec<NetworkId> {
     (0..count as u32).map(NetworkId).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Uniform draw from `[lo, hi)`.
+fn uniform(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * rng.gen::<f64>()
+}
 
-    #[test]
-    fn weight_table_probabilities_always_form_a_distribution(
-        arms in 1usize..8,
-        gamma in 0.0f64..=1.0,
-        updates in prop::collection::vec((0u32..8, 0.0f64..50.0), 0..40),
-    ) {
+/// Uniform draw from `{lo, …, hi - 1}`.
+fn uniform_usize(rng: &mut StdRng, lo: usize, hi: usize) -> usize {
+    lo + rng.gen_index(hi - lo)
+}
+
+#[test]
+fn weight_table_probabilities_always_form_a_distribution() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let arms = uniform_usize(&mut rng, 1, 8);
+        let gamma = uniform(&mut rng, 0.0, 1.0);
         let mut table = WeightTable::uniform(&network_ids(arms));
-        for (arm, gain) in updates {
-            table.multiplicative_update(NetworkId(arm % arms as u32), 0.3, gain);
+        for _ in 0..uniform_usize(&mut rng, 0, 40) {
+            let arm = uniform_usize(&mut rng, 0, arms) as u32;
+            let gain = uniform(&mut rng, 0.0, 50.0);
+            table.multiplicative_update(NetworkId(arm), 0.3, gain);
         }
         let probs = table.probabilities(gamma);
-        prop_assert_eq!(probs.len(), arms);
+        assert_eq!(probs.len(), arms);
         let sum: f64 = probs.iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-9);
+        assert!((sum - 1.0).abs() < 1e-9, "case {case}: sum {sum}");
         for p in probs {
-            prop_assert!(p >= 0.0 && p <= 1.0 + 1e-12);
+            assert!((0.0..=1.0 + 1e-12).contains(&p), "case {case}: p {p}");
         }
     }
+}
 
-    #[test]
-    fn block_lengths_follow_the_growth_law(beta in 0.01f64..=1.0, x in 0u64..60) {
+#[test]
+fn block_lengths_follow_the_growth_law() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(1000 + case);
+        let beta = uniform(&mut rng, 0.01, 1.0);
+        let x = uniform_usize(&mut rng, 0, 60) as u64;
         let length = block_length(beta, x);
         let exact = (1.0 + beta).powf(x as f64);
-        prop_assert!(length as f64 >= exact - 1e-9);
-        prop_assert!((length as f64) < exact + 1.0);
-        prop_assert!(block_length(beta, x + 1) >= length);
-    }
-
-    #[test]
-    fn nash_allocation_is_always_an_equilibrium(
-        rates in prop::collection::vec(0.5f64..50.0, 1..6),
-        devices in 0usize..60,
-    ) {
-        let game = ResourceSelectionGame::new(
-            rates.iter().enumerate().map(|(i, &r)| (NetworkId(i as u32), r)).collect::<Vec<_>>(),
+        assert!(length as f64 >= exact - 1e-9, "case {case}");
+        // `ceil` overshoots by less than one slot; at magnitudes where one
+        // slot is below the f64 ulp, allow the comparison a relative epsilon.
+        assert!(
+            (length as f64) < (exact + 1.0) * (1.0 + 1e-12),
+            "case {case}"
         );
+        assert!(block_length(beta, x + 1) >= length, "case {case}");
+    }
+}
+
+#[test]
+fn nash_allocation_is_always_an_equilibrium() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(2000 + case);
+        let networks = uniform_usize(&mut rng, 1, 6);
+        let rates: Vec<(NetworkId, f64)> = (0..networks)
+            .map(|i| (NetworkId(i as u32), uniform(&mut rng, 0.5, 50.0)))
+            .collect();
+        let devices = uniform_usize(&mut rng, 0, 60);
+        let game = ResourceSelectionGame::new(rates);
         let allocation = nash_allocation(&game, devices);
-        prop_assert_eq!(ResourceSelectionGame::devices_in(&allocation), devices);
-        prop_assert!(is_nash_allocation(&game, &allocation));
+        assert_eq!(ResourceSelectionGame::devices_in(&allocation), devices);
+        assert!(is_nash_allocation(&game, &allocation), "case {case}");
     }
+}
 
-    #[test]
-    fn distance_to_nash_is_nonnegative_and_zero_at_equilibrium(
-        rates in prop::collection::vec(1.0f64..40.0, 2..5),
-        devices in 1usize..30,
-    ) {
-        let game = ResourceSelectionGame::new(
-            rates.iter().enumerate().map(|(i, &r)| (NetworkId(i as u32), r)).collect::<Vec<_>>(),
-        );
+#[test]
+fn distance_to_nash_is_nonnegative_and_zero_at_equilibrium() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(3000 + case);
+        let networks = uniform_usize(&mut rng, 2, 5);
+        let rates: Vec<(NetworkId, f64)> = (0..networks)
+            .map(|i| (NetworkId(i as u32), uniform(&mut rng, 1.0, 40.0)))
+            .collect();
+        let devices = uniform_usize(&mut rng, 1, 30);
+        let game = ResourceSelectionGame::new(rates);
         let allocation = nash_allocation(&game, devices);
         let mut states = Vec::new();
         for (&network, &count) in &allocation {
             for _ in 0..count {
-                states.push(DeviceState { network, observed_rate: game.share(network, count) });
+                states.push(DeviceState {
+                    network,
+                    observed_rate: game.share(network, count),
+                });
             }
         }
         let at_equilibrium = distance_to_nash(&game, &states);
-        prop_assert!(at_equilibrium.abs() < 1e-9);
+        assert!(at_equilibrium.abs() < 1e-9, "case {case}: {at_equilibrium}");
 
-        // Any perturbation of the observed rates downwards can only increase the distance.
+        // Perturbing observed rates downwards can only keep the distance ≥ 0.
         let mut perturbed = states.clone();
         if let Some(first) = perturbed.first_mut() {
             first.observed_rate *= 0.5;
         }
-        prop_assert!(distance_to_nash(&game, &perturbed) >= 0.0);
+        assert!(distance_to_nash(&game, &perturbed) >= 0.0, "case {case}");
     }
+}
 
-    #[test]
-    fn fairness_metrics_are_scale_consistent(
-        values in prop::collection::vec(0.1f64..100.0, 2..20),
-        factor in 0.1f64..10.0,
-    ) {
+#[test]
+fn fairness_metrics_are_scale_consistent() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(4000 + case);
+        let count = uniform_usize(&mut rng, 2, 20);
+        let values: Vec<f64> = (0..count).map(|_| uniform(&mut rng, 0.1, 100.0)).collect();
+        let factor = uniform(&mut rng, 0.1, 10.0);
         let scaled: Vec<f64> = values.iter().map(|v| v * factor).collect();
         // Jain's index is scale-free; the standard deviation scales linearly.
-        prop_assert!((jain_index(&values) - jain_index(&scaled)).abs() < 1e-9);
+        assert!(
+            (jain_index(&values) - jain_index(&scaled)).abs() < 1e-9,
+            "case {case}"
+        );
         let std_ratio = standard_deviation(&scaled) / standard_deviation(&values).max(1e-12);
-        prop_assert!((std_ratio - factor).abs() < 1e-6 || standard_deviation(&values) < 1e-9);
+        assert!(
+            (std_ratio - factor).abs() < 1e-6 || standard_deviation(&values) < 1e-9,
+            "case {case}: ratio {std_ratio} vs factor {factor}"
+        );
         let index = jain_index(&values);
-        prop_assert!(index > 0.0 && index <= 1.0 + 1e-12);
+        assert!(index > 0.0 && index <= 1.0 + 1e-12, "case {case}");
     }
+}
 
-    #[test]
-    fn summary_is_ordered_and_bounded(values in prop::collection::vec(-1e6f64..1e6, 1..50)) {
+#[test]
+fn summary_is_ordered_and_bounded() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(5000 + case);
+        let count = uniform_usize(&mut rng, 1, 50);
+        let values: Vec<f64> = (0..count).map(|_| uniform(&mut rng, -1e6, 1e6)).collect();
         let summary = Summary::of(&values);
-        prop_assert_eq!(summary.count, values.len());
-        prop_assert!(summary.min <= summary.median + 1e-9);
-        prop_assert!(summary.median <= summary.max + 1e-9);
-        prop_assert!(summary.mean >= summary.min - 1e-9 && summary.mean <= summary.max + 1e-9);
+        assert_eq!(summary.count, values.len());
+        assert!(summary.min <= summary.median + 1e-9, "case {case}");
+        assert!(summary.median <= summary.max + 1e-9, "case {case}");
+        assert!(
+            summary.mean >= summary.min - 1e-9 && summary.mean <= summary.max + 1e-9,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn smart_exp3_probabilities_stay_normalised_under_arbitrary_gains(
-        networks in 2usize..6,
-        gains in prop::collection::vec(0.0f64..=1.0, 30..120),
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn smart_exp3_probabilities_stay_normalised_under_arbitrary_gains() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(6000 + case);
+        let networks = uniform_usize(&mut rng, 2, 6);
+        let slots = uniform_usize(&mut rng, 30, 120);
         let mut policy = SmartExp3::new(network_ids(networks), SmartExp3Config::default()).unwrap();
-        let mut rng = StdRng::seed_from_u64(seed);
-        for (slot, &gain) in gains.iter().enumerate() {
+        for slot in 0..slots {
+            let gain = rng.gen::<f64>();
             let chosen = policy.choose(slot, &mut rng);
-            prop_assert!(chosen.index() < networks);
-            policy.observe(&Observation::bandit(slot, chosen, gain * 22.0, gain), &mut rng);
+            assert!(chosen.index() < networks, "case {case}");
+            policy.observe(
+                &Observation::bandit(slot, chosen, gain * 22.0, gain),
+                &mut rng,
+            );
             let probs = policy.probabilities();
             let sum: f64 = probs.iter().map(|(_, p)| p).sum();
-            prop_assert!((sum - 1.0).abs() < 1e-6);
+            assert!(
+                (sum - 1.0).abs() < 1e-6,
+                "case {case}, slot {slot}: sum {sum}"
+            );
         }
     }
+}
 
-    #[test]
-    fn exp3_never_chooses_an_unavailable_network(
-        networks in 2usize..6,
-        slots in 10usize..80,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn exp3_never_chooses_an_unavailable_network() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(7000 + case);
+        let networks = uniform_usize(&mut rng, 2, 6);
+        let slots = uniform_usize(&mut rng, 10, 80);
         let arms = network_ids(networks);
         let mut policy = Exp3::new(arms.clone(), Exp3Config::default()).unwrap();
-        let mut rng = StdRng::seed_from_u64(seed);
         for slot in 0..slots {
             let chosen = policy.choose(slot, &mut rng);
-            prop_assert!(arms.contains(&chosen));
+            assert!(arms.contains(&chosen), "case {case}");
             let gain = (slot % 3) as f64 / 3.0;
-            policy.observe(&Observation::bandit(slot, chosen, gain * 22.0, gain), &mut rng);
+            policy.observe(
+                &Observation::bandit(slot, chosen, gain * 22.0, gain),
+                &mut rng,
+            );
         }
         // The probability listing always covers exactly the available arms.
         let probs = policy.probabilities();
-        prop_assert_eq!(probs.len(), networks);
+        assert_eq!(probs.len(), networks);
         for &arm in &arms {
-            prop_assert!(probability_of(&probs, arm) > 0.0);
+            assert!(probability_of(&probs, arm) > 0.0, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn smart_exp3_switches_stay_below_theorem2_for_random_environments(
-        seed in 0u64..300,
-        best in 0u32..3,
-    ) {
+#[test]
+fn smart_exp3_switches_stay_below_theorem2_for_random_environments() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(8000 + case);
+        let best = uniform_usize(&mut rng, 0, 3) as u32;
         let slots = 400usize;
         let mut policy = SmartExp3::new(network_ids(3), SmartExp3Config::default()).unwrap();
-        let mut rng = StdRng::seed_from_u64(seed);
         for slot in 0..slots {
             let chosen = policy.choose(slot, &mut rng);
-            let gain = if chosen == NetworkId(best) { 0.85 } else { 0.25 };
-            policy.observe(&Observation::bandit(slot, chosen, gain * 22.0, gain), &mut rng);
+            let gain = if chosen == NetworkId(best) {
+                0.85
+            } else {
+                0.25
+            };
+            policy.observe(
+                &Observation::bandit(slot, chosen, gain * 22.0, gain),
+                &mut rng,
+            );
         }
         let stats = policy.stats();
         let periods = stats.resets as f64 + 1.0;
-        let bound = smartexp3::core::theory::switch_bound(3, 0.1, 1.0, slots as f64 / periods, slots as f64);
-        prop_assert!((stats.switches as f64) < bound, "switches {} >= bound {}", stats.switches, bound);
+        let bound = smartexp3::core::theory::switch_bound(
+            3,
+            0.1,
+            1.0,
+            slots as f64 / periods,
+            slots as f64,
+        );
+        assert!(
+            (stats.switches as f64) < bound,
+            "case {case}: switches {} >= bound {}",
+            stats.switches,
+            bound
+        );
     }
 }

@@ -1,9 +1,16 @@
 //! Empirical checks of the paper's theorems against full simulation runs.
 
 use smartexp3::core::{theory, PolicyFactory, PolicyKind};
-use smartexp3::netsim::{setting1_networks, setting2_networks, DeviceSetup, Simulation, SimulationConfig};
+use smartexp3::netsim::{
+    setting1_networks, setting2_networks, DeviceSetup, Simulation, SimulationConfig,
+};
 
-fn run(kind: PolicyKind, networks: Vec<smartexp3::netsim::NetworkSpec>, slots: usize, seed: u64) -> smartexp3::RunResult {
+fn run(
+    kind: PolicyKind,
+    networks: Vec<smartexp3::netsim::NetworkSpec>,
+    slots: usize,
+    seed: u64,
+) -> smartexp3::RunResult {
     let mut factory =
         PolicyFactory::new(networks.iter().map(|n| (n.id, n.bandwidth_mbps)).collect()).unwrap();
     let mut sim = Simulation::single_area(

@@ -30,7 +30,7 @@ fn build_fleet(sessions: usize, threads: usize) -> FleetEngine {
     fleet
 }
 
-fn feedback(ctx: &StepContext) -> Observation {
+fn feedback(ctx: &mut StepContext<'_>) -> Observation {
     let gain = if ctx.chosen == NetworkId(2) {
         0.85
     } else {

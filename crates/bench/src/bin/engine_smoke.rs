@@ -1,0 +1,100 @@
+//! Quick-mode fleet-engine throughput smoke run.
+//!
+//! Steps a Smart EXP3 fleet through fused choose+observe slots (the same
+//! workload as the `engine_throughput` Criterion bench) and appends one JSON
+//! record per configuration to `BENCH_engine.json`, so the repository keeps a
+//! perf trajectory across PRs and CI catches throughput regressions early.
+//!
+//! ```text
+//! cargo run --release -p smartexp3-bench --bin engine_smoke [-- --sessions N] [--slots N] [--out PATH]
+//! ```
+
+use smartexp3_core::{NetworkId, Observation, PolicyFactory, PolicyKind};
+use smartexp3_engine::{FleetConfig, FleetEngine, StepContext};
+use std::time::Instant;
+
+fn feedback(ctx: &mut StepContext<'_>) -> Observation {
+    let gain = if ctx.chosen == NetworkId(2) {
+        0.85
+    } else {
+        0.25
+    };
+    Observation::bandit(ctx.slot, ctx.chosen, gain * 22.0, gain)
+}
+
+fn build_fleet(sessions: usize) -> FleetEngine {
+    let rates = vec![
+        (NetworkId(0), 4.0),
+        (NetworkId(1), 7.0),
+        (NetworkId(2), 22.0),
+    ];
+    let mut factory = PolicyFactory::new(rates).expect("valid rates");
+    let mut fleet = FleetEngine::new(FleetConfig::with_root_seed(1));
+    fleet
+        .add_fleet(&mut factory, PolicyKind::SmartExp3, sessions)
+        .expect("valid fleet");
+    fleet
+}
+
+/// Steps `fleet` for `slots` fused slots and returns decisions per second.
+fn measure(fleet: &mut FleetEngine, slots: usize) -> f64 {
+    let sessions = fleet.len();
+    let start = Instant::now();
+    for _ in 0..slots {
+        fleet.step_with(feedback);
+    }
+    (sessions * slots) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn parse_flag(args: &[String], name: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|raw| {
+            raw.parse().unwrap_or_else(|_| {
+                eprintln!("error: {name} expects a positive integer, got `{raw}`");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sessions = parse_flag(&args, "--sessions", 100_000);
+    let slots = parse_flag(&args, "--slots", 40);
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let mut fleet = build_fleet(sessions);
+    // Warm-up: drives the fleet out of its all-fresh-decision opening slots
+    // and populates the per-shard scratch buffers.
+    let _ = measure(&mut fleet, slots.div_ceil(4).max(1));
+    let decisions_per_sec = measure(&mut fleet, slots);
+
+    let record = format!(
+        "{{\"bench\":\"engine_throughput/step\",\"sessions\":{sessions},\"slots\":{slots},\
+         \"threads\":{threads},\"decisions_per_sec\":{decisions_per_sec:.0},\
+         \"policy\":\"SmartExp3\"}}"
+    );
+    println!("{record}");
+    let mut contents = std::fs::read_to_string(&out).unwrap_or_default();
+    if !contents.is_empty() && !contents.ends_with('\n') {
+        contents.push('\n');
+    }
+    contents.push_str(&record);
+    contents.push('\n');
+    if let Err(error) = std::fs::write(&out, contents) {
+        eprintln!("error: cannot write {out}: {error}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "{:.2}M decisions/sec over {sessions} sessions x {slots} slots -> appended to {out}",
+        decisions_per_sec / 1e6
+    );
+}

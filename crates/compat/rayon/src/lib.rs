@@ -15,7 +15,10 @@ use std::sync::Mutex;
 
 pub mod prelude {
     //! Traits imported by `use rayon::prelude::*`.
-    pub use crate::{IndexedParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};
+    pub use crate::{
+        IndexedParallelIterator, IntoParallelIterator, ParallelIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
 }
 
 thread_local! {
@@ -219,6 +222,50 @@ impl<'a, T: Sync> ParallelIterator for Enumerate<ParChunks<'a, T>> {
     }
 }
 
+/// Conversion into a parallel iterator (the subset the workspace uses:
+/// owned `Vec`s of work items, e.g. per-shard `(sessions, scratch)` pairs).
+pub trait IntoParallelIterator {
+    /// The items produced by the resulting iterator.
+    type Item: Send;
+    /// The resulting parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel iterator over an owned `Vec`.
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IntoParIter<T> {
+    type Item = T;
+
+    fn for_each<F: Fn(Self::Item) + Sync + Send>(self, f: F) {
+        drive(self.items, |_, item| f(item));
+    }
+}
+
+impl<T: Send> IndexedParallelIterator for IntoParIter<T> {}
+
+impl<T: Send> ParallelIterator for Enumerate<IntoParIter<T>> {
+    type Item = (usize, T);
+
+    fn for_each<F: Fn(Self::Item) + Sync + Send>(self, f: F) {
+        drive(self.inner.items, |index, item| f((index, item)));
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = IntoParIter<T>;
+
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter { items: self }
+    }
+}
+
 /// Extension adding `par_chunks` to shared slices.
 pub trait ParallelSlice<T: Sync> {
     /// Splits the slice into chunks of at most `chunk_size` elements that can
@@ -290,6 +337,17 @@ mod tests {
         let inner = pool.install(|| nested.install(current_num_threads));
         assert_eq!(inner, 1);
         assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn into_par_iter_consumes_every_item_once() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let total = AtomicU64::new(0);
+        let items: Vec<u64> = (1..=100).collect();
+        items.into_par_iter().for_each(|x| {
+            total.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 5050);
     }
 
     #[test]

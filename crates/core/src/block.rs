@@ -57,6 +57,21 @@ impl BlockState {
     /// Starts a fresh block.
     #[must_use]
     pub fn new(network: NetworkId, length: u64, probability: f64, kind: SelectionKind) -> Self {
+        Self::with_gain_log(network, length, probability, kind, Vec::new())
+    }
+
+    /// Starts a fresh block reusing `gain_log` (cleared first) as the backing
+    /// storage for the per-slot gains, so recycling a retired block's buffer
+    /// makes block turnover allocation-free.
+    #[must_use]
+    pub fn with_gain_log(
+        network: NetworkId,
+        length: u64,
+        probability: f64,
+        kind: SelectionKind,
+        mut gain_log: Vec<f64>,
+    ) -> Self {
+        gain_log.clear();
         BlockState {
             network,
             length: length.max(1),
@@ -64,7 +79,7 @@ impl BlockState {
             probability,
             kind,
             accumulated_gain: 0.0,
-            slot_gains: Vec::new(),
+            slot_gains: gain_log,
         }
     }
 
@@ -72,6 +87,29 @@ impl BlockState {
     pub fn record_slot(&mut self, scaled_gain: f64) {
         self.elapsed += 1;
         self.accumulated_gain += scaled_gain;
+        self.slot_gains.push(scaled_gain);
+    }
+
+    /// Records the scaled gain of one elapsed slot, keeping only the most
+    /// recent `keep_last` per-slot gains.
+    ///
+    /// The switch-back rule only ever inspects a fixed-size suffix of a
+    /// block, so Smart EXP3 uses this bounded variant to keep a block's
+    /// memory footprint constant: without the bound, the gain log of a
+    /// geometrically growing block grows without limit, and a fleet of a
+    /// million sessions pays for it in allocator traffic and cache misses.
+    /// `elapsed`, `accumulated_gain` and [`average_gain`](Self::average_gain)
+    /// are unaffected by the bound.
+    pub fn record_slot_bounded(&mut self, scaled_gain: f64, keep_last: usize) {
+        self.elapsed += 1;
+        self.accumulated_gain += scaled_gain;
+        let keep = keep_last.max(1);
+        if self.slot_gains.len() >= keep {
+            // Shift out the oldest entries; `keep` is a small constant (the
+            // switch-back window, 8 by default), so this is a tiny memmove.
+            let excess = self.slot_gains.len() + 1 - keep;
+            self.slot_gains.drain(..excess);
+        }
         self.slot_gains.push(scaled_gain);
     }
 
@@ -141,6 +179,26 @@ mod tests {
         assert!((block.accumulated_gain - 1.5).abs() < 1e-12);
         assert_eq!(block.recent_gains(2), &[0.6, 0.7]);
         assert_eq!(block.recent_gains(10).len(), 3);
+    }
+
+    #[test]
+    fn bounded_recording_keeps_a_suffix_and_exact_totals() {
+        let mut bounded = BlockState::new(NetworkId(1), 100, 0.5, SelectionKind::Random);
+        let mut unbounded = BlockState::new(NetworkId(1), 100, 0.5, SelectionKind::Random);
+        for slot in 0..40 {
+            let gain = (slot % 9) as f64 / 10.0;
+            bounded.record_slot_bounded(gain, 8);
+            unbounded.record_slot(gain);
+        }
+        assert_eq!(bounded.elapsed, unbounded.elapsed);
+        assert_eq!(bounded.accumulated_gain, unbounded.accumulated_gain);
+        assert_eq!(bounded.average_gain(), unbounded.average_gain());
+        assert_eq!(bounded.last_slot_gain(), unbounded.last_slot_gain());
+        assert!(bounded.slot_gains.len() <= 8);
+        // Every suffix the switch-back rule can ask for matches.
+        for window in 1..=8 {
+            assert_eq!(bounded.recent_gains(window), unbounded.recent_gains(window));
+        }
     }
 
     #[test]

@@ -144,6 +144,10 @@ impl Policy for Exp3 {
         self.weights.arms().iter().copied().zip(probs).collect()
     }
 
+    fn probabilities_into(&self, out: &mut Vec<(NetworkId, f64)>) {
+        self.weights.probability_pairs_into(self.current_gamma, out);
+    }
+
     fn last_selection_kind(&self) -> SelectionKind {
         self.last_kind
     }

@@ -138,6 +138,10 @@ impl Policy for FullInformation {
         self.weights.arms().iter().copied().zip(probs).collect()
     }
 
+    fn probabilities_into(&self, out: &mut Vec<(NetworkId, f64)>) {
+        self.weights.probability_pairs_into(0.0, out);
+    }
+
     fn last_selection_kind(&self) -> SelectionKind {
         SelectionKind::Random
     }

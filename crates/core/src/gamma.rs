@@ -30,16 +30,43 @@ impl GammaSchedule {
 
     /// Evaluates the schedule at `index` (1-based). An `index` of 0 is treated
     /// as 1.
+    ///
+    /// Every fresh decision of every session evaluates the schedule, so the
+    /// common small indices read a process-wide precomputed table instead of
+    /// paying a `powf` each time; the table holds exactly the values the
+    /// direct computation produces.
     #[must_use]
     pub fn value(&self, index: usize) -> f64 {
         match *self {
             GammaSchedule::Fixed(gamma) => gamma.clamp(f64::MIN_POSITIVE, 1.0),
             GammaSchedule::InverseCubeRoot { floor } => {
-                let b = index.max(1) as f64;
-                b.powf(-1.0 / 3.0).clamp(floor.max(f64::MIN_POSITIVE), 1.0)
+                let index = index.max(1);
+                let raw = inverse_cube_root_cached(index);
+                raw.clamp(floor.max(f64::MIN_POSITIVE), 1.0)
             }
         }
     }
+}
+
+/// `index^{-1/3}`, read from a lazily initialised table for small indices.
+fn inverse_cube_root_cached(index: usize) -> f64 {
+    use std::sync::OnceLock;
+    const TABLE_SIZE: usize = 4_096;
+    static TABLE: OnceLock<Vec<f64>> = OnceLock::new();
+    if index < TABLE_SIZE {
+        let table = TABLE.get_or_init(|| {
+            (0..TABLE_SIZE)
+                .map(|b| inverse_cube_root(b.max(1)))
+                .collect()
+        });
+        table[index]
+    } else {
+        inverse_cube_root(index)
+    }
+}
+
+fn inverse_cube_root(index: usize) -> f64 {
+    (index as f64).powf(-1.0 / 3.0)
 }
 
 impl Default for GammaSchedule {

@@ -80,4 +80,4 @@ pub use smart_exp3::{SmartExp3, SmartExp3Config, SmartExp3Features};
 pub use state::PolicyState;
 pub use stats::NetworkStats;
 pub use types::{BlockIndex, NetworkId, SlotIndex};
-pub use weights::WeightTable;
+pub use weights::{DistributionSummary, WeightTable};

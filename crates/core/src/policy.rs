@@ -165,6 +165,19 @@ pub trait Policy: Send {
     /// their committed choice.
     fn probabilities(&self) -> Vec<(NetworkId, f64)>;
 
+    /// Zero-alloc variant of [`probabilities`](Policy::probabilities): fills
+    /// `out` (cleared first), reusing its capacity. Drivers that poll the
+    /// distribution every slot (the simulator's recorder, dashboards) should
+    /// prefer this entry point with a long-lived buffer.
+    ///
+    /// The default delegates to `probabilities()`; policies on the hot path
+    /// (the EXP3 family) override it to read their cached distribution
+    /// without allocating.
+    fn probabilities_into(&self, out: &mut Vec<(NetworkId, f64)>) {
+        out.clear();
+        out.extend(self.probabilities());
+    }
+
     /// The kind of the most recent selection (see [`SelectionKind`]).
     fn last_selection_kind(&self) -> SelectionKind;
 

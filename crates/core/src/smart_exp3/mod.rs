@@ -67,6 +67,17 @@ pub struct SmartExp3 {
     /// most-used network.
     drop_streak: u32,
 
+    /// Memoised `⌈(1+β)^x⌉` block lengths indexed by `x` (0 = not yet
+    /// computed): β is fixed per policy and every fresh decision consults the
+    /// formula up to three times (reset condition, greedy condition, final
+    /// block length), so the `powf` is paid once per distinct `x` instead of
+    /// per decision. Serialized so a restored policy stays byte-identical.
+    block_length_memo: Vec<u64>,
+    /// Recycled backing storage for [`BlockState::slot_gains`]: the gain log
+    /// of a finished block's predecessor is cleared and reused by the next
+    /// block, so steady-state block turnover performs no allocation.
+    gain_log_pool: Vec<f64>,
+
     last_kind: SelectionKind,
     stats: PolicyStats,
 }
@@ -100,6 +111,8 @@ impl SmartExp3 {
             last_network: None,
             greedy_cutoff: None,
             drop_streak: 0,
+            block_length_memo: Vec::new(),
+            gain_log_pool: Vec::new(),
             last_kind: SelectionKind::Exploration,
             stats: PolicyStats::default(),
             available: networks,
@@ -144,41 +157,46 @@ impl SmartExp3 {
     // Decision making
     // ------------------------------------------------------------------
 
-    fn block_length_for(&self, network: NetworkId) -> u64 {
+    fn block_length_for(&mut self, network: NetworkId) -> u64 {
         let x = self.stats_table.blocks(network);
-        let len = block_length(self.config.beta, x);
+        let len = self.memoized_block_length(x);
         match self.config.max_block_length {
             Some(cap) => len.min(cap.max(1)),
             None => len,
         }
     }
 
-    /// The most probable network and its probability under the current γ.
-    fn most_probable(&self, probabilities: &[f64]) -> (NetworkId, f64) {
-        let mut best = 0;
-        for i in 1..probabilities.len() {
-            if probabilities[i] > probabilities[best] {
-                best = i;
-            }
+    /// `⌈(1+β)^x⌉` through the memo (exact: the memo stores the very value
+    /// [`block_length`] computes). Degenerate `x` beyond the memo range —
+    /// unreachable through real block counts — falls back to the direct
+    /// computation.
+    fn memoized_block_length(&mut self, x: u64) -> u64 {
+        const MEMO_LIMIT: u64 = 4_096;
+        if x >= MEMO_LIMIT {
+            return block_length(self.config.beta, x);
         }
-        (self.weights.arms()[best], probabilities[best])
+        let index = x as usize;
+        if index >= self.block_length_memo.len() {
+            self.block_length_memo.resize(index + 1, 0);
+        }
+        if self.block_length_memo[index] == 0 {
+            self.block_length_memo[index] = block_length(self.config.beta, x);
+        }
+        self.block_length_memo[index]
     }
 
     /// §V "Greedy choices": whether the greedy coin flip may be used for the
     /// next decision. Also records `y` the first time condition (a) fails.
-    fn greedy_allowed(&mut self, probabilities: &[f64]) -> bool {
-        let k = probabilities.len();
+    ///
+    /// Reads the one-pass distribution digest — no per-decision probability
+    /// vector is materialised.
+    fn greedy_allowed(&mut self, summary: &crate::DistributionSummary) -> bool {
+        let k = self.weights.len();
         if k < 2 {
             return false;
         }
-        let max_p = probabilities
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max);
-        let min_p = probabilities.iter().cloned().fold(f64::INFINITY, f64::min);
-        let near_uniform = max_p - min_p <= 1.0 / (k as f64 - 1.0);
-        let (most_probable, _) = self.most_probable(probabilities);
-        let l_plus = self.block_length_for(most_probable);
+        let near_uniform = summary.max - summary.min <= 1.0 / (k as f64 - 1.0);
+        let l_plus = self.block_length_for(summary.most_probable);
         if near_uniform {
             return true;
         }
@@ -194,13 +212,13 @@ impl SmartExp3 {
 
     /// Periodic-reset condition of §V: the most probable network has both a
     /// sufficiently high probability and a long next block.
-    fn periodic_reset_due(&self, probabilities: &[f64]) -> bool {
-        if !self.config.features.reset || probabilities.is_empty() {
+    fn periodic_reset_due(&mut self, summary: &crate::DistributionSummary) -> bool {
+        if !self.config.features.reset {
             return false;
         }
-        let (most_probable, p) = self.most_probable(probabilities);
-        p >= self.config.reset_probability_threshold
-            && self.block_length_for(most_probable) >= self.config.reset_block_length_threshold
+        summary.max >= self.config.reset_probability_threshold
+            && self.block_length_for(summary.most_probable)
+                >= self.config.reset_block_length_threshold
     }
 
     fn do_reset(&mut self) {
@@ -219,10 +237,17 @@ impl SmartExp3 {
     fn start_new_block(&mut self, rng: &mut dyn RngCore) -> NetworkId {
         self.block_index += 1;
         self.current_gamma = self.config.gamma.value(self.block_index);
-        let probabilities = self.weights.probabilities(self.current_gamma);
+        // One pass over the cached distribution serves the reset check, the
+        // greedy conditions and the greedy fallback below. A minimal reset
+        // keeps the weights and γ, so the digest stays valid across it.
+        let summary = self.weights.summary(self.current_gamma);
 
-        if self.explore_queue.is_empty() && self.periodic_reset_due(&probabilities) {
-            self.do_reset();
+        if self.explore_queue.is_empty() {
+            if let Some(summary) = &summary {
+                if self.periodic_reset_due(summary) {
+                    self.do_reset();
+                }
+            }
         }
 
         let (network, probability, kind) = if let Some(previous) = self.pending_switch_back.take() {
@@ -241,14 +266,22 @@ impl SmartExp3 {
             self.stats.explorations += 1;
             (network, probability, SelectionKind::Exploration)
         } else {
-            let greedy_allowed = self.config.features.greedy && self.greedy_allowed(&probabilities);
+            let greedy_allowed = self.config.features.greedy
+                && summary
+                    .as_ref()
+                    .is_some_and(|summary| self.greedy_allowed(summary));
             if greedy_allowed && rng.gen_bool(0.5) {
                 // Deterministic pick of the empirically best network.
                 let network = self
                     .stats_table
                     .best_average()
                     .filter(|n| self.available.contains(n))
-                    .unwrap_or_else(|| self.most_probable(&probabilities).0);
+                    .unwrap_or_else(|| {
+                        summary
+                            .as_ref()
+                            .expect("non-empty weight table")
+                            .most_probable
+                    });
                 self.stats.greedy_selections += 1;
                 (network, 0.5, SelectionKind::Greedy)
             } else {
@@ -267,7 +300,14 @@ impl SmartExp3 {
             }
         }
         self.last_kind = kind;
-        self.current_block = Some(BlockState::new(network, length, probability, kind));
+        let gain_log = std::mem::take(&mut self.gain_log_pool);
+        self.current_block = Some(BlockState::with_gain_log(
+            network,
+            length,
+            probability,
+            kind,
+            gain_log,
+        ));
         self.needs_decision = false;
         network
     }
@@ -284,9 +324,19 @@ impl SmartExp3 {
             let estimated = block.accumulated_gain / block.probability.max(f64::MIN_POSITIVE);
             self.weights
                 .multiplicative_update(block.network, self.current_gamma, estimated);
-            self.previous_block = Some(block);
+            // The outgoing previous block's gain log becomes the pool buffer
+            // for the next block — block turnover allocates nothing.
+            if let Some(retired) = self.previous_block.replace(block) {
+                self.recycle_gain_log(retired.slot_gains);
+            }
         }
         self.needs_decision = true;
+    }
+
+    /// Returns a retired gain log to the pool (cleared, capacity kept).
+    fn recycle_gain_log(&mut self, mut log: Vec<f64>) {
+        log.clear();
+        self.gain_log_pool = log;
     }
 
     /// §V "Switch back": evaluates whether the first slot of the current block
@@ -396,7 +446,10 @@ impl Policy for SmartExp3 {
             // happen if the environment overrode the choice); ignore it.
             return;
         }
-        block.record_slot(observation.scaled_gain);
+        // Only the trailing switch-back window of a block's gain log is ever
+        // consulted, so recording is bounded: block memory stays constant even
+        // as block lengths grow geometrically.
+        block.record_slot_bounded(observation.scaled_gain, self.config.switch_back_window);
         self.stats_table
             .record_slot(observation.network, observation.scaled_gain);
         self.last_network = Some(observation.network);
@@ -492,6 +545,10 @@ impl Policy for SmartExp3 {
     fn probabilities(&self) -> Vec<(NetworkId, f64)> {
         let probs = self.weights.probabilities(self.current_gamma);
         self.weights.arms().iter().copied().zip(probs).collect()
+    }
+
+    fn probabilities_into(&self, out: &mut Vec<(NetworkId, f64)>) {
+        self.weights.probability_pairs_into(self.current_gamma, out);
     }
 
     fn last_selection_kind(&self) -> SelectionKind {

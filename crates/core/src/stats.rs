@@ -2,7 +2,6 @@
 
 use crate::NetworkId;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// Running statistics about the gains observed from each network.
 ///
@@ -11,10 +10,25 @@ use std::collections::BTreeMap;
 /// sustained ≥15 % drop on the most-used network), and the [`Greedy`]
 /// baseline uses them as its whole decision rule.
 ///
+/// These counters sit on the per-slot hot path of every session a fleet
+/// engine hosts, so they are stored as a flat vector sorted by network id
+/// (one contiguous allocation, binary-searched) rather than a tree map; with
+/// the handful of networks a device ever sees, every lookup touches a single
+/// cache line. Iteration order (ascending id) and the serialized shape (a
+/// sequence of `[id, entry]` pairs) are identical to the previous
+/// `BTreeMap`-backed representation.
+///
 /// [`Greedy`]: crate::Greedy
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct NetworkStats {
-    per_network: BTreeMap<NetworkId, PerNetwork>,
+    /// `(network, entry)` pairs sorted by network id.
+    per_network: Vec<(NetworkId, PerNetwork)>,
+    /// Running `(network, slots)` of the most-used network — the reset
+    /// heuristic polls it every slot, and slot counts only ever grow by one,
+    /// so the argmax is maintained incrementally instead of rescanned.
+    /// Matches [`most_used`](Self::most_used)'s historical tie-break (the
+    /// highest id among networks tied for the most slots) exactly.
+    most_used_cache: Option<(NetworkId, u64)>,
 }
 
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -31,34 +45,70 @@ impl NetworkStats {
         Self::default()
     }
 
+    /// Mutable entry for `network`, inserted (default) if absent.
+    fn entry_mut(&mut self, network: NetworkId) -> &mut PerNetwork {
+        match self.per_network.binary_search_by_key(&network, |&(n, _)| n) {
+            Ok(i) => &mut self.per_network[i].1,
+            Err(i) => {
+                self.per_network.insert(i, (network, PerNetwork::default()));
+                &mut self.per_network[i].1
+            }
+        }
+    }
+
+    /// Shared entry for `network`, if present.
+    fn entry(&self, network: NetworkId) -> Option<&PerNetwork> {
+        self.per_network
+            .binary_search_by_key(&network, |&(n, _)| n)
+            .ok()
+            .map(|i| &self.per_network[i].1)
+    }
+
     /// Records one slot's scaled gain on `network`.
     pub fn record_slot(&mut self, network: NetworkId, scaled_gain: f64) {
-        let entry = self.per_network.entry(network).or_default();
+        let entry = self.entry_mut(network);
         entry.slots += 1;
         entry.total_gain += scaled_gain;
+        let slots = entry.slots;
+        // Incremental argmax: a single increment can only promote `network`.
+        // The tie rule (higher id wins) mirrors the rescan's last-wins
+        // iteration over ascending ids.
+        match self.most_used_cache {
+            Some((cached, cached_slots)) if cached == network => {
+                self.most_used_cache = Some((network, slots));
+                debug_assert_eq!(slots, cached_slots + 1);
+            }
+            Some((cached, cached_slots))
+                if slots > cached_slots || (slots == cached_slots && network > cached) =>
+            {
+                self.most_used_cache = Some((network, slots));
+            }
+            Some(_) => {}
+            None => self.most_used_cache = Some((network, slots)),
+        }
     }
 
     /// Records that a block was started on `network`.
     pub fn record_block(&mut self, network: NetworkId) {
-        self.per_network.entry(network).or_default().blocks += 1;
+        self.entry_mut(network).blocks += 1;
     }
 
     /// Number of blocks started on `network`.
     #[must_use]
     pub fn blocks(&self, network: NetworkId) -> u64 {
-        self.per_network.get(&network).map_or(0, |e| e.blocks)
+        self.entry(network).map_or(0, |e| e.blocks)
     }
 
     /// Number of slots spent on `network`.
     #[must_use]
     pub fn slots(&self, network: NetworkId) -> u64 {
-        self.per_network.get(&network).map_or(0, |e| e.slots)
+        self.entry(network).map_or(0, |e| e.slots)
     }
 
     /// Average scaled gain per slot on `network` (`None` if never visited).
     #[must_use]
     pub fn average_gain(&self, network: NetworkId) -> Option<f64> {
-        self.per_network.get(&network).and_then(|e| {
+        self.entry(network).and_then(|e| {
             if e.slots == 0 {
                 None
             } else {
@@ -74,7 +124,7 @@ impl NetworkStats {
         self.per_network
             .iter()
             .filter(|(_, e)| e.slots > 0)
-            .map(|(&n, e)| (n, e.total_gain / e.slots as f64))
+            .map(|&(n, ref e)| (n, e.total_gain / e.slots as f64))
             .fold(
                 None,
                 |best: Option<(NetworkId, f64)>, (n, avg)| match best {
@@ -86,14 +136,21 @@ impl NetworkStats {
     }
 
     /// The network on which the most slots have been spent (the `i_max` of
-    /// §V), if any observation was made.
+    /// §V), if any observation was made. O(1): read from the incrementally
+    /// maintained cache.
     #[must_use]
     pub fn most_used(&self) -> Option<NetworkId> {
-        self.per_network
+        self.most_used_cache.map(|(n, _)| n)
+    }
+
+    /// Recomputes the most-used cache from scratch (after bulk mutations).
+    fn rescan_most_used(&mut self) {
+        self.most_used_cache = self
+            .per_network
             .iter()
             .filter(|(_, e)| e.slots > 0)
             .max_by_key(|(_, e)| e.slots)
-            .map(|(&n, _)| n)
+            .map(|&(n, ref e)| (n, e.slots));
     }
 
     /// Folds another statistics table into this one, summing slot counts,
@@ -103,40 +160,43 @@ impl NetworkStats {
     /// fleet engine always merges in session order so the floating-point gain
     /// totals are reproducible too.
     pub fn merge(&mut self, other: &NetworkStats) {
-        for (&network, stats) in &other.per_network {
-            let entry = self.per_network.entry(network).or_default();
+        for &(network, ref stats) in &other.per_network {
+            let entry = self.entry_mut(network);
             entry.slots += stats.slots;
             entry.blocks += stats.blocks;
             entry.total_gain += stats.total_gain;
         }
+        self.rescan_most_used();
     }
 
     /// Total slots recorded across all networks.
     #[must_use]
     pub fn total_slots(&self) -> u64 {
-        self.per_network.values().map(|e| e.slots).sum()
+        self.per_network.iter().map(|(_, e)| e.slots).sum()
     }
 
     /// Total gain recorded across all networks.
     #[must_use]
     pub fn total_gain(&self) -> f64 {
-        self.per_network.values().map(|e| e.total_gain).sum()
+        self.per_network.iter().map(|(_, e)| e.total_gain).sum()
     }
 
     /// The networks with at least one recorded slot or block, ascending.
     pub fn networks(&self) -> impl Iterator<Item = NetworkId> + '_ {
-        self.per_network.keys().copied()
+        self.per_network.iter().map(|&(n, _)| n)
     }
 
     /// Forgets everything (used by Smart EXP3's minimal reset, which clears
     /// the data backing greedy decisions while *keeping* the EXP3 weights).
     pub fn clear(&mut self) {
         self.per_network.clear();
+        self.most_used_cache = None;
     }
 
     /// Drops statistics about networks not in `available` (after mobility).
     pub fn retain_networks(&mut self, available: &[NetworkId]) {
-        self.per_network.retain(|n, _| available.contains(n));
+        self.per_network.retain(|(n, _)| available.contains(n));
+        self.rescan_most_used();
     }
 }
 
@@ -191,6 +251,39 @@ mod tests {
     fn empty_stats_have_no_best() {
         let stats = NetworkStats::new();
         assert_eq!(stats.best_average(), None);
+        assert_eq!(stats.most_used(), None);
+    }
+
+    #[test]
+    fn incremental_most_used_matches_a_rescan() {
+        // The O(1) cache must agree with a from-scratch argmax (highest id
+        // wins ties) after every kind of mutation.
+        let rescan = |stats: &NetworkStats| -> Option<NetworkId> {
+            let mut best: Option<(NetworkId, u64)> = None;
+            for n in stats.networks() {
+                let slots = stats.slots(n);
+                if slots > 0 && best.is_none_or(|(_, s)| slots >= s) {
+                    best = Some((n, slots));
+                }
+            }
+            best.map(|(n, _)| n)
+        };
+        let mut stats = NetworkStats::new();
+        let ids = [3u32, 0, 7, 0, 3, 3, 7, 7, 1, 7, 0, 0, 0];
+        for (step, &id) in ids.iter().enumerate() {
+            stats.record_slot(NetworkId(id), 0.5);
+            assert_eq!(stats.most_used(), rescan(&stats), "step {step}");
+        }
+        stats.retain_networks(&[NetworkId(1), NetworkId(3)]);
+        assert_eq!(stats.most_used(), rescan(&stats));
+        let mut other = NetworkStats::new();
+        for _ in 0..9 {
+            other.record_slot(NetworkId(1), 0.2);
+        }
+        stats.merge(&other);
+        assert_eq!(stats.most_used(), rescan(&stats));
+        assert_eq!(stats.most_used(), Some(NetworkId(1)));
+        stats.clear();
         assert_eq!(stats.most_used(), None);
     }
 }

@@ -9,13 +9,57 @@
 //!
 //! Because the estimated gains `ĝ = g / p` can be large (blocks of dozens of
 //! slots divided by small probabilities), weights are stored in the **log
-//! domain** and probabilities computed with a max-shifted softmax, which keeps
+//! domain** and probabilities derived from a max-shifted softmax, which keeps
 //! the computation stable over arbitrarily long horizons.
+//!
+//! ## The distribution cache
+//!
+//! Recomputing the softmax from scratch on every read is the dominant cost of
+//! a fleet stepping millions of sessions, so the table keeps the softmax
+//! **cached and incrementally maintained** (following the spirit of Sato &
+//! Ito's "Fast EXP3 Algorithms"): alongside the log-weights it stores the
+//! max-shifted exponentials `e_i = exp(lw_i − max_lw)` and their running sum.
+//! A [`multiplicative_update`](WeightTable::multiplicative_update) then costs
+//! one `exp` plus a constant-time sum adjustment; a full O(k) rebuild happens
+//! only when the maximum shifts, when an arm is added/removed/reset, or
+//! periodically to keep floating-point drift of the running sum far below
+//! any observable level (see `PATCH_LIMIT`).
+//!
+//! Cache invariants (checked by the property suite in `tests/`):
+//!
+//! 1. `log_weights` is always the exact ground truth; the cache is derived
+//!    data and never feeds back into it.
+//! 2. `max_log_weight` equals `max(log_weights)` at all times.
+//! 3. `exp_weights[i]` equals `exp(log_weights[i] − max_log_weight)` exactly;
+//!    `exp_sum` equals `Σ exp_weights[i]` up to the accumulated rounding of at
+//!    most `PATCH_LIMIT` constant-time adjustments (relative error well below
+//!    1e-12, the tolerance the property tests assert).
+//! 4. Every field is serialized, so a snapshot restores the cache **bit
+//!    identically** and a restored policy continues on the exact trajectory
+//!    of the original.
 
 use crate::NetworkId;
 use rand::Rng;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
+
+/// Number of constant-time cache adjustments allowed before the next update
+/// performs a full rebuild. Each adjustment perturbs the running sum by at
+/// most one ulp, so 64 of them keep the cached distribution within ~1e-14 of
+/// a from-scratch softmax — two orders of magnitude tighter than the 1e-12
+/// contract the property tests assert.
+const PATCH_LIMIT: u32 = 64;
+
+/// One-pass digest of an EXP3 distribution (see [`WeightTable::summary`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistributionSummary {
+    /// The arm with the highest probability (earliest-inserted wins ties).
+    pub most_probable: NetworkId,
+    /// The highest probability.
+    pub max: f64,
+    /// The lowest probability.
+    pub min: f64,
+}
 
 /// Exponential weight table over a (possibly changing) set of networks.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -23,6 +67,16 @@ pub struct WeightTable {
     arms: Vec<NetworkId>,
     /// Natural-log weights; `log_weights[i]` corresponds to `arms[i]`.
     log_weights: Vec<f64>,
+    /// `(arm, position)` pairs sorted by arm, for O(log k) lookups.
+    index: Vec<(NetworkId, usize)>,
+    /// Cached maximum of `log_weights` (the softmax shift).
+    max_log_weight: f64,
+    /// Cached `exp(log_weights[i] − max_log_weight)`.
+    exp_weights: Vec<f64>,
+    /// Cached `Σ exp_weights[i]`, maintained incrementally.
+    exp_sum: f64,
+    /// Constant-time adjustments applied since the last full rebuild.
+    patches: u32,
 }
 
 impl WeightTable {
@@ -33,15 +87,22 @@ impl WeightTable {
     #[must_use]
     pub fn uniform(arms: &[NetworkId]) -> Self {
         let mut table = WeightTable {
-            arms: Vec::new(),
-            log_weights: Vec::new(),
+            arms: Vec::with_capacity(arms.len()),
+            log_weights: Vec::with_capacity(arms.len()),
+            index: Vec::with_capacity(arms.len()),
+            max_log_weight: f64::NEG_INFINITY,
+            exp_weights: Vec::with_capacity(arms.len()),
+            exp_sum: 0.0,
+            patches: 0,
         };
         for &arm in arms {
-            if !table.arms.contains(&arm) {
+            if let Err(slot) = table.index_slot(arm) {
+                table.index.insert(slot, (arm, table.arms.len()));
                 table.arms.push(arm);
                 table.log_weights.push(0.0);
             }
         }
+        table.rebuild_cache();
         table
     }
 
@@ -63,10 +124,16 @@ impl WeightTable {
         &self.arms
     }
 
-    /// Returns the position of `arm` in the table, if tracked.
+    /// Binary-search result for `arm` in the sorted index: `Ok` holds the
+    /// index entry, `Err` the insertion point.
+    fn index_slot(&self, arm: NetworkId) -> Result<usize, usize> {
+        self.index.binary_search_by_key(&arm, |&(a, _)| a)
+    }
+
+    /// Returns the position of `arm` in the table, if tracked, in O(log k).
     #[must_use]
     pub fn position(&self, arm: NetworkId) -> Option<usize> {
-        self.arms.iter().position(|&a| a == arm)
+        self.index_slot(arm).ok().map(|slot| self.index[slot].1)
     }
 
     /// Log-weight of `arm`, or `None` if the arm is not tracked.
@@ -75,15 +142,78 @@ impl WeightTable {
         self.position(arm).map(|i| self.log_weights[i])
     }
 
+    /// Rebuilds the cached softmax from the ground-truth log-weights.
+    fn rebuild_cache(&mut self) {
+        self.max_log_weight = self
+            .log_weights
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let max = self.max_log_weight;
+        self.exp_weights.clear();
+        self.exp_weights
+            .extend(self.log_weights.iter().map(|&lw| (lw - max).exp()));
+        self.exp_sum = self.exp_weights.iter().sum();
+        self.patches = 0;
+    }
+
+    /// Rebuilds the sorted arm index (positions shift after a removal).
+    fn rebuild_index(&mut self) {
+        self.index.clear();
+        self.index
+            .extend(self.arms.iter().copied().enumerate().map(|(i, a)| (a, i)));
+        self.index.sort_unstable_by_key(|&(a, _)| a);
+    }
+
+    /// The EXP3 probability of the arm at position `i` under `gamma`,
+    /// computed from the cache in O(1).
+    #[inline]
+    fn probability_at(&self, i: usize, gamma: f64) -> f64 {
+        let k = self.arms.len() as f64;
+        (1.0 - gamma) * (self.exp_weights[i] / self.exp_sum) + gamma / k
+    }
+
     /// Applies the EXP3 multiplicative update `w ← w · exp(γ ĝ / k)` to `arm`.
     ///
     /// `estimated_gain` is the importance-weighted gain `ĝ = g / p`.
     /// Unknown arms are ignored (this can only happen transiently around a
-    /// change in the available-network set).
+    /// change in the available-network set). Non-finite estimates are
+    /// rejected outright: a single NaN or ±∞ gain would otherwise poison the
+    /// whole distribution, so the update is dropped and the table left
+    /// unchanged.
     pub fn multiplicative_update(&mut self, arm: NetworkId, gamma: f64, estimated_gain: f64) {
+        if !estimated_gain.is_finite() {
+            return;
+        }
         let k = self.arms.len().max(1) as f64;
-        if let Some(i) = self.position(arm) {
-            self.log_weights[i] += gamma * estimated_gain / k;
+        let delta = gamma * estimated_gain / k;
+        let Some(i) = self.position(arm) else {
+            return;
+        };
+        if delta == 0.0 {
+            return;
+        }
+        let old_lw = self.log_weights[i];
+        let new_lw = old_lw + delta;
+        self.log_weights[i] = new_lw;
+
+        let removed = self.exp_weights[i];
+        if self.patches >= PATCH_LIMIT
+            || new_lw > self.max_log_weight
+            || (delta < 0.0 && (old_lw == self.max_log_weight || removed > 0.5 * self.exp_sum))
+        {
+            // The maximum shifted, the arm that defined it shrank, a dominant
+            // term is about to be cancelled out of the running sum, or the
+            // drift budget is spent: recompute from the ground truth.
+            self.rebuild_cache();
+        } else {
+            let added = (new_lw - self.max_log_weight).exp();
+            self.exp_weights[i] = added;
+            self.exp_sum += added - removed;
+            self.patches += 1;
+            if !(self.exp_sum.is_finite() && self.exp_sum > 0.0) {
+                self.rebuild_cache();
+            }
         }
         self.renormalize();
     }
@@ -92,26 +222,92 @@ impl WeightTable {
     /// returned in the same order as [`arms`](Self::arms).
     #[must_use]
     pub fn probabilities(&self, gamma: f64) -> Vec<f64> {
-        let k = self.arms.len();
-        if k == 0 {
-            return Vec::new();
-        }
-        let soft = self.softmax();
-        soft.into_iter()
-            .map(|s| (1.0 - gamma) * s + gamma / k as f64)
-            .collect()
+        let mut out = Vec::new();
+        self.probabilities_into(gamma, &mut out);
+        out
     }
 
-    /// Probability of a specific arm under the EXP3 rule.
+    /// Zero-alloc variant of [`probabilities`](Self::probabilities): fills
+    /// `out` (cleared first), reusing its capacity.
+    pub fn probabilities_into(&self, gamma: f64, out: &mut Vec<f64>) {
+        out.clear();
+        if self.arms.is_empty() {
+            return;
+        }
+        out.extend((0..self.arms.len()).map(|i| self.probability_at(i, gamma)));
+    }
+
+    /// Zero-alloc `(arm, probability)` listing in insertion order: fills
+    /// `out` (cleared first), reusing its capacity.
+    pub fn probability_pairs_into(&self, gamma: f64, out: &mut Vec<(NetworkId, f64)>) {
+        out.clear();
+        out.extend(
+            self.arms
+                .iter()
+                .enumerate()
+                .map(|(i, &arm)| (arm, self.probability_at(i, gamma))),
+        );
+    }
+
+    /// Probability of a specific arm under the EXP3 rule, in O(log k) (an
+    /// index lookup plus a constant-time cache read).
     #[must_use]
     pub fn probability_of(&self, arm: NetworkId, gamma: f64) -> f64 {
         match self.position(arm) {
-            Some(i) => self.probabilities(gamma)[i],
+            Some(i) => self.probability_at(i, gamma),
             None => 0.0,
         }
     }
 
-    /// Samples an arm from the EXP3 distribution.
+    /// The most probable arm and its probability, breaking ties towards the
+    /// earliest-inserted arm. `None` when the table is empty.
+    #[must_use]
+    pub fn most_probable(&self, gamma: f64) -> Option<(NetworkId, f64)> {
+        self.summary(gamma).map(|s| (s.most_probable, s.max))
+    }
+
+    /// `(min, max)` of the distribution, or `None` when the table is empty.
+    #[must_use]
+    pub fn probability_bounds(&self, gamma: f64) -> Option<(f64, f64)> {
+        self.summary(gamma).map(|s| (s.min, s.max))
+    }
+
+    /// One-pass summary of the distribution (argmax arm, maximum and minimum
+    /// probability), or `None` when the table is empty. The EXP3-family
+    /// policies consult all three for every fresh decision (greedy and reset
+    /// conditions), so they are produced together from the cache.
+    #[must_use]
+    pub fn summary(&self, gamma: f64) -> Option<DistributionSummary> {
+        if self.arms.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        let mut max_p = self.probability_at(0, gamma);
+        let mut min_p = max_p;
+        for i in 1..self.arms.len() {
+            let p = self.probability_at(i, gamma);
+            if p > max_p {
+                best = i;
+                max_p = p;
+            }
+            if p < min_p {
+                min_p = p;
+            }
+        }
+        Some(DistributionSummary {
+            most_probable: self.arms[best],
+            max: max_p,
+            min: min_p,
+        })
+    }
+
+    /// Samples an arm from the EXP3 distribution, reusing the cache (no
+    /// allocation, no softmax recomputation).
+    ///
+    /// If the distribution has been damaged despite the non-finite-update
+    /// guard (probabilities that fail to accumulate past the drawn target),
+    /// the walk falls back to the **last arm** instead of panicking — one
+    /// poisoned session must never take down a fleet.
     ///
     /// # Panics
     ///
@@ -121,15 +317,18 @@ impl WeightTable {
             !self.arms.is_empty(),
             "cannot sample from an empty weight table"
         );
-        let probs = self.probabilities(gamma);
+        let k = self.arms.len();
         let mut target: f64 = rng.gen();
-        for (i, &p) in probs.iter().enumerate() {
-            if target < p || i + 1 == probs.len() {
+        for i in 0..k {
+            let p = self.probability_at(i, gamma);
+            if target < p || i + 1 == k {
                 return (self.arms[i], p);
             }
             target -= p;
         }
-        unreachable!("probabilities sum to 1");
+        // Unreachable through the loop above (the `i + 1 == k` branch fires
+        // on the final arm), but kept as a defensive fallback.
+        (self.arms[k - 1], self.probability_at(k - 1, gamma))
     }
 
     /// Adds a newly discovered arm.
@@ -138,17 +337,19 @@ impl WeightTable {
     /// set to the maximum weight of the existing arms (or 1 if the table was
     /// empty), so that it has a realistic chance of being explored.
     pub fn add_arm(&mut self, arm: NetworkId) {
-        if self.position(arm).is_some() {
-            return;
-        }
-        let max_lw = self
-            .log_weights
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max);
-        let lw = if max_lw.is_finite() { max_lw } else { 0.0 };
+        let slot = match self.index_slot(arm) {
+            Ok(_) => return,
+            Err(slot) => slot,
+        };
+        let lw = if self.max_log_weight.is_finite() {
+            self.max_log_weight
+        } else {
+            0.0
+        };
+        self.index.insert(slot, (arm, self.arms.len()));
         self.arms.push(arm);
         self.log_weights.push(lw);
+        self.rebuild_cache();
     }
 
     /// Removes an arm that is no longer available. Returns `true` if it was
@@ -158,6 +359,8 @@ impl WeightTable {
             Some(i) => {
                 self.arms.remove(i);
                 self.log_weights.remove(i);
+                self.rebuild_index();
+                self.rebuild_cache();
                 true
             }
             None => false,
@@ -169,37 +372,20 @@ impl WeightTable {
         for lw in &mut self.log_weights {
             *lw = 0.0;
         }
-    }
-
-    /// Max-shifted softmax of the log-weights.
-    fn softmax(&self) -> Vec<f64> {
-        let max_lw = self
-            .log_weights
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max);
-        let exps: Vec<f64> = self
-            .log_weights
-            .iter()
-            .map(|&lw| (lw - max_lw).exp())
-            .collect();
-        let sum: f64 = exps.iter().sum();
-        exps.into_iter().map(|e| e / sum).collect()
+        self.rebuild_cache();
     }
 
     /// Keeps log-weights centred around zero so they never overflow even over
     /// billions of updates. Shifting all log-weights by a constant does not
-    /// change the softmax.
+    /// change the softmax — nor the cached exponentials, which are stored
+    /// relative to the maximum.
     fn renormalize(&mut self) {
-        let max_lw = self
-            .log_weights
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let max_lw = self.max_log_weight;
         if max_lw.is_finite() && max_lw.abs() > 1e3 {
             for lw in &mut self.log_weights {
                 *lw -= max_lw;
             }
+            self.max_log_weight = 0.0;
         }
     }
 }
@@ -214,6 +400,22 @@ mod tests {
         (0..k).map(NetworkId).collect()
     }
 
+    /// From-scratch reference distribution, bypassing the cache entirely.
+    fn naive_probabilities(table: &WeightTable, gamma: f64) -> Vec<f64> {
+        let k = table.len();
+        let lws: Vec<f64> = table
+            .arms()
+            .iter()
+            .map(|&a| table.log_weight(a).unwrap())
+            .collect();
+        let max = lws.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = lws.iter().map(|&lw| (lw - max).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        exps.into_iter()
+            .map(|e| (1.0 - gamma) * e / sum + gamma / k as f64)
+            .collect()
+    }
+
     #[test]
     fn uniform_table_gives_uniform_probabilities() {
         let table = WeightTable::uniform(&arms(4));
@@ -221,6 +423,15 @@ mod tests {
         for p in probs {
             assert!((p - 0.25).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn duplicate_arms_are_collapsed() {
+        let table = WeightTable::uniform(&[NetworkId(1), NetworkId(0), NetworkId(1)]);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.arms(), &[NetworkId(1), NetworkId(0)]);
+        assert_eq!(table.position(NetworkId(1)), Some(0));
+        assert_eq!(table.position(NetworkId(0)), Some(1));
     }
 
     #[test]
@@ -267,6 +478,39 @@ mod tests {
     }
 
     #[test]
+    fn cached_distribution_tracks_the_naive_softmax() {
+        let mut table = WeightTable::uniform(&arms(5));
+        let mut rng = StdRng::seed_from_u64(99);
+        for step in 0..5_000 {
+            let arm = NetworkId((rng.gen::<u32>()) % 5);
+            let gain = rng.gen::<f64>() * 40.0 - 5.0; // includes negative updates
+            table.multiplicative_update(arm, 0.3, gain);
+            let gamma = rng.gen::<f64>();
+            let cached = table.probabilities(gamma);
+            let naive = naive_probabilities(&table, gamma);
+            for (c, n) in cached.iter().zip(&naive) {
+                assert!((c - n).abs() < 1e-12, "step {step}: cached {c} naive {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_updates_are_rejected() {
+        let mut table = WeightTable::uniform(&arms(3));
+        table.multiplicative_update(NetworkId(1), 0.5, 4.0);
+        let before = table.probabilities(0.1);
+        table.multiplicative_update(NetworkId(0), 0.5, f64::NAN);
+        table.multiplicative_update(NetworkId(1), 0.5, f64::INFINITY);
+        table.multiplicative_update(NetworkId(2), 0.5, f64::NEG_INFINITY);
+        assert_eq!(table.probabilities(0.1), before);
+        // Sampling still works and never panics.
+        let mut rng = StdRng::seed_from_u64(7);
+        let (arm, p) = table.sample(0.1, &mut rng);
+        assert!(table.arms().contains(&arm));
+        assert!(p.is_finite() && p > 0.0);
+    }
+
+    #[test]
     fn new_arm_inherits_max_weight() {
         let mut table = WeightTable::uniform(&arms(2));
         table.multiplicative_update(NetworkId(1), 0.5, 10.0);
@@ -283,6 +527,64 @@ mod tests {
         assert_eq!(table.len(), 2);
         let probs = table.probabilities(0.0);
         assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Positions stay consistent after the removal.
+        assert_eq!(table.position(NetworkId(0)), Some(0));
+        assert_eq!(table.position(NetworkId(2)), Some(1));
+        assert_eq!(table.position(NetworkId(1)), None);
+    }
+
+    #[test]
+    fn probability_of_matches_the_full_listing() {
+        let mut table = WeightTable::uniform(&arms(4));
+        for step in 0..200 {
+            table.multiplicative_update(NetworkId(step % 4), 0.4, (step % 7) as f64);
+            let probs = table.probabilities(0.2);
+            for (i, &arm) in table.arms().iter().enumerate() {
+                assert_eq!(table.probability_of(arm, 0.2), probs[i]);
+            }
+        }
+        assert_eq!(table.probability_of(NetworkId(9), 0.2), 0.0);
+    }
+
+    #[test]
+    fn most_probable_and_bounds_agree_with_the_listing() {
+        let mut table = WeightTable::uniform(&arms(4));
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..500 {
+            table.multiplicative_update(
+                NetworkId(rng.gen::<u32>() % 4),
+                0.3,
+                rng.gen::<f64>() * 9.0,
+            );
+            let probs = table.probabilities(0.15);
+            let naive_best =
+                probs
+                    .iter()
+                    .enumerate()
+                    .fold(0usize, |b, (i, &p)| if p > probs[b] { i } else { b });
+            let (arm, p) = table.most_probable(0.15).unwrap();
+            assert_eq!(arm, table.arms()[naive_best]);
+            assert_eq!(p, probs[naive_best]);
+            let (min_p, max_p) = table.probability_bounds(0.15).unwrap();
+            assert_eq!(min_p, probs.iter().cloned().fold(f64::INFINITY, f64::min));
+            assert_eq!(
+                max_p,
+                probs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            );
+        }
+    }
+
+    #[test]
+    fn probabilities_into_reuses_the_buffer() {
+        let mut table = WeightTable::uniform(&arms(3));
+        table.multiplicative_update(NetworkId(0), 0.2, 3.0);
+        let mut buffer = Vec::new();
+        table.probabilities_into(0.1, &mut buffer);
+        assert_eq!(buffer, table.probabilities(0.1));
+        let capacity = buffer.capacity();
+        table.probabilities_into(0.4, &mut buffer);
+        assert_eq!(buffer.capacity(), capacity, "buffer must be reused");
+        assert_eq!(buffer, table.probabilities(0.4));
     }
 
     #[test]

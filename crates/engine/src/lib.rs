@@ -188,10 +188,51 @@ impl Session {
     }
 }
 
+/// Reusable per-shard buffers for batched stepping.
+///
+/// One `SlotScratch` lives per shard, persists across slots, and is handed to
+/// the feedback closure through [`StepContext::scratch`], so grading a slot
+/// never has to allocate: a closure that attaches counterfactual
+/// full-information gains takes the buffer with
+/// [`full_gains_buffer`](Self::full_gains_buffer), and the engine reclaims
+/// the allocation from the observation after the session has consumed it.
+#[derive(Debug, Default)]
+pub struct SlotScratch {
+    /// Recycled backing storage for [`Observation::full_gains`].
+    full_gains: Vec<(NetworkId, f64)>,
+}
+
+impl SlotScratch {
+    /// Creates an empty scratch space.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes the recycled full-gains buffer (cleared, capacity preserved).
+    /// Attach the filled buffer to the returned [`Observation`] via
+    /// [`Observation::with_full_gains`]; the engine recovers the allocation
+    /// after the observation has been consumed.
+    #[must_use]
+    pub fn full_gains_buffer(&mut self) -> Vec<(NetworkId, f64)> {
+        let mut buffer = std::mem::take(&mut self.full_gains);
+        buffer.clear();
+        buffer
+    }
+
+    /// Reclaims recyclable allocations from a consumed observation.
+    fn recycle(&mut self, observation: Observation) {
+        if let Some(mut gains) = observation.full_gains {
+            gains.clear();
+            self.full_gains = gains;
+        }
+    }
+}
+
 /// Everything [`FleetEngine::step_with`] tells the feedback closure about the
-/// decision it must grade.
-#[derive(Debug, Clone, Copy)]
-pub struct StepContext {
+/// decision it must grade, plus the shard's reusable scratch space.
+#[derive(Debug)]
+pub struct StepContext<'a> {
     /// The deciding session.
     pub session: SessionId,
     /// The slot being stepped.
@@ -201,6 +242,8 @@ pub struct StepContext {
     /// The network the session used in the previous slot (`None` on its
     /// first slot), for switch accounting.
     pub previous: Option<NetworkId>,
+    /// The shard's reusable buffers (see [`SlotScratch`]).
+    pub scratch: &'a mut SlotScratch,
 }
 
 /// Aggregate behaviour of every session of one [`PolicyKind`] in the fleet.
@@ -313,7 +356,11 @@ impl fmt::Display for SnapshotError {
 impl std::error::Error for SnapshotError {}
 
 /// Snapshot format version written by this engine.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// Version 2: policies serialize the weight table's distribution cache and
+/// flat (vector-backed) network statistics, so a restored session resumes on
+/// the exact floating-point trajectory of the original.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Checkpoint of one session.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -364,6 +411,11 @@ pub struct FleetEngine {
     next_id: u64,
     decisions: u64,
     choices: Vec<NetworkId>,
+    /// One persistent [`SlotScratch`] per shard, grown on fleet growth only —
+    /// steady-state stepping performs no per-**session** allocation. (A small
+    /// O(shard-count) pairing vector is still built per step to hand each
+    /// worker its shard and scratch together.)
+    scratch: Vec<SlotScratch>,
 }
 
 impl fmt::Debug for FleetEngine {
@@ -395,6 +447,7 @@ impl FleetEngine {
             next_id: 0,
             decisions: 0,
             choices: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -525,30 +578,44 @@ impl FleetEngine {
 
     /// Fused step: every session chooses, the `feedback` closure grades the
     /// choice, and the session observes — one parallel traversal, no
-    /// intermediate allocation. Use this when feedback for a session depends
-    /// only on that session's own choice; when sessions couple (congestion),
-    /// use [`choose_all`](Self::choose_all) +
+    /// per-session allocation. Each shard threads its persistent
+    /// [`SlotScratch`] through the [`StepContext`], so feedback closures that
+    /// build per-slot structures (e.g. full-information gain vectors) can
+    /// reuse buffers across slots instead of allocating. Use this when
+    /// feedback for a session depends only on that session's own choice; when
+    /// sessions couple (congestion), use [`choose_all`](Self::choose_all) +
     /// [`observe_all`](Self::observe_all).
     pub fn step_with<F>(&mut self, feedback: F)
     where
-        F: Fn(&StepContext) -> Observation + Sync,
+        F: Fn(&mut StepContext<'_>) -> Observation + Sync,
     {
         let slot = self.slot;
         let shard_size = self.config.shard_size.max(1);
-        let sessions = &mut self.sessions;
+        let shard_count = self.sessions.len().div_ceil(shard_size);
+        if self.scratch.len() < shard_count {
+            self.scratch.resize_with(shard_count, SlotScratch::default);
+        }
+        let work: Vec<(&mut [Session], &mut SlotScratch)> = self
+            .sessions
+            .chunks_mut(shard_size)
+            .zip(self.scratch.iter_mut())
+            .collect();
         let feedback = &feedback;
         Self::in_pool(&self.pool, || {
-            sessions.par_chunks_mut(shard_size).for_each(|shard| {
+            work.into_par_iter().for_each(|(shard, scratch)| {
                 for session in shard {
                     let previous = session.last_choice;
                     let chosen = session.choose(slot);
-                    let observation = feedback(&StepContext {
+                    let mut context = StepContext {
                         session: session.id,
                         slot,
                         chosen,
                         previous,
-                    });
+                        scratch: &mut *scratch,
+                    };
+                    let observation = feedback(&mut context);
                     session.observe(&observation);
+                    scratch.recycle(observation);
                 }
             });
         });
@@ -559,7 +626,7 @@ impl FleetEngine {
     /// Convenience: runs `slots` fused steps.
     pub fn run_with<F>(&mut self, slots: usize, feedback: F)
     where
-        F: Fn(&StepContext) -> Observation + Sync,
+        F: Fn(&mut StepContext<'_>) -> Observation + Sync,
     {
         for _ in 0..slots {
             self.step_with(&feedback);
@@ -731,7 +798,7 @@ mod tests {
         ]
     }
 
-    fn feedback(ctx: &StepContext) -> Observation {
+    fn feedback(ctx: &mut StepContext<'_>) -> Observation {
         // Deterministic per-session environment: network 2 is best, with a
         // session-dependent wobble so sessions do not all look identical.
         let wobble = (ctx.session.0 % 7) as f64 / 100.0;
@@ -797,15 +864,17 @@ mod tests {
             let slot = phased.slot();
             let previous = phased.last_choices();
             let choices = phased.choose_all().to_vec();
+            let mut scratch = SlotScratch::new();
             let observations: Vec<Observation> = choices
                 .iter()
                 .enumerate()
                 .map(|(i, &chosen)| {
-                    feedback(&StepContext {
+                    feedback(&mut StepContext {
                         session: SessionId(i as u64),
                         slot,
                         chosen,
                         previous: previous[i],
+                        scratch: &mut scratch,
                     })
                 })
                 .collect();
@@ -839,6 +908,36 @@ mod tests {
         let display = metrics.to_string();
         assert!(display.contains("80 sessions"));
         assert!(display.contains("Smart EXP3"));
+    }
+
+    #[test]
+    fn scratch_full_gains_buffers_are_recycled() {
+        let mut factory = PolicyFactory::new(rates()).unwrap();
+        let mut fleet = FleetEngine::new(FleetConfig::with_root_seed(9).with_threads(1));
+        fleet
+            .add_fleet(&mut factory, PolicyKind::FullInformation, 8)
+            .unwrap();
+        for _ in 0..30 {
+            fleet.step_with(|ctx| {
+                let mut gains = ctx.scratch.full_gains_buffer();
+                assert!(gains.is_empty(), "recycled buffer must come back clean");
+                gains.extend([
+                    (NetworkId(0), 0.2),
+                    (NetworkId(1), 0.3),
+                    (NetworkId(2), 0.9),
+                ]);
+                let gain = if ctx.chosen == NetworkId(2) {
+                    0.9
+                } else {
+                    0.25
+                };
+                Observation::bandit(ctx.slot, ctx.chosen, gain * 22.0, gain).with_full_gains(gains)
+            });
+        }
+        let metrics = fleet.metrics();
+        assert_eq!(metrics.decisions, 30 * 8);
+        let full = metrics.kind(PolicyKind::FullInformation).unwrap();
+        assert!(full.mean_gain() > 0.0);
     }
 
     #[test]

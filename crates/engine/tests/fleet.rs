@@ -55,7 +55,7 @@ fn run_congestion(config: FleetConfig, sessions: usize, slots: usize) -> FleetEn
     fleet
 }
 
-fn independent_feedback(ctx: &StepContext) -> Observation {
+fn independent_feedback(ctx: &mut StepContext<'_>) -> Observation {
     let gain = if ctx.chosen == NetworkId(2) {
         0.8 + (ctx.session.0 % 5) as f64 / 50.0
     } else {

@@ -52,49 +52,61 @@ impl SharingModel {
     /// (noise only redistributes or destroys capacity, it never creates it).
     #[must_use]
     pub fn shares(&self, bandwidth_mbps: f64, devices: usize, rng: &mut dyn RngCore) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.shares_into(bandwidth_mbps, devices, rng, &mut out);
+        out
+    }
+
+    /// Zero-alloc variant of [`shares`](Self::shares): fills `out` (cleared
+    /// first), reusing its capacity. The simulator calls this once per
+    /// loaded network per slot, so reusing the buffer keeps the inner loop
+    /// allocation-free.
+    pub fn shares_into(
+        &self,
+        bandwidth_mbps: f64,
+        devices: usize,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
         if devices == 0 {
-            return Vec::new();
+            return;
         }
         let bandwidth = bandwidth_mbps.max(0.0);
         match *self {
-            SharingModel::EqualShare => vec![bandwidth / devices as f64; devices],
+            SharingModel::EqualShare => {
+                out.extend(std::iter::repeat_n(bandwidth / devices as f64, devices));
+            }
             SharingModel::NoisyShare {
                 noise_sigma,
                 weight_spread,
                 drop_probability,
                 drop_factor,
             } => {
-                let mut weights: Vec<f64> = (0..devices)
-                    .map(|_| {
-                        let spread = weight_spread.clamp(0.0, 0.95);
-                        1.0 + spread * (rng.gen::<f64>() * 2.0 - 1.0)
-                    })
-                    .collect();
-                let total: f64 = weights.iter().sum();
-                for w in &mut weights {
-                    *w /= total;
+                out.extend((0..devices).map(|_| {
+                    let spread = weight_spread.clamp(0.0, 0.95);
+                    1.0 + spread * (rng.gen::<f64>() * 2.0 - 1.0)
+                }));
+                let total: f64 = out.iter().sum();
+                for share in out.iter_mut() {
+                    let weight = *share / total;
+                    let mut value = bandwidth * weight;
+                    if noise_sigma > 0.0 {
+                        // Multiplicative noise capped at 1 so the aggregate
+                        // never exceeds the configured bandwidth.
+                        let noise = crate::stats::sample_lognormal(
+                            -0.5 * noise_sigma * noise_sigma,
+                            noise_sigma,
+                            rng,
+                        )
+                        .min(1.0);
+                        value *= noise;
+                    }
+                    if drop_probability > 0.0 && rng.gen::<f64>() < drop_probability {
+                        value *= drop_factor.clamp(0.0, 1.0);
+                    }
+                    *share = value;
                 }
-                weights
-                    .into_iter()
-                    .map(|w| {
-                        let mut share = bandwidth * w;
-                        if noise_sigma > 0.0 {
-                            // Multiplicative noise capped at 1 so the aggregate
-                            // never exceeds the configured bandwidth.
-                            let noise = crate::stats::sample_lognormal(
-                                -0.5 * noise_sigma * noise_sigma,
-                                noise_sigma,
-                                rng,
-                            )
-                            .min(1.0);
-                            share *= noise;
-                        }
-                        if drop_probability > 0.0 && rng.gen::<f64>() < drop_probability {
-                            share *= drop_factor.clamp(0.0, 1.0);
-                        }
-                        share
-                    })
-                    .collect()
             }
         }
     }

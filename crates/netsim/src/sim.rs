@@ -13,7 +13,7 @@ use crate::event::{events_at, BandwidthEvent};
 use crate::network::NetworkSpec;
 use crate::recorder::{RunRecorder, RunResult, SelectionRecord};
 use crate::sharing::SharingModel;
-use crate::topology::Topology;
+use crate::topology::{AreaId, Topology};
 use congestion_game::ResourceSelectionGame;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -146,6 +146,11 @@ impl Simulation {
 
     /// Runs the simulation to completion with a deterministic seed and
     /// returns the collected measurements.
+    ///
+    /// The slot loop is allocation-free in steady state: the per-slot choice
+    /// list, per-network load counters, share vectors and selection records
+    /// are all long-lived buffers indexed by a dense network index, cleared
+    /// and refilled each slot instead of being rebuilt as fresh maps.
     #[must_use]
     pub fn run(mut self, seed: u64) -> RunResult {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -166,6 +171,27 @@ impl Simulation {
                 .fold(1e-9, f64::max)
         });
 
+        // Dense network index over every id the run can encounter, in
+        // ascending id order (the iteration order of the maps it replaces,
+        // which keeps the RNG draw sequence — and thus every trajectory —
+        // identical to the map-based implementation).
+        let mut universe: Vec<NetworkId> = self.networks.iter().map(|n| n.id).collect();
+        universe.extend(self.bandwidth_events.iter().map(|e| e.network));
+        for area in self.topology.areas() {
+            universe.extend(self.topology.networks_in(area.id));
+        }
+        universe.sort_unstable();
+        universe.dedup();
+        let dense = |network: NetworkId| universe.binary_search(&network).ok();
+
+        // Visibility lists per area, resolved once (the topology is static).
+        let area_networks: Vec<(AreaId, Vec<NetworkId>)> = self
+            .topology
+            .areas()
+            .iter()
+            .map(|a| (a.id, self.topology.networks_in(a.id)))
+            .collect();
+
         let mut recorder = RunRecorder::new(
             self.devices.len(),
             self.config.slot_duration_s,
@@ -174,12 +200,35 @@ impl Simulation {
             self.config.keep_selections,
         );
 
+        // Reusable per-slot buffers.
+        let network_count = universe.len();
+        let mut bandwidth_by_index: Vec<f64> = vec![0.0; network_count];
+        let mut load: Vec<usize> = vec![0; network_count];
+        let mut shares: Vec<Vec<f64>> = vec![Vec::new(); network_count];
+        let mut next_share_index: Vec<usize> = vec![0; network_count];
+        let mut choices: Vec<(usize, NetworkId)> = Vec::new();
+        let mut records: Vec<SelectionRecord> = Vec::new();
+        let mut probabilities_buffer: Vec<(NetworkId, f64)> = Vec::new();
+        let mut full_gains_buffer: Vec<(NetworkId, f64)> = Vec::new();
+
+        let mut game = ResourceSelectionGame::new(bandwidths.iter().map(|(&n, &r)| (n, r)));
+        for (i, &network) in universe.iter().enumerate() {
+            bandwidth_by_index[i] = bandwidths.get(&network).copied().unwrap_or(0.0);
+        }
+
         for slot in 0..self.config.total_slots {
-            // 1. Environment events.
+            // 1. Environment events (the game is only rebuilt when one fires).
+            let mut bandwidth_changed = false;
             for event in events_at(&self.bandwidth_events, slot) {
                 bandwidths.insert(event.network, event.new_bandwidth_mbps);
+                bandwidth_changed = true;
             }
-            let game = ResourceSelectionGame::new(bandwidths.iter().map(|(&n, &r)| (n, r)));
+            if bandwidth_changed {
+                game = ResourceSelectionGame::new(bandwidths.iter().map(|(&n, &r)| (n, r)));
+                for (i, &network) in universe.iter().enumerate() {
+                    bandwidth_by_index[i] = bandwidths.get(&network).copied().unwrap_or(0.0);
+                }
+            }
 
             // 2. Device life-cycle: activity, mobility, visibility changes.
             for device in &mut self.devices {
@@ -189,18 +238,22 @@ impl Simulation {
                     continue;
                 }
                 let area = device.setup.area_at(slot);
-                let visible = self.topology.networks_in(area);
+                let visible: &[NetworkId] = area_networks
+                    .iter()
+                    .find(|(a, _)| *a == area)
+                    .map_or(&[], |(_, networks)| networks.as_slice());
                 if device.available != visible {
                     if device.available.is_empty() && !device.was_active {
                         // First activation: the policy was constructed with its
                         // initial network set; only notify if it differs.
-                        if policy_networks_differ(&device.setup, &visible) {
-                            device.setup.policy.on_networks_changed(&visible, &mut rng);
+                        if policy_networks_differ(&device.setup, visible) {
+                            device.setup.policy.on_networks_changed(visible, &mut rng);
                         }
                     } else {
-                        device.setup.policy.on_networks_changed(&visible, &mut rng);
+                        device.setup.policy.on_networks_changed(visible, &mut rng);
                     }
-                    device.available = visible;
+                    device.available.clear();
+                    device.available.extend_from_slice(visible);
                     if let Some(current) = device.current_network {
                         if !device.available.contains(&current) {
                             device.current_network = None;
@@ -211,8 +264,8 @@ impl Simulation {
             }
 
             // 3. Selections.
-            let mut choices: Vec<(usize, NetworkId)> = Vec::new();
-            let mut load: BTreeMap<NetworkId, usize> = BTreeMap::new();
+            choices.clear();
+            load.fill(0);
             for (index, device) in self.devices.iter_mut().enumerate() {
                 if !device.setup.is_active_at(slot) {
                     continue;
@@ -220,39 +273,40 @@ impl Simulation {
                 let chosen = device.setup.policy.choose(slot, &mut rng);
                 let valid = device.available.contains(&chosen);
                 if valid {
-                    *load.entry(chosen).or_insert(0) += 1;
+                    if let Some(i) = dense(chosen) {
+                        load[i] += 1;
+                    }
                 }
                 choices.push((index, chosen));
             }
 
-            // 4. Bandwidth sharing: per network, compute the share of each of
-            //    its devices this slot.
-            let mut shares: BTreeMap<NetworkId, Vec<f64>> = BTreeMap::new();
-            for (&network, &count) in &load {
-                let bandwidth = bandwidths.get(&network).copied().unwrap_or(0.0);
-                shares.insert(
-                    network,
-                    self.config.sharing.shares(bandwidth, count, &mut rng),
-                );
+            // 4. Bandwidth sharing: per loaded network (ascending id), the
+            //    share of each of its devices this slot.
+            for i in 0..network_count {
+                next_share_index[i] = 0;
+                shares[i].clear();
+                if load[i] > 0 {
+                    self.config.sharing.shares_into(
+                        bandwidth_by_index[i],
+                        load[i],
+                        &mut rng,
+                        &mut shares[i],
+                    );
+                }
             }
-            let mut next_share_index: BTreeMap<NetworkId, usize> = BTreeMap::new();
 
             // 5. Feedback, goodput accounting and recording.
-            let mut records: Vec<SelectionRecord> = Vec::with_capacity(choices.len());
+            records.clear();
             for &(index, chosen) in &choices {
                 let device = &mut self.devices[index];
                 let valid = device.available.contains(&chosen);
-                let observed_rate = if valid {
-                    let slot_index = next_share_index.entry(chosen).or_insert(0);
-                    let share = shares
-                        .get(&chosen)
-                        .and_then(|s| s.get(*slot_index))
-                        .copied()
-                        .unwrap_or(0.0);
-                    *slot_index += 1;
-                    share
-                } else {
-                    0.0
+                let observed_rate = match dense(chosen) {
+                    Some(i) if valid => {
+                        let share = shares[i].get(next_share_index[i]).copied().unwrap_or(0.0);
+                        next_share_index[i] += 1;
+                        share
+                    }
+                    _ => 0.0,
                 };
 
                 let switched = match device.current_network {
@@ -288,18 +342,32 @@ impl Simulation {
                     full_gains: None,
                 };
                 if device.setup.needs_full_information {
-                    observation.full_gains = Some(full_information_gains(
-                        &device.available,
-                        chosen,
-                        &bandwidths,
-                        &load,
-                        gain_scale,
-                    ));
+                    // Counterfactual scaled gains: the share the device
+                    // *would* have observed on each visible network this
+                    // slot, given the other devices' choices. The backing
+                    // buffer is recycled across slots.
+                    let mut gains = std::mem::take(&mut full_gains_buffer);
+                    gains.clear();
+                    gains.extend(device.available.iter().map(|&network| {
+                        let i = dense(network);
+                        let bandwidth = i.map_or(0.0, |i| bandwidth_by_index[i]);
+                        let others = i.map_or(0, |i| load[i]) - usize::from(network == chosen);
+                        let rate = bandwidth / (others + 1) as f64;
+                        (network, (rate / gain_scale).clamp(0.0, 1.0))
+                    }));
+                    observation.full_gains = Some(gains);
                 }
                 device.setup.policy.observe(&observation, &mut rng);
+                if let Some(mut gains) = observation.full_gains.take() {
+                    gains.clear();
+                    full_gains_buffer = gains;
+                }
 
-                let top_choice =
-                    top_probability(&device.setup.policy.probabilities()).unwrap_or((chosen, 1.0));
+                device
+                    .setup
+                    .policy
+                    .probabilities_into(&mut probabilities_buffer);
+                let top_choice = top_probability(&probabilities_buffer).unwrap_or((chosen, 1.0));
                 records.push(SelectionRecord {
                     device: device.setup.id,
                     network: chosen,
@@ -311,7 +379,6 @@ impl Simulation {
             recorder.record_slot(&game, &records);
         }
 
-        let final_game = ResourceSelectionGame::new(bandwidths.iter().map(|(&n, &r)| (n, r)));
         let outcomes: Vec<DeviceOutcome> = self
             .devices
             .iter()
@@ -325,29 +392,8 @@ impl Simulation {
                 total_delay_seconds: device.total_delay_seconds,
             })
             .collect();
-        recorder.finish(&final_game, outcomes)
+        recorder.finish(&game, outcomes)
     }
-}
-
-/// Counterfactual scaled gains for full-information feedback: the share the
-/// device *would* have observed on each visible network this slot, given the
-/// other devices' choices.
-fn full_information_gains(
-    available: &[NetworkId],
-    chosen: NetworkId,
-    bandwidths: &BTreeMap<NetworkId, f64>,
-    load: &BTreeMap<NetworkId, usize>,
-    gain_scale: f64,
-) -> Vec<(NetworkId, f64)> {
-    available
-        .iter()
-        .map(|&network| {
-            let bandwidth = bandwidths.get(&network).copied().unwrap_or(0.0);
-            let others = load.get(&network).copied().unwrap_or(0) - usize::from(network == chosen);
-            let rate = bandwidth / (others + 1) as f64;
-            (network, (rate / gain_scale).clamp(0.0, 1.0))
-        })
-        .collect()
 }
 
 fn top_probability(probabilities: &[(NetworkId, f64)]) -> Option<(NetworkId, f64)> {

@@ -56,6 +56,167 @@ fn weight_table_probabilities_always_form_a_distribution() {
     }
 }
 
+/// From-scratch max-shifted softmax with γ-mixing, built from the table's
+/// ground-truth log-weights — the reference the incremental cache must match.
+fn naive_reference_distribution(table: &WeightTable, gamma: f64) -> Vec<f64> {
+    let arms = table.arms();
+    if arms.is_empty() {
+        return Vec::new();
+    }
+    let lws: Vec<f64> = arms
+        .iter()
+        .map(|&arm| table.log_weight(arm).expect("tracked arm"))
+        .collect();
+    let max = lws.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = lws.iter().map(|&lw| (lw - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter()
+        .map(|e| (1.0 - gamma) * e / sum + gamma / arms.len() as f64)
+        .collect()
+}
+
+#[test]
+fn cached_distribution_matches_a_naive_softmax_reference() {
+    // Randomized sequences of multiplicative updates (both signs, some
+    // enormous), arm additions/removals and uniform resets: after every
+    // operation the cached, incrementally-patched distribution must agree
+    // with a from-scratch softmax to 1e-12.
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(9_000 + case);
+        let initial = uniform_usize(&mut rng, 1, 7);
+        let mut table = WeightTable::uniform(&network_ids(initial));
+        let mut next_arm = initial as u32;
+        for op in 0..400 {
+            match uniform_usize(&mut rng, 0, 20) {
+                0 => {
+                    table.add_arm(NetworkId(next_arm));
+                    next_arm += 1;
+                }
+                1 => {
+                    if table.len() > 1 {
+                        let victim = table.arms()[uniform_usize(&mut rng, 0, table.len())];
+                        assert!(table.remove_arm(victim));
+                    }
+                }
+                2 => table.reset_uniform(),
+                _ => {
+                    let arm = table.arms()[uniform_usize(&mut rng, 0, table.len())];
+                    let magnitude = if uniform_usize(&mut rng, 0, 10) == 0 {
+                        uniform(&mut rng, -200.0, 500.0)
+                    } else {
+                        uniform(&mut rng, -5.0, 50.0)
+                    };
+                    table.multiplicative_update(arm, uniform(&mut rng, 0.0, 1.0), magnitude);
+                }
+            }
+            let gamma = uniform(&mut rng, 0.0, 1.0);
+            let cached = table.probabilities(gamma);
+            let reference = naive_reference_distribution(&table, gamma);
+            assert_eq!(cached.len(), reference.len());
+            for (i, (c, r)) in cached.iter().zip(&reference).enumerate() {
+                assert!(
+                    (c - r).abs() < 1e-12,
+                    "case {case}, op {op}, arm {i}: cached {c} vs reference {r}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cached_sampling_matches_a_naive_sampler_decision_for_decision() {
+    // The cache must not change behaviour: a naive implementation that
+    // recomputes the full softmax for every draw, fed the same RNG stream
+    // and the same updates, must pick the same arm every single time.
+    for case in 0..CASES {
+        let arms = 2 + (case as usize % 5);
+        let mut table = WeightTable::uniform(&network_ids(arms));
+        let mut naive_lws = vec![0.0f64; arms];
+        let mut table_rng = StdRng::seed_from_u64(10_000 + case);
+        let mut naive_rng = StdRng::seed_from_u64(10_000 + case);
+        for step in 0..2_000 {
+            let gamma = 1.0 / ((step + 2) as f64).cbrt();
+            let (chosen, probability) = table.sample(gamma, &mut table_rng);
+
+            // Naive draw: full softmax, then the same CDF walk.
+            let max = naive_lws.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let exps: Vec<f64> = naive_lws.iter().map(|&lw| (lw - max).exp()).collect();
+            let sum: f64 = exps.iter().sum();
+            let mut target: f64 = naive_rng.gen();
+            let mut naive_choice = arms - 1;
+            for (i, &e) in exps.iter().enumerate() {
+                let p = (1.0 - gamma) * e / sum + gamma / arms as f64;
+                if target < p {
+                    naive_choice = i;
+                    break;
+                }
+                target -= p;
+            }
+            assert_eq!(
+                chosen.index(),
+                naive_choice,
+                "case {case}, step {step}: cached sampler diverged"
+            );
+
+            // Identical importance-weighted update on both sides (the
+            // table's probability is used for both, so the ground-truth
+            // log-weights stay bit-identical).
+            let gain = ((step * 7 + case as usize) % 10) as f64 / 10.0;
+            let estimated = gain / probability.max(f64::MIN_POSITIVE);
+            let delta = gamma * estimated / arms as f64;
+            naive_lws[chosen.index()] += delta;
+            table.multiplicative_update(chosen, gamma, estimated);
+            // Mirror the table's renormalisation shift so both sides keep
+            // identical log-weights.
+            let naive_max = naive_lws.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            if naive_max.abs() > 1e3 {
+                for lw in &mut naive_lws {
+                    *lw -= naive_max;
+                }
+            }
+            for (i, &arm) in table.arms().iter().enumerate() {
+                assert_eq!(
+                    table.log_weight(arm),
+                    Some(naive_lws[i]),
+                    "case {case}, step {step}: ground truth diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn non_finite_gains_never_poison_the_distribution() {
+    // Regression: a single NaN/∞ estimated gain used to corrupt the
+    // log-weights and make sampling panic. Non-finite updates are now
+    // rejected and the distribution must stay a distribution throughout.
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(11_000 + case);
+        let arms = uniform_usize(&mut rng, 2, 6);
+        let mut table = WeightTable::uniform(&network_ids(arms));
+        for step in 0..300 {
+            let arm = NetworkId(uniform_usize(&mut rng, 0, arms) as u32);
+            let gain = match step % 5 {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                _ => uniform(&mut rng, 0.0, 30.0),
+            };
+            table.multiplicative_update(arm, 0.3, gain);
+            let probs = table.probabilities(0.1);
+            let sum: f64 = probs.iter().sum();
+            assert!(
+                probs.iter().all(|p| p.is_finite() && *p >= 0.0),
+                "case {case}, step {step}: {probs:?}"
+            );
+            assert!((sum - 1.0).abs() < 1e-9, "case {case}, step {step}: {sum}");
+            let (chosen, p) = table.sample(0.2, &mut rng);
+            assert!(chosen.index() < arms);
+            assert!(p.is_finite() && p > 0.0);
+        }
+    }
+}
+
 #[test]
 fn block_lengths_follow_the_growth_law() {
     for case in 0..CASES {

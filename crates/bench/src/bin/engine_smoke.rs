@@ -1,9 +1,12 @@
 //! Quick-mode fleet-engine throughput smoke run.
 //!
 //! Steps a Smart EXP3 fleet through fused choose+observe slots (the same
-//! workload as the `engine_throughput` Criterion bench) and appends one JSON
-//! record per configuration to `BENCH_engine.json`, so the repository keeps a
-//! perf trajectory across PRs and CI catches throughput regressions early.
+//! workload as the `engine_throughput` Criterion bench) **and** through the
+//! equal-share congestion scenario of the environment layer (the
+//! `scenario_throughput` workload), appending one JSON record per
+//! configuration to `BENCH_engine.json`, so the repository keeps a perf
+//! trajectory across PRs — closure-driven and environment-driven stepping
+//! alike — and CI catches throughput regressions early.
 //!
 //! ```text
 //! cargo run --release -p smartexp3-bench --bin engine_smoke [-- --sessions N] [--slots N] [--out PATH]
@@ -11,6 +14,7 @@
 
 use smartexp3_core::{NetworkId, Observation, PolicyFactory, PolicyKind};
 use smartexp3_engine::{FleetConfig, FleetEngine, StepContext};
+use smartexp3_env::{equal_share, Scenario};
 use std::time::Instant;
 
 fn feedback(ctx: &mut StepContext<'_>) -> Observation {
@@ -46,6 +50,15 @@ fn measure(fleet: &mut FleetEngine, slots: usize) -> f64 {
     (sessions * slots) as f64 / start.elapsed().as_secs_f64()
 }
 
+/// Steps `scenario` for `slots` environment-driven slots and returns
+/// decisions per second.
+fn measure_scenario(scenario: &mut Scenario, slots: usize) -> f64 {
+    let sessions = scenario.sessions();
+    let start = Instant::now();
+    scenario.run(slots);
+    (sessions * slots) as f64 / start.elapsed().as_secs_f64()
+}
+
 fn parse_flag(args: &[String], name: &str, default: usize) -> usize {
     args.iter()
         .position(|a| a == name)
@@ -77,24 +90,47 @@ fn main() {
     let _ = measure(&mut fleet, slots.div_ceil(4).max(1));
     let decisions_per_sec = measure(&mut fleet, slots);
 
-    let record = format!(
-        "{{\"bench\":\"engine_throughput/step\",\"sessions\":{sessions},\"slots\":{slots},\
-         \"threads\":{threads},\"decisions_per_sec\":{decisions_per_sec:.0},\
-         \"policy\":\"SmartExp3\"}}"
-    );
-    println!("{record}");
+    // Environment-driven datapoint: the same fleet size stepped through the
+    // equal-share congestion scenario via `run_env`, so the recorded perf
+    // trajectory covers the coupled path every paper scenario uses.
+    let mut scenario = equal_share(
+        sessions,
+        PolicyKind::SmartExp3,
+        FleetConfig::with_root_seed(1),
+    )
+    .expect("valid scenario");
+    let _ = measure_scenario(&mut scenario, slots.div_ceil(4).max(1));
+    let scenario_decisions_per_sec = measure_scenario(&mut scenario, slots);
+
+    let records = [
+        format!(
+            "{{\"bench\":\"engine_throughput/step\",\"sessions\":{sessions},\"slots\":{slots},\
+             \"threads\":{threads},\"decisions_per_sec\":{decisions_per_sec:.0},\
+             \"policy\":\"SmartExp3\"}}"
+        ),
+        format!(
+            "{{\"bench\":\"scenario_throughput/equal_share\",\"sessions\":{sessions},\
+             \"slots\":{slots},\"threads\":{threads},\
+             \"decisions_per_sec\":{scenario_decisions_per_sec:.0},\
+             \"policy\":\"SmartExp3\"}}"
+        ),
+    ];
     let mut contents = std::fs::read_to_string(&out).unwrap_or_default();
     if !contents.is_empty() && !contents.ends_with('\n') {
         contents.push('\n');
     }
-    contents.push_str(&record);
-    contents.push('\n');
+    for record in &records {
+        println!("{record}");
+        contents.push_str(record);
+        contents.push('\n');
+    }
     if let Err(error) = std::fs::write(&out, contents) {
         eprintln!("error: cannot write {out}: {error}");
         std::process::exit(1);
     }
     eprintln!(
-        "{:.2}M decisions/sec over {sessions} sessions x {slots} slots -> appended to {out}",
-        decisions_per_sec / 1e6
+        "closure {:.2}M, scenario {:.2}M decisions/sec over {sessions} sessions x {slots} slots -> appended to {out}",
+        decisions_per_sec / 1e6,
+        scenario_decisions_per_sec / 1e6
     );
 }

@@ -1,0 +1,227 @@
+//! The [`Environment`] trait: the world on the other side of the
+//! [`Policy`](crate::Policy) boundary.
+//!
+//! A policy answers "which network do I pick this slot?"; an environment
+//! answers everything else — which networks each session can currently see,
+//! and what gain every session obtains once the *joint* choice vector of all
+//! sessions is known (bandwidth sharing, switching delays, scheduled capacity
+//! changes, mobility between service areas).
+//!
+//! The trait is deliberately split into phases so a fleet engine can drive
+//! millions of sessions in parallel while keeping results bit-identical at
+//! any thread count:
+//!
+//! 1. [`begin_slot`](Environment::begin_slot) — sequential; the environment
+//!    advances its own state (scheduled bandwidth events, mobility walks,
+//!    activity windows).
+//! 2. [`session_view`](Environment::session_view) — called concurrently from
+//!    worker threads (`&self`); reports whether a session participates this
+//!    slot and whether its visible-network set changed.
+//! 3. [`feedback`](Environment::feedback) — sequential; converts the joint
+//!    choice vector into one observation per session. Any randomness the
+//!    environment needs (noisy bandwidth shares, sampled switching delays)
+//!    must come from state owned by the environment, never from per-session
+//!    RNG streams, so the result is independent of how sessions were sharded.
+//! 4. [`end_slot`](Environment::end_slot) — sequential; an event hook for
+//!    recorders and metrics, fired after every session has observed its
+//!    feedback.
+//!
+//! Environments that support checkpointing serialize their dynamic state as
+//! an opaque JSON string via [`state`](Environment::state) /
+//! [`restore`](Environment::restore); a fleet engine embeds that string in
+//! its own snapshot so a mid-scenario checkpoint resumes bit-identically —
+//! pending events, mobility positions and the environment RNG included.
+
+use crate::{NetworkId, Observation, SlotIndex};
+use std::fmt;
+
+/// What one session is allowed to do in the coming slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionView<'a> {
+    /// `false` when the session sits this slot out (outside its activity
+    /// window); the engine then neither asks its policy to choose nor
+    /// delivers feedback.
+    pub active: bool,
+    /// `Some(networks)` exactly when the session's set of visible networks
+    /// changed entering this slot (mobility, AP churn, first activation into
+    /// an area that differs from the one its policy was built for). The
+    /// engine forwards it to [`Policy::on_networks_changed`] before the
+    /// session chooses.
+    ///
+    /// [`Policy::on_networks_changed`]: crate::Policy::on_networks_changed
+    pub networks_changed: Option<&'a [NetworkId]>,
+}
+
+impl SessionView<'_> {
+    /// The static-world view: active every slot, networks never change.
+    #[must_use]
+    pub fn active_static() -> Self {
+        SessionView {
+            active: true,
+            networks_changed: None,
+        }
+    }
+}
+
+/// Error restoring an environment from serialized state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvStateError(pub String);
+
+impl fmt::Display for EnvStateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "environment state error: {}", self.0)
+    }
+}
+
+impl std::error::Error for EnvStateError {}
+
+/// A world that couples a fleet of sessions: per-slot visibility and
+/// activity per session, plus joint-choice → per-session feedback.
+///
+/// See the [module documentation](self) for the phase protocol and the
+/// determinism contract. `Send + Sync` is required because
+/// [`session_view`](Self::session_view) is called from parallel workers.
+pub trait Environment: Send + Sync {
+    /// Number of sessions this environment provides feedback for. A driver
+    /// must host exactly this many sessions, in the same order.
+    fn sessions(&self) -> usize;
+
+    /// Advances environment state to the start of `slot`: applies scheduled
+    /// bandwidth events, moves walking devices between service areas,
+    /// opens/closes activity windows. Called exactly once per slot, before
+    /// any session chooses.
+    fn begin_slot(&mut self, slot: SlotIndex);
+
+    /// The view of session `session` for the current slot. Called from
+    /// parallel workers during the choose phase, after
+    /// [`begin_slot`](Self::begin_slot); implementations must precompute any
+    /// per-session changes there.
+    fn session_view(&self, session: usize, slot: SlotIndex) -> SessionView<'_>;
+
+    /// Converts the joint choices of the current slot into per-session
+    /// feedback.
+    ///
+    /// `choices[i]` is `None` for sessions that sat the slot out; `out` is a
+    /// persistent buffer owned by the driver, resized to one entry per
+    /// session (entries still hold the previous slot's observations, so
+    /// implementations may scavenge their heap allocations — e.g.
+    /// full-information gain vectors — before overwriting). Write `None` for
+    /// inactive sessions.
+    ///
+    /// Runs sequentially; environment randomness must be drawn from the
+    /// environment's own state in a canonical (session-order) sequence.
+    fn feedback(
+        &mut self,
+        slot: SlotIndex,
+        choices: &[Option<NetworkId>],
+        out: &mut [Option<Observation>],
+    );
+
+    /// `true` when [`end_slot`](Self::end_slot) wants each session's
+    /// most-probable network (the `tops` argument). Computing it costs one
+    /// distribution read per session per slot, so fleet-scale environments
+    /// leave this `false` (the default) and `end_slot` receives an empty
+    /// slice.
+    fn wants_top_choices(&self) -> bool {
+        false
+    }
+
+    /// End-of-slot event hook, fired after every session has observed its
+    /// feedback. `tops[i]` is session `i`'s most probable network and its
+    /// probability (only populated when
+    /// [`wants_top_choices`](Self::wants_top_choices) returns `true`;
+    /// recorders use it for stable-state detection). The default does
+    /// nothing.
+    fn end_slot(
+        &mut self,
+        slot: SlotIndex,
+        choices: &[Option<NetworkId>],
+        tops: &[Option<(NetworkId, f64)>],
+    ) {
+        let _ = (slot, choices, tops);
+    }
+
+    /// Serializes the environment's dynamic state (current bandwidths,
+    /// pending events, mobility positions, environment RNG, per-session
+    /// accounting) as an opaque JSON string, or `None` when this environment
+    /// cannot be checkpointed.
+    fn state(&self) -> Option<String> {
+        None
+    }
+
+    /// Restores dynamic state captured by [`state`](Self::state) on a
+    /// freshly built environment with the same static configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnvStateError`] when the state text does not parse or does
+    /// not match this environment's configuration.
+    fn restore(&mut self, state: &str) -> Result<(), EnvStateError> {
+        let _ = state;
+        Err(EnvStateError(
+            "this environment does not support checkpointing".to_string(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_view_is_active_without_changes() {
+        let view = SessionView::active_static();
+        assert!(view.active);
+        assert!(view.networks_changed.is_none());
+        assert_eq!(
+            view,
+            SessionView {
+                active: true,
+                networks_changed: None
+            }
+        );
+    }
+
+    #[test]
+    fn default_view_is_inactive() {
+        assert!(!SessionView::default().active);
+    }
+
+    #[test]
+    fn state_error_displays_its_message() {
+        let error = EnvStateError("bad cursor".to_string());
+        assert!(error.to_string().contains("bad cursor"));
+    }
+
+    struct Trivial;
+
+    impl Environment for Trivial {
+        fn sessions(&self) -> usize {
+            1
+        }
+        fn begin_slot(&mut self, _slot: SlotIndex) {}
+        fn session_view(&self, _session: usize, _slot: SlotIndex) -> SessionView<'_> {
+            SessionView::active_static()
+        }
+        fn feedback(
+            &mut self,
+            slot: SlotIndex,
+            choices: &[Option<NetworkId>],
+            out: &mut [Option<Observation>],
+        ) {
+            out[0] = choices[0].map(|network| Observation::bandit(slot, network, 1.0, 0.5));
+        }
+    }
+
+    #[test]
+    fn trait_defaults_are_usable() {
+        let mut env = Trivial;
+        assert!(!env.wants_top_choices());
+        assert!(env.state().is_none());
+        assert!(env.restore("{}").is_err());
+        env.end_slot(0, &[Some(NetworkId(0))], &[]);
+        let mut out = vec![None];
+        env.feedback(0, &[Some(NetworkId(0))], &mut out);
+        assert_eq!(out[0].as_ref().map(|o| o.network), Some(NetworkId(0)));
+    }
+}

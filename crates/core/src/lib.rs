@@ -48,6 +48,7 @@
 mod block;
 mod block_exp3;
 mod centralized;
+mod environment;
 mod error;
 mod exp3;
 mod factory;
@@ -67,6 +68,7 @@ mod weights;
 pub use block::{block_length, BlockState};
 pub use block_exp3::BlockExp3;
 pub use centralized::{CentralizedCoordinator, CentralizedPolicy};
+pub use environment::{EnvStateError, Environment, SessionView};
 pub use error::ConfigError;
 pub use exp3::{Exp3, Exp3Config};
 pub use factory::{PolicyFactory, PolicyKind};

@@ -69,8 +69,8 @@ use rayon::prelude::*;
 use rayon::{ThreadPool, ThreadPoolBuilder};
 use serde::{Deserialize, Serialize};
 use smartexp3_core::{
-    ConfigError, NetworkId, NetworkStats, Observation, Policy, PolicyFactory, PolicyKind,
-    PolicyState, PolicyStats, SlotIndex,
+    ConfigError, Environment, NetworkId, NetworkStats, Observation, Policy, PolicyFactory,
+    PolicyKind, PolicyState, PolicyStats, SlotIndex,
 };
 use std::fmt;
 
@@ -134,6 +134,19 @@ impl FleetConfig {
     pub fn with_shard_size(mut self, shard_size: usize) -> Self {
         self.shard_size = shard_size.max(1);
         self
+    }
+
+    /// Derives the seed for an [`Environment`]'s own RNG from this fleet's
+    /// root seed — a stream kept distinct (by an odd-multiplier avalanche
+    /// over a different constant) from every per-session stream
+    /// [`session_rng`] derives, so environment randomness never correlates
+    /// with any session's decisions. Scenario builders use this so a fleet
+    /// and its world are reproducible from the one root seed.
+    #[must_use]
+    pub fn environment_seed(&self) -> u64 {
+        self.root_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0xE489_21FB_5D5C_91F3)
     }
 }
 
@@ -200,6 +213,9 @@ impl Session {
 pub struct SlotScratch {
     /// Recycled backing storage for [`Observation::full_gains`].
     full_gains: Vec<(NetworkId, f64)>,
+    /// Recycled distribution read buffer (top-choice extraction for
+    /// environments whose recorders track stable states).
+    probabilities: Vec<(NetworkId, f64)>,
 }
 
 impl SlotScratch {
@@ -336,6 +352,9 @@ pub enum SnapshotError {
     UnsupportedVersion(u32),
     /// The snapshot text could not be parsed.
     Malformed(String),
+    /// The environment rejected the snapshot (missing or incompatible
+    /// environment state, or an environment that cannot be checkpointed).
+    Environment(String),
 }
 
 impl fmt::Display for SnapshotError {
@@ -349,6 +368,9 @@ impl fmt::Display for SnapshotError {
                 write!(f, "unsupported fleet snapshot format version {version}")
             }
             SnapshotError::Malformed(message) => write!(f, "malformed fleet snapshot: {message}"),
+            SnapshotError::Environment(message) => {
+                write!(f, "environment snapshot error: {message}")
+            }
         }
     }
 }
@@ -360,7 +382,12 @@ impl std::error::Error for SnapshotError {}
 /// Version 2: policies serialize the weight table's distribution cache and
 /// flat (vector-backed) network statistics, so a restored session resumes on
 /// the exact floating-point trajectory of the original.
-pub const SNAPSHOT_VERSION: u32 = 2;
+///
+/// Version 3: snapshots may embed the dynamic state of the [`Environment`]
+/// the fleet was stepped through ([`FleetSnapshot::environment`]), so a
+/// mid-scenario checkpoint — pending bandwidth events, mobility positions
+/// and the environment RNG included — restores bit-identically.
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Checkpoint of one session.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -396,7 +423,37 @@ pub struct FleetSnapshot {
     pub decisions: u64,
     /// Every session, in session order.
     pub sessions: Vec<SessionSnapshot>,
+    /// Dynamic state of the [`Environment`] the fleet was stepped through
+    /// (its own opaque JSON, see [`Environment::state`]), or `None` for
+    /// closure-driven fleets.
+    pub environment: Option<String>,
 }
+
+/// Per-shard work unit of [`FleetEngine::step_with`]: sessions, the shard's
+/// slice of the last-choice mirror, and its persistent scratch.
+type StepShard<'a> = (
+    &'a mut [Session],
+    &'a mut [Option<NetworkId>],
+    &'a mut SlotScratch,
+);
+
+/// Per-shard work unit of the env choose phase: shard offset, sessions, the
+/// shard's slices of the joint-choice buffer and the last-choice mirror.
+type ChooseShard<'a> = (
+    usize,
+    &'a mut [Session],
+    &'a mut [Option<NetworkId>],
+    &'a mut [Option<NetworkId>],
+);
+
+/// Per-shard work unit of the env observe phase: shard offset, sessions, the
+/// shard's slice of the top-choice buffer and its persistent scratch.
+type ObserveShard<'a> = (
+    usize,
+    &'a mut [Session],
+    &'a mut [Option<(NetworkId, f64)>],
+    &'a mut SlotScratch,
+);
 
 /// A manager for a fleet of concurrently learning bandit sessions.
 ///
@@ -411,11 +468,19 @@ pub struct FleetEngine {
     next_id: u64,
     decisions: u64,
     choices: Vec<NetworkId>,
+    /// Mirror of every session's most recent choice, maintained by all step
+    /// paths so [`last_choices`](Self::last_choices) is a zero-alloc read.
+    last: Vec<Option<NetworkId>>,
     /// One persistent [`SlotScratch`] per shard, grown on fleet growth only —
     /// steady-state stepping performs no per-**session** allocation. (A small
     /// O(shard-count) pairing vector is still built per step to hand each
     /// worker its shard and scratch together.)
     scratch: Vec<SlotScratch>,
+    /// Persistent environment-stepping buffers (joint choices, feedback,
+    /// top-choice reads), reused across [`step_env`](Self::step_env) calls.
+    env_choices: Vec<Option<NetworkId>>,
+    env_feedback: Vec<Option<Observation>>,
+    env_tops: Vec<Option<(NetworkId, f64)>>,
 }
 
 impl fmt::Debug for FleetEngine {
@@ -447,7 +512,11 @@ impl FleetEngine {
             next_id: 0,
             decisions: 0,
             choices: Vec::new(),
+            last: Vec::new(),
             scratch: Vec::new(),
+            env_choices: Vec::new(),
+            env_feedback: Vec::new(),
+            env_tops: Vec::new(),
         }
     }
 
@@ -488,6 +557,7 @@ impl FleetEngine {
             gains: NetworkStats::new(),
             last_choice: None,
         });
+        self.last.push(None);
         id
     }
 
@@ -543,6 +613,9 @@ impl FleetEngine {
                 .iter()
                 .map(|s| s.last_choice.expect("choice just made")),
         );
+        for (last, &chosen) in self.last.iter_mut().zip(&self.choices) {
+            *last = Some(chosen);
+        }
         &self.choices
     }
 
@@ -595,17 +668,20 @@ impl FleetEngine {
         if self.scratch.len() < shard_count {
             self.scratch.resize_with(shard_count, SlotScratch::default);
         }
-        let work: Vec<(&mut [Session], &mut SlotScratch)> = self
+        let work: Vec<StepShard<'_>> = self
             .sessions
             .chunks_mut(shard_size)
+            .zip(self.last.chunks_mut(shard_size))
             .zip(self.scratch.iter_mut())
+            .map(|((shard, last), scratch)| (shard, last, scratch))
             .collect();
         let feedback = &feedback;
         Self::in_pool(&self.pool, || {
-            work.into_par_iter().for_each(|(shard, scratch)| {
-                for session in shard {
+            work.into_par_iter().for_each(|(shard, last, scratch)| {
+                for (index, session) in shard.iter_mut().enumerate() {
                     let previous = session.last_choice;
                     let chosen = session.choose(slot);
+                    last[index] = Some(chosen);
                     let mut context = StepContext {
                         session: session.id,
                         slot,
@@ -633,6 +709,163 @@ impl FleetEngine {
         }
     }
 
+    /// Steps the fleet one slot through an [`Environment`] — the unified
+    /// path for coupled-feedback worlds (congestion games, bandwidth
+    /// dynamics, mobility, trace replay).
+    ///
+    /// One slot runs four phases:
+    ///
+    /// 1. `env.begin_slot` — sequential environment-state advance;
+    /// 2. choose — sharded over rayon workers: each session reads its
+    ///    [`SessionView`](smartexp3_core::SessionView), absorbs a visibility
+    ///    change if one is reported, and (when active) picks a network with
+    ///    its private RNG stream;
+    /// 3. `env.feedback` — sequential joint-choice → per-session feedback;
+    /// 4. observe — sharded: every active session ingests its observation
+    ///    (and, if the environment asked for top choices, reports its most
+    ///    probable network for stable-state recording) before
+    ///    `env.end_slot` fires.
+    ///
+    /// Because per-session randomness lives in per-session streams and all
+    /// environment randomness is drawn sequentially inside the environment,
+    /// the trajectory is **bit-identical at any thread count and shard
+    /// size**. Steady-state stepping allocates nothing: joint-choice,
+    /// feedback and top-choice buffers persist across slots (a small
+    /// O(shard-count) pairing vector is rebuilt per phase, as in
+    /// [`step_with`](Self::step_with)).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `env.sessions() != self.len()` — the environment and the
+    /// fleet must describe the same session set.
+    pub fn step_env(&mut self, env: &mut dyn Environment) {
+        assert_eq!(
+            env.sessions(),
+            self.sessions.len(),
+            "environment describes {} sessions, fleet hosts {}",
+            env.sessions(),
+            self.sessions.len()
+        );
+        let slot = self.slot;
+        let shard_size = self.config.shard_size.max(1);
+        let count = self.sessions.len();
+        env.begin_slot(slot);
+
+        // Phase 2: choose (parallel).
+        if self.env_choices.len() != count {
+            self.env_choices.resize(count, None);
+        }
+        {
+            let env_view: &dyn Environment = env;
+            let work: Vec<ChooseShard<'_>> = self
+                .sessions
+                .chunks_mut(shard_size)
+                .zip(self.env_choices.chunks_mut(shard_size))
+                .zip(self.last.chunks_mut(shard_size))
+                .enumerate()
+                .map(|(shard, ((sessions, choices), last))| {
+                    (shard * shard_size, sessions, choices, last)
+                })
+                .collect();
+            Self::in_pool(&self.pool, || {
+                work.into_par_iter()
+                    .for_each(|(offset, shard, choices, last)| {
+                        for (i, session) in shard.iter_mut().enumerate() {
+                            let view = env_view.session_view(offset + i, slot);
+                            if let Some(networks) = view.networks_changed {
+                                session
+                                    .policy
+                                    .on_networks_changed(networks, &mut session.rng);
+                            }
+                            choices[i] = if view.active {
+                                let chosen = session.choose(slot);
+                                last[i] = Some(chosen);
+                                Some(chosen)
+                            } else {
+                                None
+                            };
+                        }
+                    });
+            });
+        }
+        let active = self.env_choices.iter().flatten().count() as u64;
+
+        // Phase 3: joint feedback (sequential inside the environment).
+        if self.env_feedback.len() != count {
+            self.env_feedback.resize(count, None);
+        }
+        env.feedback(slot, &self.env_choices, &mut self.env_feedback);
+        // Structural guard: a session that did not choose must not observe.
+        // The feedback buffer persists across slots (so environments can
+        // scavenge allocations), which means an environment that forgets to
+        // write `None` for an inactive session would otherwise re-deliver
+        // that session's stale observation from an earlier slot.
+        for (choice, feedback) in self.env_choices.iter().zip(self.env_feedback.iter_mut()) {
+            if choice.is_none() {
+                *feedback = None;
+            }
+        }
+
+        // Phase 4: observe (parallel), then the end-of-slot hook.
+        let wants_tops = env.wants_top_choices();
+        if self.env_tops.len() != count {
+            self.env_tops.resize(count, None);
+        }
+        let shard_count = count.div_ceil(shard_size);
+        if self.scratch.len() < shard_count {
+            self.scratch.resize_with(shard_count, SlotScratch::default);
+        }
+        {
+            let feedback = &self.env_feedback;
+            let work: Vec<ObserveShard<'_>> = self
+                .sessions
+                .chunks_mut(shard_size)
+                .zip(self.env_tops.chunks_mut(shard_size))
+                .zip(self.scratch.iter_mut())
+                .enumerate()
+                .map(|(shard, ((sessions, tops), scratch))| {
+                    (shard * shard_size, sessions, tops, scratch)
+                })
+                .collect();
+            Self::in_pool(&self.pool, || {
+                work.into_par_iter()
+                    .for_each(|(offset, shard, tops, scratch)| {
+                        for (i, session) in shard.iter_mut().enumerate() {
+                            let Some(observation) = &feedback[offset + i] else {
+                                if wants_tops {
+                                    tops[i] = None;
+                                }
+                                continue;
+                            };
+                            session.observe(observation);
+                            if wants_tops {
+                                session
+                                    .policy
+                                    .probabilities_into(&mut scratch.probabilities);
+                                tops[i] = scratch
+                                    .probabilities
+                                    .iter()
+                                    .copied()
+                                    .max_by(|a, b| a.1.total_cmp(&b.1));
+                            }
+                        }
+                    });
+            });
+        }
+        let tops: &[Option<(NetworkId, f64)>] = if wants_tops { &self.env_tops } else { &[] };
+        env.end_slot(slot, &self.env_choices, tops);
+
+        self.decisions += active;
+        self.slot += 1;
+    }
+
+    /// Convenience: runs `slots` environment-driven steps.
+    pub fn run_env(&mut self, env: &mut dyn Environment, slots: usize) {
+        for _ in 0..slots {
+            self.step_env(env);
+        }
+    }
+
     /// Broadcasts a network-set change to every session (e.g. AP churn in the
     /// area the fleet simulates). Never panics: policies that do not support
     /// dynamism keep their state (see [`Policy::on_networks_changed`]).
@@ -650,11 +883,19 @@ impl FleetEngine {
         });
     }
 
-    /// The most recent choice of every session, in session order (empty
-    /// before the first step).
+    /// The most recent choice of every session, in session order (`None`
+    /// entries for sessions that have not chosen yet). Zero-alloc: returns a
+    /// view of a buffer the step paths keep up to date.
     #[must_use]
-    pub fn last_choices(&self) -> Vec<Option<NetworkId>> {
-        self.sessions.iter().map(|s| s.last_choice).collect()
+    pub fn last_choices(&self) -> &[Option<NetworkId>] {
+        &self.last
+    }
+
+    /// The policy of session `index` (in session order), for read-only
+    /// inspection (name, stats, probabilities).
+    #[must_use]
+    pub fn policy(&self, index: usize) -> Option<&dyn Policy> {
+        self.sessions.get(index).map(|s| &*s.policy)
     }
 
     /// Aggregates fleet-wide metrics.
@@ -729,7 +970,54 @@ impl FleetEngine {
             next_id: self.next_id,
             decisions: self.decisions,
             sessions,
+            environment: None,
         })
+    }
+
+    /// Captures the fleet **and** the environment it is being stepped
+    /// through, so the pair can resume bit-identically mid-scenario —
+    /// pending bandwidth events, mobility positions and the environment RNG
+    /// included.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Environment`] when the environment does not
+    /// support checkpointing, plus every error [`snapshot`](Self::snapshot)
+    /// can produce.
+    pub fn snapshot_env(&self, env: &dyn Environment) -> Result<FleetSnapshot, SnapshotError> {
+        let state = env.state().ok_or_else(|| {
+            SnapshotError::Environment("environment does not support checkpointing".to_string())
+        })?;
+        let mut snapshot = self.snapshot()?;
+        snapshot.environment = Some(state);
+        Ok(snapshot)
+    }
+
+    /// Restores a fleet from a snapshot taken with
+    /// [`snapshot_env`](Self::snapshot_env), applying the embedded
+    /// environment state to `env` (a freshly built environment with the same
+    /// static configuration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Environment`] when the snapshot carries no
+    /// environment state or the environment rejects it, plus every error
+    /// [`from_snapshot`](Self::from_snapshot) can produce.
+    pub fn from_snapshot_env(
+        snapshot: FleetSnapshot,
+        env: &mut dyn Environment,
+    ) -> Result<Self, SnapshotError> {
+        // Validate everything that can fail *before* mutating the live
+        // environment — a rejected snapshot must leave `env` untouched.
+        if snapshot.version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(snapshot.version));
+        }
+        let state = snapshot.environment.as_deref().ok_or_else(|| {
+            SnapshotError::Environment("snapshot carries no environment state".to_string())
+        })?;
+        env.restore(state)
+            .map_err(|error| SnapshotError::Environment(error.to_string()))?;
+        Self::from_snapshot(snapshot)
     }
 
     /// Restores a fleet from a snapshot. The restored fleet continues
@@ -759,6 +1047,7 @@ impl FleetEngine {
                 last_choice: s.last_choice,
             })
             .collect();
+        engine.last = engine.sessions.iter().map(|s| s.last_choice).collect();
         Ok(engine)
     }
 
@@ -779,6 +1068,19 @@ impl FleetEngine {
     /// Returns [`SnapshotError::Malformed`] on parse failures and
     /// [`SnapshotError::UnsupportedVersion`] on version mismatches.
     pub fn from_json(text: &str) -> Result<Self, SnapshotError> {
+        // Probe the version first: snapshots from other engine releases may
+        // have a different field set (version 2 lacks `environment`), and
+        // the accurate diagnostic for those is UnsupportedVersion, not a
+        // missing-field parse error.
+        #[derive(Deserialize)]
+        struct VersionProbe {
+            version: u32,
+        }
+        let probe: VersionProbe =
+            serde_json::from_str(text).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
+        if probe.version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(probe.version));
+        }
         let snapshot: FleetSnapshot =
             serde_json::from_str(text).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
         Self::from_snapshot(snapshot)
@@ -862,7 +1164,7 @@ mod tests {
             fused.step_with(feedback);
 
             let slot = phased.slot();
-            let previous = phased.last_choices();
+            let previous = phased.last_choices().to_vec();
             let choices = phased.choose_all().to_vec();
             let mut scratch = SlotScratch::new();
             let observations: Vec<Observation> = choices
@@ -965,6 +1267,12 @@ mod tests {
             other => panic!("expected UnsupportedVersion, got {other:?}"),
         }
         assert!(FleetEngine::from_json("{not json").is_err());
+        // A previous-release text (version 2 lacks the `environment` field)
+        // must be diagnosed as an unsupported version, not as malformed.
+        match FleetEngine::from_json(r#"{"version":2,"sessions":[]}"#) {
+            Err(SnapshotError::UnsupportedVersion(2)) => {}
+            other => panic!("expected UnsupportedVersion(2), got {other:?}"),
+        }
     }
 
     #[test]
@@ -979,7 +1287,7 @@ mod tests {
             let gain = 0.4;
             Observation::bandit(ctx.slot, ctx.chosen, gain * 22.0, gain)
         });
-        for (session, choice) in fleet.sessions.iter().zip(fleet.last_choices()) {
+        for (session, choice) in fleet.sessions.iter().zip(fleet.last_choices().iter()) {
             if matches!(session.kind, PolicyKind::SmartExp3 | PolicyKind::Greedy) {
                 assert!(
                     remaining.contains(&choice.unwrap()),

@@ -1,0 +1,218 @@
+//! Trace replay as an [`Environment`]: every session rides the synthetic
+//! WiFi/cellular trace pairs of §VI-B, shifted by a per-session phase so a
+//! million sessions do not all see the same slot of the same trace.
+
+use netsim::DelayModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use smartexp3_core::{EnvStateError, Environment, NetworkId, Observation, SessionView, SlotIndex};
+use tracegen::{TracePair, CELLULAR, WIFI};
+
+/// Per-session accounting of a trace replay.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+struct TraceSessionDyn {
+    current: Option<NetworkId>,
+    switches: u64,
+    download_megabits: f64,
+}
+
+/// Serialized dynamic state (see [`Environment::state`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TraceEnvState {
+    rng: [u64; 4],
+    sessions: Vec<TraceSessionDyn>,
+}
+
+/// Replays a set of [`TracePair`]s for an arbitrary number of sessions:
+/// session `i` follows pair `i % pairs` with a phase offset derived from its
+/// index (traces wrap around), pays sampled switching delays, and receives
+/// bandit feedback — the fleet-scale generalisation of
+/// [`tracegen::run_policy_on_pair`].
+pub struct TraceEnvironment {
+    pairs: Vec<TracePair>,
+    sessions: Vec<TraceSessionDyn>,
+    gain_scale: f64,
+    wifi_delay: DelayModel,
+    cellular_delay: DelayModel,
+    rng: StdRng,
+}
+
+impl TraceEnvironment {
+    /// Builds a trace world for `sessions` sessions over `pairs` (at least
+    /// one), with switching-delay sampling seeded by `env_seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` is empty or any pair has no slots.
+    #[must_use]
+    pub fn new(pairs: Vec<TracePair>, sessions: usize, env_seed: u64) -> Self {
+        assert!(!pairs.is_empty(), "a trace world needs at least one pair");
+        assert!(
+            pairs.iter().all(|p| !p.is_empty()),
+            "trace pairs must have at least one slot"
+        );
+        let gain_scale = pairs
+            .iter()
+            .map(|p| p.wifi.peak_rate().max(p.cellular.peak_rate()))
+            .fold(1e-9, f64::max);
+        TraceEnvironment {
+            pairs,
+            sessions: vec![TraceSessionDyn::default(); sessions],
+            gain_scale,
+            wifi_delay: DelayModel::paper_wifi(),
+            cellular_delay: DelayModel::paper_cellular(),
+            rng: StdRng::seed_from_u64(env_seed),
+        }
+    }
+
+    /// The (pair, phase-shifted slot) session `session` replays at `slot`.
+    fn trace_slot(&self, session: usize, slot: SlotIndex) -> (&TracePair, usize) {
+        let pair = &self.pairs[session % self.pairs.len()];
+        // Stagger sessions across the trace so the world is heterogeneous.
+        let offset = (session / self.pairs.len()) % pair.len();
+        (pair, (slot + offset) % pair.len())
+    }
+
+    /// Total download across all sessions, in megabits.
+    #[must_use]
+    pub fn total_download_megabits(&self) -> f64 {
+        self.sessions.iter().map(|s| s.download_megabits).sum()
+    }
+
+    /// Total switches across all sessions (environment-observed).
+    #[must_use]
+    pub fn total_switches(&self) -> u64 {
+        self.sessions.iter().map(|s| s.switches).sum()
+    }
+}
+
+impl Environment for TraceEnvironment {
+    fn sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    fn begin_slot(&mut self, _slot: SlotIndex) {}
+
+    fn session_view(&self, _session: usize, _slot: SlotIndex) -> SessionView<'_> {
+        SessionView::active_static()
+    }
+
+    fn feedback(
+        &mut self,
+        slot: SlotIndex,
+        choices: &[Option<NetworkId>],
+        out: &mut [Option<Observation>],
+    ) {
+        for (index, choice) in choices.iter().enumerate() {
+            let Some(chosen) = *choice else {
+                out[index] = None;
+                continue;
+            };
+            let (pair, trace_slot) = self.trace_slot(index, slot);
+            let slot_duration = pair.wifi.slot_duration_s;
+            let rate = if chosen == WIFI {
+                pair.wifi.rate_at(trace_slot)
+            } else if chosen == CELLULAR {
+                pair.cellular.rate_at(trace_slot)
+            } else {
+                0.0
+            };
+            let session = &mut self.sessions[index];
+            let switched = session.current.is_some() && session.current != Some(chosen);
+            let delay = if switched {
+                session.switches += 1;
+                let model = if chosen == CELLULAR {
+                    self.cellular_delay
+                } else {
+                    self.wifi_delay
+                };
+                model.sample(slot_duration, &mut self.rng)
+            } else {
+                0.0
+            };
+            session.current = Some(chosen);
+            session.download_megabits += rate * (slot_duration - delay).max(0.0);
+
+            let scaled_gain = (rate / self.gain_scale).clamp(0.0, 1.0);
+            let mut observation = Observation::bandit(slot, chosen, rate, scaled_gain);
+            if switched {
+                observation = observation.with_switch(delay);
+            }
+            out[index] = Some(observation);
+        }
+    }
+
+    fn state(&self) -> Option<String> {
+        serde_json::to_string(&TraceEnvState {
+            rng: self.rng.state(),
+            sessions: self.sessions.clone(),
+        })
+        .ok()
+    }
+
+    fn restore(&mut self, state: &str) -> Result<(), EnvStateError> {
+        let state: TraceEnvState = serde_json::from_str(state)
+            .map_err(|error| EnvStateError(format!("unparseable trace state: {error}")))?;
+        if state.sessions.len() != self.sessions.len() {
+            return Err(EnvStateError(format!(
+                "state describes {} sessions, environment hosts {}",
+                state.sessions.len(),
+                self.sessions.len()
+            )));
+        }
+        self.rng = StdRng::from_state(state.rng);
+        self.sessions = state.sessions;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracegen::paper_trace_pair;
+
+    #[test]
+    fn sessions_are_phase_shifted_over_the_pairs() {
+        let env = TraceEnvironment::new(
+            vec![paper_trace_pair(1, 50, 7), paper_trace_pair(2, 50, 8)],
+            5,
+            1,
+        );
+        let (_, slot0) = env.trace_slot(0, 0);
+        let (_, slot2) = env.trace_slot(2, 0);
+        assert_ne!(slot0, slot2, "same pair, different phase");
+        assert_eq!(env.sessions(), 5);
+    }
+
+    #[test]
+    fn feedback_replays_the_trace_rates() {
+        let pair = paper_trace_pair(1, 30, 3);
+        let wifi0 = pair.wifi.rate_at(0);
+        let mut env = TraceEnvironment::new(vec![pair], 1, 2);
+        let mut out = vec![None];
+        env.feedback(0, &[Some(WIFI)], &mut out);
+        let observation = out[0].as_ref().unwrap();
+        assert_eq!(observation.bit_rate_mbps, wifi0);
+        assert!(!observation.switched);
+        // Switching to cellular pays a delay and counts a switch.
+        env.feedback(1, &[Some(CELLULAR)], &mut out);
+        assert!(out[0].as_ref().unwrap().switched);
+        assert_eq!(env.total_switches(), 1);
+        assert!(env.total_download_megabits() > 0.0);
+    }
+
+    #[test]
+    fn state_round_trips() {
+        let mut env = TraceEnvironment::new(vec![paper_trace_pair(3, 40, 5)], 3, 9);
+        let mut out = vec![None, None, None];
+        env.feedback(0, &[Some(WIFI), Some(CELLULAR), None], &mut out);
+        let state = env.state().unwrap();
+        let mut restored = TraceEnvironment::new(vec![paper_trace_pair(3, 40, 5)], 3, 0);
+        restored.restore(&state).unwrap();
+        assert_eq!(restored.total_switches(), env.total_switches());
+        assert!(restored.restore("{bad").is_err());
+        let donor = TraceEnvironment::new(vec![paper_trace_pair(3, 40, 5)], 2, 0);
+        assert!(restored.restore(&donor.state().unwrap()).is_err());
+    }
+}

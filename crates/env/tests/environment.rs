@@ -1,0 +1,327 @@
+//! Environment-layer integration tests:
+//!
+//! * environment-driven runs are **bit-identical at 1/2/8 threads** (and
+//!   across shard sizes);
+//! * a mid-scenario snapshot/restore round-trips **bit-identically**,
+//!   including pending `BandwidthEvent`s, mobility state and the
+//!   environment RNG;
+//! * a `CongestionEnvironment` driven through `FleetEngine::run_env` agrees
+//!   **decision-for-decision** with the sequential `Simulation::run` driver
+//!   when policies are deterministic (the two paths use different RNG
+//!   models — one shared stream vs per-session streams — so equality over
+//!   rng-free policies is exactly what proves the world logic matches).
+
+use netsim::{
+    figure1_networks, AreaId, BandwidthEvent, CongestionEnvironment, DeviceProfile, DeviceSetup,
+    Simulation, SimulationConfig, Topology,
+};
+use rand::RngCore;
+use smartexp3_core::{
+    NetworkId, Observation, Policy, PolicyKind, PolicyStats, SelectionKind, SlotIndex,
+};
+use smartexp3_engine::{FleetConfig, FleetEngine};
+use smartexp3_env::{area_mobility, dynamic_bandwidth, equal_share, trace_driven, Scenario};
+
+fn scenario_fingerprint(scenario: &Scenario) -> String {
+    // Parallelism knobs are part of the snapshot but must never affect the
+    // trajectory; normalise them so the fingerprint compares pure state.
+    let mut snapshot = scenario
+        .fleet
+        .snapshot()
+        .expect("distributed fleets snapshot");
+    snapshot.config.threads = None;
+    snapshot.config.shard_size = 0;
+    serde_json::to_string(&snapshot).expect("snapshots serialize")
+}
+
+fn build(threads: usize, world: &str) -> Scenario {
+    let config = FleetConfig::with_root_seed(42)
+        .with_threads(threads)
+        .with_shard_size(16);
+    match world {
+        "equal_share" => equal_share(180, PolicyKind::SmartExp3, config).unwrap(),
+        "dynamic_bandwidth" => {
+            dynamic_bandwidth(180, PolicyKind::SmartExp3, config, 10, 25).unwrap()
+        }
+        "area_mobility" => area_mobility(120, PolicyKind::SmartExp3, config, 12, 24).unwrap(),
+        "trace_driven" => trace_driven(150, PolicyKind::SmartExp3, config, 80).unwrap(),
+        other => panic!("unknown world {other}"),
+    }
+}
+
+#[test]
+fn every_world_is_bit_identical_at_any_thread_count() {
+    for world in [
+        "equal_share",
+        "dynamic_bandwidth",
+        "area_mobility",
+        "trace_driven",
+    ] {
+        let mut reference = build(1, world);
+        reference.run(40);
+        let expected = scenario_fingerprint(&reference);
+        for threads in [2, 8] {
+            let mut scenario = build(threads, world);
+            scenario.run(40);
+            assert_eq!(
+                scenario_fingerprint(&scenario),
+                expected,
+                "{world} diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn mid_scenario_snapshots_restore_bit_identically() {
+    // Snapshot each world mid-run — before the dynamic-bandwidth recovery
+    // event fires and mid-walk for the mobility world, so pending events and
+    // mobility state must survive the round-trip.
+    for world in ["dynamic_bandwidth", "area_mobility", "trace_driven"] {
+        let mut original = build(2, world);
+        original.run(15);
+        let snapshot = original
+            .fleet
+            .snapshot_env(original.environment.as_ref())
+            .unwrap_or_else(|error| panic!("{world} snapshot failed: {error}"));
+        original.run(25);
+        let expected = scenario_fingerprint(&original);
+
+        let mut resumed = build(8, world);
+        resumed.fleet =
+            FleetEngine::from_snapshot_env(snapshot, resumed.environment.as_mut()).unwrap();
+        resumed.run(25);
+        assert_eq!(
+            scenario_fingerprint(&resumed),
+            expected,
+            "{world} diverged after snapshot/restore"
+        );
+    }
+}
+
+#[test]
+fn snapshots_without_environment_state_are_rejected() {
+    let mut scenario = build(1, "equal_share");
+    scenario.run(2);
+    let bare = scenario.fleet.snapshot().unwrap();
+    let error = FleetEngine::from_snapshot_env(bare, scenario.environment.as_mut())
+        .expect_err("restore must fail without environment state");
+    assert!(error.to_string().contains("environment"));
+}
+
+/// A deterministic (rng-free) policy: explores its networks once in sorted
+/// order, then sticks to the best empirical mean (ties to the lowest id).
+struct DeterministicBest {
+    networks: Vec<NetworkId>,
+    totals: Vec<(NetworkId, f64, u64)>,
+    cursor: usize,
+    stats: PolicyStats,
+    last: Option<NetworkId>,
+}
+
+impl DeterministicBest {
+    fn new(mut networks: Vec<NetworkId>) -> Self {
+        networks.sort();
+        DeterministicBest {
+            totals: networks.iter().map(|&n| (n, 0.0, 0)).collect(),
+            networks,
+            cursor: 0,
+            stats: PolicyStats::default(),
+            last: None,
+        }
+    }
+
+    fn target(&self) -> NetworkId {
+        if self.cursor < self.networks.len() {
+            self.networks[self.cursor]
+        } else {
+            self.totals
+                .iter()
+                .map(|&(n, gain, slots)| (n, if slots == 0 { 0.0 } else { gain / slots as f64 }))
+                .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
+                .map(|(n, _)| n)
+                .expect("at least one network")
+        }
+    }
+}
+
+impl Policy for DeterministicBest {
+    fn name(&self) -> &'static str {
+        "Deterministic Best"
+    }
+
+    fn choose(&mut self, _slot: SlotIndex, _rng: &mut dyn RngCore) -> NetworkId {
+        let chosen = self.target();
+        if self.cursor < self.networks.len() {
+            self.cursor += 1;
+            self.stats.explorations += 1;
+        } else {
+            self.stats.greedy_selections += 1;
+        }
+        if self.last.is_some_and(|previous| previous != chosen) {
+            self.stats.switches += 1;
+        }
+        self.last = Some(chosen);
+        self.stats.blocks += 1;
+        chosen
+    }
+
+    fn observe(&mut self, observation: &Observation, _rng: &mut dyn RngCore) {
+        if let Some(entry) = self
+            .totals
+            .iter_mut()
+            .find(|(n, _, _)| *n == observation.network)
+        {
+            entry.1 += observation.scaled_gain;
+            entry.2 += 1;
+        }
+    }
+
+    fn on_networks_changed(&mut self, available: &[NetworkId], _rng: &mut dyn RngCore) {
+        self.networks = available.to_vec();
+        self.networks.sort();
+        self.totals.retain(|(n, _, _)| self.networks.contains(n));
+        for &network in &self.networks {
+            if !self.totals.iter().any(|(n, _, _)| *n == network) {
+                self.totals.push((network, 0.0, 0));
+            }
+        }
+        self.totals.sort_by_key(|&(n, _, _)| n);
+        self.cursor = 0;
+    }
+
+    fn probabilities(&self) -> Vec<(NetworkId, f64)> {
+        let target = self.target();
+        self.networks
+            .iter()
+            .map(|&n| (n, if n == target { 1.0 } else { 0.0 }))
+            .collect()
+    }
+
+    fn last_selection_kind(&self) -> SelectionKind {
+        SelectionKind::Greedy
+    }
+
+    fn stats(&self) -> PolicyStats {
+        self.stats
+    }
+}
+
+/// The shared scenario of the cross-check: the Figure-1 map with mobility,
+/// activity windows and a bandwidth event.
+fn cross_check_config() -> SimulationConfig {
+    SimulationConfig {
+        total_slots: 60,
+        keep_selections: true,
+        ..SimulationConfig::default()
+    }
+}
+
+/// (id, start area, moves, active_from, active_until)
+type CrossCheckDevice = (u32, AreaId, Vec<(usize, AreaId)>, usize, Option<usize>);
+
+fn cross_check_devices() -> Vec<CrossCheckDevice> {
+    vec![
+        (
+            0,
+            AreaId(0),
+            vec![(20, AreaId(1)), (40, AreaId(2))],
+            0,
+            None,
+        ),
+        (1, AreaId(0), vec![], 0, None),
+        (2, AreaId(1), vec![(30, AreaId(0))], 0, None),
+        (3, AreaId(1), vec![], 10, Some(50)),
+        (4, AreaId(2), vec![], 0, None),
+        (5, AreaId(2), vec![(25, AreaId(0))], 5, None),
+    ]
+}
+
+fn deterministic_policy(topology: &Topology, area: AreaId) -> DeterministicBest {
+    DeterministicBest::new(topology.networks_in(area))
+}
+
+#[test]
+fn run_env_matches_the_sequential_driver_decision_for_decision() {
+    let topology = Topology::figure1();
+    let event = BandwidthEvent::new(35, NetworkId(2), 1.0);
+
+    // Path A: the sequential Simulation driver (one shared RNG).
+    let mut simulation =
+        Simulation::new(figure1_networks(), topology.clone(), cross_check_config());
+    for (id, area, moves, from, until) in cross_check_devices() {
+        let mut setup = DeviceSetup::new(id, Box::new(deterministic_policy(&topology, area)))
+            .in_area(area)
+            .active_between(from, until);
+        for (slot, destination) in moves {
+            setup = setup.moving_to(slot, destination);
+        }
+        simulation.add_device(setup);
+    }
+    simulation.add_bandwidth_event(event);
+    let sequential = simulation.run(123);
+
+    // Path B: the same world through FleetEngine::run_env (per-session RNG
+    // streams, sharded stepping).
+    let mut profiles = Vec::new();
+    let mut fleet = FleetEngine::new(
+        FleetConfig::with_root_seed(999)
+            .with_threads(2)
+            .with_shard_size(2),
+    );
+    for (id, area, moves, from, until) in cross_check_devices() {
+        let mut profile =
+            DeviceProfile::new(id, area, topology.networks_in(area)).active_between(from, until);
+        for (slot, destination) in moves {
+            profile = profile.moving_to(slot, destination);
+        }
+        profiles.push(profile);
+        fleet.add_session(
+            PolicyKind::Greedy,
+            Box::new(deterministic_policy(&topology, area)),
+        );
+    }
+    let mut env = CongestionEnvironment::new(
+        figure1_networks(),
+        topology,
+        vec![event],
+        profiles,
+        cross_check_config(),
+        7,
+    )
+    .with_recorder();
+    fleet.run_env(&mut env, cross_check_config().total_slots);
+    let outcomes = (0..fleet.len())
+        .map(|index| {
+            let policy = fleet.policy(index).expect("session exists");
+            env.outcome(index, policy.name().to_string(), policy.stats().resets)
+        })
+        .collect();
+    let engine = env.into_result(outcomes).expect("recorder attached");
+
+    // Decisions, observed rates, per-policy top choices, equilibrium metrics
+    // and environment-observed switches must agree exactly. (Downloads are
+    // excluded: switching-delay *samples* come from differently seeded RNGs
+    // and never influence decisions.)
+    assert_eq!(engine.slots, sequential.slots);
+    assert_eq!(engine.selections, sequential.selections);
+    assert_eq!(engine.distance_to_nash, sequential.distance_to_nash);
+    assert_eq!(engine.stable_slot, sequential.stable_slot);
+    assert_eq!(
+        engine.fraction_time_at_nash,
+        sequential.fraction_time_at_nash
+    );
+    assert_eq!(engine.switch_counts(), sequential.switch_counts());
+    assert_eq!(
+        engine
+            .devices
+            .iter()
+            .map(|d| d.active_slots)
+            .collect::<Vec<_>>(),
+        sequential
+            .devices
+            .iter()
+            .map(|d| d.active_slots)
+            .collect::<Vec<_>>()
+    );
+}

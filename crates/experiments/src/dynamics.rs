@@ -1,9 +1,10 @@
 //! Figures 7 and 8 — adaptability to devices joining and leaving the service
-//! area (dynamic settings 1 and 2 of §VI-A).
+//! area (dynamic settings 1 and 2 of §VI-A), driven through the unified
+//! engine path ([`run_environment`](crate::runner::run_environment)).
 
 use crate::config::Scale;
 use crate::report::format_series;
-use crate::runner::{average_series, downsample, run_many};
+use crate::runner::{average_series, downsample, run_environment, run_many};
 use crate::settings::DynamicSetting;
 use netsim::SimulationConfig;
 use smartexp3_core::PolicyKind;
@@ -61,16 +62,17 @@ pub fn run(scale: &Scale, setting: DynamicSetting) -> DynamicsResult {
         .into_iter()
         .map(|algorithm| {
             let series: Vec<Vec<f64>> = run_many(scale, |seed| {
-                let simulation = setting
-                    .build(
+                let (env, fleet) = setting
+                    .build_environment(
                         algorithm,
                         SimulationConfig {
                             total_slots: scale.slots,
                             ..SimulationConfig::default()
                         },
+                        seed,
                     )
                     .expect("dynamic scenario construction cannot fail");
-                simulation.run(seed).distance_to_nash
+                run_environment(env, fleet, scale.slots).distance_to_nash
             });
             DynamicsCurve {
                 algorithm,

@@ -14,14 +14,12 @@
 
 use crate::config::Scale;
 use crate::report::{cell, format_series, format_table};
-use crate::runner::{average_series, downsample, run_many};
+use crate::runner::{average_series, downsample, run_environment, run_many};
 use crate::settings::{
-    homogeneous_simulation, mobility_group_labels, mobility_simulation, DynamicSetting,
+    homogeneous_environment, mobility_environment, mobility_group_labels, DynamicSetting,
     StaticSetting,
 };
-use congestion_game::{
-    distance_to_nash_given, nash_allocation, DeviceState, ResourceSelectionGame,
-};
+use congestion_game::{nash_allocation, ResourceSelectionGame};
 use netsim::{figure1_networks, SimulationConfig};
 use smartexp3_core::PolicyKind;
 use std::fmt;
@@ -80,31 +78,13 @@ pub fn run_for(scale: &Scale, algorithms: &[PolicyKind]) -> MobilityResult {
     let mut curves = Vec::new();
     for &algorithm in algorithms {
         let per_run: Vec<Vec<Vec<f64>>> = run_many(scale, |seed| {
-            let (simulation, groups) = mobility_simulation(algorithm, config)
+            let ((env, fleet), groups) = mobility_environment(algorithm, config, seed)
                 .expect("mobility scenario construction cannot fail");
-            let result = simulation.run(seed);
-            let selections = result.selections.as_ref().expect("selections were kept");
+            let result = run_environment(env, fleet, scale.slots);
             let equilibrium = nash_allocation(&game, groups.len());
-            let mut group_series: Vec<Vec<f64>> = vec![Vec::new(); 4];
-            for slot_records in selections {
-                for (group, series) in group_series.iter_mut().enumerate() {
-                    let states: Vec<DeviceState> = slot_records
-                        .iter()
-                        .filter(|r| groups.get(r.device.0 as usize) == Some(&group))
-                        .map(|r| DeviceState {
-                            network: r.network,
-                            observed_rate: r.rate_mbps,
-                        })
-                        .collect();
-                    let distance = if states.is_empty() {
-                        0.0
-                    } else {
-                        distance_to_nash_given(&game, &equilibrium, &states)
-                    };
-                    series.push(distance);
-                }
-            }
-            group_series
+            result
+                .group_distance_series(&game, &equilibrium, &groups, 4)
+                .expect("selections were kept")
         });
         let mut groups = Vec::new();
         for group in 0..4 {
@@ -132,14 +112,15 @@ pub fn persistent_switches(scale: &Scale) -> Vec<(String, f64)> {
 
     for setting in StaticSetting::both() {
         let switches: Vec<f64> = run_many(scale, |seed| {
-            let simulation = homogeneous_simulation(
+            let (env, fleet) = homogeneous_environment(
                 setting.networks(),
                 PolicyKind::SmartExp3,
                 setting.devices(),
                 config,
+                seed,
             )
             .expect("static scenario construction cannot fail");
-            let result = simulation.run(seed);
+            let result = run_environment(env, fleet, scale.slots);
             mean(&result.switch_counts())
         });
         rows.push((format!("static ({})", setting.label()), mean(&switches)));
@@ -157,10 +138,10 @@ pub fn persistent_switches(scale: &Scale) -> Vec<(String, f64)> {
     ] {
         let persistent = setting.persistent_devices();
         let switches: Vec<f64> = run_many(scale, |seed| {
-            let simulation = setting
-                .build(PolicyKind::SmartExp3, config)
+            let (env, fleet) = setting
+                .build_environment(PolicyKind::SmartExp3, config, seed)
                 .expect("dynamic scenario construction cannot fail");
-            let result = simulation.run(seed);
+            let result = run_environment(env, fleet, scale.slots);
             let persistent_counts: Vec<f64> = result
                 .devices
                 .iter()
@@ -174,15 +155,16 @@ pub fn persistent_switches(scale: &Scale) -> Vec<(String, f64)> {
 
     // Mobility setting: moving devices (group 0) vs the other 12 devices.
     let moving_and_static: Vec<(f64, f64)> = run_many(scale, |seed| {
-        let (simulation, groups) = mobility_simulation(
+        let ((env, fleet), groups) = mobility_environment(
             PolicyKind::SmartExp3,
             SimulationConfig {
                 total_slots: scale.slots,
                 ..SimulationConfig::default()
             },
+            seed,
         )
         .expect("mobility scenario construction cannot fail");
-        let result = simulation.run(seed);
+        let result = run_environment(env, fleet, scale.slots);
         let moving: Vec<f64> = result
             .devices
             .iter()

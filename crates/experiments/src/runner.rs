@@ -1,13 +1,25 @@
-//! Fan-out of independent simulation runs across worker threads.
+//! Fan-out of independent evaluation runs, and the engine-path driver that
+//! turns an environment-driven fleet into the same [`RunResult`] the
+//! sequential simulator produces.
+//!
+//! Since the environment-layer refactor, both levels of parallelism run on
+//! the same substrate: each *run* of an experiment is an independent fleet
+//! driven through `FleetEngine::run_env`, and the runs themselves are fanned
+//! out over a rayon pool (replacing the hand-rolled scoped-thread chunking
+//! this module used to carry).
 
 use crate::config::Scale;
+use netsim::{CongestionEnvironment, RunResult};
+use rayon::prelude::*;
+use rayon::ThreadPoolBuilder;
+use smartexp3_engine::FleetEngine;
 
 /// Executes `scale.runs` independent evaluations of `job` (one per seed) and
 /// collects the results in run order.
 ///
-/// `job` receives the run's seed. With `scale.threads == 1` everything runs on
-/// the calling thread; otherwise runs are distributed over scoped worker
-/// threads (results are still returned in deterministic run order).
+/// `job` receives the run's seed. With `scale.threads == 1` everything runs
+/// on the calling thread; otherwise runs are distributed over a rayon pool
+/// (results are still returned in deterministic run order).
 pub fn run_many<T, F>(scale: &Scale, job: F) -> Vec<T>
 where
     T: Send,
@@ -21,24 +33,49 @@ where
         return (0..runs).map(|i| job(scale.seed(i))).collect();
     }
 
-    let threads = scale.threads.min(runs);
     let mut results: Vec<Option<T>> = (0..runs).map(|_| None).collect();
-    let chunk = runs.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (worker, slots) in results.chunks_mut(chunk).enumerate() {
-            let job = &job;
-            scope.spawn(move || {
-                for (offset, slot) in slots.iter_mut().enumerate() {
-                    let run_index = worker * chunk + offset;
-                    *slot = Some(job(scale.seed(run_index)));
-                }
-            });
-        }
+    let work: Vec<(u64, &mut Option<T>)> = results
+        .iter_mut()
+        .enumerate()
+        .map(|(i, slot)| (scale.seed(i), slot))
+        .collect();
+    let pool = ThreadPoolBuilder::new()
+        .num_threads(scale.threads.min(runs).max(1))
+        .build()
+        .expect("thread pool construction cannot fail");
+    let job = &job;
+    pool.install(|| {
+        work.into_par_iter()
+            .for_each(|(seed, slot)| *slot = Some(job(seed)));
     });
     results
         .into_iter()
         .map(|r| r.expect("every run slot is filled"))
         .collect()
+}
+
+/// Drives a recorder-equipped [`CongestionEnvironment`] fleet to completion
+/// through the unified engine path and assembles the [`RunResult`] — the
+/// engine-side equivalent of `Simulation::run`.
+///
+/// # Panics
+///
+/// Panics when the environment was built without a recorder.
+#[must_use]
+pub fn run_environment(
+    mut env: CongestionEnvironment,
+    mut fleet: FleetEngine,
+    slots: usize,
+) -> RunResult {
+    fleet.run_env(&mut env, slots);
+    let outcomes = (0..fleet.len())
+        .map(|index| {
+            let policy = fleet.policy(index).expect("session exists");
+            env.outcome(index, policy.name().to_string(), policy.stats().resets)
+        })
+        .collect();
+    env.into_result(outcomes)
+        .expect("run_environment requires a recorder-equipped environment")
 }
 
 /// Averages per-slot series element-wise, ignoring series that are shorter
@@ -77,6 +114,9 @@ pub fn downsample(series: &[f64], bucket: usize) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::settings::homogeneous_environment;
+    use netsim::{setting1_networks, SimulationConfig};
+    use smartexp3_core::PolicyKind;
 
     #[test]
     fn sequential_and_parallel_agree() {
@@ -88,6 +128,23 @@ mod tests {
         });
         assert_eq!(sequential, parallel);
         assert_eq!(sequential.len(), 9);
+    }
+
+    #[test]
+    fn run_environment_produces_a_complete_result() {
+        let (env, fleet) = homogeneous_environment(
+            setting1_networks(),
+            PolicyKind::SmartExp3,
+            10,
+            SimulationConfig::quick(40),
+            5,
+        )
+        .unwrap();
+        let result = run_environment(env, fleet, 40);
+        assert_eq!(result.slots, 40);
+        assert_eq!(result.devices.len(), 10);
+        assert!(result.total_download_megabits() > 0.0);
+        assert_eq!(result.distance_to_nash.len(), 40);
     }
 
     #[test]

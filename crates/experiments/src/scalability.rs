@@ -1,15 +1,21 @@
 //! Figure 6 — scalability of Smart EXP3 w/o Reset: how the time to reach a
 //! stable state grows with the number of networks (3/5/7, 20 devices) and
-//! with the number of devices (20/40/80, 3 networks).
+//! with the number of devices (20/40/80, 3 networks) — plus the fleet-scale
+//! sweep measuring raw engine throughput on the replicated-congestion world.
+//!
+//! All runs go through the unified engine path
+//! ([`run_environment`](crate::runner::run_environment)).
 
 use crate::config::Scale;
 use crate::report::{cell, format_table};
-use crate::runner::run_many;
-use crate::settings::homogeneous_simulation;
+use crate::runner::{run_environment, run_many};
+use crate::settings::homogeneous_environment;
 use congestion_game::median;
 use netsim::{NetworkSpec, SimulationConfig};
 use smartexp3_core::PolicyKind;
+use smartexp3_engine::FleetConfig;
 use std::fmt;
+use std::time::Instant;
 
 /// One point of Figure 6.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,7 +62,7 @@ pub fn network_sweep(count: usize) -> Vec<NetworkSpec> {
 fn measure(scale: &Scale, networks: Vec<NetworkSpec>, devices: usize) -> ScalabilityPoint {
     let network_count = networks.len();
     let outcomes: Vec<(Option<usize>, bool)> = run_many(scale, |seed| {
-        let simulation = homogeneous_simulation(
+        let (env, fleet) = homogeneous_environment(
             networks.clone(),
             PolicyKind::SmartExp3WithoutReset,
             devices,
@@ -64,9 +70,10 @@ fn measure(scale: &Scale, networks: Vec<NetworkSpec>, devices: usize) -> Scalabi
                 total_slots: scale.slots,
                 ..SimulationConfig::default()
             },
+            seed,
         )
         .expect("scalability scenario construction cannot fail");
-        let result = simulation.run(seed);
+        let result = run_environment(env, fleet, scale.slots);
         (result.stable_slot, result.stable_at_nash)
     });
     let runs = outcomes.len().max(1) as f64;
@@ -114,6 +121,41 @@ pub fn run_with(
         by_networks,
         by_devices,
     }
+}
+
+/// One point of the fleet-scale throughput sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetScalePoint {
+    /// Number of concurrent sessions.
+    pub sessions: usize,
+    /// Decisions per second sustained through `FleetEngine::run_env` on the
+    /// replicated equal-share congestion world.
+    pub decisions_per_sec: f64,
+}
+
+/// Fleet-scale scalability: steps the replicated equal-share congestion
+/// world (Smart EXP3 everywhere) for `slots` slots at each session count and
+/// reports sustained decision throughput.
+#[must_use]
+pub fn fleet_sweep(session_counts: &[usize], slots: usize) -> Vec<FleetScalePoint> {
+    session_counts
+        .iter()
+        .map(|&sessions| {
+            let mut scenario = smartexp3_env::equal_share(
+                sessions,
+                PolicyKind::SmartExp3,
+                FleetConfig::with_root_seed(1),
+            )
+            .expect("fleet sweep construction cannot fail");
+            let start = Instant::now();
+            scenario.run(slots);
+            FleetScalePoint {
+                sessions,
+                decisions_per_sec: (sessions * slots) as f64
+                    / start.elapsed().as_secs_f64().max(f64::EPSILON),
+            }
+        })
+        .collect()
 }
 
 impl fmt::Display for ScalabilityResult {
@@ -168,5 +210,14 @@ mod tests {
         assert_eq!(network_sweep(3).len(), 3);
         assert_eq!(network_sweep(7).len(), 7);
         assert_eq!(network_sweep(100).len(), 7);
+    }
+
+    #[test]
+    fn fleet_sweep_reports_positive_throughput() {
+        let points = fleet_sweep(&[200, 400], 5);
+        assert_eq!(points.len(), 2);
+        for point in &points {
+            assert!(point.decisions_per_sec > 0.0, "{point:?}");
+        }
     }
 }

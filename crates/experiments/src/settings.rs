@@ -1,11 +1,12 @@
 //! Scenario builders for every setting the paper evaluates.
 
 use netsim::{
-    figure1_networks, setting1_networks, setting2_networks, AreaId, DeviceSetup, NetworkSpec,
-    SharingModel, Simulation, SimulationConfig, Topology,
+    figure1_networks, setting1_networks, setting2_networks, AreaId, CongestionEnvironment,
+    DeviceProfile, DeviceSetup, NetworkSpec, SharingModel, Simulation, SimulationConfig, Topology,
 };
 use serde::{Deserialize, Serialize};
-use smartexp3_core::{ConfigError, PolicyFactory, PolicyKind};
+use smartexp3_core::{ConfigError, NetworkId, PolicyFactory, PolicyKind};
+use smartexp3_engine::{FleetConfig, FleetEngine};
 
 /// The two static simulation settings of §VI-A (20 devices, 3 networks,
 /// 33 Mbps aggregate).
@@ -58,6 +59,44 @@ pub fn factory_for(networks: &[NetworkSpec]) -> Result<PolicyFactory, ConfigErro
     PolicyFactory::new(networks.iter().map(|n| (n.id, n.bandwidth_mbps)).collect())
 }
 
+/// The single population definition behind [`homogeneous_simulation`] and
+/// [`homogeneous_environment`]: `devices` always-active devices in one area.
+fn homogeneous_profiles(ids: &[NetworkId], kind: PolicyKind, devices: usize) -> Vec<DeviceProfile> {
+    (0..devices)
+        .map(|id| {
+            let mut profile = DeviceProfile::new(id as u32, AreaId(0), ids.to_vec());
+            if kind.needs_full_information() {
+                profile = profile.with_full_information();
+            }
+            profile
+        })
+        .collect()
+}
+
+/// Assembles the engine-path pair for any recorder-backed world: `populate`
+/// fills the fleet with one session per profile (in profile order), and the
+/// recorder-equipped environment is built around the same profiles, both
+/// seeded from `root_seed`. Drive the pair with
+/// [`run_environment`](crate::runner::run_environment).
+fn environment_pair<F>(
+    networks: Vec<NetworkSpec>,
+    topology: Topology,
+    profiles: Vec<DeviceProfile>,
+    config: SimulationConfig,
+    root_seed: u64,
+    populate: F,
+) -> Result<(CongestionEnvironment, FleetEngine), ConfigError>
+where
+    F: FnOnce(&mut FleetEngine, &[DeviceProfile]) -> Result<(), ConfigError>,
+{
+    let mut fleet = FleetEngine::new(FleetConfig::with_root_seed(root_seed));
+    populate(&mut fleet, &profiles)?;
+    let seed = fleet.config().environment_seed();
+    let env = CongestionEnvironment::new(networks, topology, Vec::new(), profiles, config, seed)
+        .with_recorder();
+    Ok((env, fleet))
+}
+
 /// Builds a single-area simulation with `devices` devices all running `kind`.
 ///
 /// # Errors
@@ -69,16 +108,47 @@ pub fn homogeneous_simulation(
     devices: usize,
     config: SimulationConfig,
 ) -> Result<Simulation, ConfigError> {
+    let ids: Vec<NetworkId> = networks.iter().map(|n| n.id).collect();
     let mut factory = factory_for(&networks)?;
     let mut simulation = Simulation::single_area(networks, config);
-    for id in 0..devices {
-        let mut setup = DeviceSetup::new(id as u32, factory.build(kind)?);
-        if kind.needs_full_information() {
-            setup = setup.with_full_information();
-        }
-        simulation.add_device(setup);
+    for profile in homogeneous_profiles(&ids, kind, devices) {
+        simulation.add_device(profile.build_setup(factory.build(kind)?));
     }
     Ok(simulation)
+}
+
+/// Engine-path counterpart of [`homogeneous_simulation`]: the same
+/// single-area world as a recorder-equipped [`CongestionEnvironment`] plus a
+/// [`FleetEngine`] hosting `devices` sessions of `kind`, seeded from
+/// `root_seed`. Drive the pair with
+/// [`run_environment`](crate::runner::run_environment).
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from policy construction.
+pub fn homogeneous_environment(
+    networks: Vec<NetworkSpec>,
+    kind: PolicyKind,
+    devices: usize,
+    config: SimulationConfig,
+    root_seed: u64,
+) -> Result<(CongestionEnvironment, FleetEngine), ConfigError> {
+    let ids: Vec<NetworkId> = networks.iter().map(|n| n.id).collect();
+    let profiles = homogeneous_profiles(&ids, kind, devices);
+    let topology = Topology::single_area(&ids);
+    let mut factory = factory_for(&networks)?;
+    environment_pair(
+        networks,
+        topology,
+        profiles,
+        config,
+        root_seed,
+        |fleet, profiles| {
+            fleet
+                .add_fleet(&mut factory, kind, profiles.len())
+                .map(|_| ())
+        },
+    )
 }
 
 /// Builds a single-area simulation with a mix of policies: `counts` lists how
@@ -142,6 +212,25 @@ impl DynamicSetting {
         }
     }
 
+    /// The single population definition behind [`build`](Self::build) and
+    /// [`build_environment`](Self::build_environment): 20 devices whose
+    /// activity windows encode the setting's join/leave schedule, scaled
+    /// proportionally when `total_slots` differs from the paper's 1200.
+    fn profiles(&self, ids: &[NetworkId], total_slots: usize) -> Vec<DeviceProfile> {
+        let scale = |slot: usize| slot * total_slots / 1200;
+        let window = |id: u32| match self {
+            DynamicSetting::DevicesJoinAndLeave if id >= 11 => (scale(400), Some(scale(800))),
+            DynamicSetting::DevicesLeave if id >= 4 => (0, Some(scale(600))),
+            _ => (0, None),
+        };
+        (0..20u32)
+            .map(|id| {
+                let (from, until) = window(id);
+                DeviceProfile::new(id, AreaId(0), ids.to_vec()).active_between(from, until)
+            })
+            .collect()
+    }
+
     /// Builds the simulation (3 networks at 4/7/22 Mbps as in the paper).
     ///
     /// The join/leave slots are scaled proportionally if `config.total_slots`
@@ -156,35 +245,96 @@ impl DynamicSetting {
         config: SimulationConfig,
     ) -> Result<Simulation, ConfigError> {
         let networks = setting1_networks();
+        let ids: Vec<NetworkId> = networks.iter().map(|n| n.id).collect();
         let mut factory = factory_for(&networks)?;
         let mut simulation = Simulation::single_area(networks, config);
-        let scale = |slot: usize| slot * config.total_slots / 1200;
-        match self {
-            DynamicSetting::DevicesJoinAndLeave => {
-                for id in 0..11u32 {
-                    simulation.add_device(DeviceSetup::new(id, factory.build(kind)?));
-                }
-                for id in 11..20u32 {
-                    simulation.add_device(
-                        DeviceSetup::new(id, factory.build(kind)?)
-                            .active_between(scale(400), Some(scale(800))),
-                    );
-                }
-            }
-            DynamicSetting::DevicesLeave => {
-                for id in 0..4u32 {
-                    simulation.add_device(DeviceSetup::new(id, factory.build(kind)?));
-                }
-                for id in 4..20u32 {
-                    simulation.add_device(
-                        DeviceSetup::new(id, factory.build(kind)?)
-                            .active_between(0, Some(scale(600))),
-                    );
-                }
-            }
+        for profile in self.profiles(&ids, config.total_slots) {
+            simulation.add_device(profile.build_setup(factory.build(kind)?));
         }
         Ok(simulation)
     }
+
+    /// Engine-path counterpart of [`build`](Self::build): the same dynamic
+    /// population as a recorder-equipped environment plus a fleet seeded
+    /// from `root_seed`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`] from policy construction.
+    pub fn build_environment(
+        &self,
+        kind: PolicyKind,
+        config: SimulationConfig,
+        root_seed: u64,
+    ) -> Result<(CongestionEnvironment, FleetEngine), ConfigError> {
+        let networks = setting1_networks();
+        let ids: Vec<NetworkId> = networks.iter().map(|n| n.id).collect();
+        let profiles = self.profiles(&ids, config.total_slots);
+        let topology = Topology::single_area(&ids);
+        let mut factory = factory_for(&networks)?;
+        environment_pair(
+            networks,
+            topology,
+            profiles,
+            config,
+            root_seed,
+            |fleet, profiles| {
+                fleet
+                    .add_fleet(&mut factory, kind, profiles.len())
+                    .map(|_| ())
+            },
+        )
+    }
+}
+
+/// The single population definition behind [`mobility_simulation`] and
+/// [`mobility_environment`]: 8 walkers starting in the food court (moving at
+/// the scaled slots 400 and 800), 2 food-court stayers, 5 study-area and 5
+/// bus-stop devices, with their reporting group per device.
+fn mobility_profiles(topology: &Topology, total_slots: usize) -> (Vec<DeviceProfile>, Vec<usize>) {
+    let scale = |slot: usize| slot * total_slots / 1200;
+    let mut profiles = Vec::with_capacity(20);
+    let mut groups = Vec::with_capacity(20);
+    for id in 0..20u32 {
+        let (area, group) = match id {
+            0..=7 => (0u32, 0usize),
+            8..=9 => (0, 1),
+            10..=14 => (1, 2),
+            _ => (2, 3),
+        };
+        let area_id = AreaId(area);
+        let mut profile = DeviceProfile::new(id, area_id, topology.networks_in(area_id));
+        if group == 0 {
+            profile = profile
+                .moving_to(scale(400), AreaId(1))
+                .moving_to(scale(800), AreaId(2));
+        }
+        profiles.push(profile);
+        groups.push(group);
+    }
+    (profiles, groups)
+}
+
+/// Per-area policy factories for the Figure-1 map: policies are constructed
+/// over the networks visible from the device's starting area (a device
+/// cannot know about networks it has never seen).
+fn mobility_factories(
+    networks: &[NetworkSpec],
+    topology: &Topology,
+) -> Result<Vec<PolicyFactory>, ConfigError> {
+    [AreaId(0), AreaId(1), AreaId(2)]
+        .iter()
+        .map(|&area| {
+            let visible = topology.networks_in(area);
+            PolicyFactory::new(
+                networks
+                    .iter()
+                    .filter(|n| visible.contains(&n.id))
+                    .map(|n| (n.id, n.bandwidth_mbps))
+                    .collect(),
+            )
+        })
+        .collect()
 }
 
 /// The mobility scenario of §VI-A setting 3 (Figure 9): the Figure 1 map with
@@ -204,52 +354,47 @@ pub fn mobility_simulation(
 ) -> Result<(Simulation, Vec<usize>), ConfigError> {
     let networks = figure1_networks();
     let topology = Topology::figure1();
-    let scale = |slot: usize| slot * config.total_slots / 1200;
-    let mut simulation = Simulation::new(networks.clone(), topology.clone(), config);
-    let mut groups = Vec::new();
-
-    // Policies are constructed over the networks visible from the device's
-    // starting area (a device cannot know about networks it has never seen).
-    let area_factory = |area: AreaId| -> Result<PolicyFactory, ConfigError> {
-        let visible = topology.networks_in(area);
-        PolicyFactory::new(
-            networks
-                .iter()
-                .filter(|n| visible.contains(&n.id))
-                .map(|n| (n.id, n.bandwidth_mbps))
-                .collect(),
-        )
-    };
-
-    // Devices 1-8 (ids 0-7): food court, moving at t=401 and t=801.
-    let mut food_court = area_factory(AreaId(0))?;
-    for id in 0..8u32 {
-        simulation.add_device(
-            DeviceSetup::new(id, food_court.build(kind)?)
-                .in_area(AreaId(0))
-                .moving_to(scale(400), AreaId(1))
-                .moving_to(scale(800), AreaId(2)),
-        );
-        groups.push(0);
-    }
-    // Devices 9-10 (ids 8-9): food court, stationary.
-    for id in 8..10u32 {
-        simulation.add_device(DeviceSetup::new(id, food_court.build(kind)?).in_area(AreaId(0)));
-        groups.push(1);
-    }
-    // Devices 11-15 (ids 10-14): study area.
-    let mut study = area_factory(AreaId(1))?;
-    for id in 10..15u32 {
-        simulation.add_device(DeviceSetup::new(id, study.build(kind)?).in_area(AreaId(1)));
-        groups.push(2);
-    }
-    // Devices 16-20 (ids 15-19): bus stop.
-    let mut bus_stop = area_factory(AreaId(2))?;
-    for id in 15..20u32 {
-        simulation.add_device(DeviceSetup::new(id, bus_stop.build(kind)?).in_area(AreaId(2)));
-        groups.push(3);
+    let (profiles, groups) = mobility_profiles(&topology, config.total_slots);
+    let mut factories = mobility_factories(&networks, &topology)?;
+    let mut simulation = Simulation::new(networks, topology, config);
+    for profile in profiles {
+        let area = profile.area.0 as usize;
+        simulation.add_device(profile.build_setup(factories[area].build(kind)?));
     }
     Ok((simulation, groups))
+}
+
+/// Engine-path counterpart of [`mobility_simulation`]: the Figure-1 mobility
+/// world as a recorder-equipped environment plus a fleet seeded from
+/// `root_seed`, with the same device groups.
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from policy construction.
+#[allow(clippy::type_complexity)]
+pub fn mobility_environment(
+    kind: PolicyKind,
+    config: SimulationConfig,
+    root_seed: u64,
+) -> Result<((CongestionEnvironment, FleetEngine), Vec<usize>), ConfigError> {
+    let networks = figure1_networks();
+    let topology = Topology::figure1();
+    let (profiles, groups) = mobility_profiles(&topology, config.total_slots);
+    let mut factories = mobility_factories(&networks, &topology)?;
+    let pair = environment_pair(
+        networks,
+        topology,
+        profiles,
+        config,
+        root_seed,
+        |fleet, profiles| {
+            for profile in profiles {
+                fleet.add_fleet(&mut factories[profile.area.0 as usize], kind, 1)?;
+            }
+            Ok(())
+        },
+    )?;
+    Ok((pair, groups))
 }
 
 /// Human-readable labels of the mobility groups returned by

@@ -1,0 +1,868 @@
+//! The congestion world as a first-class [`Environment`].
+//!
+//! [`CongestionEnvironment`] owns everything the old 578-line
+//! `Simulation::run` slot loop used to interleave with policy calls:
+//! network capacities and their scheduled [`BandwidthEvent`]s, the
+//! service-area [`Topology`] and per-device visibility, mobility walks and
+//! activity windows, bandwidth sharing, switching-delay sampling, goodput
+//! accounting, counterfactual full-information gains and the optional
+//! [`RunRecorder`].
+//!
+//! It is driven two ways by the same phase methods:
+//!
+//! * **sequential, legacy-exact** — [`Simulation::run`](crate::Simulation)
+//!   is now a thin driver that calls the phases with the run's shared RNG in
+//!   the historical order, so trajectories are bit-identical to the
+//!   pre-refactor simulator;
+//! * **fleet-scale** — the [`Environment`] implementation lets
+//!   `smartexp3-engine`'s `run_env` shard millions of sessions over worker
+//!   threads: per-session randomness lives in per-session streams, while all
+//!   environment randomness (share noise, switching delays) is drawn from
+//!   the environment's own RNG in canonical session order, keeping results
+//!   independent of the thread count.
+
+use crate::delay::DelayModel;
+use crate::device::{DeviceId, DeviceOutcome, DeviceSetup};
+use crate::event::{BandwidthEvent, EventSchedule};
+use crate::network::NetworkSpec;
+use crate::recorder::{RunRecorder, RunResult, SelectionRecord};
+use crate::topology::{AreaId, Topology};
+use crate::SimulationConfig;
+use congestion_game::ResourceSelectionGame;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use serde::{Deserialize, Serialize};
+use smartexp3_core::{EnvStateError, Environment, NetworkId, Observation, SessionView, SlotIndex};
+use std::collections::BTreeMap;
+
+/// Everything the environment needs to know about one session except its
+/// policy (which lives in the driver — the simulation or the fleet engine).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Identifier used in records and outcomes.
+    pub id: DeviceId,
+    /// Service area the device starts in.
+    pub area: AreaId,
+    /// First slot (inclusive) in which the device participates.
+    pub active_from: usize,
+    /// Slot (exclusive) after which the device leaves (`None` = stays).
+    pub active_until: Option<usize>,
+    /// Scheduled moves: at the start of slot `.0` the device relocates to
+    /// area `.1` (sorted by slot).
+    pub moves: Vec<(usize, AreaId)>,
+    /// Whether observations should carry counterfactual per-network gains.
+    pub needs_full_information: bool,
+    /// The networks the session's policy was constructed over, used to
+    /// decide whether its first activation needs a visibility notification
+    /// (the fleet-engine analogue of the legacy policy introspection).
+    pub home_networks: Vec<NetworkId>,
+}
+
+impl DeviceProfile {
+    /// A device active for the whole run in `area`, with its policy built
+    /// over `home_networks`.
+    #[must_use]
+    pub fn new(id: u32, area: AreaId, home_networks: Vec<NetworkId>) -> Self {
+        DeviceProfile {
+            id: DeviceId(id),
+            area,
+            active_from: 0,
+            active_until: None,
+            moves: Vec::new(),
+            needs_full_information: false,
+            home_networks,
+        }
+    }
+
+    /// Restricts activity to the slot range `[from, until)`.
+    #[must_use]
+    pub fn active_between(mut self, from: usize, until: Option<usize>) -> Self {
+        self.active_from = from;
+        self.active_until = until;
+        self
+    }
+
+    /// Schedules a move to `area` at the start of slot `slot`.
+    #[must_use]
+    pub fn moving_to(mut self, slot: usize, area: AreaId) -> Self {
+        self.moves.push((slot, area));
+        self.moves.sort_by_key(|&(s, _)| s);
+        self
+    }
+
+    /// Requests counterfactual (full-information) feedback.
+    #[must_use]
+    pub fn with_full_information(mut self) -> Self {
+        self.needs_full_information = true;
+        self
+    }
+
+    /// Builds the driver-side twin of this profile around `policy` — the
+    /// [`DeviceSetup`] describing the same device for the sequential
+    /// [`Simulation`](crate::Simulation) path. Scenario definitions can thus
+    /// be written once as profiles and drive either path.
+    #[must_use]
+    pub fn build_setup(&self, policy: Box<dyn smartexp3_core::Policy>) -> DeviceSetup {
+        let mut setup = DeviceSetup::new(self.id.0, policy)
+            .in_area(self.area)
+            .active_between(self.active_from, self.active_until);
+        for &(slot, area) in &self.moves {
+            setup = setup.moving_to(slot, area);
+        }
+        if self.needs_full_information {
+            setup = setup.with_full_information();
+        }
+        setup
+    }
+
+    /// The environment-side half of a [`DeviceSetup`] (the policy stays with
+    /// the driver). `home_networks` is read off the policy's distribution.
+    #[must_use]
+    pub fn from_setup(setup: &DeviceSetup) -> Self {
+        DeviceProfile {
+            id: setup.id,
+            area: setup.area,
+            active_from: setup.active_from,
+            active_until: setup.active_until,
+            moves: setup.moves.clone(),
+            needs_full_information: setup.needs_full_information,
+            home_networks: setup
+                .policy
+                .probabilities()
+                .iter()
+                .map(|(n, _)| *n)
+                .collect(),
+        }
+    }
+
+    /// `true` if the device participates in slot `slot`.
+    #[must_use]
+    pub fn is_active_at(&self, slot: usize) -> bool {
+        slot >= self.active_from && self.active_until.is_none_or(|until| slot < until)
+    }
+
+    /// The area the device is in at slot `slot`, accounting for moves.
+    #[must_use]
+    pub fn area_at(&self, slot: usize) -> AreaId {
+        let mut area = self.area;
+        for &(move_slot, destination) in &self.moves {
+            if slot >= move_slot {
+                area = destination;
+            } else {
+                break;
+            }
+        }
+        area
+    }
+}
+
+/// What [`CongestionEnvironment::refresh_visibility`] found for one device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum VisibilityUpdate {
+    /// The device sits this slot out.
+    Inactive,
+    /// Active, same visible networks as before.
+    Unchanged,
+    /// Active and the visible set changed (mobility, topology).
+    Changed,
+    /// Active for the first time (or after its visible set was never
+    /// initialised); the driver decides whether the policy needs to hear
+    /// about it.
+    FirstActivation,
+}
+
+/// Per-device dynamic state (runtime, not configuration).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+struct DeviceDyn {
+    available: Vec<NetworkId>,
+    current: Option<NetworkId>,
+    was_active: bool,
+    active_now: bool,
+    pending_change: bool,
+    download_megabits: f64,
+    active_slots: usize,
+    switches: u64,
+    total_delay_seconds: f64,
+}
+
+/// Serialized dynamic state (see [`Environment::state`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CongestionEnvState {
+    bandwidths: Vec<(NetworkId, f64)>,
+    cursor: usize,
+    rng: [u64; 4],
+    devices: Vec<DeviceDyn>,
+}
+
+/// The shared-bandwidth congestion world of the paper, as an
+/// [`Environment`]: topology-scoped visibility, mobility walks, activity
+/// windows, scheduled bandwidth events, equal-share or noisy bandwidth
+/// sharing, technology-dependent switching delays and per-device goodput
+/// accounting. See the [module documentation](self).
+pub struct CongestionEnvironment {
+    config: SimulationConfig,
+    profiles: Vec<DeviceProfile>,
+    devices: Vec<DeviceDyn>,
+    schedule: EventSchedule,
+    gain_scale: f64,
+    /// Dense network index: every id the run can encounter, ascending.
+    universe: Vec<NetworkId>,
+    bandwidths: BTreeMap<NetworkId, f64>,
+    bandwidth_by_index: Vec<f64>,
+    delay_models: BTreeMap<NetworkId, DelayModel>,
+    area_networks: Vec<(AreaId, Vec<NetworkId>)>,
+    /// Sorted `(area id, index into area_networks)` lookup — visibility
+    /// refresh runs per active device per slot, so it must not scan the
+    /// (possibly tens-of-thousands-entry) area list linearly. Keeps the
+    /// *first* entry per id, matching the linear `find` it replaces.
+    area_index: Vec<(AreaId, usize)>,
+    game: ResourceSelectionGame,
+    /// Environment RNG for the fleet-engine path (share noise, delays); the
+    /// sequential legacy driver passes its own shared RNG instead. Held in
+    /// an `Option` so [`Environment::feedback`] can lend it out while the
+    /// phase methods borrow `self` — a take that is never restored (a future
+    /// early exit) panics loudly on the next slot instead of silently
+    /// corrupting determinism.
+    rng: Option<StdRng>,
+    recorder: Option<RunRecorder>,
+    // Reusable per-slot buffers (cleared, never reallocated in steady state).
+    load: Vec<usize>,
+    shares: Vec<Vec<f64>>,
+    next_share_index: Vec<usize>,
+    choices: Vec<(usize, NetworkId)>,
+    records: Vec<SelectionRecord>,
+    full_gains_pool: Vec<Vec<(NetworkId, f64)>>,
+}
+
+impl CongestionEnvironment {
+    /// Builds the environment.
+    ///
+    /// `env_seed` seeds the environment's own RNG (used only on the
+    /// fleet-engine path; the sequential driver supplies its shared RNG).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `networks` is empty (a world without networks is a
+    /// programming error in the scenario definition, not a data condition).
+    #[must_use]
+    pub fn new(
+        networks: Vec<NetworkSpec>,
+        topology: Topology,
+        events: Vec<BandwidthEvent>,
+        profiles: Vec<DeviceProfile>,
+        config: SimulationConfig,
+        env_seed: u64,
+    ) -> Self {
+        assert!(
+            !networks.is_empty(),
+            "a congestion environment needs at least one network"
+        );
+        let bandwidths: BTreeMap<NetworkId, f64> =
+            networks.iter().map(|n| (n.id, n.bandwidth_mbps)).collect();
+        let delay_models: BTreeMap<NetworkId, DelayModel> =
+            networks.iter().map(|n| (n.id, n.delay_model())).collect();
+        let gain_scale = config.gain_scale_mbps.unwrap_or_else(|| {
+            networks
+                .iter()
+                .map(|n| n.bandwidth_mbps)
+                .fold(1e-9, f64::max)
+        });
+
+        let mut universe: Vec<NetworkId> = networks.iter().map(|n| n.id).collect();
+        universe.extend(events.iter().map(|e| e.network));
+        for area in topology.areas() {
+            universe.extend(topology.networks_in(area.id));
+        }
+        universe.sort_unstable();
+        universe.dedup();
+
+        let area_networks: Vec<(AreaId, Vec<NetworkId>)> = topology
+            .areas()
+            .iter()
+            .map(|a| (a.id, topology.networks_in(a.id)))
+            .collect();
+        let mut area_index: Vec<(AreaId, usize)> = area_networks
+            .iter()
+            .enumerate()
+            .map(|(index, (area, _))| (*area, index))
+            .collect();
+        area_index.sort_by_key(|&(area, _)| area);
+        // On duplicate area ids, keep the first occurrence — the semantics
+        // of the linear scan this index replaces.
+        area_index.dedup_by_key(|&mut (area, _)| area);
+
+        let game = ResourceSelectionGame::new(bandwidths.iter().map(|(&n, &r)| (n, r)));
+        let network_count = universe.len();
+        let mut bandwidth_by_index = vec![0.0; network_count];
+        for (i, &network) in universe.iter().enumerate() {
+            bandwidth_by_index[i] = bandwidths.get(&network).copied().unwrap_or(0.0);
+        }
+        let devices = vec![DeviceDyn::default(); profiles.len()];
+
+        CongestionEnvironment {
+            config,
+            profiles,
+            devices,
+            schedule: EventSchedule::new(events),
+            gain_scale,
+            universe,
+            bandwidths,
+            bandwidth_by_index,
+            delay_models,
+            area_networks,
+            area_index,
+            game,
+            rng: Some(StdRng::seed_from_u64(env_seed)),
+            recorder: None,
+            load: vec![0; network_count],
+            shares: vec![Vec::new(); network_count],
+            next_share_index: vec![0; network_count],
+            choices: Vec::new(),
+            records: Vec::new(),
+            full_gains_pool: Vec::new(),
+        }
+    }
+
+    /// Enables the paper-metrics recorder (distance to Nash, stable-state
+    /// detection, …). Recorded environments cannot be checkpointed — the
+    /// recorder accumulates whole-run series — so fleet-scale scenarios
+    /// leave it off.
+    #[must_use]
+    pub fn with_recorder(mut self) -> Self {
+        self.recorder = Some(RunRecorder::new(
+            self.profiles.len(),
+            self.config.slot_duration_s,
+            self.config.stable_probability_threshold,
+            self.config.epsilon_percent,
+            self.config.keep_selections,
+        ));
+        self
+    }
+
+    /// The device profiles, in session order.
+    #[must_use]
+    pub fn profiles(&self) -> &[DeviceProfile] {
+        &self.profiles
+    }
+
+    /// The current congestion game (capacities after the events fired so
+    /// far).
+    #[must_use]
+    pub fn game(&self) -> &ResourceSelectionGame {
+        &self.game
+    }
+
+    /// The gain scale (bit rate mapping to a scaled gain of 1.0).
+    #[must_use]
+    pub fn gain_scale(&self) -> f64 {
+        self.gain_scale
+    }
+
+    /// The networks session `index` can currently see.
+    #[must_use]
+    pub fn available(&self, index: usize) -> &[NetworkId] {
+        &self.devices[index].available
+    }
+
+    /// Builds the [`DeviceOutcome`] of session `index` from the
+    /// environment's accounting plus the driver-known policy identity.
+    #[must_use]
+    pub fn outcome(&self, index: usize, policy_name: String, resets: u64) -> DeviceOutcome {
+        let device = &self.devices[index];
+        DeviceOutcome {
+            id: self.profiles[index].id,
+            policy_name,
+            download_megabits: device.download_megabits,
+            switches: device.switches,
+            resets,
+            active_slots: device.active_slots,
+            total_delay_seconds: device.total_delay_seconds,
+        }
+    }
+
+    /// Finalises the recorder into a [`RunResult`], or `None` when the
+    /// environment was built without one.
+    #[must_use]
+    pub fn into_result(mut self, outcomes: Vec<DeviceOutcome>) -> Option<RunResult> {
+        self.recorder
+            .take()
+            .map(|recorder| recorder.finish(&self.game, outcomes))
+    }
+
+    // ------------------------------------------------------------------
+    // Phase methods, shared by the sequential driver and the trait impl.
+    // ------------------------------------------------------------------
+
+    /// Applies the bandwidth events due at `slot`; the game and the dense
+    /// capacity table are only rebuilt when one fired.
+    pub(crate) fn apply_due_events(&mut self, slot: usize) {
+        let due = self.schedule.due(slot);
+        if due.is_empty() {
+            return;
+        }
+        for event in due {
+            self.bandwidths
+                .insert(event.network, event.new_bandwidth_mbps);
+        }
+        self.game = ResourceSelectionGame::new(self.bandwidths.iter().map(|(&n, &r)| (n, r)));
+        for (i, &network) in self.universe.iter().enumerate() {
+            self.bandwidth_by_index[i] = self.bandwidths.get(&network).copied().unwrap_or(0.0);
+        }
+    }
+
+    /// Advances device `index`'s life-cycle state (activity, mobility,
+    /// visibility) into `slot` and reports what changed. After a `Changed` /
+    /// `FirstActivation` the new visible set is [`available`](Self::available).
+    pub(crate) fn refresh_visibility(&mut self, index: usize, slot: usize) -> VisibilityUpdate {
+        let profile = &self.profiles[index];
+        let device = &mut self.devices[index];
+        if !profile.is_active_at(slot) {
+            device.was_active = false;
+            device.active_now = false;
+            return VisibilityUpdate::Inactive;
+        }
+        device.active_now = true;
+        let area = profile.area_at(slot);
+        let visible: &[NetworkId] = self
+            .area_index
+            .binary_search_by_key(&area, |&(a, _)| a)
+            .ok()
+            .map_or(&[], |found| {
+                self.area_networks[self.area_index[found].1].1.as_slice()
+            });
+        let mut update = VisibilityUpdate::Unchanged;
+        if device.available != visible {
+            update = if device.available.is_empty() && !device.was_active {
+                VisibilityUpdate::FirstActivation
+            } else {
+                VisibilityUpdate::Changed
+            };
+            device.available.clear();
+            device.available.extend_from_slice(visible);
+            if let Some(current) = device.current {
+                if !device.available.contains(&current) {
+                    device.current = None;
+                }
+            }
+        }
+        device.was_active = true;
+        update
+    }
+
+    /// `true` when device `index`'s visible set differs (as a set) from the
+    /// networks its policy was built over — the fleet-engine analogue of the
+    /// legacy first-activation policy introspection.
+    fn differs_from_home(&self, index: usize) -> bool {
+        let home = &self.profiles[index].home_networks;
+        let available = &self.devices[index].available;
+        available.len() != home.len() || !available.iter().all(|n| home.contains(n))
+    }
+
+    /// Opens the selection phase of a slot.
+    pub(crate) fn begin_choices(&mut self) {
+        self.choices.clear();
+        self.records.clear();
+        self.load.fill(0);
+    }
+
+    /// Registers the choice of active device `index` (valid or not) and
+    /// accounts its load.
+    pub(crate) fn register_choice(&mut self, index: usize, chosen: NetworkId) {
+        if self.devices[index].available.contains(&chosen) {
+            if let Ok(i) = self.universe.binary_search(&chosen) {
+                self.load[i] += 1;
+            }
+        }
+        self.choices.push((index, chosen));
+    }
+
+    /// Splits every loaded network's bandwidth among its devices (ascending
+    /// network id, matching the historical RNG draw order).
+    pub(crate) fn compute_shares(&mut self, rng: &mut dyn RngCore) {
+        for i in 0..self.universe.len() {
+            self.next_share_index[i] = 0;
+            self.shares[i].clear();
+            if self.load[i] > 0 {
+                self.config.sharing.shares_into(
+                    self.bandwidth_by_index[i],
+                    self.load[i],
+                    rng,
+                    &mut self.shares[i],
+                );
+            }
+        }
+    }
+
+    /// Number of choices registered this slot.
+    pub(crate) fn choice_count(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// The `k`-th registered choice: `(session index, chosen network)`.
+    pub(crate) fn choice_at(&self, k: usize) -> (usize, NetworkId) {
+        self.choices[k]
+    }
+
+    /// Grades the `k`-th registered choice: bandwidth share, switching delay
+    /// (sampled from `rng`), goodput accounting and — for full-information
+    /// devices — counterfactual gains. Also queues the selection record when
+    /// a recorder is attached (its `top_choice` is a placeholder until
+    /// [`record_top`](Self::record_top) / the end-of-slot hook fills it).
+    pub(crate) fn grade(
+        &mut self,
+        k: usize,
+        slot: SlotIndex,
+        rng: &mut dyn RngCore,
+    ) -> Observation {
+        let (index, chosen) = self.choices[k];
+        let device = &mut self.devices[index];
+        let valid = device.available.contains(&chosen);
+        let dense = self.universe.binary_search(&chosen).ok();
+        let observed_rate = match dense {
+            Some(i) if valid => {
+                let share = self.shares[i]
+                    .get(self.next_share_index[i])
+                    .copied()
+                    .unwrap_or(0.0);
+                self.next_share_index[i] += 1;
+                share
+            }
+            _ => 0.0,
+        };
+
+        let switched = match device.current {
+            Some(previous) => previous != chosen,
+            None => false,
+        };
+        let delay = if switched {
+            let model = self
+                .delay_models
+                .get(&chosen)
+                .copied()
+                .unwrap_or(DelayModel::None);
+            model.sample(self.config.slot_duration_s, rng)
+        } else {
+            0.0
+        };
+        if switched {
+            device.switches += 1;
+            device.total_delay_seconds += delay;
+        }
+        device.current = Some(chosen);
+        device.active_slots += 1;
+        device.download_megabits += observed_rate * (self.config.slot_duration_s - delay).max(0.0);
+
+        let scaled_gain = (observed_rate / self.gain_scale).clamp(0.0, 1.0);
+        let mut observation = Observation {
+            slot,
+            network: chosen,
+            bit_rate_mbps: observed_rate,
+            scaled_gain,
+            switched,
+            switching_delay_s: delay,
+            full_gains: None,
+        };
+        if self.profiles[index].needs_full_information {
+            // Counterfactual scaled gains: the share the device *would* have
+            // observed on each visible network this slot, given the other
+            // devices' choices. Backing buffers are pooled across slots.
+            let mut gains = self.full_gains_pool.pop().unwrap_or_default();
+            gains.clear();
+            gains.extend(device.available.iter().map(|&network| {
+                let i = self.universe.binary_search(&network).ok();
+                let bandwidth = i.map_or(0.0, |i| self.bandwidth_by_index[i]);
+                let others = i.map_or(0, |i| self.load[i]) - usize::from(network == chosen);
+                let rate = bandwidth / (others + 1) as f64;
+                (network, (rate / self.gain_scale).clamp(0.0, 1.0))
+            }));
+            observation.full_gains = Some(gains);
+        }
+        if self.recorder.is_some() {
+            self.records.push(SelectionRecord {
+                device: self.profiles[index].id,
+                network: chosen,
+                rate_mbps: observed_rate,
+                top_choice: (chosen, 1.0),
+            });
+        }
+        observation
+    }
+
+    /// Reclaims the pooled allocations of a consumed observation.
+    pub(crate) fn recycle_observation(&mut self, observation: Observation) {
+        if let Some(mut gains) = observation.full_gains {
+            gains.clear();
+            self.full_gains_pool.push(gains);
+        }
+    }
+
+    /// Fills the `k`-th selection record's most-probable-network field
+    /// (stable-state detection input).
+    pub(crate) fn record_top(&mut self, k: usize, top: (NetworkId, f64)) {
+        if let Some(record) = self.records.get_mut(k) {
+            record.top_choice = top;
+        }
+    }
+
+    /// Closes the slot: feeds the queued records to the recorder.
+    pub(crate) fn finish_slot(&mut self) {
+        if let Some(recorder) = &mut self.recorder {
+            recorder.record_slot(&self.game, &self.records);
+        }
+    }
+}
+
+impl Environment for CongestionEnvironment {
+    fn sessions(&self) -> usize {
+        self.profiles.len()
+    }
+
+    fn begin_slot(&mut self, slot: SlotIndex) {
+        self.apply_due_events(slot);
+        for index in 0..self.profiles.len() {
+            let pending = match self.refresh_visibility(index, slot) {
+                VisibilityUpdate::Inactive | VisibilityUpdate::Unchanged => false,
+                VisibilityUpdate::Changed => true,
+                VisibilityUpdate::FirstActivation => self.differs_from_home(index),
+            };
+            self.devices[index].pending_change = pending;
+        }
+    }
+
+    fn session_view(&self, session: usize, _slot: SlotIndex) -> SessionView<'_> {
+        let device = &self.devices[session];
+        SessionView {
+            active: device.active_now,
+            networks_changed: device.pending_change.then_some(device.available.as_slice()),
+        }
+    }
+
+    fn feedback(
+        &mut self,
+        slot: SlotIndex,
+        choices: &[Option<NetworkId>],
+        out: &mut [Option<Observation>],
+    ) {
+        self.begin_choices();
+        for (index, choice) in choices.iter().enumerate() {
+            match choice {
+                Some(chosen) => self.register_choice(index, *chosen),
+                None => {
+                    if let Some(stale) = out[index].take() {
+                        self.recycle_observation(stale);
+                    }
+                }
+            }
+        }
+        // The environment's own RNG drives share noise and delay sampling in
+        // canonical (network-then-choice) order — thread-count independent.
+        let mut rng = self
+            .rng
+            .take()
+            .expect("environment RNG lent out and never restored");
+        self.compute_shares(&mut rng);
+        for k in 0..self.choice_count() {
+            let (index, _) = self.choice_at(k);
+            if let Some(previous) = out[index].take() {
+                self.recycle_observation(previous);
+            }
+            out[index] = Some(self.grade(k, slot, &mut rng));
+        }
+        self.rng = Some(rng);
+    }
+
+    fn wants_top_choices(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    fn end_slot(
+        &mut self,
+        _slot: SlotIndex,
+        _choices: &[Option<NetworkId>],
+        tops: &[Option<(NetworkId, f64)>],
+    ) {
+        if self.recorder.is_some() {
+            for k in 0..self.records.len() {
+                let (index, chosen) = self.choices[k];
+                let top = tops.get(index).copied().flatten().unwrap_or((chosen, 1.0));
+                self.records[k].top_choice = top;
+            }
+        }
+        self.finish_slot();
+    }
+
+    fn state(&self) -> Option<String> {
+        if self.recorder.is_some() {
+            // The recorder accumulates whole-run series; checkpointing is a
+            // fleet-scale (recorder-less) feature.
+            return None;
+        }
+        let state = CongestionEnvState {
+            bandwidths: self.bandwidths.iter().map(|(&n, &b)| (n, b)).collect(),
+            cursor: self.schedule.cursor(),
+            rng: self.rng.as_ref().expect("environment RNG present").state(),
+            devices: self.devices.clone(),
+        };
+        serde_json::to_string(&state).ok()
+    }
+
+    fn restore(&mut self, state: &str) -> Result<(), EnvStateError> {
+        if self.recorder.is_some() {
+            // Symmetric with `state()`: a recorder only saw the slots since
+            // the restore point, so its whole-run metrics would silently
+            // misreport the resumed run.
+            return Err(EnvStateError(
+                "recorder-equipped environments cannot be restored (the recorder \
+                 cannot reconstruct the slots before the checkpoint)"
+                    .to_string(),
+            ));
+        }
+        let state: CongestionEnvState = serde_json::from_str(state)
+            .map_err(|error| EnvStateError(format!("unparseable congestion state: {error}")))?;
+        if state.devices.len() != self.profiles.len() {
+            return Err(EnvStateError(format!(
+                "state describes {} devices, environment hosts {}",
+                state.devices.len(),
+                self.profiles.len()
+            )));
+        }
+        if state.cursor > self.schedule.len() {
+            return Err(EnvStateError(format!(
+                "event cursor {} exceeds schedule of {} events",
+                state.cursor,
+                self.schedule.len()
+            )));
+        }
+        self.bandwidths = state.bandwidths.into_iter().collect();
+        self.schedule.set_cursor(state.cursor);
+        self.rng = Some(StdRng::from_state(state.rng));
+        self.devices = state.devices;
+        self.game = ResourceSelectionGame::new(self.bandwidths.iter().map(|(&n, &r)| (n, r)));
+        for (i, &network) in self.universe.iter().enumerate() {
+            self.bandwidth_by_index[i] = self.bandwidths.get(&network).copied().unwrap_or(0.0);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::setting1_networks;
+
+    fn profiles(count: usize) -> Vec<DeviceProfile> {
+        let home: Vec<NetworkId> = setting1_networks().iter().map(|n| n.id).collect();
+        (0..count)
+            .map(|id| DeviceProfile::new(id as u32, AreaId(0), home.clone()))
+            .collect()
+    }
+
+    fn environment(devices: usize, events: Vec<BandwidthEvent>) -> CongestionEnvironment {
+        let networks = setting1_networks();
+        let ids: Vec<NetworkId> = networks.iter().map(|n| n.id).collect();
+        CongestionEnvironment::new(
+            networks,
+            Topology::single_area(&ids),
+            events,
+            profiles(devices),
+            SimulationConfig::quick(50),
+            9,
+        )
+    }
+
+    #[test]
+    fn profile_schedule_mirrors_device_setup_semantics() {
+        let profile = DeviceProfile::new(0, AreaId(0), vec![NetworkId(0)])
+            .active_between(10, Some(20))
+            .moving_to(15, AreaId(1));
+        assert!(!profile.is_active_at(9));
+        assert!(profile.is_active_at(10));
+        assert!(!profile.is_active_at(20));
+        assert_eq!(profile.area_at(14), AreaId(0));
+        assert_eq!(profile.area_at(15), AreaId(1));
+    }
+
+    #[test]
+    fn equal_share_feedback_splits_bandwidth() {
+        let mut env = environment(2, Vec::new());
+        env.begin_slot(0);
+        for session in 0..2 {
+            assert!(env.session_view(session, 0).active);
+        }
+        let choices = vec![Some(NetworkId(2)), Some(NetworkId(2))];
+        let mut out = vec![None, None];
+        env.feedback(0, &choices, &mut out);
+        for observation in out.iter().flatten() {
+            assert!((observation.bit_rate_mbps - 11.0).abs() < 1e-12);
+            assert!((observation.scaled_gain - 0.5).abs() < 1e-12);
+            assert!(!observation.switched);
+        }
+        env.end_slot(0, &choices, &[]);
+    }
+
+    #[test]
+    fn first_activation_into_home_networks_is_silent() {
+        let mut env = environment(1, Vec::new());
+        env.begin_slot(0);
+        let view = env.session_view(0, 0);
+        assert!(view.active);
+        assert!(
+            view.networks_changed.is_none(),
+            "policy already knows its home networks"
+        );
+    }
+
+    #[test]
+    fn bandwidth_events_apply_and_survive_snapshots() {
+        let mut env = environment(1, vec![BandwidthEvent::new(3, NetworkId(2), 1.0)]);
+        env.begin_slot(0);
+        let mut out = vec![None];
+        env.feedback(0, &[Some(NetworkId(2))], &mut out);
+        assert!((out[0].as_ref().unwrap().bit_rate_mbps - 22.0).abs() < 1e-12);
+
+        let state = env.state().expect("recorder-less environments checkpoint");
+        for slot in 1..5 {
+            env.begin_slot(slot);
+            env.feedback(slot, &[Some(NetworkId(2))], &mut out);
+        }
+        assert!(
+            (out[0].as_ref().unwrap().bit_rate_mbps - 1.0).abs() < 1e-12,
+            "the collapse fired"
+        );
+
+        // Restore to the pre-event checkpoint: the event must be pending
+        // again and fire at slot 3.
+        let mut restored = environment(1, vec![BandwidthEvent::new(3, NetworkId(2), 1.0)]);
+        restored.restore(&state).unwrap();
+        for slot in 1..5 {
+            restored.begin_slot(slot);
+            restored.feedback(slot, &[Some(NetworkId(2))], &mut out);
+            let expected = if slot < 3 { 22.0 } else { 1.0 };
+            assert!(
+                (out[0].as_ref().unwrap().bit_rate_mbps - expected).abs() < 1e-12,
+                "slot {slot}"
+            );
+        }
+    }
+
+    #[test]
+    fn recorder_environments_refuse_to_checkpoint() {
+        let env = environment(1, Vec::new()).with_recorder();
+        assert!(env.state().is_none());
+        assert!(env.wants_top_choices());
+        // Symmetric guard: a recorder cannot reconstruct pre-checkpoint
+        // slots, so restoring into a recorded environment must fail too.
+        let donor_state = environment(1, Vec::new()).state().unwrap();
+        let mut recorded = environment(1, Vec::new()).with_recorder();
+        assert!(recorded.restore(&donor_state).is_err());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_populations() {
+        let mut env = environment(2, Vec::new());
+        let donor = environment(1, Vec::new());
+        let state = donor.state().unwrap();
+        assert!(env.restore(&state).is_err());
+        assert!(env.restore("{broken").is_err());
+    }
+}

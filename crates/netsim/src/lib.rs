@@ -40,6 +40,7 @@
 
 mod delay;
 mod device;
+mod env;
 mod event;
 mod network;
 mod recorder;
@@ -51,7 +52,8 @@ mod topology;
 
 pub use delay::DelayModel;
 pub use device::{DeviceId, DeviceOutcome, DeviceSetup};
-pub use event::{events_at, BandwidthEvent};
+pub use env::{CongestionEnvironment, DeviceProfile};
+pub use event::{BandwidthEvent, EventSchedule};
 pub use network::{
     figure1_networks, setting1_networks, setting2_networks, NetworkSpec, Technology,
 };

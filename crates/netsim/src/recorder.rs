@@ -10,8 +10,9 @@
 
 use crate::device::{DeviceId, DeviceOutcome};
 use congestion_game::{
-    distance_from_average_bit_rate, distance_to_nash, is_epsilon_equilibrium, is_nash_allocation,
-    DeviceState, ResourceSelectionGame, StableStateDetector,
+    distance_from_average_bit_rate, distance_to_nash, distance_to_nash_given,
+    is_epsilon_equilibrium, is_nash_allocation, Allocation, DeviceState, ResourceSelectionGame,
+    StableStateDetector,
 };
 use serde::{Deserialize, Serialize};
 use smartexp3_core::NetworkId;
@@ -195,6 +196,47 @@ impl RunResult {
     #[must_use]
     pub fn switch_counts(&self) -> Vec<f64> {
         self.devices.iter().map(|d| d.switches as f64).collect()
+    }
+
+    /// Per-group distance-to-equilibrium series against a caller-supplied
+    /// equilibrium: `groups[device_id]` assigns each device to one of
+    /// `group_count` groups, and the returned `series[g][slot]` is group
+    /// `g`'s Definition-3 distance in that slot (0 when the group has no
+    /// active device). Returns `None` unless the run kept its raw
+    /// selections. Used by the mobility experiment (Figure 9), where each
+    /// device group is measured against the whole-game equilibrium.
+    #[must_use]
+    pub fn group_distance_series(
+        &self,
+        game: &ResourceSelectionGame,
+        equilibrium: &Allocation,
+        groups: &[usize],
+        group_count: usize,
+    ) -> Option<Vec<Vec<f64>>> {
+        let selections = self.selections.as_ref()?;
+        let mut series = vec![Vec::with_capacity(selections.len()); group_count];
+        let mut states: Vec<DeviceState> = Vec::new();
+        for slot_records in selections {
+            for (group, group_series) in series.iter_mut().enumerate() {
+                states.clear();
+                states.extend(
+                    slot_records
+                        .iter()
+                        .filter(|r| groups.get(r.device.0 as usize) == Some(&group))
+                        .map(|r| DeviceState {
+                            network: r.network,
+                            observed_rate: r.rate_mbps,
+                        }),
+                );
+                let distance = if states.is_empty() {
+                    0.0
+                } else {
+                    distance_to_nash_given(game, equilibrium, &states)
+                };
+                group_series.push(distance);
+            }
+        }
+        Some(series)
     }
 
     /// Mean of the distance-to-Nash series over a slot range (clamped to the

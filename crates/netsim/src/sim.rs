@@ -6,20 +6,26 @@
 //! that picked it, switching devices pay a technology-dependent delay, and
 //! each policy receives its observation. The recorder turns the run into the
 //! metrics the paper's figures use.
+//!
+//! Since the environment-layer refactor, [`Simulation::run`] is a **thin
+//! sequential driver** over [`CongestionEnvironment`]: all world logic
+//! (events, visibility, sharing, delays, accounting, recording) lives in the
+//! environment and is shared with the fleet engine's `run_env` path. The
+//! driver calls the environment's phase methods with the run's single shared
+//! RNG in the historical order, so trajectories are **bit-identical** to the
+//! pre-refactor monolithic slot loop (pinned by `tests/golden.rs`).
 
-use crate::delay::DelayModel;
 use crate::device::{DeviceOutcome, DeviceSetup};
-use crate::event::{events_at, BandwidthEvent};
+use crate::env::{CongestionEnvironment, DeviceProfile, VisibilityUpdate};
+use crate::event::BandwidthEvent;
 use crate::network::NetworkSpec;
-use crate::recorder::{RunRecorder, RunResult, SelectionRecord};
+use crate::recorder::RunResult;
 use crate::sharing::SharingModel;
-use crate::topology::{AreaId, Topology};
-use congestion_game::ResourceSelectionGame;
+use crate::topology::Topology;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use smartexp3_core::{NetworkId, Observation};
-use std::collections::BTreeMap;
+use smartexp3_core::NetworkId;
 
 /// Simulation parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -68,24 +74,13 @@ impl SimulationConfig {
     }
 }
 
-struct DeviceRuntime {
-    setup: DeviceSetup,
-    current_network: Option<NetworkId>,
-    available: Vec<NetworkId>,
-    was_active: bool,
-    download_megabits: f64,
-    active_slots: usize,
-    switches: u64,
-    total_delay_seconds: f64,
-}
-
 /// A configured simulation, ready to [`run`](Simulation::run).
 pub struct Simulation {
     config: SimulationConfig,
     networks: Vec<NetworkSpec>,
     topology: Topology,
     bandwidth_events: Vec<BandwidthEvent>,
-    devices: Vec<DeviceRuntime>,
+    devices: Vec<DeviceSetup>,
 }
 
 impl Simulation {
@@ -119,16 +114,7 @@ impl Simulation {
 
     /// Adds a device.
     pub fn add_device(&mut self, setup: DeviceSetup) -> &mut Self {
-        self.devices.push(DeviceRuntime {
-            available: Vec::new(),
-            current_network: None,
-            was_active: false,
-            download_megabits: 0.0,
-            active_slots: 0,
-            switches: 0,
-            total_delay_seconds: 0.0,
-            setup,
-        });
+        self.devices.push(setup);
         self
     }
 
@@ -147,252 +133,92 @@ impl Simulation {
     /// Runs the simulation to completion with a deterministic seed and
     /// returns the collected measurements.
     ///
-    /// The slot loop is allocation-free in steady state: the per-slot choice
-    /// list, per-network load counters, share vectors and selection records
-    /// are all long-lived buffers indexed by a dense network index, cleared
-    /// and refilled each slot instead of being rebuilt as fresh maps.
+    /// One shared RNG drives policies and environment alike, with the
+    /// environment's phase methods invoked in the historical draw order;
+    /// steady-state slots stay allocation-free because every per-slot buffer
+    /// lives in the [`CongestionEnvironment`].
     #[must_use]
-    pub fn run(mut self, seed: u64) -> RunResult {
+    pub fn run(self, seed: u64) -> RunResult {
+        let Simulation {
+            config,
+            networks,
+            topology,
+            bandwidth_events,
+            mut devices,
+        } = self;
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut bandwidths: BTreeMap<NetworkId, f64> = self
-            .networks
-            .iter()
-            .map(|n| (n.id, n.bandwidth_mbps))
-            .collect();
-        let delay_models: BTreeMap<NetworkId, DelayModel> = self
-            .networks
-            .iter()
-            .map(|n| (n.id, n.delay_model()))
-            .collect();
-        let gain_scale = self.config.gain_scale_mbps.unwrap_or_else(|| {
-            self.networks
-                .iter()
-                .map(|n| n.bandwidth_mbps)
-                .fold(1e-9, f64::max)
-        });
-
-        // Dense network index over every id the run can encounter, in
-        // ascending id order (the iteration order of the maps it replaces,
-        // which keeps the RNG draw sequence — and thus every trajectory —
-        // identical to the map-based implementation).
-        let mut universe: Vec<NetworkId> = self.networks.iter().map(|n| n.id).collect();
-        universe.extend(self.bandwidth_events.iter().map(|e| e.network));
-        for area in self.topology.areas() {
-            universe.extend(self.topology.networks_in(area.id));
-        }
-        universe.sort_unstable();
-        universe.dedup();
-        let dense = |network: NetworkId| universe.binary_search(&network).ok();
-
-        // Visibility lists per area, resolved once (the topology is static).
-        let area_networks: Vec<(AreaId, Vec<NetworkId>)> = self
-            .topology
-            .areas()
-            .iter()
-            .map(|a| (a.id, self.topology.networks_in(a.id)))
-            .collect();
-
-        let mut recorder = RunRecorder::new(
-            self.devices.len(),
-            self.config.slot_duration_s,
-            self.config.stable_probability_threshold,
-            self.config.epsilon_percent,
-            self.config.keep_selections,
-        );
-
-        // Reusable per-slot buffers.
-        let network_count = universe.len();
-        let mut bandwidth_by_index: Vec<f64> = vec![0.0; network_count];
-        let mut load: Vec<usize> = vec![0; network_count];
-        let mut shares: Vec<Vec<f64>> = vec![Vec::new(); network_count];
-        let mut next_share_index: Vec<usize> = vec![0; network_count];
-        let mut choices: Vec<(usize, NetworkId)> = Vec::new();
-        let mut records: Vec<SelectionRecord> = Vec::new();
+        let profiles: Vec<DeviceProfile> = devices.iter().map(DeviceProfile::from_setup).collect();
+        let mut env =
+            CongestionEnvironment::new(networks, topology, bandwidth_events, profiles, config, 0)
+                .with_recorder();
         let mut probabilities_buffer: Vec<(NetworkId, f64)> = Vec::new();
-        let mut full_gains_buffer: Vec<(NetworkId, f64)> = Vec::new();
 
-        let mut game = ResourceSelectionGame::new(bandwidths.iter().map(|(&n, &r)| (n, r)));
-        for (i, &network) in universe.iter().enumerate() {
-            bandwidth_by_index[i] = bandwidths.get(&network).copied().unwrap_or(0.0);
-        }
-
-        for slot in 0..self.config.total_slots {
-            // 1. Environment events (the game is only rebuilt when one fires).
-            let mut bandwidth_changed = false;
-            for event in events_at(&self.bandwidth_events, slot) {
-                bandwidths.insert(event.network, event.new_bandwidth_mbps);
-                bandwidth_changed = true;
-            }
-            if bandwidth_changed {
-                game = ResourceSelectionGame::new(bandwidths.iter().map(|(&n, &r)| (n, r)));
-                for (i, &network) in universe.iter().enumerate() {
-                    bandwidth_by_index[i] = bandwidths.get(&network).copied().unwrap_or(0.0);
-                }
-            }
+        for slot in 0..config.total_slots {
+            // 1. Environment events.
+            env.apply_due_events(slot);
 
             // 2. Device life-cycle: activity, mobility, visibility changes.
-            for device in &mut self.devices {
-                let active = device.setup.is_active_at(slot);
-                if !active {
-                    device.was_active = false;
-                    continue;
-                }
-                let area = device.setup.area_at(slot);
-                let visible: &[NetworkId] = area_networks
-                    .iter()
-                    .find(|(a, _)| *a == area)
-                    .map_or(&[], |(_, networks)| networks.as_slice());
-                if device.available != visible {
-                    if device.available.is_empty() && !device.was_active {
-                        // First activation: the policy was constructed with its
-                        // initial network set; only notify if it differs.
-                        if policy_networks_differ(&device.setup, visible) {
-                            device.setup.policy.on_networks_changed(visible, &mut rng);
-                        }
-                    } else {
-                        device.setup.policy.on_networks_changed(visible, &mut rng);
+            for (index, device) in devices.iter_mut().enumerate() {
+                match env.refresh_visibility(index, slot) {
+                    VisibilityUpdate::Inactive | VisibilityUpdate::Unchanged => {}
+                    VisibilityUpdate::Changed => {
+                        device
+                            .policy
+                            .on_networks_changed(env.available(index), &mut rng);
                     }
-                    device.available.clear();
-                    device.available.extend_from_slice(visible);
-                    if let Some(current) = device.current_network {
-                        if !device.available.contains(&current) {
-                            device.current_network = None;
+                    VisibilityUpdate::FirstActivation => {
+                        // First activation: the policy was constructed with
+                        // its initial network set; only notify if it differs.
+                        if policy_networks_differ(device, env.available(index)) {
+                            device
+                                .policy
+                                .on_networks_changed(env.available(index), &mut rng);
                         }
                     }
                 }
-                device.was_active = true;
             }
 
             // 3. Selections.
-            choices.clear();
-            load.fill(0);
-            for (index, device) in self.devices.iter_mut().enumerate() {
-                if !device.setup.is_active_at(slot) {
+            env.begin_choices();
+            for (index, device) in devices.iter_mut().enumerate() {
+                if !device.is_active_at(slot) {
                     continue;
                 }
-                let chosen = device.setup.policy.choose(slot, &mut rng);
-                let valid = device.available.contains(&chosen);
-                if valid {
-                    if let Some(i) = dense(chosen) {
-                        load[i] += 1;
-                    }
-                }
-                choices.push((index, chosen));
+                let chosen = device.policy.choose(slot, &mut rng);
+                env.register_choice(index, chosen);
             }
 
-            // 4. Bandwidth sharing: per loaded network (ascending id), the
-            //    share of each of its devices this slot.
-            for i in 0..network_count {
-                next_share_index[i] = 0;
-                shares[i].clear();
-                if load[i] > 0 {
-                    self.config.sharing.shares_into(
-                        bandwidth_by_index[i],
-                        load[i],
-                        &mut rng,
-                        &mut shares[i],
-                    );
-                }
-            }
+            // 4. Bandwidth sharing.
+            env.compute_shares(&mut rng);
 
             // 5. Feedback, goodput accounting and recording.
-            records.clear();
-            for &(index, chosen) in &choices {
-                let device = &mut self.devices[index];
-                let valid = device.available.contains(&chosen);
-                let observed_rate = match dense(chosen) {
-                    Some(i) if valid => {
-                        let share = shares[i].get(next_share_index[i]).copied().unwrap_or(0.0);
-                        next_share_index[i] += 1;
-                        share
-                    }
-                    _ => 0.0,
-                };
+            for k in 0..env.choice_count() {
+                let (index, chosen) = env.choice_at(k);
+                let observation = env.grade(k, slot, &mut rng);
+                let device = &mut devices[index];
+                device.policy.observe(&observation, &mut rng);
+                env.recycle_observation(observation);
 
-                let switched = match device.current_network {
-                    Some(previous) => previous != chosen,
-                    None => false,
-                };
-                let delay = if switched {
-                    let model = delay_models
-                        .get(&chosen)
-                        .copied()
-                        .unwrap_or(DelayModel::None);
-                    model.sample(self.config.slot_duration_s, &mut rng)
-                } else {
-                    0.0
-                };
-                if switched {
-                    device.switches += 1;
-                    device.total_delay_seconds += delay;
-                }
-                device.current_network = Some(chosen);
-                device.active_slots += 1;
-                device.download_megabits +=
-                    observed_rate * (self.config.slot_duration_s - delay).max(0.0);
-
-                let scaled_gain = (observed_rate / gain_scale).clamp(0.0, 1.0);
-                let mut observation = Observation {
-                    slot,
-                    network: chosen,
-                    bit_rate_mbps: observed_rate,
-                    scaled_gain,
-                    switched,
-                    switching_delay_s: delay,
-                    full_gains: None,
-                };
-                if device.setup.needs_full_information {
-                    // Counterfactual scaled gains: the share the device
-                    // *would* have observed on each visible network this
-                    // slot, given the other devices' choices. The backing
-                    // buffer is recycled across slots.
-                    let mut gains = std::mem::take(&mut full_gains_buffer);
-                    gains.clear();
-                    gains.extend(device.available.iter().map(|&network| {
-                        let i = dense(network);
-                        let bandwidth = i.map_or(0.0, |i| bandwidth_by_index[i]);
-                        let others = i.map_or(0, |i| load[i]) - usize::from(network == chosen);
-                        let rate = bandwidth / (others + 1) as f64;
-                        (network, (rate / gain_scale).clamp(0.0, 1.0))
-                    }));
-                    observation.full_gains = Some(gains);
-                }
-                device.setup.policy.observe(&observation, &mut rng);
-                if let Some(mut gains) = observation.full_gains.take() {
-                    gains.clear();
-                    full_gains_buffer = gains;
-                }
-
-                device
-                    .setup
-                    .policy
-                    .probabilities_into(&mut probabilities_buffer);
-                let top_choice = top_probability(&probabilities_buffer).unwrap_or((chosen, 1.0));
-                records.push(SelectionRecord {
-                    device: device.setup.id,
-                    network: chosen,
-                    rate_mbps: observed_rate,
-                    top_choice,
-                });
+                device.policy.probabilities_into(&mut probabilities_buffer);
+                let top = top_probability(&probabilities_buffer).unwrap_or((chosen, 1.0));
+                env.record_top(k, top);
             }
-
-            recorder.record_slot(&game, &records);
+            env.finish_slot();
         }
 
-        let outcomes: Vec<DeviceOutcome> = self
-            .devices
+        let outcomes: Vec<DeviceOutcome> = devices
             .iter()
-            .map(|device| DeviceOutcome {
-                id: device.setup.id,
-                policy_name: device.setup.policy.name().to_string(),
-                download_megabits: device.download_megabits,
-                switches: device.switches,
-                resets: device.setup.policy.stats().resets,
-                active_slots: device.active_slots,
-                total_delay_seconds: device.total_delay_seconds,
+            .enumerate()
+            .map(|(index, device)| {
+                env.outcome(
+                    index,
+                    device.policy.name().to_string(),
+                    device.policy.stats().resets,
+                )
             })
             .collect();
-        recorder.finish(&game, outcomes)
+        env.into_result(outcomes)
+            .expect("the simulation driver always attaches a recorder")
     }
 }
 

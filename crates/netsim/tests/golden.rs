@@ -1,0 +1,99 @@
+//! Legacy-equivalence pins: the environment-layer refactor rewrote
+//! `Simulation::run` as a thin driver over `CongestionEnvironment`; these
+//! golden values were captured from the pre-refactor monolithic slot loop
+//! (exact `f64` bit patterns) and prove the refactored path reproduces it
+//! **bit-identically** — same RNG draw order, same sharing, same delays,
+//! same recorder input — across static, mobility/mixed-policy and
+//! event+noisy-sharing+full-information scenarios.
+
+use netsim::{
+    figure1_networks, setting1_networks, AreaId, BandwidthEvent, DeviceSetup, NetworkSpec,
+    RunResult, SharingModel, Simulation, SimulationConfig, Topology,
+};
+use smartexp3_core::{NetworkId, PolicyFactory, PolicyKind};
+
+fn factory(networks: &[NetworkSpec]) -> PolicyFactory {
+    PolicyFactory::new(networks.iter().map(|n| (n.id, n.bandwidth_mbps)).collect()).unwrap()
+}
+
+fn assert_golden(result: &RunResult, download_bits: u64, distance_bits: u64, switches: f64) {
+    let total_switches: f64 = result.switch_counts().iter().sum();
+    let total_distance: f64 = result.distance_to_nash.iter().sum();
+    assert_eq!(
+        result.total_download_megabits().to_bits(),
+        download_bits,
+        "download drifted from the legacy slot loop: {} vs {}",
+        result.total_download_megabits(),
+        f64::from_bits(download_bits)
+    );
+    assert_eq!(
+        total_distance.to_bits(),
+        distance_bits,
+        "distance series drifted from the legacy slot loop"
+    );
+    assert_eq!(total_switches, switches, "switch counts drifted");
+}
+
+#[test]
+fn static_smart_exp3_matches_the_legacy_loop_bit_for_bit() {
+    let networks = setting1_networks();
+    let mut policies = factory(&networks);
+    let mut sim = Simulation::single_area(networks, SimulationConfig::quick(150));
+    for id in 0..8 {
+        sim.add_device(DeviceSetup::new(
+            id,
+            policies.build(PolicyKind::SmartExp3).unwrap(),
+        ));
+    }
+    assert_golden(&sim.run(77), 0x40f11a6eba126bae, 0x40b87aaaaaaaaaaf, 174.0);
+}
+
+#[test]
+fn mobility_with_mixed_policies_matches_the_legacy_loop_bit_for_bit() {
+    let networks = figure1_networks();
+    let mut policies = factory(&networks);
+    let mut sim = Simulation::new(networks, Topology::figure1(), SimulationConfig::quick(120));
+    sim.add_device(
+        DeviceSetup::new(0, policies.build(PolicyKind::SmartExp3).unwrap())
+            .in_area(AreaId(0))
+            .moving_to(40, AreaId(1))
+            .moving_to(80, AreaId(2)),
+    );
+    sim.add_device(
+        DeviceSetup::new(1, policies.build(PolicyKind::Exp3).unwrap()).in_area(AreaId(1)),
+    );
+    sim.add_device(
+        DeviceSetup::new(2, policies.build(PolicyKind::Greedy).unwrap())
+            .in_area(AreaId(2))
+            .active_between(10, Some(100)),
+    );
+    assert_golden(&sim.run(4), 0x40ed4245e72d4e21, 0x40c1620000000000, 95.0);
+}
+
+#[test]
+fn events_noisy_sharing_and_full_information_match_the_legacy_loop_bit_for_bit() {
+    let networks = setting1_networks();
+    let mut policies = factory(&networks);
+    let mut sim = Simulation::single_area(
+        networks,
+        SimulationConfig {
+            sharing: SharingModel::testbed(),
+            ..SimulationConfig::quick(90)
+        },
+    );
+    for id in 0..4 {
+        sim.add_device(
+            DeviceSetup::new(id, policies.build(PolicyKind::FullInformation).unwrap())
+                .with_full_information(),
+        );
+    }
+    for id in 4..6 {
+        sim.add_device(DeviceSetup::new(
+            id,
+            policies.build(PolicyKind::SmartExp3).unwrap(),
+        ));
+    }
+    sim.add_bandwidth_event(BandwidthEvent::new(30, NetworkId(2), 2.0));
+    sim.add_bandwidth_event(BandwidthEvent::new(60, NetworkId(2), 22.0));
+    assert_golden(&sim.run(13), 0x40dadd3f4863e0ee, 0x40d625d1c85ebfdb, 277.0);
+}

@@ -2,7 +2,8 @@
 //! devices walking from the food court to the study area and on to the bus
 //! stop while the rest stay put (setting 3 of §VI-A).
 //!
-//! Run with: `cargo run --release --example mobility`
+//! Run with: `cargo run --release --example mobility [slots]` (default 1200;
+//! pass a smaller count, e.g. 120, for a quick smoke run — CI does).
 
 use smartexp3::core::{PolicyFactory, PolicyKind};
 use smartexp3::netsim::{
@@ -10,6 +11,12 @@ use smartexp3::netsim::{
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let total_slots = match std::env::args().nth(1) {
+        None => 1200,
+        Some(raw) => raw.parse().map_err(|_| {
+            format!("slots must be a positive integer, got `{raw}` (usage: mobility [slots])")
+        })?,
+    };
     let networks = figure1_networks();
     let topology = Topology::figure1();
     println!("Service areas:");
@@ -21,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let config = SimulationConfig {
-        total_slots: 1200,
+        total_slots,
         keep_selections: false,
         ..SimulationConfig::default()
     };
@@ -40,13 +47,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )
     };
 
+    // The walkers change area at one third and two thirds of the run (slots
+    // 400 and 800 at the paper's 1200-slot scale).
     let mut food_court = factory_for(AreaId(0))?;
     for id in 0..8 {
         sim.add_device(
             DeviceSetup::new(id, food_court.build(PolicyKind::SmartExp3)?)
                 .in_area(AreaId(0))
-                .moving_to(400, AreaId(1))
-                .moving_to(800, AreaId(2)),
+                .moving_to(total_slots / 3, AreaId(1))
+                .moving_to(total_slots * 2 / 3, AreaId(2)),
         );
     }
     for id in 8..10 {

@@ -18,7 +18,12 @@
 //! * [`experiments`] — one runner per paper table/figure and the `repro` CLI;
 //! * [`engine`] (`smartexp3-engine`) — the [`FleetEngine`](engine::FleetEngine)
 //!   hosting thousands-to-millions of concurrent sessions with batched
-//!   parallel stepping and bit-identical snapshot/restore.
+//!   parallel stepping and bit-identical snapshot/restore;
+//! * [`scenarios`] (`smartexp3-env`) — the fleet-scale scenario library:
+//!   every paper world (shared congestion, bandwidth dynamics, area
+//!   mobility, trace replay) as an [`Environment`](core::Environment)
+//!   driveable by [`FleetEngine::run_env`](engine::FleetEngine::run_env)
+//!   with millions of sessions.
 //!
 //! ## Fleet engine
 //!
@@ -60,6 +65,7 @@ pub use experiments;
 pub use netsim;
 pub use smartexp3_core as core;
 pub use smartexp3_engine as engine;
+pub use smartexp3_env as scenarios;
 pub use tracegen;
 
 // Convenience re-exports of the most commonly used items.

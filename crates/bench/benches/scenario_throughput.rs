@@ -9,7 +9,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use smartexp3_core::PolicyKind;
 use smartexp3_engine::FleetConfig;
-use smartexp3_env::{area_mobility, dynamic_bandwidth, equal_share, trace_driven, Scenario};
+use smartexp3_env::{
+    area_mobility, cooperative, dynamic_bandwidth, equal_share, trace_driven, GossipConfig,
+    Scenario,
+};
 use std::time::Duration;
 
 fn build(world: &str, sessions: usize) -> Scenario {
@@ -21,6 +24,13 @@ fn build(world: &str, sessions: usize) -> Scenario {
         }
         "area_mobility" => area_mobility(sessions, PolicyKind::SmartExp3, config, 40, 80).unwrap(),
         "trace_driven" => trace_driven(sessions, PolicyKind::SmartExp3, config, 400).unwrap(),
+        "cooperative" => cooperative(
+            sessions,
+            PolicyKind::SmartExp3,
+            config,
+            GossipConfig::broadcast(),
+        )
+        .unwrap(),
         other => panic!("unknown world {other}"),
     }
 }
@@ -58,6 +68,7 @@ fn bench_scenario_worlds(c: &mut Criterion) {
         "dynamic_bandwidth",
         "area_mobility",
         "trace_driven",
+        "cooperative",
     ] {
         group.bench_with_input(BenchmarkId::new("step", world), &world, |b, &world| {
             let mut scenario = build(world, sessions);

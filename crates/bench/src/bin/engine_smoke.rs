@@ -14,7 +14,7 @@
 
 use smartexp3_core::{NetworkId, Observation, PolicyFactory, PolicyKind};
 use smartexp3_engine::{FleetConfig, FleetEngine, StepContext};
-use smartexp3_env::{equal_share, Scenario};
+use smartexp3_env::{cooperative, equal_share, GossipConfig, Scenario};
 use std::time::Instant;
 
 fn feedback(ctx: &mut StepContext<'_>) -> Observation {
@@ -102,6 +102,19 @@ fn main() {
     let _ = measure_scenario(&mut scenario, slots.div_ceil(4).max(1));
     let scenario_decisions_per_sec = measure_scenario(&mut scenario, slots);
 
+    // Cooperative datapoint: the same world with the Co-Bandit gossip layer
+    // (per-area broadcast digests + `observe_shared` folding), so the perf
+    // trajectory also tracks what cooperation costs on top of equal_share.
+    let mut coop = cooperative(
+        sessions,
+        PolicyKind::SmartExp3,
+        FleetConfig::with_root_seed(1),
+        GossipConfig::broadcast(),
+    )
+    .expect("valid scenario");
+    let _ = measure_scenario(&mut coop, slots.div_ceil(4).max(1));
+    let coop_decisions_per_sec = measure_scenario(&mut coop, slots);
+
     let records = [
         format!(
             "{{\"bench\":\"engine_throughput/step\",\"sessions\":{sessions},\"slots\":{slots},\
@@ -112,6 +125,12 @@ fn main() {
             "{{\"bench\":\"scenario_throughput/equal_share\",\"sessions\":{sessions},\
              \"slots\":{slots},\"threads\":{threads},\
              \"decisions_per_sec\":{scenario_decisions_per_sec:.0},\
+             \"policy\":\"SmartExp3\"}}"
+        ),
+        format!(
+            "{{\"bench\":\"scenario_throughput/cooperative\",\"sessions\":{sessions},\
+             \"slots\":{slots},\"threads\":{threads},\
+             \"decisions_per_sec\":{coop_decisions_per_sec:.0},\
              \"policy\":\"SmartExp3\"}}"
         ),
     ];
@@ -129,8 +148,9 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!(
-        "closure {:.2}M, scenario {:.2}M decisions/sec over {sessions} sessions x {slots} slots -> appended to {out}",
+        "closure {:.2}M, scenario {:.2}M, cooperative {:.2}M decisions/sec over {sessions} sessions x {slots} slots -> appended to {out}",
         decisions_per_sec / 1e6,
-        scenario_decisions_per_sec / 1e6
+        scenario_decisions_per_sec / 1e6,
+        coop_decisions_per_sec / 1e6
     );
 }

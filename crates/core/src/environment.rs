@@ -117,6 +117,28 @@ pub trait Environment: Send + Sync {
         out: &mut [Option<Observation>],
     );
 
+    /// `true` when this environment produces **shared** (gossiped) feedback:
+    /// the driver will then call
+    /// [`shared_feedback_into`](Self::shared_feedback_into) for every session
+    /// that observed feedback this slot and forward the digest to
+    /// [`Policy::observe_shared`](crate::Policy::observe_shared). The default
+    /// is `false` — isolated worlds pay nothing.
+    fn shares_feedback(&self) -> bool {
+        false
+    }
+
+    /// Copies the gossip digest visible to `session` this slot into `out`
+    /// (a driver-owned scratch buffer, overwritten entirely); returns `true`
+    /// when the digest carries any entries.
+    ///
+    /// Called from parallel workers during the observe phase (`&self`), after
+    /// [`feedback`](Self::feedback) has run — implementations must have
+    /// finalised their digests there.
+    fn shared_feedback_into(&self, session: usize, out: &mut crate::SharedFeedback) -> bool {
+        let _ = (session, out);
+        false
+    }
+
     /// `true` when [`end_slot`](Self::end_slot) wants each session's
     /// most-probable network (the `tops` argument). Computing it costs one
     /// distribution read per session per slot, so fleet-scale environments
@@ -217,6 +239,10 @@ mod tests {
     fn trait_defaults_are_usable() {
         let mut env = Trivial;
         assert!(!env.wants_top_choices());
+        assert!(!env.shares_feedback());
+        let mut digest = crate::SharedFeedback::default();
+        assert!(!env.shared_feedback_into(0, &mut digest));
+        assert!(digest.is_empty());
         assert!(env.state().is_none());
         assert!(env.restore("{}").is_err());
         env.end_slot(0, &[Some(NetworkId(0))], &[]);

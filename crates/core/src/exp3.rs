@@ -118,6 +118,21 @@ impl Policy for Exp3 {
             .multiplicative_update(observation.network, self.current_gamma, estimated);
     }
 
+    fn observe_shared(&mut self, shared: &crate::SharedFeedback, _rng: &mut dyn RngCore) {
+        // Co-Bandit folding: every gossiped digest entry nudges its arm by a
+        // confidence-scaled mean gain — *without* importance weighting (the
+        // crowd's estimate is approximate full information, not a 1/p-boosted
+        // bandit sample). The shared_update guard drops corrupt reports.
+        for rate in shared.rates() {
+            self.weights.shared_update(
+                rate.network,
+                self.current_gamma,
+                rate.confidence() * rate.mean_gain(),
+            );
+        }
+        self.stats.shared_observations += shared.len() as u64;
+    }
+
     fn on_networks_changed(&mut self, available: &[NetworkId], _rng: &mut dyn RngCore) {
         for &n in available {
             self.weights.add_arm(n);
@@ -228,6 +243,50 @@ mod tests {
         // Still able to make decisions afterwards.
         let chosen = policy.choose(51, &mut rng);
         assert!(chosen == NetworkId(2) || chosen == NetworkId(3));
+    }
+
+    #[test]
+    fn shared_feedback_shifts_weight_without_own_observations() {
+        use crate::SharedFeedback;
+        let mut policy = Exp3::new(nets(3), Exp3Config::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let uniform = probability_of(&policy.probabilities(), NetworkId(2));
+        // Neighbours keep reporting that network 2 is excellent; the policy
+        // never tries it itself.
+        let mut digest = SharedFeedback::new(0.5);
+        for slot in 0..60 {
+            let chosen = policy.choose(slot, &mut rng);
+            let gain = 0.1;
+            policy.observe(
+                &Observation::bandit(slot, chosen, gain * 22.0, gain),
+                &mut rng,
+            );
+            digest.decay();
+            digest.record(NetworkId(2), 0.95);
+            policy.observe_shared(&digest, &mut rng);
+        }
+        let p_best = probability_of(&policy.probabilities(), NetworkId(2));
+        assert!(
+            p_best > uniform,
+            "gossip about network 2 should raise its probability: {p_best}"
+        );
+        assert_eq!(policy.stats().shared_observations, 60);
+    }
+
+    #[test]
+    fn hostile_shared_feedback_is_rejected() {
+        use crate::SharedFeedback;
+        let mut policy = Exp3::new(nets(3), Exp3Config::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let chosen = policy.choose(0, &mut rng);
+        policy.observe(&Observation::bandit(0, chosen, 11.0, 0.5), &mut rng);
+        let before = policy.probabilities();
+        let mut digest = SharedFeedback::new(0.5);
+        digest.record(NetworkId(0), f64::NAN);
+        digest.record(NetworkId(1), f64::INFINITY);
+        digest.record(NetworkId(2), -4.0);
+        policy.observe_shared(&digest, &mut rng);
+        assert_eq!(policy.probabilities(), before);
     }
 
     #[test]

@@ -58,6 +58,7 @@ mod gamma;
 mod greedy;
 mod hybrid_block_exp3;
 mod policy;
+mod shared;
 mod smart_exp3;
 mod state;
 mod stats;
@@ -78,6 +79,7 @@ pub use gamma::GammaSchedule;
 pub use greedy::Greedy;
 pub use hybrid_block_exp3::HybridBlockExp3;
 pub use policy::{probability_of, Observation, Policy, PolicyStats, SelectionKind};
+pub use shared::{SharedFeedback, SharedRate};
 pub use smart_exp3::{SmartExp3, SmartExp3Config, SmartExp3Features};
 pub use state::PolicyState;
 pub use stats::NetworkStats;

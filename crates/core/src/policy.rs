@@ -121,6 +121,9 @@ pub struct PolicyStats {
     pub greedy_selections: u64,
     /// Number of exploration selections.
     pub explorations: u64,
+    /// Number of shared (gossiped) per-network rate reports folded into the
+    /// policy via [`Policy::observe_shared`].
+    pub shared_observations: u64,
 }
 
 /// A sequential decision policy for distributed resource selection.
@@ -146,6 +149,22 @@ pub trait Policy: Send {
 
     /// Ingests the feedback for the slot that just finished.
     fn observe(&mut self, observation: &Observation, rng: &mut dyn RngCore);
+
+    /// Ingests **shared** (gossiped) feedback: per-network observed-rate
+    /// digests the device heard from its neighbourhood this slot (the
+    /// Co-Bandit cooperative path, see [`SharedFeedback`]).
+    ///
+    /// Called after [`observe`](Policy::observe), at most once per slot, and
+    /// only by drivers running a cooperative environment. The default is a
+    /// documented no-op: a policy that does not cooperate simply ignores the
+    /// gossip. The EXP3 family overrides it to fold the digests into its
+    /// weight table through the cached-distribution update, so shared
+    /// feedback rides the same zero-alloc hot path as bandit feedback.
+    ///
+    /// [`SharedFeedback`]: crate::SharedFeedback
+    fn observe_shared(&mut self, shared: &crate::SharedFeedback, rng: &mut dyn RngCore) {
+        let _ = (shared, rng);
+    }
 
     /// Informs the policy that its set of available networks changed.
     ///

@@ -478,6 +478,24 @@ impl Policy for SmartExp3 {
         }
     }
 
+    fn observe_shared(&mut self, shared: &crate::SharedFeedback, _rng: &mut dyn RngCore) {
+        // Co-Bandit folding, as in [`Exp3`](crate::Exp3): gossiped digests
+        // nudge the weight table directly (confidence-scaled mean gain, no
+        // importance weighting), while the block machinery — own-block gain
+        // log, greedy statistics, switch-back windows — stays fed exclusively
+        // by the device's own observations, so every blocking guarantee of
+        // the paper is untouched. The shared_update guard drops corrupt
+        // reports (non-finite or negative rates).
+        for rate in shared.rates() {
+            self.weights.shared_update(
+                rate.network,
+                self.current_gamma,
+                rate.confidence() * rate.mean_gain(),
+            );
+        }
+        self.stats.shared_observations += shared.len() as u64;
+    }
+
     fn on_networks_changed(&mut self, available: &[NetworkId], _rng: &mut dyn RngCore) {
         let newly_discovered: Vec<NetworkId> = available
             .iter()
@@ -847,6 +865,35 @@ mod tests {
             );
             assert!(probs.iter().all(|(_, p)| *p >= 0.0 && *p <= 1.0 + 1e-9));
         }
+    }
+
+    #[test]
+    fn shared_feedback_reaches_the_weights_but_not_the_block_machinery() {
+        use crate::SharedFeedback;
+        let mut policy = SmartExp3::with_defaults(nets(3)).unwrap();
+        run_static(&mut policy, NetworkId(0), 0.5, 0.4, 60, 4);
+        let mut rng = StdRng::seed_from_u64(4);
+        let blocks_before = policy.stats().blocks;
+        let p_before = probability_of(&policy.probabilities(), NetworkId(2));
+        let mut digest = SharedFeedback::new(0.5);
+        for _ in 0..40 {
+            digest.decay();
+            digest.record(NetworkId(2), 0.95);
+            policy.observe_shared(&digest, &mut rng);
+        }
+        let p_after = probability_of(&policy.probabilities(), NetworkId(2));
+        assert!(
+            p_after > p_before,
+            "gossip should raise network 2: {p_before} -> {p_after}"
+        );
+        assert_eq!(
+            policy.stats().blocks,
+            blocks_before,
+            "gossip must not start or finish blocks"
+        );
+        assert_eq!(policy.stats().shared_observations, 40);
+        let sum: f64 = policy.probabilities().iter().map(|(_, p)| p).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
     }
 
     #[test]

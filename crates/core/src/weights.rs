@@ -218,6 +218,24 @@ impl WeightTable {
         self.renormalize();
     }
 
+    /// Folds one **shared** (gossiped) gain estimate into `arm`'s weight —
+    /// the Co-Bandit cooperative-feedback path, reusing the incremental
+    /// cached-distribution update so gossip costs the same one `exp` as a
+    /// bandit update.
+    ///
+    /// Shared rates come from neighbours' raw measurements, so the guard is
+    /// stricter than [`multiplicative_update`](Self::multiplicative_update)'s:
+    /// besides non-finite estimates, **negative** shared rates are rejected
+    /// outright (a scaled gain is `[0, 1]` by construction; a negative report
+    /// is a corrupt or hostile message, and folding it in would drain weight
+    /// from an arm based on data nobody observed).
+    pub fn shared_update(&mut self, arm: NetworkId, gamma: f64, shared_gain: f64) {
+        if !shared_gain.is_finite() || shared_gain < 0.0 {
+            return;
+        }
+        self.multiplicative_update(arm, gamma, shared_gain);
+    }
+
     /// EXP3 probability distribution `p_i = (1-γ)·softmax(w)_i + γ/k`,
     /// returned in the same order as [`arms`](Self::arms).
     #[must_use]
@@ -508,6 +526,23 @@ mod tests {
         let (arm, p) = table.sample(0.1, &mut rng);
         assert!(table.arms().contains(&arm));
         assert!(p.is_finite() && p > 0.0);
+    }
+
+    #[test]
+    fn shared_updates_reject_non_finite_and_negative_rates() {
+        let mut table = WeightTable::uniform(&arms(3));
+        table.multiplicative_update(NetworkId(1), 0.5, 4.0);
+        let before = table.probabilities(0.1);
+        table.shared_update(NetworkId(0), 0.5, f64::NAN);
+        table.shared_update(NetworkId(1), 0.5, f64::INFINITY);
+        table.shared_update(NetworkId(2), 0.5, f64::NEG_INFINITY);
+        table.shared_update(NetworkId(0), 0.5, -0.4);
+        assert_eq!(table.probabilities(0.1), before);
+        // A valid shared rate behaves exactly like a multiplicative update.
+        let mut reference = table.clone();
+        table.shared_update(NetworkId(2), 0.3, 0.8);
+        reference.multiplicative_update(NetworkId(2), 0.3, 0.8);
+        assert_eq!(table.probabilities(0.2), reference.probabilities(0.2));
     }
 
     #[test]

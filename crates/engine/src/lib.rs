@@ -70,7 +70,7 @@ use rayon::{ThreadPool, ThreadPoolBuilder};
 use serde::{Deserialize, Serialize};
 use smartexp3_core::{
     ConfigError, Environment, NetworkId, NetworkStats, Observation, Policy, PolicyFactory,
-    PolicyKind, PolicyState, PolicyStats, SlotIndex,
+    PolicyKind, PolicyState, PolicyStats, SharedFeedback, SlotIndex,
 };
 use std::fmt;
 
@@ -216,6 +216,11 @@ pub struct SlotScratch {
     /// Recycled distribution read buffer (top-choice extraction for
     /// environments whose recorders track stable states).
     probabilities: Vec<(NetworkId, f64)>,
+    /// Recycled shared-feedback digest buffer: cooperative environments copy
+    /// the gossip digest a session can hear into this buffer during the
+    /// observe phase, so delivering shared feedback allocates nothing in
+    /// steady state.
+    shared: SharedFeedback,
 }
 
 impl SlotScratch {
@@ -387,7 +392,15 @@ impl std::error::Error for SnapshotError {}
 /// the fleet was stepped through ([`FleetSnapshot::environment`]), so a
 /// mid-scenario checkpoint — pending bandwidth events, mobility positions
 /// and the environment RNG included — restores bit-identically.
-pub const SNAPSHOT_VERSION: u32 = 3;
+///
+/// Version 4: policy checkpoints carry the cooperative-feedback counter
+/// ([`PolicyStats::shared_observations`]), and cooperative environments
+/// embed their gossip digests and per-area RNG streams in the environment
+/// state. Version-3 texts fail to parse field-for-field, so
+/// [`from_json`](FleetEngine::from_json) probes the version first and
+/// reports [`SnapshotError::UnsupportedVersion`] instead of a confusing
+/// missing-field error.
+pub const SNAPSHOT_VERSION: u32 = 4;
 
 /// Checkpoint of one session.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -435,6 +448,14 @@ type StepShard<'a> = (
     &'a mut [Session],
     &'a mut [Option<NetworkId>],
     &'a mut SlotScratch,
+);
+
+/// Per-shard work unit of [`FleetEngine::choose_all`]: sessions, the shard's
+/// slices of the choice output and the last-choice mirror.
+type ChooseAllShard<'a> = (
+    &'a mut [Session],
+    &'a mut [NetworkId],
+    &'a mut [Option<NetworkId>],
 );
 
 /// Per-shard work unit of the env choose phase: shard offset, sessions, the
@@ -598,24 +619,30 @@ impl FleetEngine {
     pub fn choose_all(&mut self) -> &[NetworkId] {
         let slot = self.slot;
         let shard_size = self.config.shard_size.max(1);
-        let sessions = &mut self.sessions;
+        let count = self.sessions.len();
+        // Choices are written by the parallel workers themselves (the same
+        // pattern as `step_env`'s choose phase) rather than re-read from
+        // `last_choice` afterwards — there is no window in which a session
+        // could be observed without a recorded choice, and no panic path.
+        self.choices.clear();
+        self.choices.resize(count, NetworkId(0));
+        let work: Vec<ChooseAllShard<'_>> = self
+            .sessions
+            .chunks_mut(shard_size)
+            .zip(self.choices.chunks_mut(shard_size))
+            .zip(self.last.chunks_mut(shard_size))
+            .map(|((sessions, choices), last)| (sessions, choices, last))
+            .collect();
         Self::in_pool(&self.pool, || {
-            sessions.par_chunks_mut(shard_size).for_each(|shard| {
-                for session in shard {
-                    session.choose(slot);
+            work.into_par_iter().for_each(|(shard, choices, last)| {
+                for (i, session) in shard.iter_mut().enumerate() {
+                    let chosen = session.choose(slot);
+                    choices[i] = chosen;
+                    last[i] = Some(chosen);
                 }
             });
         });
-        self.decisions += self.sessions.len() as u64;
-        self.choices.clear();
-        self.choices.extend(
-            self.sessions
-                .iter()
-                .map(|s| s.last_choice.expect("choice just made")),
-        );
-        for (last, &chosen) in self.last.iter_mut().zip(&self.choices) {
-            *last = Some(chosen);
-        }
+        self.decisions += count as u64;
         &self.choices
     }
 
@@ -806,8 +833,12 @@ impl FleetEngine {
             }
         }
 
-        // Phase 4: observe (parallel), then the end-of-slot hook.
+        // Phase 4: observe (parallel), then the end-of-slot hook. Sessions in
+        // a cooperative environment additionally hear their neighbourhood's
+        // gossip digest (copied into the shard's recycled scratch buffer) and
+        // fold it in via `Policy::observe_shared`.
         let wants_tops = env.wants_top_choices();
+        let shares_feedback = env.shares_feedback();
         if self.env_tops.len() != count {
             self.env_tops.resize(count, None);
         }
@@ -816,6 +847,7 @@ impl FleetEngine {
             self.scratch.resize_with(shard_count, SlotScratch::default);
         }
         {
+            let env_view: &dyn Environment = env;
             let feedback = &self.env_feedback;
             let work: Vec<ObserveShard<'_>> = self
                 .sessions
@@ -838,6 +870,13 @@ impl FleetEngine {
                                 continue;
                             };
                             session.observe(observation);
+                            if shares_feedback
+                                && env_view.shared_feedback_into(offset + i, &mut scratch.shared)
+                            {
+                                session
+                                    .policy
+                                    .observe_shared(&scratch.shared, &mut session.rng);
+                            }
                             if wants_tops {
                                 session
                                     .policy
@@ -925,6 +964,7 @@ impl FleetEngine {
             entry.policy.switch_backs += stats.switch_backs;
             entry.policy.greedy_selections += stats.greedy_selections;
             entry.policy.explorations += stats.explorations;
+            entry.policy.shared_observations += stats.shared_observations;
             entry.gains.merge(&session.gains);
         }
         per_kind.sort_by_key(|(kind, _)| PolicyKind::all().iter().position(|k| k == kind));
@@ -1267,11 +1307,14 @@ mod tests {
             other => panic!("expected UnsupportedVersion, got {other:?}"),
         }
         assert!(FleetEngine::from_json("{not json").is_err());
-        // A previous-release text (version 2 lacks the `environment` field)
-        // must be diagnosed as an unsupported version, not as malformed.
-        match FleetEngine::from_json(r#"{"version":2,"sessions":[]}"#) {
-            Err(SnapshotError::UnsupportedVersion(2)) => {}
-            other => panic!("expected UnsupportedVersion(2), got {other:?}"),
+        // Previous-release texts (version 2 lacks the `environment` field,
+        // version 3 lacks the cooperative-feedback counters in its policy
+        // states) must be diagnosed as unsupported versions, not malformed.
+        for version in [2u32, 3] {
+            match FleetEngine::from_json(&format!("{{\"version\":{version},\"sessions\":[]}}")) {
+                Err(SnapshotError::UnsupportedVersion(v)) if v == version => {}
+                other => panic!("expected UnsupportedVersion({version}), got {other:?}"),
+            }
         }
     }
 

@@ -1,7 +1,10 @@
-//! Fleet-engine guarantees: thread-count determinism and bit-identical
-//! snapshot/restore.
+//! Fleet-engine guarantees: thread-count determinism, bit-identical
+//! snapshot/restore, and graceful handling of environments that deactivate
+//! sessions mid-slot.
 
-use smartexp3_core::{NetworkId, Observation, PolicyFactory, PolicyKind};
+use smartexp3_core::{
+    Environment, NetworkId, Observation, PolicyFactory, PolicyKind, SessionView, SlotIndex,
+};
 use smartexp3_engine::{FleetConfig, FleetEngine, StepContext};
 
 fn rates() -> Vec<(NetworkId, f64)> {
@@ -143,6 +146,94 @@ fn snapshot_restore_resumes_the_exact_trajectory() {
         reference.to_json().unwrap(),
         "resumed fleet must be bit-identical to the uninterrupted one"
     );
+}
+
+/// An environment that misbehaves on purpose: every session is reported
+/// active for the choose phase, but sessions whose index matches the slot
+/// parity are deactivated *between* choose and observe — their feedback slot
+/// stays `None` even though they chose. A third of the sessions additionally
+/// sit whole slots out the regular way (inactive in `session_view`).
+struct MidSlotDeactivator {
+    sessions: usize,
+    graded: u64,
+    dropped: u64,
+}
+
+impl Environment for MidSlotDeactivator {
+    fn sessions(&self) -> usize {
+        self.sessions
+    }
+
+    fn begin_slot(&mut self, _slot: SlotIndex) {}
+
+    fn session_view(&self, session: usize, slot: SlotIndex) -> SessionView<'_> {
+        SessionView {
+            active: session % 3 != 2 || slot.is_multiple_of(2),
+            networks_changed: None,
+        }
+    }
+
+    fn feedback(
+        &mut self,
+        slot: SlotIndex,
+        choices: &[Option<NetworkId>],
+        out: &mut [Option<Observation>],
+    ) {
+        for (index, choice) in choices.iter().enumerate() {
+            out[index] = match choice {
+                // Mid-slot deactivation: the session chose, but the
+                // environment withdraws it before feedback is delivered.
+                Some(_) if index % 2 == slot % 2 => None,
+                Some(chosen) => {
+                    self.graded += 1;
+                    Some(Observation::bandit(slot, *chosen, 11.0, 0.5))
+                }
+                None => {
+                    self.dropped += 1;
+                    None
+                }
+            };
+        }
+    }
+
+    fn wants_top_choices(&self) -> bool {
+        // Exercise the top-choice read path alongside the skipped sessions.
+        true
+    }
+}
+
+#[test]
+fn mid_slot_deactivation_is_skipped_gracefully() {
+    // Regression: the engine used to assume every choosing session observes
+    // feedback (`last_choice.expect("choice just made")`); an environment
+    // deactivating a session between choose and observe must not panic.
+    let mut fleet = mixed_fleet(FleetConfig::with_root_seed(23).with_threads(2), 60);
+    let mut env = MidSlotDeactivator {
+        sessions: 60,
+        graded: 0,
+        dropped: 0,
+    };
+    fleet.run_env(&mut env, 30);
+    assert_eq!(fleet.slot(), 30);
+    assert!(env.graded > 0, "some sessions must have been graded");
+    assert!(env.dropped > 0, "some sessions must have sat slots out");
+    // Every session that ever chose keeps its last choice visible; the
+    // choose/observe mismatch never corrupts the mirror.
+    for (index, choice) in fleet.last_choices().iter().enumerate() {
+        assert!(
+            choice.is_some(),
+            "session {index} chose at least once and must keep its last choice"
+        );
+    }
+    // The two-phase path stays usable after the environment-driven slots.
+    let choices = fleet.choose_all().to_vec();
+    assert_eq!(choices.len(), 60);
+    let observations: Vec<Observation> = choices
+        .iter()
+        .map(|&chosen| Observation::bandit(fleet.slot(), chosen, 11.0, 0.5))
+        .collect();
+    fleet.observe_all(&observations);
+    assert_eq!(fleet.slot(), 31);
 }
 
 #[test]

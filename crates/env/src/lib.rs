@@ -14,6 +14,7 @@
 //! | [`dynamic_bandwidth`] | the same areas, but every area's 22 Mbps network collapses and recovers on schedule | pending [`BandwidthEvent`](netsim::BandwidthEvent)s |
 //! | [`area_mobility`] | replicated Figure-1 maps; 8 of every 20 devices walk food court → study area → bus stop | visibility churn, `on_networks_changed` |
 //! | [`trace_driven`] | every session replays the §VI-B WiFi/cellular trace pairs, phase-shifted per session | non-stationary rates, switching delays |
+//! | [`cooperative`] | the equal-share areas with a Co-Bandit gossip layer: sessions share observed rates within their area | shared feedback, `Policy::observe_shared` |
 //!
 //! Scale: sessions are grouped into independent replicas (100 devices per
 //! congestion area, 20 per mobility map), so the worlds stay *paper-shaped*
@@ -23,8 +24,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cooperative;
 mod trace;
 
+pub use cooperative::{CooperativeEnvironment, GossipConfig, GossipMode};
 pub use trace::TraceEnvironment;
 
 use netsim::{
@@ -170,6 +173,33 @@ pub fn dynamic_bandwidth(
         events.push(BandwidthEvent::new(recover_at, cellular, 22.0));
     }
     congestion_world(sessions, kind, config, events, "dynamic_bandwidth")
+}
+
+/// World 5 — **cooperative feedback**: the [`equal_share`] congestion areas
+/// wrapped in a [`CooperativeEnvironment`] — every service area is one
+/// gossip neighbourhood whose sessions share their observed rates between
+/// slots (the Co-Bandit workload; policies fold the digests in via
+/// `Policy::observe_shared`).
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from policy construction.
+pub fn cooperative(
+    sessions: usize,
+    kind: PolicyKind,
+    config: FleetConfig,
+    gossip: GossipConfig,
+) -> Result<Scenario, ConfigError> {
+    let mut scenario = congestion_world(sessions, kind, config, Vec::new(), "cooperative")?;
+    let membership = (0..sessions).map(|i| i / DEVICES_PER_AREA).collect();
+    let gossip_seed = scenario.fleet.config().environment_seed();
+    scenario.environment = Box::new(CooperativeEnvironment::new(
+        scenario.environment,
+        membership,
+        gossip,
+        gossip_seed,
+    ));
+    Ok(scenario)
 }
 
 /// World 3 — **area mobility**: `sessions` devices partitioned into
@@ -350,6 +380,38 @@ mod tests {
         assert_eq!(scenario.sessions(), 30);
         scenario.run(12);
         assert_eq!(scenario.fleet.metrics().decisions, 12 * 30);
+    }
+
+    #[test]
+    fn cooperative_sessions_hear_their_area_gossip() {
+        let mut scenario = cooperative(
+            120,
+            PolicyKind::SmartExp3,
+            FleetConfig::with_root_seed(13),
+            GossipConfig::broadcast(),
+        )
+        .unwrap();
+        scenario.run(20);
+        let metrics = scenario.fleet.metrics();
+        assert_eq!(metrics.decisions, 20 * 120);
+        let smart = metrics.kind(PolicyKind::SmartExp3).unwrap();
+        assert!(
+            smart.policy.shared_observations > 0,
+            "broadcast gossip must reach the policies"
+        );
+        // An isolated fleet on the same world hears nothing.
+        let mut isolated =
+            equal_share(120, PolicyKind::SmartExp3, FleetConfig::with_root_seed(13)).unwrap();
+        isolated.run(20);
+        let isolated_metrics = isolated.fleet.metrics();
+        assert_eq!(
+            isolated_metrics
+                .kind(PolicyKind::SmartExp3)
+                .unwrap()
+                .policy
+                .shared_observations,
+            0
+        );
     }
 
     #[test]

@@ -20,7 +20,10 @@ use smartexp3_core::{
     NetworkId, Observation, Policy, PolicyKind, PolicyStats, SelectionKind, SlotIndex,
 };
 use smartexp3_engine::{FleetConfig, FleetEngine};
-use smartexp3_env::{area_mobility, dynamic_bandwidth, equal_share, trace_driven, Scenario};
+use smartexp3_env::{
+    area_mobility, cooperative, dynamic_bandwidth, equal_share, trace_driven, GossipConfig,
+    Scenario,
+};
 
 fn scenario_fingerprint(scenario: &Scenario) -> String {
     // Parallelism knobs are part of the snapshot but must never affect the
@@ -45,6 +48,11 @@ fn build(threads: usize, world: &str) -> Scenario {
         }
         "area_mobility" => area_mobility(120, PolicyKind::SmartExp3, config, 12, 24).unwrap(),
         "trace_driven" => trace_driven(150, PolicyKind::SmartExp3, config, 80).unwrap(),
+        // Probabilistic push so the per-area gossip RNG streams are actually
+        // consumed — thread identity and snapshot round-trips must cover them.
+        "cooperative" => {
+            cooperative(180, PolicyKind::SmartExp3, config, GossipConfig::push(0.4)).unwrap()
+        }
         other => panic!("unknown world {other}"),
     }
 }
@@ -56,6 +64,7 @@ fn every_world_is_bit_identical_at_any_thread_count() {
         "dynamic_bandwidth",
         "area_mobility",
         "trace_driven",
+        "cooperative",
     ] {
         let mut reference = build(1, world);
         reference.run(40);
@@ -75,9 +84,16 @@ fn every_world_is_bit_identical_at_any_thread_count() {
 #[test]
 fn mid_scenario_snapshots_restore_bit_identically() {
     // Snapshot each world mid-run — before the dynamic-bandwidth recovery
-    // event fires and mid-walk for the mobility world, so pending events and
-    // mobility state must survive the round-trip.
-    for world in ["dynamic_bandwidth", "area_mobility", "trace_driven"] {
+    // event fires, mid-walk for the mobility world, and with live gossip
+    // digests plus partially consumed per-area gossip RNG streams for the
+    // cooperative world — so pending events, mobility state and gossip state
+    // must all survive the round-trip.
+    for world in [
+        "dynamic_bandwidth",
+        "area_mobility",
+        "trace_driven",
+        "cooperative",
+    ] {
         let mut original = build(2, world);
         original.run(15);
         let snapshot = original

@@ -13,8 +13,8 @@ use experiments::config::Scale;
 use experiments::controlled::{self, ControlledScenario};
 use experiments::settings::DynamicSetting;
 use experiments::{
-    distance, download, dynamics, fairness, mobility, robustness, scalability, stability,
-    switching, tracedriven, wild,
+    cooperative, distance, download, dynamics, fairness, mobility, robustness, scalability,
+    stability, switching, tracedriven, wild,
 };
 use std::process::ExitCode;
 
@@ -35,6 +35,7 @@ experiments:
   fig13    controlled testbed, static      table7  testbed download (Table VII)
   fig14    controlled testbed, dynamic     fig15   controlled testbed, mixed
   wild     in-the-wild 500 MB download (§VII-B)
+  coop     Co-Bandit gossip vs isolated convergence (follow-up paper)
   all      everything above";
 
 fn main() -> ExitCode {
@@ -152,6 +153,9 @@ fn run_experiment(experiment: &str, scale: &Scale) -> bool {
     }
     if wants(&["wild"]) {
         println!("{}", wild::run(scale));
+    }
+    if wants(&["coop", "cooperative"]) {
+        println!("{}", cooperative::run(scale));
     }
     matched
 }

@@ -1,0 +1,228 @@
+//! Co-Bandit comparison — does gossip speed convergence?
+//!
+//! *Cooperation Speeds Surfing: Use Co-Bandit!* (Appavoo et al. 2019)
+//! predicts that devices sharing their observed rates converge to the
+//! congestion game's equilibrium markedly faster than isolated bandits.
+//! This experiment measures exactly that on the fleet engine: one
+//! 100-device equal-share service area (the scenario library's congestion
+//! world) is run three ways — isolated, broadcast gossip, and
+//! probabilistic-push gossip — and the per-slot **distance to Nash
+//! equilibrium** (Definition 3 of the Smart EXP3 paper) is averaged over
+//! independent runs.
+//!
+//! All three variants go through `FleetEngine::run_env`; the cooperative
+//! ones wrap the world in the scenario library's `CooperativeEnvironment`,
+//! so the comparison exercises the exact gossip path production fleets use.
+
+use crate::config::Scale;
+use crate::report::format_series;
+use crate::runner::{average_series, downsample, run_many};
+use congestion_game::{distance_to_nash, DeviceState, ResourceSelectionGame};
+use smartexp3_core::{NetworkId, PolicyKind};
+use smartexp3_engine::FleetConfig;
+use smartexp3_env::{cooperative, equal_share, GossipConfig, Scenario, DEVICES_PER_AREA};
+use std::fmt;
+
+/// Number of buckets used when rendering the series textually.
+pub const SERIES_BUCKETS: usize = 12;
+
+/// The ε (in percent) used for the convergence-slot summary — the paper's
+/// ε-equilibrium threshold.
+pub const EPSILON_PERCENT: f64 = 7.5;
+
+/// The push probability of the probabilistic-push variant.
+pub const PUSH_PROBABILITY: f64 = 0.25;
+
+/// Distance-to-equilibrium curve of one feedback variant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceCurve {
+    /// Variant name (`isolated`, `broadcast`, `push`).
+    pub label: &'static str,
+    /// Average (over runs) distance to Nash equilibrium per slot, percent.
+    pub distance: Vec<f64>,
+}
+
+impl ConvergenceCurve {
+    /// Mean distance over the first `fraction` of the run — the convergence
+    /// *speed* proxy (a variant that converges faster accumulates less
+    /// distance early).
+    #[must_use]
+    pub fn early_distance(&self, fraction: f64) -> f64 {
+        let n = ((self.distance.len() as f64) * fraction.clamp(0.0, 1.0)) as usize;
+        let n = n.max(1).min(self.distance.len().max(1));
+        if self.distance.is_empty() {
+            return 0.0;
+        }
+        self.distance[..n].iter().sum::<f64>() / n as f64
+    }
+
+    /// First slot at which the averaged distance drops to `threshold` (in
+    /// percent), or `None` if it never does.
+    #[must_use]
+    pub fn slots_to(&self, threshold: f64) -> Option<usize> {
+        self.distance.iter().position(|&d| d <= threshold)
+    }
+}
+
+/// The gossip-vs-isolated comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooperativeResult {
+    /// Isolated bandits (the equal-share world, no gossip).
+    pub isolated: ConvergenceCurve,
+    /// Per-area broadcast gossip.
+    pub broadcast: ConvergenceCurve,
+    /// Probabilistic-push gossip ([`PUSH_PROBABILITY`]).
+    pub push: ConvergenceCurve,
+}
+
+impl CooperativeResult {
+    /// All three curves, isolated first.
+    #[must_use]
+    pub fn curves(&self) -> [&ConvergenceCurve; 3] {
+        [&self.isolated, &self.broadcast, &self.push]
+    }
+}
+
+/// One 100-device equal-share area per variant, sharing a root seed.
+fn build(variant: &str, kind: PolicyKind, seed: u64) -> Scenario {
+    let config = FleetConfig::with_root_seed(seed).with_threads(1);
+    match variant {
+        "isolated" => equal_share(DEVICES_PER_AREA, kind, config),
+        "broadcast" => cooperative(DEVICES_PER_AREA, kind, config, GossipConfig::broadcast()),
+        "push" => cooperative(
+            DEVICES_PER_AREA,
+            kind,
+            config,
+            GossipConfig::push(PUSH_PROBABILITY),
+        ),
+        other => panic!("unknown variant {other}"),
+    }
+    .expect("static scenario construction cannot fail")
+}
+
+/// Steps `scenario` slot by slot, reading the joint choices back from the
+/// fleet and scoring each slot's allocation against the Nash equilibrium of
+/// the single area's game (equal-share world: the observed rate of every
+/// device is its network's bandwidth divided by that network's load).
+fn distance_series(
+    scenario: &mut Scenario,
+    slots: usize,
+    game: &ResourceSelectionGame,
+) -> Vec<f64> {
+    let networks = game.networks();
+    let mut series = Vec::with_capacity(slots);
+    let mut states: Vec<DeviceState> = Vec::with_capacity(scenario.sessions());
+    for _ in 0..slots {
+        scenario.run(1);
+        let choices = scenario.fleet.last_choices();
+        let mut loads = vec![0usize; networks.len()];
+        for network in choices.iter().flatten() {
+            if let Some(i) = networks.iter().position(|n| n == network) {
+                loads[i] += 1;
+            }
+        }
+        states.clear();
+        states.extend(choices.iter().flatten().map(|&network| {
+            let i = networks
+                .iter()
+                .position(|n| *n == network)
+                .expect("sessions choose area networks");
+            DeviceState {
+                network,
+                observed_rate: game.share(network, loads[i]),
+            }
+        }));
+        series.push(distance_to_nash(game, &states));
+    }
+    series
+}
+
+/// Runs the comparison for one policy kind at the given scale.
+#[must_use]
+pub fn run_for(scale: &Scale, kind: PolicyKind) -> CooperativeResult {
+    let game = ResourceSelectionGame::new([
+        (NetworkId(0), 4.0),
+        (NetworkId(1), 7.0),
+        (NetworkId(2), 22.0),
+    ]);
+    let variants = ["isolated", "broadcast", "push"];
+    let runs: Vec<[Vec<f64>; 3]> = run_many(scale, |seed| {
+        variants.map(|variant| {
+            let mut scenario = build(variant, kind, seed);
+            distance_series(&mut scenario, scale.slots, &game)
+        })
+    });
+    let averaged = |index: usize, label: &'static str| ConvergenceCurve {
+        label,
+        distance: average_series(&runs.iter().map(|r| r[index].clone()).collect::<Vec<_>>()),
+    };
+    CooperativeResult {
+        isolated: averaged(0, "isolated"),
+        broadcast: averaged(1, "broadcast"),
+        push: averaged(2, "push"),
+    }
+}
+
+/// Runs the comparison for the Co-Bandit paper's baseline policy (EXP3,
+/// the algorithm the follow-up paper augments with gossip).
+#[must_use]
+pub fn run(scale: &Scale) -> CooperativeResult {
+    run_for(scale, PolicyKind::Exp3)
+}
+
+impl fmt::Display for CooperativeResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bucket = (self.isolated.distance.len() / SERIES_BUCKETS).max(1);
+        let curves: Vec<(String, Vec<f64>)> = self
+            .curves()
+            .iter()
+            .map(|c| (c.label.to_string(), downsample(&c.distance, bucket)))
+            .collect();
+        f.write_str(&format_series(
+            "Co-Bandit — distance to Nash equilibrium (%), isolated vs gossip",
+            bucket,
+            &curves,
+        ))?;
+        for curve in self.curves() {
+            let to_epsilon = curve
+                .slots_to(EPSILON_PERCENT)
+                .map_or("never".to_string(), |slot| format!("slot {slot}"));
+            writeln!(
+                f,
+                "{:<10} mean distance (first half) {:>7.2} %, ε-equilibrium ({EPSILON_PERCENT} %) reached: {}",
+                curve.label,
+                curve.early_distance(0.5),
+                to_epsilon
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gossip_converges_faster_than_isolated_bandits() {
+        let scale = Scale::quick().with_runs(3).with_slots(240);
+        let result = run(&scale);
+        let isolated = result.isolated.early_distance(0.5);
+        let broadcast = result.broadcast.early_distance(0.5);
+        assert!(
+            broadcast < isolated,
+            "broadcast gossip should accumulate less early distance: \
+             gossip {broadcast:.2} % vs isolated {isolated:.2} %"
+        );
+        // Push gossip hears only a sample of the reports; it still must not
+        // be dramatically worse than staying silent.
+        let push = result.push.early_distance(0.5);
+        assert!(
+            push < isolated * 1.25,
+            "push gossip regressed: {push:.2} % vs isolated {isolated:.2} %"
+        );
+        let text = result.to_string();
+        assert!(text.contains("Co-Bandit"));
+        assert!(text.contains("isolated"));
+    }
+}

@@ -18,6 +18,7 @@
 //! | [`tracedriven`] | Table VI + Figure 12 — trace-driven evaluation |
 //! | [`controlled`] | Figures 13–15 + Table VII — testbed emulation |
 //! | [`wild`] | §VII-B — 500 MB download in the wild |
+//! | [`cooperative`] | Co-Bandit follow-up — gossip vs isolated convergence |
 //!
 //! Every experiment takes a [`Scale`] (number of runs, slots, threads, seed)
 //! and returns a displayable result; the `repro` binary wires them to a CLI.
@@ -27,6 +28,7 @@
 
 pub mod config;
 pub mod controlled;
+pub mod cooperative;
 pub mod distance;
 pub mod download;
 pub mod dynamics;

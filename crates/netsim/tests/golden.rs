@@ -7,10 +7,12 @@
 //! event+noisy-sharing+full-information scenarios.
 
 use netsim::{
-    figure1_networks, setting1_networks, AreaId, BandwidthEvent, DeviceSetup, NetworkSpec,
-    RunResult, SharingModel, Simulation, SimulationConfig, Topology,
+    figure1_networks, setting1_networks, AreaId, BandwidthEvent, CongestionEnvironment,
+    DeviceProfile, DeviceSetup, NetworkSpec, RunResult, SharingModel, Simulation, SimulationConfig,
+    Topology,
 };
 use smartexp3_core::{NetworkId, PolicyFactory, PolicyKind};
+use smartexp3_engine::{FleetConfig, FleetEngine};
 
 fn factory(networks: &[NetworkSpec]) -> PolicyFactory {
     PolicyFactory::new(networks.iter().map(|n| (n.id, n.bandwidth_mbps)).collect()).unwrap()
@@ -96,4 +98,101 @@ fn events_noisy_sharing_and_full_information_match_the_legacy_loop_bit_for_bit()
     sim.add_bandwidth_event(BandwidthEvent::new(30, NetworkId(2), 2.0));
     sim.add_bandwidth_event(BandwidthEvent::new(60, NetworkId(2), 22.0));
     assert_golden(&sim.run(13), 0x40dadd3f4863e0ee, 0x40d625d1c85ebfdb, 277.0);
+}
+
+/// The event-burst world of the restore-mid-burst pin: same-slot bursts at
+/// slot 10, single events at 12 and 14, recoveries at 20 — a schedule dense
+/// enough that an off-by-one in the restored `EventSchedule` cursor (an
+/// event replayed, or one skipped) is guaranteed to change the bandwidth
+/// trajectory and thus the recorded gains.
+fn burst_world(threads: usize) -> (FleetEngine, CongestionEnvironment) {
+    let networks = setting1_networks();
+    let ids: Vec<NetworkId> = networks.iter().map(|n| n.id).collect();
+    let rates: Vec<(NetworkId, f64)> = networks.iter().map(|n| (n.id, n.bandwidth_mbps)).collect();
+    let mut factory = PolicyFactory::new(rates).unwrap();
+    let mut fleet = FleetEngine::new(
+        FleetConfig::with_root_seed(404)
+            .with_threads(threads)
+            .with_shard_size(3),
+    );
+    fleet
+        .add_fleet(&mut factory, PolicyKind::SmartExp3, 10)
+        .unwrap();
+    let profiles = (0..10)
+        .map(|id| DeviceProfile::new(id, AreaId(0), ids.clone()))
+        .collect();
+    let events = vec![
+        BandwidthEvent::new(10, NetworkId(2), 2.0),
+        BandwidthEvent::new(10, NetworkId(1), 1.0),
+        BandwidthEvent::new(12, NetworkId(0), 0.5),
+        BandwidthEvent::new(14, NetworkId(2), 8.0),
+        BandwidthEvent::new(20, NetworkId(1), 7.0),
+        BandwidthEvent::new(20, NetworkId(2), 22.0),
+    ];
+    let env = CongestionEnvironment::new(
+        setting1_networks(),
+        Topology::single_area(&ids),
+        events,
+        profiles,
+        SimulationConfig::quick(40),
+        7,
+    );
+    (fleet, env)
+}
+
+/// Fingerprint that ignores the parallelism knobs (they are part of the
+/// snapshot but must never affect the trajectory).
+fn burst_fingerprint(fleet: &FleetEngine) -> (String, u64) {
+    let mut snapshot = fleet.snapshot().expect("distributed fleets snapshot");
+    snapshot.config.threads = None;
+    snapshot.config.shard_size = 0;
+    let gains: f64 = snapshot.sessions.iter().map(|s| s.gains.total_gain()).sum();
+    (
+        serde_json::to_string(&snapshot).expect("snapshots serialize"),
+        gains.to_bits(),
+    )
+}
+
+#[test]
+fn restore_mid_burst_neither_replays_nor_skips_events() {
+    // Uninterrupted reference: 40 slots through the burst schedule.
+    let (mut reference, mut reference_env) = burst_world(1);
+    reference.run_env(&mut reference_env, 40);
+    let (expected_json, expected_gain_bits) = burst_fingerprint(&reference);
+    // Golden pin (exact f64 bit pattern of the summed scaled gains): any
+    // replayed or skipped bandwidth event changes shares and thus this sum.
+    assert_eq!(
+        expected_gain_bits,
+        0x40463a2e8ba2e8ba,
+        "burst-world trajectory drifted: gains {}",
+        f64::from_bits(expected_gain_bits)
+    );
+
+    // Snapshot mid-schedule, between the slot-10 burst and the slot-12/14
+    // events, then restore two ways and finish the run.
+    let (mut interrupted, mut interrupted_env) = burst_world(2);
+    interrupted.run_env(&mut interrupted_env, 11);
+    let snapshot = interrupted.snapshot_env(&interrupted_env).unwrap();
+
+    // (a) Into a freshly built world.
+    let (_, mut fresh_env) = burst_world(8);
+    let mut resumed = FleetEngine::from_snapshot_env(snapshot.clone(), &mut fresh_env).unwrap();
+    resumed.run_env(&mut fresh_env, 40 - 11);
+    assert_eq!(
+        burst_fingerprint(&resumed).0,
+        expected_json,
+        "restore into a fresh world replayed or skipped an event"
+    );
+
+    // (b) Back into the world that already ran past the checkpoint (the
+    // event cursor must rewind so the slot-12/14/20 events fire again,
+    // exactly once each).
+    interrupted.run_env(&mut interrupted_env, 15);
+    let mut rewound = FleetEngine::from_snapshot_env(snapshot, &mut interrupted_env).unwrap();
+    rewound.run_env(&mut interrupted_env, 40 - 11);
+    assert_eq!(
+        burst_fingerprint(&rewound).0,
+        expected_json,
+        "restore into an already-advanced world replayed or skipped an event"
+    );
 }

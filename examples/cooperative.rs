@@ -1,0 +1,112 @@
+//! Co-Bandit demo: one million cooperating sessions in a shared-bandwidth
+//! congestion game, gossiping their observed rates between slots.
+//!
+//! The `cooperative` scenario wraps the equal-share world (independent
+//! 100-device service areas) in a gossip layer: every slot, each area's
+//! reports are folded into a staleness-decayed per-network digest, and every
+//! session in the area folds the digest back into its weight table through
+//! `Policy::observe_shared` — approximate full information at bandit cost.
+//! For comparison, the same fleet is also run isolated (no gossip), and the
+//! run includes a mid-scenario checkpoint round-trip (gossip digests and
+//! per-area gossip RNG streams included).
+//!
+//! ```text
+//! cargo run --release --example cooperative [sessions] [slots]
+//! ```
+
+use smartexp3::core::PolicyKind;
+use smartexp3::engine::{FleetConfig, FleetEngine};
+use smartexp3::scenarios::{cooperative, equal_share, GossipConfig, Scenario, DEVICES_PER_AREA};
+use std::time::Instant;
+
+fn parse_arg(value: Option<String>, name: &str, default: usize) -> usize {
+    match value {
+        None => default,
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("error: {name} must be a non-negative integer, got `{raw}`");
+            eprintln!("usage: cooperative [sessions] [slots]");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn mean_gain(scenario: &Scenario) -> f64 {
+    scenario
+        .fleet
+        .metrics()
+        .kind(PolicyKind::SmartExp3)
+        .map_or(0.0, |kind| kind.mean_gain())
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let sessions = parse_arg(args.next(), "sessions", 1_000_000).max(1);
+    let slots = parse_arg(args.next(), "slots", 40).max(2);
+
+    let build_start = Instant::now();
+    let mut scenario = cooperative(
+        sessions,
+        PolicyKind::SmartExp3,
+        FleetConfig::with_root_seed(2026),
+        GossipConfig::broadcast(),
+    )
+    .expect("valid scenario");
+    println!(
+        "world `{}`: {} sessions gossiping in {} areas, built in {:.2}s",
+        scenario.name,
+        scenario.sessions(),
+        sessions.div_ceil(DEVICES_PER_AREA),
+        build_start.elapsed().as_secs_f64()
+    );
+
+    // Phase 1: run half the slots, then checkpoint mid-scenario — the gossip
+    // digests and every area's gossip RNG stream ride along in the
+    // environment state.
+    let phase1_start = Instant::now();
+    scenario.run(slots / 2);
+    let mut stepping = phase1_start.elapsed();
+    let snapshot = scenario
+        .fleet
+        .snapshot_env(scenario.environment.as_ref())
+        .expect("cooperative scenarios checkpoint");
+    println!(
+        "checkpoint at slot {}: {} sessions captured (gossip state included)",
+        scenario.fleet.slot(),
+        snapshot.sessions.len(),
+    );
+
+    // Phase 2: restore and finish — the restored fleet continues the exact
+    // trajectory (proven bit-identical by the integration tests).
+    scenario.fleet = FleetEngine::from_snapshot_env(snapshot, scenario.environment.as_mut())
+        .expect("snapshot restores");
+    let phase2_start = Instant::now();
+    scenario.run(slots - slots / 2);
+    stepping += phase2_start.elapsed();
+
+    let metrics = scenario.fleet.metrics();
+    print!("{metrics}");
+    let shared = metrics
+        .kind(PolicyKind::SmartExp3)
+        .map_or(0, |kind| kind.policy.shared_observations);
+    println!(
+        "stepped {} decisions in {:.2}s — {:.2}M decisions/sec, {} gossip digests folded",
+        metrics.decisions,
+        stepping.as_secs_f64(),
+        metrics.decisions as f64 / stepping.as_secs_f64() / 1e6,
+        shared,
+    );
+
+    // Isolated twin: the same world, nobody talks.
+    let mut isolated = equal_share(
+        sessions,
+        PolicyKind::SmartExp3,
+        FleetConfig::with_root_seed(2026),
+    )
+    .expect("valid scenario");
+    isolated.run(slots);
+    println!(
+        "mean scaled gain after {slots} slots: cooperative {:.4} vs isolated {:.4}",
+        mean_gain(&scenario),
+        mean_gain(&isolated),
+    );
+}

@@ -10,8 +10,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use smartexp3::core::{
-    block_length, probability_of, Exp3, Exp3Config, NetworkId, Observation, Policy, SmartExp3,
-    SmartExp3Config, WeightTable,
+    block_length, probability_of, Exp3, Exp3Config, NetworkId, Observation, Policy, SharedFeedback,
+    SmartExp3, SmartExp3Config, WeightTable,
 };
 use smartexp3::game::{
     distance_to_nash, is_nash_allocation, jain_index, nash_allocation, standard_deviation,
@@ -214,6 +214,60 @@ fn non_finite_gains_never_poison_the_distribution() {
             assert!(chosen.index() < arms);
             assert!(p.is_finite() && p > 0.0);
         }
+    }
+}
+
+#[test]
+fn shared_feedback_never_poisons_the_distribution() {
+    // The cooperative extension of the non-finite-gain fuzz above: gossip
+    // digests carry *raw* neighbour measurements, so `observe_shared` is a
+    // second door through which NaN, ±∞ and negative rates can reach the
+    // weight table. The `WeightTable::shared_update` guard must reject them
+    // the same way `multiplicative_update` rejects non-finite gains, and the
+    // distribution must stay a distribution throughout.
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(12_000 + case);
+        let arms = uniform_usize(&mut rng, 2, 6);
+        let mut exp3 = Exp3::new(network_ids(arms), Exp3Config::default()).unwrap();
+        let mut smart = SmartExp3::new(network_ids(arms), SmartExp3Config::default()).unwrap();
+        let mut digest = SharedFeedback::new(uniform(&mut rng, 0.0, 0.9));
+        for slot in 0..200 {
+            // One ordinary slot for both policies (keeps γ schedules moving).
+            for policy in [&mut exp3 as &mut dyn Policy, &mut smart] {
+                let chosen = policy.choose(slot, &mut rng);
+                let gain = uniform(&mut rng, 0.0, 1.0);
+                policy.observe(
+                    &Observation::bandit(slot, chosen, gain * 22.0, gain),
+                    &mut rng,
+                );
+            }
+            // One slot of hostile gossip: most reports are garbage.
+            digest.decay();
+            let network = NetworkId(uniform_usize(&mut rng, 0, arms) as u32);
+            let rate = match slot % 6 {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                3 => -uniform(&mut rng, 0.0, 5.0),
+                _ => uniform(&mut rng, 0.0, 1.0),
+            };
+            digest.record(network, rate);
+            for policy in [&mut exp3 as &mut dyn Policy, &mut smart] {
+                policy.observe_shared(&digest, &mut rng);
+                let probs = policy.probabilities();
+                let sum: f64 = probs.iter().map(|(_, p)| p).sum();
+                assert!(
+                    probs.iter().all(|(_, p)| p.is_finite() && *p >= 0.0),
+                    "case {case}, slot {slot}: {probs:?}"
+                );
+                assert!(
+                    (sum - 1.0).abs() < 1e-6,
+                    "case {case}, slot {slot}: sum {sum}"
+                );
+            }
+        }
+        assert!(exp3.stats().shared_observations > 0);
+        assert!(smart.stats().shared_observations > 0);
     }
 }
 

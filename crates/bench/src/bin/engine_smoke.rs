@@ -3,13 +3,16 @@
 //! Steps a Smart EXP3 fleet through fused choose+observe slots (the same
 //! workload as the `engine_throughput` Criterion bench) **and** through the
 //! equal-share congestion scenario of the environment layer (the
-//! `scenario_throughput` workload), appending one JSON record per
-//! configuration to `BENCH_engine.json`, so the repository keeps a perf
-//! trajectory across PRs — closure-driven and environment-driven stepping
-//! alike — and CI catches throughput regressions early.
+//! `scenario_throughput` workload) — the latter twice, with the partitioned
+//! feedback phase on and off, so the repository's perf trajectory records
+//! the sharded-feedback axis. One JSON record per configuration is appended
+//! to `BENCH_engine.json`; every record names its `world`, `threads` and
+//! `feedback` mode explicitly (older records lack those fields but keep
+//! parsing — readers treat them as additive).
 //!
 //! ```text
-//! cargo run --release -p smartexp3-bench --bin engine_smoke [-- --sessions N] [--slots N] [--out PATH]
+//! cargo run --release -p smartexp3-bench --bin engine_smoke \
+//!     [-- --sessions N] [--slots N] [--threads N] [--out PATH]
 //! ```
 
 use smartexp3_core::{NetworkId, Observation, PolicyFactory, PolicyKind};
@@ -26,14 +29,14 @@ fn feedback(ctx: &mut StepContext<'_>) -> Observation {
     Observation::bandit(ctx.slot, ctx.chosen, gain * 22.0, gain)
 }
 
-fn build_fleet(sessions: usize) -> FleetEngine {
+fn build_fleet(sessions: usize, config: &FleetConfig) -> FleetEngine {
     let rates = vec![
         (NetworkId(0), 4.0),
         (NetworkId(1), 7.0),
         (NetworkId(2), 22.0),
     ];
     let mut factory = PolicyFactory::new(rates).expect("valid rates");
-    let mut fleet = FleetEngine::new(FleetConfig::with_root_seed(1));
+    let mut fleet = FleetEngine::new(config.clone());
     fleet
         .add_fleet(&mut factory, PolicyKind::SmartExp3, sessions)
         .expect("valid fleet");
@@ -50,9 +53,10 @@ fn measure(fleet: &mut FleetEngine, slots: usize) -> f64 {
     (sessions * slots) as f64 / start.elapsed().as_secs_f64()
 }
 
-/// Steps `scenario` for `slots` environment-driven slots and returns
+/// Warm-up plus measurement of `slots` environment-driven slots; returns
 /// decisions per second.
 fn measure_scenario(scenario: &mut Scenario, slots: usize) -> f64 {
+    scenario.run(slots.div_ceil(4).max(1));
     let sessions = scenario.sessions();
     let start = Instant::now();
     scenario.run(slots);
@@ -72,6 +76,24 @@ fn parse_flag(args: &[String], name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// One BENCH_engine.json line. `world` names the measured workload and
+/// `feedback` its feedback mode, so multi-world runs are unambiguous.
+fn record(
+    bench: &str,
+    world: &str,
+    feedback: &str,
+    sessions: usize,
+    slots: usize,
+    threads: usize,
+    decisions_per_sec: f64,
+) -> String {
+    format!(
+        "{{\"bench\":\"{bench}\",\"world\":\"{world}\",\"feedback\":\"{feedback}\",\
+         \"sessions\":{sessions},\"slots\":{slots},\"threads\":{threads},\
+         \"decisions_per_sec\":{decisions_per_sec:.0},\"policy\":\"SmartExp3\"}}"
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let sessions = parse_flag(&args, "--sessions", 100_000);
@@ -82,25 +104,30 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_engine.json".to_string());
-    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let auto_threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let threads = parse_flag(&args, "--threads", auto_threads);
+    let config = FleetConfig::with_root_seed(1).with_threads(threads);
 
-    let mut fleet = build_fleet(sessions);
+    let mut fleet = build_fleet(sessions, &config);
     // Warm-up: drives the fleet out of its all-fresh-decision opening slots
     // and populates the per-shard scratch buffers.
     let _ = measure(&mut fleet, slots.div_ceil(4).max(1));
-    let decisions_per_sec = measure(&mut fleet, slots);
+    let closure = measure(&mut fleet, slots);
 
-    // Environment-driven datapoint: the same fleet size stepped through the
-    // equal-share congestion scenario via `run_env`, so the recorded perf
-    // trajectory covers the coupled path every paper scenario uses.
-    let mut scenario = equal_share(
+    // Environment-driven datapoints: the same fleet size stepped through the
+    // equal-share congestion scenario via `run_env`, with the feedback phase
+    // fanned out over the partitions (default) and forced sequential — the
+    // pair records what sharding the last sequential phase buys.
+    let mut partitioned =
+        equal_share(sessions, PolicyKind::SmartExp3, config.clone()).expect("valid scenario");
+    let partitioned_rate = measure_scenario(&mut partitioned, slots);
+    let mut sequential = equal_share(
         sessions,
         PolicyKind::SmartExp3,
-        FleetConfig::with_root_seed(1),
+        config.clone().with_partitioned_feedback(false),
     )
     .expect("valid scenario");
-    let _ = measure_scenario(&mut scenario, slots.div_ceil(4).max(1));
-    let scenario_decisions_per_sec = measure_scenario(&mut scenario, slots);
+    let sequential_rate = measure_scenario(&mut sequential, slots);
 
     // Cooperative datapoint: the same world with the Co-Bandit gossip layer
     // (per-area broadcast digests + `observe_shared` folding), so the perf
@@ -108,30 +135,48 @@ fn main() {
     let mut coop = cooperative(
         sessions,
         PolicyKind::SmartExp3,
-        FleetConfig::with_root_seed(1),
+        config,
         GossipConfig::broadcast(),
     )
     .expect("valid scenario");
-    let _ = measure_scenario(&mut coop, slots.div_ceil(4).max(1));
-    let coop_decisions_per_sec = measure_scenario(&mut coop, slots);
+    let coop_rate = measure_scenario(&mut coop, slots);
 
     let records = [
-        format!(
-            "{{\"bench\":\"engine_throughput/step\",\"sessions\":{sessions},\"slots\":{slots},\
-             \"threads\":{threads},\"decisions_per_sec\":{decisions_per_sec:.0},\
-             \"policy\":\"SmartExp3\"}}"
+        record(
+            "engine_throughput/step",
+            "closure",
+            "fused",
+            sessions,
+            slots,
+            threads,
+            closure,
         ),
-        format!(
-            "{{\"bench\":\"scenario_throughput/equal_share\",\"sessions\":{sessions},\
-             \"slots\":{slots},\"threads\":{threads},\
-             \"decisions_per_sec\":{scenario_decisions_per_sec:.0},\
-             \"policy\":\"SmartExp3\"}}"
+        record(
+            "scenario_throughput/equal_share",
+            "equal_share",
+            "partitioned",
+            sessions,
+            slots,
+            threads,
+            partitioned_rate,
         ),
-        format!(
-            "{{\"bench\":\"scenario_throughput/cooperative\",\"sessions\":{sessions},\
-             \"slots\":{slots},\"threads\":{threads},\
-             \"decisions_per_sec\":{coop_decisions_per_sec:.0},\
-             \"policy\":\"SmartExp3\"}}"
+        record(
+            "scenario_throughput/equal_share",
+            "equal_share",
+            "sequential",
+            sessions,
+            slots,
+            threads,
+            sequential_rate,
+        ),
+        record(
+            "scenario_throughput/cooperative",
+            "cooperative",
+            "partitioned",
+            sessions,
+            slots,
+            threads,
+            coop_rate,
         ),
     ];
     let mut contents = std::fs::read_to_string(&out).unwrap_or_default();
@@ -148,9 +193,11 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!(
-        "closure {:.2}M, scenario {:.2}M, cooperative {:.2}M decisions/sec over {sessions} sessions x {slots} slots -> appended to {out}",
-        decisions_per_sec / 1e6,
-        scenario_decisions_per_sec / 1e6,
-        coop_decisions_per_sec / 1e6
+        "closure {:.2}M, scenario {:.2}M (sequential feedback {:.2}M), cooperative {:.2}M \
+         decisions/sec over {sessions} sessions x {slots} slots, {threads} threads -> appended to {out}",
+        closure / 1e6,
+        partitioned_rate / 1e6,
+        sequential_rate / 1e6,
+        coop_rate / 1e6
     );
 }

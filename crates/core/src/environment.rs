@@ -17,14 +17,35 @@
 //! 2. [`session_view`](Environment::session_view) — called concurrently from
 //!    worker threads (`&self`); reports whether a session participates this
 //!    slot and whether its visible-network set changed.
-//! 3. [`feedback`](Environment::feedback) — sequential; converts the joint
-//!    choice vector into one observation per session. Any randomness the
-//!    environment needs (noisy bandwidth shares, sampled switching delays)
-//!    must come from state owned by the environment, never from per-session
-//!    RNG streams, so the result is independent of how sessions were sharded.
+//! 3. [`feedback`](Environment::feedback) — converts the joint choice vector
+//!    into one observation per session. Any randomness the environment needs
+//!    (noisy bandwidth shares, sampled switching delays) must come from state
+//!    owned by the environment, never from per-session RNG streams, so the
+//!    result is independent of how sessions were sharded. Worlds that are
+//!    unions of independent areas can additionally advertise
+//!    [`feedback_partitions`](Environment::feedback_partitions) and implement
+//!    [`feedback_partitioned`](Environment::feedback_partitioned), letting
+//!    the driver fan the feedback phase itself over worker threads — see
+//!    *Partitioned feedback* below.
 //! 4. [`end_slot`](Environment::end_slot) — sequential; an event hook for
 //!    recorders and metrics, fired after every session has observed its
 //!    feedback.
+//!
+//! # Partitioned feedback
+//!
+//! For a fleet of millions of sessions, a sequential feedback phase bounds
+//! the whole engine on one core. Most large worlds are unions of
+//! **independent areas**: disjoint session ranges whose feedback depends
+//! only on the choices of sessions in the same range. Such environments
+//! advertise the split as a list of [`SessionRange`]s (ordered, disjoint,
+//! tiling `0..sessions()`) and grade each partition from **its own RNG
+//! stream**, advanced in canonical session order — so the trajectory is a
+//! pure function of the seed, independent of which worker grades which
+//! partition, and [`feedback`](Environment::feedback) (the sequential
+//! fallback, required to iterate the same partitions in order) produces
+//! bit-identical results to
+//! [`feedback_partitioned`](Environment::feedback_partitioned) under any
+//! [`PartitionExecutor`].
 //!
 //! Environments that support checkpointing serialize their dynamic state as
 //! an opaque JSON string via [`state`](Environment::state) /
@@ -33,6 +54,7 @@
 //! pending events, mobility positions and the environment RNG included.
 
 use crate::{NetworkId, Observation, SlotIndex};
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// What one session is allowed to do in the coming slot.
@@ -59,6 +81,81 @@ impl SessionView<'_> {
         SessionView {
             active: true,
             networks_changed: None,
+        }
+    }
+}
+
+/// A contiguous range of sessions `[start, end)` forming one independent
+/// feedback partition (see the [module documentation](self)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SessionRange {
+    /// First session of the partition (inclusive).
+    pub start: usize,
+    /// One past the last session of the partition (exclusive).
+    pub end: usize,
+}
+
+impl SessionRange {
+    /// The range `[start, end)` (empty when `end <= start`).
+    #[must_use]
+    pub fn new(start: usize, end: usize) -> Self {
+        SessionRange { start, end }
+    }
+
+    /// Number of sessions in the partition.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// `true` when the partition holds no sessions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// `true` when `ranges` is a valid partition layout for `sessions`
+    /// sessions: ordered, disjoint and tiling `0..sessions` exactly (empty
+    /// ranges are permitted). Drivers may use this to reject malformed
+    /// layouts before fanning work out.
+    #[must_use]
+    pub fn tile(ranges: &[SessionRange], sessions: usize) -> bool {
+        let mut cursor = 0usize;
+        for range in ranges {
+            if range.start != cursor || range.end < range.start {
+                return false;
+            }
+            cursor = range.end;
+        }
+        cursor == sessions
+    }
+}
+
+/// One unit of partitioned-feedback work: grades exactly one partition.
+/// Jobs borrow disjoint mutable state from the environment, so an executor
+/// may run them in any order, concurrently or not, without changing the
+/// result.
+pub type PartitionJob<'a> = Box<dyn FnOnce() + Send + 'a>;
+
+/// Executes a batch of independent [`PartitionJob`]s — the driver-provided
+/// half of the partitioned-feedback protocol. A fleet engine backs this with
+/// its worker pool; the sequential fallback is [`SequentialExecutor`].
+pub trait PartitionExecutor: Sync {
+    /// Runs every job exactly once, in any order. Must not return until all
+    /// jobs have finished.
+    fn run(&self, jobs: Vec<PartitionJob<'_>>);
+}
+
+/// A [`PartitionExecutor`] that runs jobs on the calling thread, in order —
+/// the reference execution every parallel executor must agree with
+/// bit-for-bit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SequentialExecutor;
+
+impl PartitionExecutor for SequentialExecutor {
+    fn run(&self, jobs: Vec<PartitionJob<'_>>) {
+        for job in jobs {
+            job();
         }
     }
 }
@@ -116,6 +213,44 @@ pub trait Environment: Send + Sync {
         choices: &[Option<NetworkId>],
         out: &mut [Option<Observation>],
     );
+
+    /// The independent feedback partitions of this world, or `None` when the
+    /// feedback phase is inherently sequential (the default — third-party
+    /// environments are untouched).
+    ///
+    /// When `Some`, the ranges must be ordered, disjoint and tile
+    /// `0..sessions()` exactly (see [`SessionRange::tile`]), must stay fixed
+    /// for the environment's lifetime, and feedback for a session in one
+    /// partition must not depend on the choices of sessions in another.
+    /// Drivers are then allowed to call
+    /// [`feedback_partitioned`](Self::feedback_partitioned) instead of
+    /// [`feedback`](Self::feedback); both must produce bit-identical results.
+    fn feedback_partitions(&self) -> Option<&[SessionRange]> {
+        None
+    }
+
+    /// Partition-parallel variant of [`feedback`](Self::feedback):
+    /// implementations package one [`PartitionJob`] per advertised partition
+    /// — each owning disjoint mutable state (the partition's RNG stream,
+    /// share/load buffers, its slice of `out`) — and hand the batch to the
+    /// driver's `executor`, then perform any sequential cross-partition
+    /// reduce (recorders, global accounting) after it returns.
+    ///
+    /// The default ignores `executor` and runs the sequential
+    /// [`feedback`](Self::feedback); environments advertising partitions
+    /// must override it (and keep the two paths bit-identical — the
+    /// recommended shape is to implement `feedback` as
+    /// `self.feedback_partitioned(slot, choices, out, &SequentialExecutor)`).
+    fn feedback_partitioned(
+        &mut self,
+        slot: SlotIndex,
+        choices: &[Option<NetworkId>],
+        out: &mut [Option<Observation>],
+        executor: &dyn PartitionExecutor,
+    ) {
+        let _ = executor;
+        self.feedback(slot, choices, out);
+    }
 
     /// `true` when this environment produces **shared** (gossiped) feedback:
     /// the driver will then call
@@ -236,10 +371,49 @@ mod tests {
     }
 
     #[test]
+    fn session_ranges_validate_tilings() {
+        let tiling = [
+            SessionRange::new(0, 3),
+            SessionRange::new(3, 3),
+            SessionRange::new(3, 7),
+        ];
+        assert!(SessionRange::tile(&tiling, 7));
+        assert!(SessionRange::tile(&[], 0));
+        assert_eq!(tiling[0].len(), 3);
+        assert!(tiling[1].is_empty());
+        // Gaps, overlaps, inversions and short covers are all rejected.
+        assert!(!SessionRange::tile(&tiling, 8));
+        assert!(!SessionRange::tile(&[SessionRange::new(1, 4)], 4));
+        assert!(!SessionRange::tile(
+            &[SessionRange::new(0, 3), SessionRange::new(2, 4)],
+            4
+        ));
+        assert!(!SessionRange::tile(&[SessionRange::new(0, 3)], 4));
+        let inverted = SessionRange::new(5, 2);
+        assert!(inverted.is_empty());
+        assert_eq!(inverted.len(), 0);
+        assert!(!SessionRange::tile(&[inverted], 2));
+    }
+
+    #[test]
+    fn sequential_executor_runs_every_job_in_order() {
+        let order = std::sync::Mutex::new(Vec::new());
+        let jobs: Vec<PartitionJob<'_>> = (0..4)
+            .map(|i| {
+                let order = &order;
+                Box::new(move || order.lock().unwrap().push(i)) as PartitionJob<'_>
+            })
+            .collect();
+        SequentialExecutor.run(jobs);
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
     fn trait_defaults_are_usable() {
         let mut env = Trivial;
         assert!(!env.wants_top_choices());
         assert!(!env.shares_feedback());
+        assert!(env.feedback_partitions().is_none());
         let mut digest = crate::SharedFeedback::default();
         assert!(!env.shared_feedback_into(0, &mut digest));
         assert!(digest.is_empty());
@@ -248,6 +422,10 @@ mod tests {
         env.end_slot(0, &[Some(NetworkId(0))], &[]);
         let mut out = vec![None];
         env.feedback(0, &[Some(NetworkId(0))], &mut out);
+        assert_eq!(out[0].as_ref().map(|o| o.network), Some(NetworkId(0)));
+        // The default partitioned path is the sequential one.
+        out[0] = None;
+        env.feedback_partitioned(0, &[Some(NetworkId(0))], &mut out, &SequentialExecutor);
         assert_eq!(out[0].as_ref().map(|o| o.network), Some(NetworkId(0)));
     }
 }

@@ -69,7 +69,10 @@ mod weights;
 pub use block::{block_length, BlockState};
 pub use block_exp3::BlockExp3;
 pub use centralized::{CentralizedCoordinator, CentralizedPolicy};
-pub use environment::{EnvStateError, Environment, SessionView};
+pub use environment::{
+    EnvStateError, Environment, PartitionExecutor, PartitionJob, SequentialExecutor, SessionRange,
+    SessionView,
+};
 pub use error::ConfigError;
 pub use exp3::{Exp3, Exp3Config};
 pub use factory::{PolicyFactory, PolicyKind};
@@ -83,5 +86,5 @@ pub use shared::{SharedFeedback, SharedRate};
 pub use smart_exp3::{SmartExp3, SmartExp3Config, SmartExp3Features};
 pub use state::PolicyState;
 pub use stats::NetworkStats;
-pub use types::{BlockIndex, NetworkId, SlotIndex};
+pub use types::{splitmix64, BlockIndex, NetworkId, SlotIndex};
 pub use weights::{DistributionSummary, WeightTable};

@@ -3,6 +3,21 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// SplitMix64 avalanche round — the workspace's shared seeding idiom.
+///
+/// Every derived RNG stream (per-session streams in the fleet engine,
+/// per-partition feedback streams, per-neighbourhood gossip streams) mixes
+/// its identifiers through this function, so the derivations stay
+/// decorrelated *and* consistent across crates: a change to the idiom lands
+/// everywhere at once.
+#[must_use]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Identifier of a wireless network (an "arm" of the bandit).
 ///
 /// Identifiers are assigned by the environment (simulator, testbed driver, …);

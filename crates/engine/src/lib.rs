@@ -69,8 +69,9 @@ use rayon::prelude::*;
 use rayon::{ThreadPool, ThreadPoolBuilder};
 use serde::{Deserialize, Serialize};
 use smartexp3_core::{
-    ConfigError, Environment, NetworkId, NetworkStats, Observation, Policy, PolicyFactory,
-    PolicyKind, PolicyState, PolicyStats, SharedFeedback, SlotIndex,
+    splitmix64, ConfigError, Environment, NetworkId, NetworkStats, Observation, PartitionExecutor,
+    PartitionJob, Policy, PolicyFactory, PolicyKind, PolicyState, PolicyStats, SharedFeedback,
+    SlotIndex,
 };
 use std::fmt;
 
@@ -100,6 +101,14 @@ pub struct FleetConfig {
     /// available parallelism; `Some(1)` forces sequential stepping. Results
     /// are independent of this value.
     pub threads: Option<usize>,
+    /// Whether [`FleetEngine::step_env`] fans the feedback phase out over
+    /// the worker pool when the environment advertises feedback partitions
+    /// (the default). `false` forces the sequential
+    /// [`Environment::feedback`] fallback — useful for measuring the
+    /// speedup. On a single-worker pool the engine always takes the
+    /// sequential path (fan-out would be pure dispatch overhead). Results
+    /// are independent of this value by the partition contract.
+    pub partitioned_feedback: bool,
 }
 
 impl Default for FleetConfig {
@@ -108,6 +117,7 @@ impl Default for FleetConfig {
             root_seed: 0,
             shard_size: 1024,
             threads: None,
+            partitioned_feedback: true,
         }
     }
 }
@@ -136,6 +146,13 @@ impl FleetConfig {
         self
     }
 
+    /// Enables or disables the partitioned feedback phase (on by default).
+    #[must_use]
+    pub fn with_partitioned_feedback(mut self, partitioned: bool) -> Self {
+        self.partitioned_feedback = partitioned;
+        self
+    }
+
     /// Derives the seed for an [`Environment`]'s own RNG from this fleet's
     /// root seed — a stream kept distinct (by an odd-multiplier avalanche
     /// over a different constant) from every per-session stream
@@ -148,14 +165,6 @@ impl FleetConfig {
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(0xE489_21FB_5D5C_91F3)
     }
-}
-
-/// SplitMix64 avalanche round; the workhorse of the seeding model.
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 /// Derives session `id`'s private RNG stream from the fleet's root seed.
@@ -396,11 +405,17 @@ impl std::error::Error for SnapshotError {}
 /// Version 4: policy checkpoints carry the cooperative-feedback counter
 /// ([`PolicyStats::shared_observations`]), and cooperative environments
 /// embed their gossip digests and per-area RNG streams in the environment
-/// state. Version-3 texts fail to parse field-for-field, so
-/// [`from_json`](FleetEngine::from_json) probes the version first and
-/// reports [`SnapshotError::UnsupportedVersion`] instead of a confusing
+/// state.
+///
+/// Version 5: the engine configuration records the partitioned-feedback
+/// switch ([`FleetConfig::partitioned_feedback`]), and partitioned
+/// environments embed **one RNG stream per feedback partition** in the
+/// environment state instead of a single stream. Texts from versions 2–4
+/// fail to parse field-for-field, so [`from_json`](FleetEngine::from_json)
+/// probes the version first and reports
+/// [`SnapshotError::UnsupportedVersion`] instead of a confusing
 /// missing-field error.
-pub const SNAPSHOT_VERSION: u32 = 4;
+pub const SNAPSHOT_VERSION: u32 = 5;
 
 /// Checkpoint of one session.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -475,6 +490,22 @@ type ObserveShard<'a> = (
     &'a mut [Option<(NetworkId, f64)>],
     &'a mut SlotScratch,
 );
+
+/// The engine-side [`PartitionExecutor`]: runs an environment's feedback
+/// partition jobs on the same worker pool the choose and observe shards use.
+/// Each job owns disjoint environment state, so the pool's dynamic load
+/// balancing never affects the result.
+struct PoolExecutor<'a> {
+    pool: &'a Option<ThreadPool>,
+}
+
+impl PartitionExecutor for PoolExecutor<'_> {
+    fn run(&self, jobs: Vec<PartitionJob<'_>>) {
+        FleetEngine::in_pool(self.pool, || {
+            jobs.into_par_iter().for_each(|job| job());
+        });
+    }
+}
 
 /// A manager for a fleet of concurrently learning bandit sessions.
 ///
@@ -747,19 +778,29 @@ impl FleetEngine {
     ///    [`SessionView`](smartexp3_core::SessionView), absorbs a visibility
     ///    change if one is reported, and (when active) picks a network with
     ///    its private RNG stream;
-    /// 3. `env.feedback` — sequential joint-choice → per-session feedback;
+    /// 3. feedback — joint-choice → per-session feedback. When the
+    ///    environment advertises
+    ///    [`feedback_partitions`](Environment::feedback_partitions) (and
+    ///    [`FleetConfig::partitioned_feedback`] is on), the engine hands the
+    ///    environment a [`PartitionExecutor`] backed by the same worker
+    ///    pool, and the environment fans one job per independent area out
+    ///    over it; otherwise the sequential [`Environment::feedback`]
+    ///    fallback runs on the calling thread;
     /// 4. observe — sharded: every active session ingests its observation
     ///    (and, if the environment asked for top choices, reports its most
     ///    probable network for stable-state recording) before
     ///    `env.end_slot` fires.
     ///
     /// Because per-session randomness lives in per-session streams and all
-    /// environment randomness is drawn sequentially inside the environment,
-    /// the trajectory is **bit-identical at any thread count and shard
-    /// size**. Steady-state stepping allocates nothing: joint-choice,
+    /// environment randomness is drawn from environment-owned streams in
+    /// canonical session order (one stream per feedback partition on the
+    /// partitioned path), the trajectory is **bit-identical at any thread
+    /// count and shard size — with partitioned feedback on or off**.
+    /// Steady-state stepping allocates nothing per session: joint-choice,
     /// feedback and top-choice buffers persist across slots (a small
     /// O(shard-count) pairing vector is rebuilt per phase, as in
-    /// [`step_with`](Self::step_with)).
+    /// [`step_with`](Self::step_with), and the partitioned feedback path
+    /// boxes one job per partition per slot).
     ///
     /// # Panics
     ///
@@ -817,11 +858,25 @@ impl FleetEngine {
         }
         let active = self.env_choices.iter().flatten().count() as u64;
 
-        // Phase 3: joint feedback (sequential inside the environment).
+        // Phase 3: joint feedback. Partitioned worlds fan their independent
+        // areas out over the worker pool; everything else — including any
+        // world on a single-worker pool, where job dispatch is pure
+        // overhead — runs the sequential fallback on this thread. The two
+        // paths are bit-identical by the partition contract, so this is a
+        // wall-clock decision only.
         if self.env_feedback.len() != count {
             self.env_feedback.resize(count, None);
         }
-        env.feedback(slot, &self.env_choices, &mut self.env_feedback);
+        let workers = match &self.pool {
+            Some(pool) => pool.current_num_threads(),
+            None => rayon::current_num_threads(),
+        };
+        if self.config.partitioned_feedback && workers > 1 && env.feedback_partitions().is_some() {
+            let executor = PoolExecutor { pool: &self.pool };
+            env.feedback_partitioned(slot, &self.env_choices, &mut self.env_feedback, &executor);
+        } else {
+            env.feedback(slot, &self.env_choices, &mut self.env_feedback);
+        }
         // Structural guard: a session that did not choose must not observe.
         // The feedback buffer persists across slots (so environments can
         // scavenge allocations), which means an environment that forgets to
@@ -1309,8 +1364,9 @@ mod tests {
         assert!(FleetEngine::from_json("{not json").is_err());
         // Previous-release texts (version 2 lacks the `environment` field,
         // version 3 lacks the cooperative-feedback counters in its policy
-        // states) must be diagnosed as unsupported versions, not malformed.
-        for version in [2u32, 3] {
+        // states, version 4 lacks the partitioned-feedback config switch)
+        // must be diagnosed as unsupported versions, not malformed.
+        for version in [2u32, 3, 4] {
             match FleetEngine::from_json(&format!("{{\"version\":{version},\"sessions\":[]}}")) {
                 Err(SnapshotError::UnsupportedVersion(v)) if v == version => {}
                 other => panic!("expected UnsupportedVersion({version}), got {other:?}"),

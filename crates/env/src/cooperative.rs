@@ -19,10 +19,13 @@
 //! * **probabilistic push** — each session gossips with probability `p`,
 //!   drawn from its **neighbourhood's own RNG stream** (Co-Bandit's
 //!   epidemic dissemination). Per-neighbourhood streams, advanced in
-//!   canonical session order inside the sequential feedback phase, keep
-//!   sharded replay bit-identical at any thread count — and leave the door
-//!   open for per-area feedback sharding, where each area's stream advances
-//!   independently.
+//!   canonical session order, keep sharded replay bit-identical at any
+//!   thread count — and are exactly what lets the gossip fold ride the
+//!   wrapped environment's **feedback partitions**: when every
+//!   neighbourhood lies within one partition, the wrapper forwards the
+//!   partitions and folds each partition's gossip in a second parallel
+//!   wave, so a cooperative world loses none of the sharded-feedback
+//!   speedup.
 //!
 //! Checkpointing composes: [`Environment::state`] bundles the wrapped
 //! environment's state with every digest and every gossip RNG stream, so a
@@ -32,7 +35,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use smartexp3_core::{
-    EnvStateError, Environment, NetworkId, Observation, SessionView, SharedFeedback, SlotIndex,
+    EnvStateError, Environment, NetworkId, Observation, PartitionExecutor, PartitionJob,
+    SessionRange, SessionView, SharedFeedback, SlotIndex,
 };
 
 /// How reports propagate through a neighbourhood each slot.
@@ -89,15 +93,7 @@ impl GossipConfig {
     }
 }
 
-/// SplitMix64 avalanche round (the engine's seeding idiom, reproduced here
-/// so the gossip streams derive from the same root seed without creating a
-/// dependency cycle).
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+use smartexp3_core::splitmix64;
 
 /// Derives neighbourhood `area`'s gossip RNG stream from the gossip seed.
 /// The extra constant keeps these streams distinct from the wrapped
@@ -117,6 +113,56 @@ struct CooperativeEnvState {
     rngs: Vec<[u64; 4]>,
 }
 
+/// How the gossip phase rides the wrapped environment's feedback
+/// partitions: per inner partition, its session range and the contiguous
+/// neighbourhood-id range whose digests and RNG streams its gossip job owns.
+struct GossipPlan {
+    /// The inner partitions' session ranges, cached at construction (the
+    /// layout is fixed for an environment's lifetime).
+    ranges: Vec<SessionRange>,
+    /// Per partition: `[start, end)` over neighbourhood ids.
+    neighbourhoods: Vec<(usize, usize)>,
+}
+
+/// Maps every neighbourhood to the partition of its sessions and checks the
+/// layout is splittable: no neighbourhood spans two partitions, and
+/// neighbourhood ids group contiguously in partition order (empty
+/// neighbourhoods attach to the earliest open group). Returns `None` when
+/// the gossip topology does not align with the partitions — the wrapper
+/// then keeps the sequential path.
+fn build_gossip_plan(
+    membership: &[usize],
+    neighbourhoods: usize,
+    ranges: &[SessionRange],
+) -> Option<GossipPlan> {
+    if !SessionRange::tile(ranges, membership.len()) {
+        return None;
+    }
+    let mut owner: Vec<Option<usize>> = vec![None; neighbourhoods];
+    for (partition, range) in ranges.iter().enumerate() {
+        for session in range.start..range.end {
+            match owner[membership[session]] {
+                None => owner[membership[session]] = Some(partition),
+                Some(existing) if existing == partition => {}
+                Some(_) => return None,
+            }
+        }
+    }
+    let mut plan = Vec::with_capacity(ranges.len());
+    let mut cursor = 0usize;
+    for partition in 0..ranges.len() {
+        let start = cursor;
+        while cursor < neighbourhoods && owner[cursor].is_none_or(|p| p == partition) {
+            cursor += 1;
+        }
+        plan.push((start, cursor));
+    }
+    (cursor == neighbourhoods).then_some(GossipPlan {
+        ranges: ranges.to_vec(),
+        neighbourhoods: plan,
+    })
+}
+
 /// A cooperative-feedback wrapper around any [`Environment`]. See the
 /// [module documentation](self).
 pub struct CooperativeEnvironment {
@@ -129,6 +175,10 @@ pub struct CooperativeEnvironment {
     /// One gossip RNG stream per neighbourhood (advanced only by
     /// probabilistic-push draws, in canonical session order).
     rngs: Vec<StdRng>,
+    /// `Some` when the gossip topology aligns with the wrapped
+    /// environment's feedback partitions — the wrapper then forwards the
+    /// partitions and runs the gossip fold as a second partitioned wave.
+    plan: Option<GossipPlan>,
 }
 
 impl CooperativeEnvironment {
@@ -175,6 +225,9 @@ impl CooperativeEnvironment {
             ..config
         };
         let neighbourhoods = membership.iter().map(|&m| m + 1).max().unwrap_or(0);
+        let plan = inner
+            .feedback_partitions()
+            .and_then(|ranges| build_gossip_plan(&membership, neighbourhoods, ranges));
         CooperativeEnvironment {
             inner,
             config,
@@ -185,6 +238,7 @@ impl CooperativeEnvironment {
             rngs: (0..neighbourhoods)
                 .map(|area| gossip_rng(gossip_seed, area))
                 .collect(),
+            plan,
         }
     }
 
@@ -253,6 +307,69 @@ impl Environment for CooperativeEnvironment {
                 self.digests[area].record(observation.network, observation.scaled_gain);
             }
         }
+    }
+
+    fn feedback_partitions(&self) -> Option<&[SessionRange]> {
+        // Forward the wrapped environment's partitions only when the gossip
+        // topology splits along them; otherwise the feedback phase must stay
+        // sequential (one neighbourhood's stream would be shared otherwise).
+        self.plan.as_ref()?;
+        self.inner.feedback_partitions()
+    }
+
+    fn feedback_partitioned(
+        &mut self,
+        slot: SlotIndex,
+        choices: &[Option<NetworkId>],
+        out: &mut [Option<Observation>],
+        executor: &dyn PartitionExecutor,
+    ) {
+        let Some(plan) = &self.plan else {
+            self.feedback(slot, choices, out);
+            return;
+        };
+        // Wave 1: the wrapped world grades its partitions.
+        self.inner
+            .feedback_partitioned(slot, choices, out, executor);
+        // Wave 2: the gossip fold, one job per partition — each decays and
+        // refills its own neighbourhoods' digests, drawing push decisions
+        // from the neighbourhoods' streams in canonical session order
+        // (bit-identical to the sequential fold in `feedback`).
+        let out_view: &[Option<Observation>] = out;
+        let membership: &[usize] = &self.membership;
+        let mode = self.config.mode;
+        let mut jobs: Vec<PartitionJob<'_>> = Vec::with_capacity(plan.ranges.len());
+        let mut digests_rest: &mut [SharedFeedback] = &mut self.digests;
+        let mut rngs_rest: &mut [StdRng] = &mut self.rngs;
+        for (range, &(first, last)) in plan.ranges.iter().zip(&plan.neighbourhoods) {
+            let count = last - first;
+            let (job_digests, rest) = digests_rest.split_at_mut(count);
+            digests_rest = rest;
+            let (job_rngs, rest) = rngs_rest.split_at_mut(count);
+            rngs_rest = rest;
+            let range = *range;
+            jobs.push(Box::new(move || {
+                for digest in job_digests.iter_mut() {
+                    digest.decay();
+                }
+                for session in range.start..range.end {
+                    let Some(observation) = &out_view[session] else {
+                        continue;
+                    };
+                    let local = membership[session] - first;
+                    let push = match mode {
+                        GossipMode::Broadcast => true,
+                        GossipMode::ProbabilisticPush(probability) => {
+                            job_rngs[local].gen_bool(probability)
+                        }
+                    };
+                    if push {
+                        job_digests[local].record(observation.network, observation.scaled_gain);
+                    }
+                }
+            }));
+        }
+        executor.run(jobs);
     }
 
     fn shares_feedback(&self) -> bool {
@@ -442,6 +559,139 @@ mod tests {
         env.begin_slot(1);
         env.feedback(1, &[None, None], &mut out);
         assert!(env.digest(0).is_empty());
+    }
+
+    /// A partitioned inner world: every session always gains `0.5` on its
+    /// choice, sessions split into fixed-size partitions.
+    struct PartitionedInner {
+        sessions: usize,
+        ranges: Vec<SessionRange>,
+    }
+
+    impl PartitionedInner {
+        fn new(sessions: usize, per_partition: usize) -> Self {
+            let ranges = (0..sessions.div_ceil(per_partition))
+                .map(|p| {
+                    SessionRange::new(p * per_partition, ((p + 1) * per_partition).min(sessions))
+                })
+                .collect();
+            PartitionedInner { sessions, ranges }
+        }
+    }
+
+    impl Environment for PartitionedInner {
+        fn sessions(&self) -> usize {
+            self.sessions
+        }
+        fn begin_slot(&mut self, _slot: SlotIndex) {}
+        fn session_view(&self, _session: usize, _slot: SlotIndex) -> SessionView<'_> {
+            SessionView::active_static()
+        }
+        fn feedback(
+            &mut self,
+            slot: SlotIndex,
+            choices: &[Option<NetworkId>],
+            out: &mut [Option<Observation>],
+        ) {
+            for (index, choice) in choices.iter().enumerate() {
+                out[index] = choice.map(|network| Observation::bandit(slot, network, 11.0, 0.5));
+            }
+        }
+        fn feedback_partitions(&self) -> Option<&[SessionRange]> {
+            Some(&self.ranges)
+        }
+        fn feedback_partitioned(
+            &mut self,
+            slot: SlotIndex,
+            choices: &[Option<NetworkId>],
+            out: &mut [Option<Observation>],
+            _executor: &dyn PartitionExecutor,
+        ) {
+            self.feedback(slot, choices, out);
+        }
+        fn state(&self) -> Option<String> {
+            Some("{}".to_string())
+        }
+        fn restore(&mut self, _state: &str) -> Result<(), EnvStateError> {
+            Ok(())
+        }
+    }
+
+    /// Runs partition jobs in reverse order — any shared gossip stream or
+    /// digest leak across partitions would diverge from the sequential fold.
+    struct ReverseExecutor;
+
+    impl PartitionExecutor for ReverseExecutor {
+        fn run(&self, jobs: Vec<PartitionJob<'_>>) {
+            for job in jobs.into_iter().rev() {
+                job();
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_neighbourhoods_forward_the_inner_partitions() {
+        // 8 sessions, inner partitions of 4, neighbourhoods of 2: every
+        // neighbourhood lies inside one partition, so the plan builds.
+        let membership = (0..8).map(|i| i / 2).collect();
+        let env = CooperativeEnvironment::new(
+            Box::new(PartitionedInner::new(8, 4)),
+            membership,
+            GossipConfig::push(0.5),
+            7,
+        );
+        let ranges = env.feedback_partitions().expect("aligned gossip splits");
+        assert_eq!(ranges.len(), 2);
+        let plan = env.plan.as_ref().unwrap();
+        assert_eq!(plan.neighbourhoods, vec![(0, 2), (2, 4)]);
+
+        // A neighbourhood spanning two partitions must refuse to split.
+        let spanning = vec![0, 0, 0, 1, 1, 1, 2, 2];
+        let env = CooperativeEnvironment::new(
+            Box::new(PartitionedInner::new(8, 4)),
+            spanning,
+            GossipConfig::push(0.5),
+            7,
+        );
+        assert!(env.plan.is_none());
+        assert!(env.feedback_partitions().is_none());
+
+        // An unpartitioned inner world never advertises partitions.
+        let membership = (0..4).map(|i| i / 2).collect();
+        let env = CooperativeEnvironment::new(
+            Box::new(TwoNetworks { sessions: 4 }),
+            membership,
+            GossipConfig::push(0.5),
+            7,
+        );
+        assert!(env.feedback_partitions().is_none());
+    }
+
+    #[test]
+    fn partitioned_gossip_matches_the_sequential_fold_bit_for_bit() {
+        let build = || {
+            let membership = (0..12).map(|i| i / 3).collect();
+            CooperativeEnvironment::new(
+                Box::new(PartitionedInner::new(12, 6)),
+                membership,
+                GossipConfig::push(0.4),
+                31,
+            )
+        };
+        let mut sequential = build();
+        let mut partitioned = build();
+        let mut out_a = vec![None; 12];
+        let mut out_b = vec![None; 12];
+        for slot in 0..30 {
+            let choices: Vec<Option<NetworkId>> = (0..12)
+                .map(|i| ((i + slot) % 4 != 3).then(|| NetworkId(((i + slot) % 2) as u32)))
+                .collect();
+            sequential.feedback(slot, &choices, &mut out_a);
+            partitioned.feedback_partitioned(slot, &choices, &mut out_b, &ReverseExecutor);
+            assert_eq!(sequential.digests, partitioned.digests, "slot {slot}");
+        }
+        // The gossip streams advanced identically too.
+        assert_eq!(sequential.state(), partitioned.state());
     }
 
     #[test]

@@ -28,7 +28,7 @@ mod cooperative;
 mod trace;
 
 pub use cooperative::{CooperativeEnvironment, GossipConfig, GossipMode};
-pub use trace::TraceEnvironment;
+pub use trace::{TraceEnvironment, TRACE_PARTITION_SESSIONS};
 
 use netsim::{
     AreaId, BandwidthEvent, CongestionEnvironment, DeviceProfile, NetworkSpec, ServiceArea,

@@ -1,13 +1,30 @@
 //! Trace replay as an [`Environment`]: every session rides the synthetic
 //! WiFi/cellular trace pairs of §VI-B, shifted by a per-session phase so a
 //! million sessions do not all see the same slot of the same trace.
+//!
+//! Sessions are fully independent — the only coupling in the old
+//! implementation was one shared RNG for switching-delay sampling — so the
+//! world partitions into contiguous **phase groups** of
+//! [`partition_sessions`](TraceEnvironment::with_partition_sessions)
+//! sessions, each with its own delay-sampling RNG stream advanced in
+//! canonical session order. Group 0 keeps the historical single-stream seed
+//! derivation, so worlds that fit in one group reproduce the pre-sharding
+//! trajectories bit-for-bit.
 
 use netsim::DelayModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use smartexp3_core::{EnvStateError, Environment, NetworkId, Observation, SessionView, SlotIndex};
+use smartexp3_core::{
+    EnvStateError, Environment, NetworkId, Observation, PartitionExecutor, PartitionJob,
+    SequentialExecutor, SessionRange, SessionView, SlotIndex,
+};
 use tracegen::{TracePair, CELLULAR, WIFI};
+
+/// Default sessions per feedback partition (phase group). Large enough that
+/// per-partition bookkeeping is negligible, small enough that a million
+/// sessions fan out over hundreds of workers.
+pub const TRACE_PARTITION_SESSIONS: usize = 4096;
 
 /// Per-session accounting of a trace replay.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -20,7 +37,8 @@ struct TraceSessionDyn {
 /// Serialized dynamic state (see [`Environment::state`]).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct TraceEnvState {
-    rng: [u64; 4],
+    /// One RNG stream per feedback partition, in partition order.
+    rngs: Vec<[u64; 4]>,
     sessions: Vec<TraceSessionDyn>,
 }
 
@@ -35,7 +53,28 @@ pub struct TraceEnvironment {
     gain_scale: f64,
     wifi_delay: DelayModel,
     cellular_delay: DelayModel,
-    rng: StdRng,
+    env_seed: u64,
+    ranges: Vec<SessionRange>,
+    rngs: Vec<StdRng>,
+}
+
+/// Derives phase group `partition`'s delay-sampling stream. Partition 0
+/// keeps the historical `seed_from_u64(env_seed)` stream.
+fn trace_rng(env_seed: u64, partition: usize) -> StdRng {
+    if partition == 0 {
+        return StdRng::seed_from_u64(env_seed);
+    }
+    let mixed = smartexp3_core::splitmix64(env_seed ^ 0x2545_F491_4F6C_DD1D)
+        ^ (partition as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25);
+    StdRng::seed_from_u64(smartexp3_core::splitmix64(mixed))
+}
+
+/// The (pair, phase-shifted slot) session `session` replays at `slot`.
+fn trace_slot(pairs: &[TracePair], session: usize, slot: SlotIndex) -> (&TracePair, usize) {
+    let pair = &pairs[session % pairs.len()];
+    // Stagger sessions across the trace so the world is heterogeneous.
+    let offset = (session / pairs.len()) % pair.len();
+    (pair, (slot + offset) % pair.len())
 }
 
 impl TraceEnvironment {
@@ -56,22 +95,39 @@ impl TraceEnvironment {
             .iter()
             .map(|p| p.wifi.peak_rate().max(p.cellular.peak_rate()))
             .fold(1e-9, f64::max);
-        TraceEnvironment {
+        let mut env = TraceEnvironment {
             pairs,
             sessions: vec![TraceSessionDyn::default(); sessions],
             gain_scale,
             wifi_delay: DelayModel::paper_wifi(),
             cellular_delay: DelayModel::paper_cellular(),
-            rng: StdRng::seed_from_u64(env_seed),
-        }
+            env_seed,
+            ranges: Vec::new(),
+            rngs: Vec::new(),
+        };
+        env.rebuild_partitions(TRACE_PARTITION_SESSIONS);
+        env
     }
 
-    /// The (pair, phase-shifted slot) session `session` replays at `slot`.
-    fn trace_slot(&self, session: usize, slot: SlotIndex) -> (&TracePair, usize) {
-        let pair = &self.pairs[session % self.pairs.len()];
-        // Stagger sessions across the trace so the world is heterogeneous.
-        let offset = (session / self.pairs.len()) % pair.len();
-        (pair, (slot + offset) % pair.len())
+    /// Overrides the phase-group size (clamped to ≥ 1) and re-derives the
+    /// per-group RNG streams from the environment seed. Smaller groups mean
+    /// more feedback parallelism; the trajectory changes with the layout
+    /// (each group owns a stream), but is always thread-count independent.
+    #[must_use]
+    pub fn with_partition_sessions(mut self, sessions_per_partition: usize) -> Self {
+        self.rebuild_partitions(sessions_per_partition.max(1));
+        self
+    }
+
+    fn rebuild_partitions(&mut self, per_partition: usize) {
+        let sessions = self.sessions.len();
+        let partitions = sessions.div_ceil(per_partition).max(1);
+        self.ranges = (0..partitions)
+            .map(|p| SessionRange::new(p * per_partition, ((p + 1) * per_partition).min(sessions)))
+            .collect();
+        self.rngs = (0..partitions)
+            .map(|p| trace_rng(self.env_seed, p))
+            .collect();
     }
 
     /// Total download across all sessions, in megabits.
@@ -84,6 +140,61 @@ impl TraceEnvironment {
     #[must_use]
     pub fn total_switches(&self) -> u64 {
         self.sessions.iter().map(|s| s.switches).sum()
+    }
+}
+
+/// Grades one phase group: canonical session order, delays from the group's
+/// own stream. `start` is the global index of the group's first session;
+/// `sessions`, `choices` and `out` are the group's slices.
+#[allow(clippy::too_many_arguments)]
+fn run_partition(
+    pairs: &[TracePair],
+    gain_scale: f64,
+    wifi_delay: DelayModel,
+    cellular_delay: DelayModel,
+    rng: &mut StdRng,
+    start: usize,
+    slot: SlotIndex,
+    choices: &[Option<NetworkId>],
+    sessions: &mut [TraceSessionDyn],
+    out: &mut [Option<Observation>],
+) {
+    for (i, choice) in choices.iter().enumerate() {
+        let Some(chosen) = *choice else {
+            out[i] = None;
+            continue;
+        };
+        let (pair, trace_slot) = trace_slot(pairs, start + i, slot);
+        let slot_duration = pair.wifi.slot_duration_s;
+        let rate = if chosen == WIFI {
+            pair.wifi.rate_at(trace_slot)
+        } else if chosen == CELLULAR {
+            pair.cellular.rate_at(trace_slot)
+        } else {
+            0.0
+        };
+        let session = &mut sessions[i];
+        let switched = session.current.is_some() && session.current != Some(chosen);
+        let delay = if switched {
+            session.switches += 1;
+            let model = if chosen == CELLULAR {
+                cellular_delay
+            } else {
+                wifi_delay
+            };
+            model.sample(slot_duration, rng)
+        } else {
+            0.0
+        };
+        session.current = Some(chosen);
+        session.download_megabits += rate * (slot_duration - delay).max(0.0);
+
+        let scaled_gain = (rate / gain_scale).clamp(0.0, 1.0);
+        let mut observation = Observation::bandit(slot, chosen, rate, scaled_gain);
+        if switched {
+            observation = observation.with_switch(delay);
+        }
+        out[i] = Some(observation);
     }
 }
 
@@ -104,48 +215,58 @@ impl Environment for TraceEnvironment {
         choices: &[Option<NetworkId>],
         out: &mut [Option<Observation>],
     ) {
-        for (index, choice) in choices.iter().enumerate() {
-            let Some(chosen) = *choice else {
-                out[index] = None;
-                continue;
-            };
-            let (pair, trace_slot) = self.trace_slot(index, slot);
-            let slot_duration = pair.wifi.slot_duration_s;
-            let rate = if chosen == WIFI {
-                pair.wifi.rate_at(trace_slot)
-            } else if chosen == CELLULAR {
-                pair.cellular.rate_at(trace_slot)
-            } else {
-                0.0
-            };
-            let session = &mut self.sessions[index];
-            let switched = session.current.is_some() && session.current != Some(chosen);
-            let delay = if switched {
-                session.switches += 1;
-                let model = if chosen == CELLULAR {
-                    self.cellular_delay
-                } else {
-                    self.wifi_delay
-                };
-                model.sample(slot_duration, &mut self.rng)
-            } else {
-                0.0
-            };
-            session.current = Some(chosen);
-            session.download_megabits += rate * (slot_duration - delay).max(0.0);
+        self.feedback_partitioned(slot, choices, out, &SequentialExecutor);
+    }
 
-            let scaled_gain = (rate / self.gain_scale).clamp(0.0, 1.0);
-            let mut observation = Observation::bandit(slot, chosen, rate, scaled_gain);
-            if switched {
-                observation = observation.with_switch(delay);
-            }
-            out[index] = Some(observation);
+    fn feedback_partitions(&self) -> Option<&[SessionRange]> {
+        Some(&self.ranges)
+    }
+
+    fn feedback_partitioned(
+        &mut self,
+        slot: SlotIndex,
+        choices: &[Option<NetworkId>],
+        out: &mut [Option<Observation>],
+        executor: &dyn PartitionExecutor,
+    ) {
+        let pairs: &[TracePair] = &self.pairs;
+        let gain_scale = self.gain_scale;
+        let wifi_delay = self.wifi_delay;
+        let cellular_delay = self.cellular_delay;
+        let mut jobs: Vec<PartitionJob<'_>> = Vec::with_capacity(self.ranges.len());
+        let mut sessions_rest: &mut [TraceSessionDyn] = &mut self.sessions;
+        let mut out_rest: &mut [Option<Observation>] = out;
+        let mut choices_rest: &[Option<NetworkId>] = choices;
+        for (range, rng) in self.ranges.iter().zip(self.rngs.iter_mut()) {
+            let len = range.len();
+            let (job_sessions, rest) = sessions_rest.split_at_mut(len);
+            sessions_rest = rest;
+            let (job_out, rest) = out_rest.split_at_mut(len);
+            out_rest = rest;
+            let (job_choices, rest) = choices_rest.split_at(len);
+            choices_rest = rest;
+            let start = range.start;
+            jobs.push(Box::new(move || {
+                run_partition(
+                    pairs,
+                    gain_scale,
+                    wifi_delay,
+                    cellular_delay,
+                    rng,
+                    start,
+                    slot,
+                    job_choices,
+                    job_sessions,
+                    job_out,
+                );
+            }));
         }
+        executor.run(jobs);
     }
 
     fn state(&self) -> Option<String> {
         serde_json::to_string(&TraceEnvState {
-            rng: self.rng.state(),
+            rngs: self.rngs.iter().map(StdRng::state).collect(),
             sessions: self.sessions.clone(),
         })
         .ok()
@@ -161,7 +282,14 @@ impl Environment for TraceEnvironment {
                 self.sessions.len()
             )));
         }
-        self.rng = StdRng::from_state(state.rng);
+        if state.rngs.len() != self.rngs.len() {
+            return Err(EnvStateError(format!(
+                "state carries {} partition RNG streams, environment has {} phase groups",
+                state.rngs.len(),
+                self.rngs.len()
+            )));
+        }
+        self.rngs = state.rngs.into_iter().map(StdRng::from_state).collect();
         self.sessions = state.sessions;
         Ok(())
     }
@@ -179,10 +307,12 @@ mod tests {
             5,
             1,
         );
-        let (_, slot0) = env.trace_slot(0, 0);
-        let (_, slot2) = env.trace_slot(2, 0);
+        let (_, slot0) = trace_slot(&env.pairs, 0, 0);
+        let (_, slot2) = trace_slot(&env.pairs, 2, 0);
         assert_ne!(slot0, slot2, "same pair, different phase");
         assert_eq!(env.sessions(), 5);
+        // Five sessions fit in one default phase group.
+        assert_eq!(env.feedback_partitions().unwrap().len(), 1);
     }
 
     #[test]
@@ -214,5 +344,20 @@ mod tests {
         assert!(restored.restore("{bad").is_err());
         let donor = TraceEnvironment::new(vec![paper_trace_pair(3, 40, 5)], 2, 0);
         assert!(restored.restore(&donor.state().unwrap()).is_err());
+        // A different phase-group layout carries a different stream count.
+        let mut regrouped = TraceEnvironment::new(vec![paper_trace_pair(3, 40, 5)], 3, 9)
+            .with_partition_sessions(1);
+        assert_eq!(regrouped.feedback_partitions().unwrap().len(), 3);
+        assert!(regrouped.restore(&state).is_err());
+    }
+
+    #[test]
+    fn phase_groups_partition_the_sessions() {
+        let env = TraceEnvironment::new(vec![paper_trace_pair(1, 30, 3)], 10, 4)
+            .with_partition_sessions(4);
+        let ranges = env.feedback_partitions().unwrap();
+        assert_eq!(ranges.len(), 3);
+        assert!(SessionRange::tile(ranges, 10));
+        assert_eq!(ranges[2], SessionRange::new(8, 10));
     }
 }

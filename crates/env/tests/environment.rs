@@ -34,13 +34,20 @@ fn scenario_fingerprint(scenario: &Scenario) -> String {
         .expect("distributed fleets snapshot");
     snapshot.config.threads = None;
     snapshot.config.shard_size = 0;
+    snapshot.config.partitioned_feedback = true;
     serde_json::to_string(&snapshot).expect("snapshots serialize")
 }
 
 fn build(threads: usize, world: &str) -> Scenario {
-    let config = FleetConfig::with_root_seed(42)
-        .with_threads(threads)
-        .with_shard_size(16);
+    build_config(
+        FleetConfig::with_root_seed(42)
+            .with_threads(threads)
+            .with_shard_size(16),
+        world,
+    )
+}
+
+fn build_config(config: FleetConfig, world: &str) -> Scenario {
     match world {
         "equal_share" => equal_share(180, PolicyKind::SmartExp3, config).unwrap(),
         "dynamic_bandwidth" => {
@@ -67,6 +74,10 @@ fn every_world_is_bit_identical_at_any_thread_count() {
         "cooperative",
     ] {
         let mut reference = build(1, world);
+        assert!(
+            reference.environment.feedback_partitions().is_some(),
+            "{world} must advertise feedback partitions"
+        );
         reference.run(40);
         let expected = scenario_fingerprint(&reference);
         for threads in [2, 8] {
@@ -78,6 +89,21 @@ fn every_world_is_bit_identical_at_any_thread_count() {
                 "{world} diverged at {threads} threads"
             );
         }
+        // The sequential feedback fallback (partitioning disabled) must
+        // produce the same trajectory decision-for-decision.
+        let mut sequential = build_config(
+            FleetConfig::with_root_seed(42)
+                .with_threads(2)
+                .with_shard_size(16)
+                .with_partitioned_feedback(false),
+            world,
+        );
+        sequential.run(40);
+        assert_eq!(
+            scenario_fingerprint(&sequential),
+            expected,
+            "{world} diverged with partitioned feedback disabled"
+        );
     }
 }
 
@@ -113,6 +139,187 @@ fn mid_scenario_snapshots_restore_bit_identically() {
             "{world} diverged after snapshot/restore"
         );
     }
+}
+
+/// Builds a congestion world with explicit per-area populations (an entry of
+/// 0 is an area that exists in the topology but hosts nobody), noisy sharing
+/// so every partition consumes RNG draws, and a mixed-policy fleet.
+fn degenerate_world(populations: &[usize], config: FleetConfig) -> Scenario {
+    use netsim::{NetworkSpec, ServiceArea};
+    use smartexp3_core::PolicyFactory;
+
+    let mut networks = Vec::new();
+    let mut service_areas = Vec::new();
+    let mut profiles = Vec::new();
+    let mut fleet = FleetEngine::new(config);
+    let mut next_session = 0u32;
+    for (area, &population) in populations.iter().enumerate() {
+        let base = (area * 3) as u32;
+        let specs = vec![
+            NetworkSpec::wifi(base, 4.0),
+            NetworkSpec::wifi(base + 1, 7.0),
+            NetworkSpec::cellular(base + 2, 22.0),
+        ];
+        let ids: Vec<NetworkId> = specs.iter().map(|n| n.id).collect();
+        let rates: Vec<(NetworkId, f64)> = specs.iter().map(|n| (n.id, n.bandwidth_mbps)).collect();
+        service_areas.push(ServiceArea {
+            id: AreaId(area as u32),
+            name: format!("area {area}"),
+            networks: ids.clone(),
+        });
+        networks.extend(specs);
+        let mut factory = PolicyFactory::new(rates).unwrap();
+        fleet
+            .add_fleet(&mut factory, PolicyKind::SmartExp3, population)
+            .unwrap();
+        for _ in 0..population {
+            profiles.push(DeviceProfile::new(
+                next_session,
+                AreaId(area as u32),
+                ids.clone(),
+            ));
+            next_session += 1;
+        }
+    }
+    let seed = fleet.config().environment_seed();
+    let environment = CongestionEnvironment::new(
+        networks,
+        netsim::Topology::new(service_areas),
+        Vec::new(),
+        profiles,
+        SimulationConfig {
+            sharing: netsim::SharingModel::testbed(),
+            ..SimulationConfig::default()
+        },
+        seed,
+    );
+    Scenario {
+        name: "degenerate",
+        environment: Box::new(environment),
+        fleet,
+    }
+}
+
+#[test]
+fn degenerate_partitions_match_the_sequential_fallback_decision_for_decision() {
+    // Empty areas, single-session areas, a giant area, and uniform layouts:
+    // whatever the partition shape, the sharded feedback phase at 8 threads
+    // must equal the sequential fallback exactly. Noisy sharing makes every
+    // graded network draw from its partition stream, so any routing error
+    // (wrong stream, wrong order, leaked state) changes the trajectory.
+    let layouts: [&[usize]; 4] = [
+        &[1; 30],                       // thirty single-session areas
+        &[60],                          // one giant area
+        &[0, 7, 0, 1, 25, 0, 3, 1, 13], // churn: empty areas between odd sizes
+        &[10, 10, 10, 10, 10, 10],      // uniform mid-size areas
+    ];
+    for layout in layouts {
+        let mut partitioned = degenerate_world(
+            layout,
+            FleetConfig::with_root_seed(77)
+                .with_threads(8)
+                .with_shard_size(4),
+        );
+        let mut sequential = degenerate_world(
+            layout,
+            FleetConfig::with_root_seed(77)
+                .with_threads(1)
+                .with_partitioned_feedback(false),
+        );
+        partitioned.run(30);
+        sequential.run(30);
+        assert_eq!(
+            scenario_fingerprint(&partitioned),
+            scenario_fingerprint(&sequential),
+            "layout {layout:?} diverged between sharded and sequential feedback"
+        );
+        // The environments' dynamic state (partition RNG positions, goodput
+        // accounting) must agree bit-for-bit too.
+        assert_eq!(
+            partitioned.environment.state(),
+            sequential.environment.state(),
+            "layout {layout:?}: environment state diverged"
+        );
+    }
+}
+
+#[test]
+fn mid_phase_snapshot_restores_partition_rng_streams_exactly() {
+    // Snapshot an environment *between* the choose and feedback phases of a
+    // slot (the environment does not mutate during choose, so its state at
+    // that point is exactly what `state()` captures) and prove the restored
+    // copy replays the rest of the slot — share noise and switching delays
+    // drawn from every partition's own stream — bit-for-bit.
+    let mut original = degenerate_world(
+        &[5, 1, 9, 0, 4],
+        FleetConfig::with_root_seed(11).with_threads(2),
+    );
+    original.run(12);
+
+    // Slot 12: advance the environment, then checkpoint mid-slot, after the
+    // fleet has chosen but before feedback runs.
+    let slot = original.fleet.slot();
+    let env = original.environment.as_mut();
+    env.begin_slot(slot);
+    let sessions = env.sessions();
+    let state = env
+        .state()
+        .expect("recorder-less congestion worlds checkpoint");
+    let choices: Vec<Option<NetworkId>> = (0..sessions)
+        .map(|i| (i % 7 != 6).then(|| NetworkId(((i / 5) * 3 + i % 3) as u32)))
+        .collect();
+    let mut out_original: Vec<Option<smartexp3_core::Observation>> = vec![None; sessions];
+    env.feedback(slot, &choices, &mut out_original);
+
+    // Restore into a freshly built world and replay the same feedback.
+    let mut resumed = degenerate_world(
+        &[5, 1, 9, 0, 4],
+        FleetConfig::with_root_seed(11).with_threads(8),
+    );
+    resumed
+        .environment
+        .restore(&state)
+        .expect("mid-phase state restores");
+    let mut out_resumed: Vec<Option<smartexp3_core::Observation>> = vec![None; sessions];
+    resumed
+        .environment
+        .feedback(slot, &choices, &mut out_resumed);
+
+    for (session, (a, b)) in out_original.iter().zip(&out_resumed).enumerate() {
+        match (a, b) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                assert_eq!(
+                    a.bit_rate_mbps.to_bits(),
+                    b.bit_rate_mbps.to_bits(),
+                    "session {session}: share bits diverged after mid-phase restore"
+                );
+                assert_eq!(
+                    a.switching_delay_s.to_bits(),
+                    b.switching_delay_s.to_bits(),
+                    "session {session}: delay bits diverged after mid-phase restore"
+                );
+            }
+            other => panic!("session {session}: presence diverged: {other:?}"),
+        }
+    }
+    // And the partition streams keep agreeing on every later slot.
+    for offset in 1..6 {
+        let slot = slot + offset;
+        original.environment.begin_slot(slot);
+        resumed.environment.begin_slot(slot);
+        original
+            .environment
+            .feedback(slot, &choices, &mut out_original);
+        resumed
+            .environment
+            .feedback(slot, &choices, &mut out_resumed);
+    }
+    assert_eq!(
+        original.environment.state(),
+        resumed.environment.state(),
+        "partition RNG streams drifted after the mid-phase restore"
+    );
 }
 
 #[test]

@@ -2,6 +2,7 @@
 //! slots, how many worker threads, which base seed.
 
 use serde::{Deserialize, Serialize};
+use smartexp3_engine::FleetConfig;
 
 /// Scale of an experiment.
 ///
@@ -69,6 +70,21 @@ impl Scale {
     #[must_use]
     pub fn seed(&self, index: usize) -> u64 {
         self.base_seed.wrapping_add(index as u64)
+    }
+
+    /// The engine configuration of one run's fleet, seeded with `root_seed`.
+    ///
+    /// Single-run experiments hand this scale's worker threads to the
+    /// engine's parallelism override, so `repro <exp> --runs 1 --threads N`
+    /// produces reproducible thread-scaling runs from the CLI (results are
+    /// bit-identical at any thread count; only the wall clock changes).
+    /// Multi-run experiments keep each fleet single-threaded — the runs
+    /// themselves fan out over the threads instead, avoiding worker
+    /// oversubscription.
+    #[must_use]
+    pub fn fleet_config(&self, root_seed: u64) -> FleetConfig {
+        let fleet_threads = if self.runs == 1 { self.threads } else { 1 };
+        FleetConfig::with_root_seed(root_seed).with_threads(fleet_threads)
     }
 }
 

@@ -19,7 +19,6 @@ use crate::report::format_series;
 use crate::runner::{average_series, downsample, run_many};
 use congestion_game::{distance_to_nash, DeviceState, ResourceSelectionGame};
 use smartexp3_core::{NetworkId, PolicyKind};
-use smartexp3_engine::FleetConfig;
 use smartexp3_env::{cooperative, equal_share, GossipConfig, Scenario, DEVICES_PER_AREA};
 use std::fmt;
 
@@ -83,9 +82,11 @@ impl CooperativeResult {
     }
 }
 
-/// One 100-device equal-share area per variant, sharing a root seed.
-fn build(variant: &str, kind: PolicyKind, seed: u64) -> Scenario {
-    let config = FleetConfig::with_root_seed(seed).with_threads(1);
+/// One 100-device equal-share area per variant, sharing a root seed. The
+/// scale's `--threads` reaches the engine on single-run invocations (see
+/// [`Scale::fleet_config`]).
+fn build(scale: &Scale, variant: &str, kind: PolicyKind, seed: u64) -> Scenario {
+    let config = scale.fleet_config(seed);
     match variant {
         "isolated" => equal_share(DEVICES_PER_AREA, kind, config),
         "broadcast" => cooperative(DEVICES_PER_AREA, kind, config, GossipConfig::broadcast()),
@@ -148,7 +149,7 @@ pub fn run_for(scale: &Scale, kind: PolicyKind) -> CooperativeResult {
     let variants = ["isolated", "broadcast", "push"];
     let runs: Vec<[Vec<f64>; 3]> = run_many(scale, |seed| {
         variants.map(|variant| {
-            let mut scenario = build(variant, kind, seed);
+            let mut scenario = build(scale, variant, kind, seed);
             distance_series(&mut scenario, scale.slots, &game)
         })
     });

@@ -69,7 +69,7 @@ pub fn run(scale: &Scale, setting: DynamicSetting) -> DynamicsResult {
                             total_slots: scale.slots,
                             ..SimulationConfig::default()
                         },
-                        seed,
+                        scale.fleet_config(seed),
                     )
                     .expect("dynamic scenario construction cannot fail");
                 run_environment(env, fleet, scale.slots).distance_to_nash

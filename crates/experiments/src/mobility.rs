@@ -78,8 +78,9 @@ pub fn run_for(scale: &Scale, algorithms: &[PolicyKind]) -> MobilityResult {
     let mut curves = Vec::new();
     for &algorithm in algorithms {
         let per_run: Vec<Vec<Vec<f64>>> = run_many(scale, |seed| {
-            let ((env, fleet), groups) = mobility_environment(algorithm, config, seed)
-                .expect("mobility scenario construction cannot fail");
+            let ((env, fleet), groups) =
+                mobility_environment(algorithm, config, scale.fleet_config(seed))
+                    .expect("mobility scenario construction cannot fail");
             let result = run_environment(env, fleet, scale.slots);
             let equilibrium = nash_allocation(&game, groups.len());
             result
@@ -117,7 +118,7 @@ pub fn persistent_switches(scale: &Scale) -> Vec<(String, f64)> {
                 PolicyKind::SmartExp3,
                 setting.devices(),
                 config,
-                seed,
+                scale.fleet_config(seed),
             )
             .expect("static scenario construction cannot fail");
             let result = run_environment(env, fleet, scale.slots);
@@ -139,7 +140,7 @@ pub fn persistent_switches(scale: &Scale) -> Vec<(String, f64)> {
         let persistent = setting.persistent_devices();
         let switches: Vec<f64> = run_many(scale, |seed| {
             let (env, fleet) = setting
-                .build_environment(PolicyKind::SmartExp3, config, seed)
+                .build_environment(PolicyKind::SmartExp3, config, scale.fleet_config(seed))
                 .expect("dynamic scenario construction cannot fail");
             let result = run_environment(env, fleet, scale.slots);
             let persistent_counts: Vec<f64> = result
@@ -161,7 +162,7 @@ pub fn persistent_switches(scale: &Scale) -> Vec<(String, f64)> {
                 total_slots: scale.slots,
                 ..SimulationConfig::default()
             },
-            seed,
+            scale.fleet_config(seed),
         )
         .expect("mobility scenario construction cannot fail");
         let result = run_environment(env, fleet, scale.slots);

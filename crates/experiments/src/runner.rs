@@ -137,7 +137,7 @@ mod tests {
             PolicyKind::SmartExp3,
             10,
             SimulationConfig::quick(40),
-            5,
+            smartexp3_engine::FleetConfig::with_root_seed(5),
         )
         .unwrap();
         let result = run_environment(env, fleet, 40);

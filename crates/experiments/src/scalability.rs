@@ -70,7 +70,7 @@ fn measure(scale: &Scale, networks: Vec<NetworkSpec>, devices: usize) -> Scalabi
                 total_slots: scale.slots,
                 ..SimulationConfig::default()
             },
-            seed,
+            scale.fleet_config(seed),
         )
         .expect("scalability scenario construction cannot fail");
         let result = run_environment(env, fleet, scale.slots);
@@ -135,18 +135,21 @@ pub struct FleetScalePoint {
 
 /// Fleet-scale scalability: steps the replicated equal-share congestion
 /// world (Smart EXP3 everywhere) for `slots` slots at each session count and
-/// reports sustained decision throughput.
+/// reports sustained decision throughput. `config` carries the engine's
+/// parallelism override (and the partitioned-feedback switch), so
+/// thread-scaling sweeps are reproducible from the CLI.
 #[must_use]
-pub fn fleet_sweep(session_counts: &[usize], slots: usize) -> Vec<FleetScalePoint> {
+pub fn fleet_sweep(
+    session_counts: &[usize],
+    slots: usize,
+    config: FleetConfig,
+) -> Vec<FleetScalePoint> {
     session_counts
         .iter()
         .map(|&sessions| {
-            let mut scenario = smartexp3_env::equal_share(
-                sessions,
-                PolicyKind::SmartExp3,
-                FleetConfig::with_root_seed(1),
-            )
-            .expect("fleet sweep construction cannot fail");
+            let mut scenario =
+                smartexp3_env::equal_share(sessions, PolicyKind::SmartExp3, config.clone())
+                    .expect("fleet sweep construction cannot fail");
             let start = Instant::now();
             scenario.run(slots);
             FleetScalePoint {
@@ -214,7 +217,7 @@ mod tests {
 
     #[test]
     fn fleet_sweep_reports_positive_throughput() {
-        let points = fleet_sweep(&[200, 400], 5);
+        let points = fleet_sweep(&[200, 400], 5, FleetConfig::with_root_seed(1));
         assert_eq!(points.len(), 2);
         for point in &points {
             assert!(point.decisions_per_sec > 0.0, "{point:?}");

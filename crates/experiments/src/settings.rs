@@ -76,20 +76,21 @@ fn homogeneous_profiles(ids: &[NetworkId], kind: PolicyKind, devices: usize) -> 
 /// Assembles the engine-path pair for any recorder-backed world: `populate`
 /// fills the fleet with one session per profile (in profile order), and the
 /// recorder-equipped environment is built around the same profiles, both
-/// seeded from `root_seed`. Drive the pair with
+/// derived from `fleet_config`'s root seed (the fleet also inherits its
+/// engine parallelism). Drive the pair with
 /// [`run_environment`](crate::runner::run_environment).
 fn environment_pair<F>(
     networks: Vec<NetworkSpec>,
     topology: Topology,
     profiles: Vec<DeviceProfile>,
     config: SimulationConfig,
-    root_seed: u64,
+    fleet_config: FleetConfig,
     populate: F,
 ) -> Result<(CongestionEnvironment, FleetEngine), ConfigError>
 where
     F: FnOnce(&mut FleetEngine, &[DeviceProfile]) -> Result<(), ConfigError>,
 {
-    let mut fleet = FleetEngine::new(FleetConfig::with_root_seed(root_seed));
+    let mut fleet = FleetEngine::new(fleet_config);
     populate(&mut fleet, &profiles)?;
     let seed = fleet.config().environment_seed();
     let env = CongestionEnvironment::new(networks, topology, Vec::new(), profiles, config, seed)
@@ -119,8 +120,8 @@ pub fn homogeneous_simulation(
 
 /// Engine-path counterpart of [`homogeneous_simulation`]: the same
 /// single-area world as a recorder-equipped [`CongestionEnvironment`] plus a
-/// [`FleetEngine`] hosting `devices` sessions of `kind`, seeded from
-/// `root_seed`. Drive the pair with
+/// [`FleetEngine`] hosting `devices` sessions of `kind`, configured by
+/// `fleet_config` (root seed and engine parallelism). Drive the pair with
 /// [`run_environment`](crate::runner::run_environment).
 ///
 /// # Errors
@@ -131,7 +132,7 @@ pub fn homogeneous_environment(
     kind: PolicyKind,
     devices: usize,
     config: SimulationConfig,
-    root_seed: u64,
+    fleet_config: FleetConfig,
 ) -> Result<(CongestionEnvironment, FleetEngine), ConfigError> {
     let ids: Vec<NetworkId> = networks.iter().map(|n| n.id).collect();
     let profiles = homogeneous_profiles(&ids, kind, devices);
@@ -142,7 +143,7 @@ pub fn homogeneous_environment(
         topology,
         profiles,
         config,
-        root_seed,
+        fleet_config,
         |fleet, profiles| {
             fleet
                 .add_fleet(&mut factory, kind, profiles.len())
@@ -255,8 +256,8 @@ impl DynamicSetting {
     }
 
     /// Engine-path counterpart of [`build`](Self::build): the same dynamic
-    /// population as a recorder-equipped environment plus a fleet seeded
-    /// from `root_seed`.
+    /// population as a recorder-equipped environment plus a fleet
+    /// configured by `fleet_config` (root seed and engine parallelism).
     ///
     /// # Errors
     ///
@@ -265,7 +266,7 @@ impl DynamicSetting {
         &self,
         kind: PolicyKind,
         config: SimulationConfig,
-        root_seed: u64,
+        fleet_config: FleetConfig,
     ) -> Result<(CongestionEnvironment, FleetEngine), ConfigError> {
         let networks = setting1_networks();
         let ids: Vec<NetworkId> = networks.iter().map(|n| n.id).collect();
@@ -277,7 +278,7 @@ impl DynamicSetting {
             topology,
             profiles,
             config,
-            root_seed,
+            fleet_config,
             |fleet, profiles| {
                 fleet
                     .add_fleet(&mut factory, kind, profiles.len())
@@ -365,8 +366,8 @@ pub fn mobility_simulation(
 }
 
 /// Engine-path counterpart of [`mobility_simulation`]: the Figure-1 mobility
-/// world as a recorder-equipped environment plus a fleet seeded from
-/// `root_seed`, with the same device groups.
+/// world as a recorder-equipped environment plus a fleet configured by
+/// `fleet_config`, with the same device groups.
 ///
 /// # Errors
 ///
@@ -375,7 +376,7 @@ pub fn mobility_simulation(
 pub fn mobility_environment(
     kind: PolicyKind,
     config: SimulationConfig,
-    root_seed: u64,
+    fleet_config: FleetConfig,
 ) -> Result<((CongestionEnvironment, FleetEngine), Vec<usize>), ConfigError> {
     let networks = figure1_networks();
     let topology = Topology::figure1();
@@ -386,7 +387,7 @@ pub fn mobility_environment(
         topology,
         profiles,
         config,
-        root_seed,
+        fleet_config,
         |fleet, profiles| {
             for profile in profiles {
                 fleet.add_fleet(&mut factories[profile.area.0 as usize], kind, 1)?;

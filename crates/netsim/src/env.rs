@@ -8,18 +8,34 @@
 //! accounting, counterfactual full-information gains and the optional
 //! [`RunRecorder`].
 //!
-//! It is driven two ways by the same phase methods:
+//! It is driven three ways by the same grading core:
 //!
 //! * **sequential, legacy-exact** — [`Simulation::run`](crate::Simulation)
-//!   is now a thin driver that calls the phases with the run's shared RNG in
-//!   the historical order, so trajectories are bit-identical to the
+//!   is a thin driver that calls the phase methods with the run's shared RNG
+//!   in the historical order, so trajectories are bit-identical to the
 //!   pre-refactor simulator;
-//! * **fleet-scale** — the [`Environment`] implementation lets
-//!   `smartexp3-engine`'s `run_env` shard millions of sessions over worker
-//!   threads: per-session randomness lives in per-session streams, while all
-//!   environment randomness (share noise, switching delays) is drawn from
-//!   the environment's own RNG in canonical session order, keeping results
-//!   independent of the thread count.
+//! * **fleet-scale, sequential** — the [`Environment::feedback`]
+//!   implementation grades every partition in order on the calling thread;
+//! * **fleet-scale, partitioned** — worlds that are unions of independent
+//!   areas advertise [`Environment::feedback_partitions`], and
+//!   [`Environment::feedback_partitioned`] fans one job per partition out
+//!   over the driver's workers.
+//!
+//! # Feedback partitions
+//!
+//! At construction the environment computes the connected components of its
+//! network/area graph (areas sharing a network merge, and a walking device
+//! merges every area on its route) and checks that each component's sessions
+//! form one contiguous index range. When they do — the scenario library's
+//! replicated worlds are built that way — each component becomes one
+//! [`SessionRange`] partition owning its networks' load/share buffers and
+//! goodput accounting, plus **its own RNG stream** advanced in canonical
+//! session order, so grading partitions concurrently is bit-identical to
+//! grading them sequentially. Worlds that do not split (shared networks with
+//! interleaved sessions) collapse to a single partition covering every
+//! session; partition 0 always keeps the historical single-stream seed
+//! derivation, so single-partition worlds reproduce the pre-sharding
+//! fleet-path trajectories exactly.
 
 use crate::delay::DelayModel;
 use crate::device::{DeviceId, DeviceOutcome, DeviceSetup};
@@ -32,7 +48,10 @@ use congestion_game::ResourceSelectionGame;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
-use smartexp3_core::{EnvStateError, Environment, NetworkId, Observation, SessionView, SlotIndex};
+use smartexp3_core::{
+    splitmix64, EnvStateError, Environment, NetworkId, Observation, PartitionExecutor,
+    PartitionJob, SequentialExecutor, SessionRange, SessionView, SlotIndex,
+};
 use std::collections::BTreeMap;
 
 /// Everything the environment needs to know about one session except its
@@ -190,15 +209,400 @@ struct DeviceDyn {
 struct CongestionEnvState {
     bandwidths: Vec<(NetworkId, f64)>,
     cursor: usize,
-    rng: [u64; 4],
+    /// One RNG stream per feedback partition, in partition order.
+    rngs: Vec<[u64; 4]>,
     devices: Vec<DeviceDyn>,
+}
+
+/// Derives feedback partition `partition`'s RNG stream from the environment
+/// seed. Partition 0 keeps the historical single-stream derivation
+/// (`seed_from_u64(env_seed)`), so worlds that collapse to one partition
+/// reproduce the pre-sharding fleet-path trajectories bit-for-bit; higher
+/// partitions get streams decorrelated by an odd-multiplier avalanche.
+fn partition_rng(env_seed: u64, partition: usize) -> StdRng {
+    if partition == 0 {
+        return StdRng::seed_from_u64(env_seed);
+    }
+    let mixed = splitmix64(env_seed ^ 0x6C62_272E_07BB_0142)
+        ^ (partition as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25);
+    StdRng::seed_from_u64(splitmix64(mixed))
+}
+
+/// Union-find over dense network indices, used once at construction to
+/// compute the independent components of the network/area/mobility graph.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(len: usize) -> Self {
+        UnionFind {
+            parent: (0..len).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Per-network share state of one feedback partition, indexed by the
+/// position of the network in the partition's owned-network list.
+#[derive(Debug, Default)]
+struct ShareState {
+    load: Vec<usize>,
+    shares: Vec<Vec<f64>>,
+    next_share_index: Vec<usize>,
+}
+
+impl ShareState {
+    fn new(networks: usize) -> Self {
+        ShareState {
+            load: vec![0; networks],
+            shares: vec![Vec::new(); networks],
+            next_share_index: vec![0; networks],
+        }
+    }
+}
+
+/// One independent feedback partition: a contiguous session range, the
+/// networks only those sessions can ever load, and every per-slot buffer
+/// grading them needs. All buffers persist across slots, so partitioned
+/// grading allocates nothing in steady state.
+struct FeedbackPartition {
+    range: SessionRange,
+    /// Dense universe indices of the networks this partition owns, ascending.
+    networks: Vec<usize>,
+    state: ShareState,
+    /// `(global session index, chosen)` of this slot's graded choices and
+    /// their queued selection records — populated only when a recorder is
+    /// attached, then reduced into the global buffers in partition order.
+    choices: Vec<(usize, NetworkId)>,
+    records: Vec<SelectionRecord>,
+    full_gains_pool: Vec<Vec<(NetworkId, f64)>>,
+}
+
+/// The immutable world tables grading reads — split out so partition jobs
+/// can share them while each owns its mutable state.
+struct GradeTables<'a> {
+    config: &'a SimulationConfig,
+    universe: &'a [NetworkId],
+    bandwidth_by_index: &'a [f64],
+    delay_models: &'a BTreeMap<NetworkId, DelayModel>,
+    gain_scale: f64,
+}
+
+/// Returns a consumed observation's counterfactual-gain buffer to `pool`.
+fn recycle_full_gains(observation: Observation, pool: &mut Vec<Vec<(NetworkId, f64)>>) {
+    if let Some(mut gains) = observation.full_gains {
+        gains.clear();
+        pool.push(gains);
+    }
+}
+
+/// Grades one session's chosen network: pulls its bandwidth share from the
+/// partition's share queues, samples the switching delay from `rng`, updates
+/// goodput accounting and attaches counterfactual gains for full-information
+/// devices. The canonical feedback computation — the legacy shared-RNG
+/// driver, the sequential fallback and the partitioned path all funnel
+/// through here.
+#[allow(clippy::too_many_arguments)]
+fn grade_session(
+    tables: &GradeTables<'_>,
+    networks: &[usize],
+    state: &mut ShareState,
+    rng: &mut dyn RngCore,
+    pool: &mut Vec<Vec<(NetworkId, f64)>>,
+    profile: &DeviceProfile,
+    device: &mut DeviceDyn,
+    chosen: NetworkId,
+    slot: SlotIndex,
+) -> Observation {
+    let valid = device.available.contains(&chosen);
+    let dense = tables.universe.binary_search(&chosen).ok();
+    let local = dense.and_then(|d| networks.binary_search(&d).ok());
+    let observed_rate = match local {
+        Some(j) if valid => {
+            let share = state.shares[j]
+                .get(state.next_share_index[j])
+                .copied()
+                .unwrap_or(0.0);
+            state.next_share_index[j] += 1;
+            share
+        }
+        _ => 0.0,
+    };
+
+    let switched = match device.current {
+        Some(previous) => previous != chosen,
+        None => false,
+    };
+    let delay = if switched {
+        let model = tables
+            .delay_models
+            .get(&chosen)
+            .copied()
+            .unwrap_or(DelayModel::None);
+        model.sample(tables.config.slot_duration_s, rng)
+    } else {
+        0.0
+    };
+    if switched {
+        device.switches += 1;
+        device.total_delay_seconds += delay;
+    }
+    device.current = Some(chosen);
+    device.active_slots += 1;
+    device.download_megabits += observed_rate * (tables.config.slot_duration_s - delay).max(0.0);
+
+    let scaled_gain = (observed_rate / tables.gain_scale).clamp(0.0, 1.0);
+    let mut observation = Observation {
+        slot,
+        network: chosen,
+        bit_rate_mbps: observed_rate,
+        scaled_gain,
+        switched,
+        switching_delay_s: delay,
+        full_gains: None,
+    };
+    if profile.needs_full_information {
+        // Counterfactual scaled gains: the share the device *would* have
+        // observed on each visible network this slot, given the other
+        // devices' choices. Backing buffers are pooled across slots.
+        let mut gains = pool.pop().unwrap_or_default();
+        gains.clear();
+        gains.extend(device.available.iter().map(|&network| {
+            let dense = tables.universe.binary_search(&network).ok();
+            let bandwidth = dense.map_or(0.0, |d| tables.bandwidth_by_index[d]);
+            let local = dense.and_then(|d| networks.binary_search(&d).ok());
+            let others = local.map_or(0, |j| state.load[j]) - usize::from(network == chosen);
+            let rate = bandwidth / (others + 1) as f64;
+            (network, (rate / tables.gain_scale).clamp(0.0, 1.0))
+        }));
+        observation.full_gains = Some(gains);
+    }
+    observation
+}
+
+impl FeedbackPartition {
+    /// Runs one full feedback slot for this partition: load registration,
+    /// share computation (owned networks in ascending dense order) and
+    /// grading, all in canonical session order with `rng` as the partition's
+    /// stream. `choices`, `profiles`, `devices` and `out` are this
+    /// partition's slices of the fleet-wide buffers.
+    #[allow(clippy::too_many_arguments)]
+    fn run_slot(
+        &mut self,
+        tables: &GradeTables<'_>,
+        rng: &mut StdRng,
+        slot: SlotIndex,
+        choices: &[Option<NetworkId>],
+        profiles: &[DeviceProfile],
+        devices: &mut [DeviceDyn],
+        out: &mut [Option<Observation>],
+        record: bool,
+    ) {
+        self.choices.clear();
+        self.records.clear();
+        self.state.load.fill(0);
+        for (i, choice) in choices.iter().enumerate() {
+            match choice {
+                Some(chosen) => {
+                    if devices[i].available.contains(chosen) {
+                        if let Ok(dense) = tables.universe.binary_search(chosen) {
+                            if let Ok(local) = self.networks.binary_search(&dense) {
+                                self.state.load[local] += 1;
+                            }
+                        }
+                    }
+                }
+                None => {
+                    if let Some(stale) = out[i].take() {
+                        recycle_full_gains(stale, &mut self.full_gains_pool);
+                    }
+                }
+            }
+        }
+        for j in 0..self.networks.len() {
+            self.state.next_share_index[j] = 0;
+            self.state.shares[j].clear();
+            if self.state.load[j] > 0 {
+                tables.config.sharing.shares_into(
+                    tables.bandwidth_by_index[self.networks[j]],
+                    self.state.load[j],
+                    rng,
+                    &mut self.state.shares[j],
+                );
+            }
+        }
+        for (i, choice) in choices.iter().enumerate() {
+            let Some(chosen) = *choice else { continue };
+            if let Some(previous) = out[i].take() {
+                recycle_full_gains(previous, &mut self.full_gains_pool);
+            }
+            let observation = grade_session(
+                tables,
+                &self.networks,
+                &mut self.state,
+                rng,
+                &mut self.full_gains_pool,
+                &profiles[i],
+                &mut devices[i],
+                chosen,
+                slot,
+            );
+            if record {
+                self.choices.push((self.range.start + i, chosen));
+                self.records.push(SelectionRecord {
+                    device: profiles[i].id,
+                    network: chosen,
+                    rate_mbps: observation.bit_rate_mbps,
+                    top_choice: (chosen, 1.0),
+                });
+            }
+            out[i] = Some(observation);
+        }
+    }
+}
+
+/// Derives the feedback partitions: session ranges plus each range's owned
+/// dense network indices. Falls back to a single all-covering partition when
+/// any component's sessions are not one contiguous range.
+fn build_partitions(
+    universe: &[NetworkId],
+    area_networks: &[(AreaId, Vec<NetworkId>)],
+    area_index: &[(AreaId, usize)],
+    profiles: &[DeviceProfile],
+) -> (Vec<SessionRange>, Vec<Vec<usize>>) {
+    let sessions = profiles.len();
+    let single = || {
+        (
+            vec![SessionRange::new(0, sessions)],
+            vec![(0..universe.len()).collect::<Vec<usize>>()],
+        )
+    };
+
+    let dense_of = |network: NetworkId| universe.binary_search(&network).ok();
+    let networks_in = |area: AreaId| -> &[NetworkId] {
+        area_index
+            .binary_search_by_key(&area, |&(a, _)| a)
+            .ok()
+            .map_or(&[], |found| area_networks[area_index[found].1].1.as_slice())
+    };
+
+    // Components: areas merge their networks; a walking device merges every
+    // area on its route.
+    let mut components = UnionFind::new(universe.len());
+    for (_, networks) in area_networks {
+        let mut first = None;
+        for &network in networks {
+            let Some(dense) = dense_of(network) else {
+                continue;
+            };
+            match first {
+                None => first = Some(dense),
+                Some(anchor) => components.union(anchor, dense),
+            }
+        }
+    }
+    let mut anchors = Vec::with_capacity(sessions);
+    for profile in profiles {
+        let mut anchor: Option<usize> = None;
+        let areas = std::iter::once(profile.area).chain(profile.moves.iter().map(|&(_, a)| a));
+        for area in areas {
+            let Some(&network) = networks_in(area).first() else {
+                continue;
+            };
+            let Some(dense) = dense_of(network) else {
+                continue;
+            };
+            match anchor {
+                None => anchor = Some(dense),
+                Some(existing) => components.union(existing, dense),
+            }
+        }
+        anchors.push(anchor);
+    }
+    // Canonical component per session (computed after all unions).
+    let comps: Vec<Option<usize>> = anchors
+        .into_iter()
+        .map(|anchor| anchor.map(|dense| components.find(dense)))
+        .collect();
+
+    // Group sessions into contiguous runs of one component each. Sessions
+    // seeing no network at all are wildcards: they join whatever run is open.
+    let mut runs: Vec<(Option<usize>, usize)> = Vec::new();
+    for (session, &comp) in comps.iter().enumerate() {
+        match runs.last_mut() {
+            None => runs.push((comp, session)),
+            Some((owner, _)) => match (*owner, comp) {
+                (_, None) => {}
+                (None, Some(c)) => *owner = Some(c),
+                (Some(a), Some(c)) if a == c => {}
+                (Some(_), Some(c)) => runs.push((Some(c), session)),
+            },
+        }
+    }
+    if runs.is_empty() {
+        runs.push((None, 0));
+    }
+    // A component split across non-adjacent runs would share network state
+    // between partitions — fall back to the single covering partition.
+    let mut seen: Vec<usize> = runs.iter().filter_map(|&(owner, _)| owner).collect();
+    seen.sort_unstable();
+    let distinct = {
+        let before = seen.len();
+        seen.dedup();
+        seen.len() == before
+    };
+    if !distinct {
+        return single();
+    }
+
+    let ranges: Vec<SessionRange> = runs
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, start))| {
+            let end = runs.get(i + 1).map_or(sessions, |&(_, next)| next);
+            SessionRange::new(start, end)
+        })
+        .collect();
+
+    // Assign every network to its component's partition; components without
+    // sessions (and event-only networks) land in partition 0 — they can
+    // never be loaded, so ownership only has to be total, not meaningful.
+    let owner_of: BTreeMap<usize, usize> = runs
+        .iter()
+        .enumerate()
+        .filter_map(|(partition, &(owner, _))| owner.map(|component| (component, partition)))
+        .collect();
+    let mut networks: Vec<Vec<usize>> = vec![Vec::new(); ranges.len()];
+    for dense in 0..universe.len() {
+        let component = components.find(dense);
+        let partition = owner_of.get(&component).copied().unwrap_or(0);
+        networks[partition].push(dense);
+    }
+    (ranges, networks)
 }
 
 /// The shared-bandwidth congestion world of the paper, as an
 /// [`Environment`]: topology-scoped visibility, mobility walks, activity
 /// windows, scheduled bandwidth events, equal-share or noisy bandwidth
 /// sharing, technology-dependent switching delays and per-device goodput
-/// accounting. See the [module documentation](self).
+/// accounting — partitioned per independent area for the sharded feedback
+/// path. See the [module documentation](self).
 pub struct CongestionEnvironment {
     config: SimulationConfig,
     profiles: Vec<DeviceProfile>,
@@ -217,18 +621,22 @@ pub struct CongestionEnvironment {
     /// *first* entry per id, matching the linear `find` it replaces.
     area_index: Vec<(AreaId, usize)>,
     game: ResourceSelectionGame,
-    /// Environment RNG for the fleet-engine path (share noise, delays); the
-    /// sequential legacy driver passes its own shared RNG instead. Held in
-    /// an `Option` so [`Environment::feedback`] can lend it out while the
-    /// phase methods borrow `self` — a take that is never restored (a future
-    /// early exit) panics loudly on the next slot instead of silently
-    /// corrupting determinism.
-    rng: Option<StdRng>,
     recorder: Option<RunRecorder>,
-    // Reusable per-slot buffers (cleared, never reallocated in steady state).
-    load: Vec<usize>,
-    shares: Vec<Vec<f64>>,
-    next_share_index: Vec<usize>,
+    /// Independent feedback partitions (always at least one; a world that
+    /// does not split has a single partition covering every session).
+    partitions: Vec<FeedbackPartition>,
+    /// One RNG stream per partition (share noise, switching delays on the
+    /// fleet path), kept outside [`FeedbackPartition`] so the legacy driver
+    /// can grade with its own shared RNG against the same share state.
+    partition_rngs: Vec<StdRng>,
+    /// The partitions' session ranges, in partition order (the
+    /// [`Environment::feedback_partitions`] view).
+    ranges: Vec<SessionRange>,
+    /// Dense universe index → `(partition, local index)` — the legacy
+    /// driver's global-network-order share pass routes through this.
+    network_home: Vec<(u32, u32)>,
+    // Global buffers for the legacy sequential driver and the recorder
+    // reduce (cleared, never reallocated in steady state).
     choices: Vec<(usize, NetworkId)>,
     records: Vec<SelectionRecord>,
     full_gains_pool: Vec<Vec<(NetworkId, f64)>>,
@@ -237,8 +645,9 @@ pub struct CongestionEnvironment {
 impl CongestionEnvironment {
     /// Builds the environment.
     ///
-    /// `env_seed` seeds the environment's own RNG (used only on the
-    /// fleet-engine path; the sequential driver supplies its shared RNG).
+    /// `env_seed` seeds the environment's own per-partition RNG streams
+    /// (used only on the fleet-engine path; the sequential driver supplies
+    /// its shared RNG).
     ///
     /// # Panics
     ///
@@ -299,6 +708,30 @@ impl CongestionEnvironment {
         }
         let devices = vec![DeviceDyn::default(); profiles.len()];
 
+        let (ranges, partition_networks) =
+            build_partitions(&universe, &area_networks, &area_index, &profiles);
+        let mut network_home = vec![(0u32, 0u32); network_count];
+        for (partition, networks) in partition_networks.iter().enumerate() {
+            for (local, &dense) in networks.iter().enumerate() {
+                network_home[dense] = (partition as u32, local as u32);
+            }
+        }
+        let partitions: Vec<FeedbackPartition> = ranges
+            .iter()
+            .zip(partition_networks)
+            .map(|(&range, networks)| FeedbackPartition {
+                range,
+                state: ShareState::new(networks.len()),
+                networks,
+                choices: Vec::new(),
+                records: Vec::new(),
+                full_gains_pool: Vec::new(),
+            })
+            .collect();
+        let partition_rngs = (0..partitions.len())
+            .map(|partition| partition_rng(env_seed, partition))
+            .collect();
+
         CongestionEnvironment {
             config,
             profiles,
@@ -312,11 +745,11 @@ impl CongestionEnvironment {
             area_networks,
             area_index,
             game,
-            rng: Some(StdRng::seed_from_u64(env_seed)),
             recorder: None,
-            load: vec![0; network_count],
-            shares: vec![Vec::new(); network_count],
-            next_share_index: vec![0; network_count],
+            partitions,
+            partition_rngs,
+            ranges,
+            network_home,
             choices: Vec::new(),
             records: Vec::new(),
             full_gains_pool: Vec::new(),
@@ -387,6 +820,12 @@ impl CongestionEnvironment {
         self.recorder
             .take()
             .map(|recorder| recorder.finish(&self.game, outcomes))
+    }
+
+    /// The partition owning session `index` (ranges tile the session space,
+    /// so the lookup is a binary search over range ends).
+    fn partition_of(&self, index: usize) -> usize {
+        self.ranges.partition_point(|range| range.end <= index)
     }
 
     // ------------------------------------------------------------------
@@ -462,32 +901,40 @@ impl CongestionEnvironment {
     pub(crate) fn begin_choices(&mut self) {
         self.choices.clear();
         self.records.clear();
-        self.load.fill(0);
+        for partition in &mut self.partitions {
+            partition.state.load.fill(0);
+        }
     }
 
     /// Registers the choice of active device `index` (valid or not) and
     /// accounts its load.
     pub(crate) fn register_choice(&mut self, index: usize, chosen: NetworkId) {
         if self.devices[index].available.contains(&chosen) {
-            if let Ok(i) = self.universe.binary_search(&chosen) {
-                self.load[i] += 1;
+            if let Ok(dense) = self.universe.binary_search(&chosen) {
+                let (partition, local) = self.network_home[dense];
+                self.partitions[partition as usize].state.load[local as usize] += 1;
             }
         }
         self.choices.push((index, chosen));
     }
 
     /// Splits every loaded network's bandwidth among its devices (ascending
-    /// network id, matching the historical RNG draw order).
+    /// network id, matching the historical RNG draw order — the legacy
+    /// driver's one shared stream walks the whole universe, regardless of
+    /// which partition owns each network).
     pub(crate) fn compute_shares(&mut self, rng: &mut dyn RngCore) {
-        for i in 0..self.universe.len() {
-            self.next_share_index[i] = 0;
-            self.shares[i].clear();
-            if self.load[i] > 0 {
+        for dense in 0..self.universe.len() {
+            let (partition, local) = self.network_home[dense];
+            let state = &mut self.partitions[partition as usize].state;
+            let local = local as usize;
+            state.next_share_index[local] = 0;
+            state.shares[local].clear();
+            if state.load[local] > 0 {
                 self.config.sharing.shares_into(
-                    self.bandwidth_by_index[i],
-                    self.load[i],
+                    self.bandwidth_by_index[dense],
+                    state.load[local],
                     rng,
-                    &mut self.shares[i],
+                    &mut state.shares[local],
                 );
             }
         }
@@ -515,73 +962,31 @@ impl CongestionEnvironment {
         rng: &mut dyn RngCore,
     ) -> Observation {
         let (index, chosen) = self.choices[k];
-        let device = &mut self.devices[index];
-        let valid = device.available.contains(&chosen);
-        let dense = self.universe.binary_search(&chosen).ok();
-        let observed_rate = match dense {
-            Some(i) if valid => {
-                let share = self.shares[i]
-                    .get(self.next_share_index[i])
-                    .copied()
-                    .unwrap_or(0.0);
-                self.next_share_index[i] += 1;
-                share
-            }
-            _ => 0.0,
+        let partition = self.partition_of(index);
+        let tables = GradeTables {
+            config: &self.config,
+            universe: &self.universe,
+            bandwidth_by_index: &self.bandwidth_by_index,
+            delay_models: &self.delay_models,
+            gain_scale: self.gain_scale,
         };
-
-        let switched = match device.current {
-            Some(previous) => previous != chosen,
-            None => false,
-        };
-        let delay = if switched {
-            let model = self
-                .delay_models
-                .get(&chosen)
-                .copied()
-                .unwrap_or(DelayModel::None);
-            model.sample(self.config.slot_duration_s, rng)
-        } else {
-            0.0
-        };
-        if switched {
-            device.switches += 1;
-            device.total_delay_seconds += delay;
-        }
-        device.current = Some(chosen);
-        device.active_slots += 1;
-        device.download_megabits += observed_rate * (self.config.slot_duration_s - delay).max(0.0);
-
-        let scaled_gain = (observed_rate / self.gain_scale).clamp(0.0, 1.0);
-        let mut observation = Observation {
+        let partition = &mut self.partitions[partition];
+        let observation = grade_session(
+            &tables,
+            &partition.networks,
+            &mut partition.state,
+            rng,
+            &mut self.full_gains_pool,
+            &self.profiles[index],
+            &mut self.devices[index],
+            chosen,
             slot,
-            network: chosen,
-            bit_rate_mbps: observed_rate,
-            scaled_gain,
-            switched,
-            switching_delay_s: delay,
-            full_gains: None,
-        };
-        if self.profiles[index].needs_full_information {
-            // Counterfactual scaled gains: the share the device *would* have
-            // observed on each visible network this slot, given the other
-            // devices' choices. Backing buffers are pooled across slots.
-            let mut gains = self.full_gains_pool.pop().unwrap_or_default();
-            gains.clear();
-            gains.extend(device.available.iter().map(|&network| {
-                let i = self.universe.binary_search(&network).ok();
-                let bandwidth = i.map_or(0.0, |i| self.bandwidth_by_index[i]);
-                let others = i.map_or(0, |i| self.load[i]) - usize::from(network == chosen);
-                let rate = bandwidth / (others + 1) as f64;
-                (network, (rate / self.gain_scale).clamp(0.0, 1.0))
-            }));
-            observation.full_gains = Some(gains);
-        }
+        );
         if self.recorder.is_some() {
             self.records.push(SelectionRecord {
                 device: self.profiles[index].id,
                 network: chosen,
-                rate_mbps: observed_rate,
+                rate_mbps: observation.bit_rate_mbps,
                 top_choice: (chosen, 1.0),
             });
         }
@@ -590,10 +995,7 @@ impl CongestionEnvironment {
 
     /// Reclaims the pooled allocations of a consumed observation.
     pub(crate) fn recycle_observation(&mut self, observation: Observation) {
-        if let Some(mut gains) = observation.full_gains {
-            gains.clear();
-            self.full_gains_pool.push(gains);
-        }
+        recycle_full_gains(observation, &mut self.full_gains_pool);
     }
 
     /// Fills the `k`-th selection record's most-probable-network field
@@ -643,32 +1045,87 @@ impl Environment for CongestionEnvironment {
         choices: &[Option<NetworkId>],
         out: &mut [Option<Observation>],
     ) {
-        self.begin_choices();
-        for (index, choice) in choices.iter().enumerate() {
-            match choice {
-                Some(chosen) => self.register_choice(index, *chosen),
-                None => {
-                    if let Some(stale) = out[index].take() {
-                        self.recycle_observation(stale);
-                    }
-                }
+        // The sequential fallback is the partitioned computation run in
+        // partition order on the calling thread — decision-for-decision
+        // identical to any parallel execution by construction.
+        self.feedback_partitioned(slot, choices, out, &SequentialExecutor);
+    }
+
+    fn feedback_partitions(&self) -> Option<&[SessionRange]> {
+        Some(&self.ranges)
+    }
+
+    fn feedback_partitioned(
+        &mut self,
+        slot: SlotIndex,
+        choices: &[Option<NetworkId>],
+        out: &mut [Option<Observation>],
+        executor: &dyn PartitionExecutor,
+    ) {
+        let record = self.recorder.is_some();
+        let CongestionEnvironment {
+            partitions,
+            partition_rngs,
+            devices,
+            profiles,
+            config,
+            universe,
+            bandwidth_by_index,
+            delay_models,
+            gain_scale,
+            choices: global_choices,
+            records: global_records,
+            ..
+        } = self;
+        let tables = GradeTables {
+            config,
+            universe,
+            bandwidth_by_index,
+            delay_models,
+            gain_scale: *gain_scale,
+        };
+        let tables = &tables;
+        let mut jobs: Vec<PartitionJob<'_>> = Vec::with_capacity(partitions.len());
+        let mut devices_rest: &mut [DeviceDyn] = devices;
+        let mut out_rest: &mut [Option<Observation>] = out;
+        let mut choices_rest: &[Option<NetworkId>] = choices;
+        let mut profiles_rest: &[DeviceProfile] = profiles;
+        for (partition, rng) in partitions.iter_mut().zip(partition_rngs.iter_mut()) {
+            let len = partition.range.len();
+            let (job_devices, rest) = devices_rest.split_at_mut(len);
+            devices_rest = rest;
+            let (job_out, rest) = out_rest.split_at_mut(len);
+            out_rest = rest;
+            let (job_choices, rest) = choices_rest.split_at(len);
+            choices_rest = rest;
+            let (job_profiles, rest) = profiles_rest.split_at(len);
+            profiles_rest = rest;
+            jobs.push(Box::new(move || {
+                partition.run_slot(
+                    tables,
+                    rng,
+                    slot,
+                    job_choices,
+                    job_profiles,
+                    job_devices,
+                    job_out,
+                    record,
+                );
+            }));
+        }
+        executor.run(jobs);
+
+        // Sequential cross-partition reduce: the recorder consumes selection
+        // records in global session order, which is partition order by
+        // construction (ranges tile the session space ascending).
+        global_choices.clear();
+        global_records.clear();
+        if record {
+            for partition in partitions.iter() {
+                global_choices.extend_from_slice(&partition.choices);
+                global_records.extend_from_slice(&partition.records);
             }
         }
-        // The environment's own RNG drives share noise and delay sampling in
-        // canonical (network-then-choice) order — thread-count independent.
-        let mut rng = self
-            .rng
-            .take()
-            .expect("environment RNG lent out and never restored");
-        self.compute_shares(&mut rng);
-        for k in 0..self.choice_count() {
-            let (index, _) = self.choice_at(k);
-            if let Some(previous) = out[index].take() {
-                self.recycle_observation(previous);
-            }
-            out[index] = Some(self.grade(k, slot, &mut rng));
-        }
-        self.rng = Some(rng);
     }
 
     fn wants_top_choices(&self) -> bool {
@@ -700,7 +1157,7 @@ impl Environment for CongestionEnvironment {
         let state = CongestionEnvState {
             bandwidths: self.bandwidths.iter().map(|(&n, &b)| (n, b)).collect(),
             cursor: self.schedule.cursor(),
-            rng: self.rng.as_ref().expect("environment RNG present").state(),
+            rngs: self.partition_rngs.iter().map(StdRng::state).collect(),
             devices: self.devices.clone(),
         };
         serde_json::to_string(&state).ok()
@@ -726,6 +1183,13 @@ impl Environment for CongestionEnvironment {
                 self.profiles.len()
             )));
         }
+        if state.rngs.len() != self.partitions.len() {
+            return Err(EnvStateError(format!(
+                "state carries {} partition RNG streams, environment has {} partitions",
+                state.rngs.len(),
+                self.partitions.len()
+            )));
+        }
         if state.cursor > self.schedule.len() {
             return Err(EnvStateError(format!(
                 "event cursor {} exceeds schedule of {} events",
@@ -735,7 +1199,7 @@ impl Environment for CongestionEnvironment {
         }
         self.bandwidths = state.bandwidths.into_iter().collect();
         self.schedule.set_cursor(state.cursor);
-        self.rng = Some(StdRng::from_state(state.rng));
+        self.partition_rngs = state.rngs.into_iter().map(StdRng::from_state).collect();
         self.devices = state.devices;
         self.game = ResourceSelectionGame::new(self.bandwidths.iter().map(|(&n, &r)| (n, r)));
         for (i, &network) in self.universe.iter().enumerate() {
@@ -749,6 +1213,7 @@ impl Environment for CongestionEnvironment {
 mod tests {
     use super::*;
     use crate::network::setting1_networks;
+    use crate::topology::ServiceArea;
 
     fn profiles(count: usize) -> Vec<DeviceProfile> {
         let home: Vec<NetworkId> = setting1_networks().iter().map(|n| n.id).collect();
@@ -864,5 +1329,173 @@ mod tests {
         let state = donor.state().unwrap();
         assert!(env.restore(&state).is_err());
         assert!(env.restore("{broken").is_err());
+    }
+
+    /// A replicated multi-area world: `areas` areas of `per_area` devices,
+    /// each area its own network triple (the scenario-library shape).
+    fn replicated(areas: usize, per_area: usize) -> CongestionEnvironment {
+        let mut networks = Vec::new();
+        let mut service_areas = Vec::new();
+        let mut profiles = Vec::new();
+        for area in 0..areas {
+            let base = (area * 3) as u32;
+            let specs = vec![
+                NetworkSpec::wifi(base, 4.0),
+                NetworkSpec::wifi(base + 1, 7.0),
+                NetworkSpec::cellular(base + 2, 22.0),
+            ];
+            let ids: Vec<NetworkId> = specs.iter().map(|n| n.id).collect();
+            service_areas.push(ServiceArea {
+                id: AreaId(area as u32),
+                name: format!("area {area}"),
+                networks: ids.clone(),
+            });
+            networks.extend(specs);
+            for device in 0..per_area {
+                profiles.push(DeviceProfile::new(
+                    (area * per_area + device) as u32,
+                    AreaId(area as u32),
+                    ids.clone(),
+                ));
+            }
+        }
+        CongestionEnvironment::new(
+            networks,
+            Topology::new(service_areas),
+            Vec::new(),
+            profiles,
+            SimulationConfig::quick(50),
+            21,
+        )
+    }
+
+    #[test]
+    fn replicated_areas_partition_per_area() {
+        let env = replicated(4, 5);
+        let ranges = env.feedback_partitions().expect("congestion worlds split");
+        assert_eq!(ranges.len(), 4);
+        assert!(SessionRange::tile(ranges, 20));
+        for (area, range) in ranges.iter().enumerate() {
+            assert_eq!(range.start, area * 5);
+            assert_eq!(range.len(), 5);
+        }
+        // Each partition owns exactly its area's network triple.
+        for (area, partition) in env.partitions.iter().enumerate() {
+            assert_eq!(
+                partition.networks,
+                vec![area * 3, area * 3 + 1, area * 3 + 2]
+            );
+        }
+    }
+
+    #[test]
+    fn shared_networks_collapse_to_one_partition() {
+        // All devices in one area sharing all networks: one partition.
+        let env = environment(6, Vec::new());
+        let ranges = env.feedback_partitions().unwrap();
+        assert_eq!(ranges, &[SessionRange::new(0, 6)]);
+
+        // A walker connects two otherwise-independent areas: their sessions
+        // are interleaved (area 0, area 1, then the walker back in area 0's
+        // component), so the component split is rejected and the world
+        // collapses to a single covering partition.
+        let networks = vec![
+            NetworkSpec::wifi(0, 4.0),
+            NetworkSpec::wifi(1, 7.0),
+            NetworkSpec::cellular(2, 22.0),
+            NetworkSpec::cellular(3, 11.0),
+        ];
+        let service_areas = vec![
+            ServiceArea {
+                id: AreaId(0),
+                name: "a".to_string(),
+                networks: vec![NetworkId(0), NetworkId(1)],
+            },
+            ServiceArea {
+                id: AreaId(1),
+                name: "b".to_string(),
+                networks: vec![NetworkId(2), NetworkId(3)],
+            },
+        ];
+        let profiles = vec![
+            DeviceProfile::new(0, AreaId(0), vec![NetworkId(0), NetworkId(1)]),
+            DeviceProfile::new(1, AreaId(1), vec![NetworkId(2), NetworkId(3)]),
+            DeviceProfile::new(2, AreaId(0), vec![NetworkId(0), NetworkId(1)])
+                .moving_to(5, AreaId(1)),
+        ];
+        let env = CongestionEnvironment::new(
+            networks,
+            Topology::new(service_areas),
+            Vec::new(),
+            profiles,
+            SimulationConfig::quick(50),
+            3,
+        );
+        let ranges = env.feedback_partitions().unwrap();
+        assert_eq!(ranges, &[SessionRange::new(0, 3)]);
+    }
+
+    /// Runs partition jobs in *reverse* order — any cross-partition state
+    /// leak or shared RNG stream would diverge from the sequential result.
+    struct ReverseExecutor;
+
+    impl PartitionExecutor for ReverseExecutor {
+        fn run(&self, jobs: Vec<PartitionJob<'_>>) {
+            for job in jobs.into_iter().rev() {
+                job();
+            }
+        }
+    }
+
+    #[test]
+    fn partition_execution_order_never_changes_the_feedback() {
+        // Noisy sharing consumes partition RNG draws for every loaded
+        // network, so any divergence in stream routing shows up immediately.
+        let build = || {
+            let mut env = replicated(3, 4);
+            env.config.sharing = crate::sharing::SharingModel::testbed();
+            env
+        };
+        let mut forward = build();
+        let mut reversed = build();
+        let sessions = 12usize;
+        let mut out_forward: Vec<Option<Observation>> = vec![None; sessions];
+        let mut out_reversed: Vec<Option<Observation>> = vec![None; sessions];
+        for slot in 0..25 {
+            let choices: Vec<Option<NetworkId>> = (0..sessions)
+                .map(|i| {
+                    // A churning pattern: some sessions sit out, the rest
+                    // rotate through their area's three networks (switching
+                    // costs delay draws from the partition streams).
+                    ((i + slot) % 5 != 4).then(|| NetworkId(((i / 4) * 3 + (i + slot) % 3) as u32))
+                })
+                .collect();
+            forward.begin_slot(slot);
+            reversed.begin_slot(slot);
+            forward.feedback(slot, &choices, &mut out_forward);
+            reversed.feedback_partitioned(slot, &choices, &mut out_reversed, &ReverseExecutor);
+            for (a, b) in out_forward.iter().zip(out_reversed.iter()) {
+                match (a, b) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.network, b.network, "slot {slot}");
+                        assert_eq!(
+                            a.bit_rate_mbps.to_bits(),
+                            b.bit_rate_mbps.to_bits(),
+                            "share bits diverged at slot {slot}"
+                        );
+                        assert_eq!(
+                            a.switching_delay_s.to_bits(),
+                            b.switching_delay_s.to_bits(),
+                            "delay bits diverged at slot {slot}"
+                        );
+                    }
+                    other => panic!("presence diverged at slot {slot}: {other:?}"),
+                }
+            }
+        }
+        // The serialized states (per-partition RNG positions included) must
+        // agree exactly afterwards.
+        assert_eq!(forward.state(), reversed.state());
     }
 }

@@ -11,8 +11,11 @@
 //! per-area gossip RNG streams included).
 //!
 //! ```text
-//! cargo run --release --example cooperative [sessions] [slots]
+//! cargo run --release --example cooperative [sessions] [slots] [threads]
 //! ```
+//!
+//! `threads` overrides the engine's worker-thread count (0 or absent =
+//! machine parallelism); results are bit-identical at any value.
 
 use smartexp3::core::PolicyKind;
 use smartexp3::engine::{FleetConfig, FleetEngine};
@@ -24,7 +27,7 @@ fn parse_arg(value: Option<String>, name: &str, default: usize) -> usize {
         None => default,
         Some(raw) => raw.parse().unwrap_or_else(|_| {
             eprintln!("error: {name} must be a non-negative integer, got `{raw}`");
-            eprintln!("usage: cooperative [sessions] [slots]");
+            eprintln!("usage: cooperative [sessions] [slots] [threads]");
             std::process::exit(2);
         }),
     }
@@ -42,12 +45,17 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let sessions = parse_arg(args.next(), "sessions", 1_000_000).max(1);
     let slots = parse_arg(args.next(), "slots", 40).max(2);
+    let threads = parse_arg(args.next(), "threads", 0);
 
+    let mut config = FleetConfig::with_root_seed(2026);
+    if threads > 0 {
+        config = config.with_threads(threads);
+    }
     let build_start = Instant::now();
     let mut scenario = cooperative(
         sessions,
         PolicyKind::SmartExp3,
-        FleetConfig::with_root_seed(2026),
+        config.clone(),
         GossipConfig::broadcast(),
     )
     .expect("valid scenario");
@@ -97,12 +105,8 @@ fn main() {
     );
 
     // Isolated twin: the same world, nobody talks.
-    let mut isolated = equal_share(
-        sessions,
-        PolicyKind::SmartExp3,
-        FleetConfig::with_root_seed(2026),
-    )
-    .expect("valid scenario");
+    let mut isolated =
+        equal_share(sessions, PolicyKind::SmartExp3, config).expect("valid scenario");
     isolated.run(slots);
     println!(
         "mean scaled gain after {slots} slots: cooperative {:.4} vs isolated {:.4}",

@@ -8,8 +8,11 @@
 //! round-trip, and the measured decision throughput.
 //!
 //! ```text
-//! cargo run --release --example fleet [sessions] [slots]
+//! cargo run --release --example fleet [sessions] [slots] [threads]
 //! ```
+//!
+//! `threads` overrides the engine's worker-thread count (0 or absent =
+//! machine parallelism); results are bit-identical at any value.
 
 use smartexp3::core::{NetworkId, Observation, PolicyFactory, PolicyKind};
 use smartexp3::engine::{FleetConfig, FleetEngine};
@@ -21,7 +24,7 @@ fn parse_arg(value: Option<String>, name: &str, default: usize) -> usize {
         None => default,
         Some(raw) => raw.parse().unwrap_or_else(|_| {
             eprintln!("error: {name} must be a non-negative integer, got `{raw}`");
-            eprintln!("usage: fleet [sessions] [slots]");
+            eprintln!("usage: fleet [sessions] [slots] [threads]");
             std::process::exit(2);
         }),
     }
@@ -31,6 +34,7 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let sessions = parse_arg(args.next(), "sessions", 100_000);
     let slots = parse_arg(args.next(), "slots", 60);
+    let threads = parse_arg(args.next(), "threads", 0);
     let devices_per_area = 100usize;
     let areas = sessions.div_ceil(devices_per_area);
 
@@ -38,7 +42,11 @@ fn main() {
     let rates: Vec<(NetworkId, f64)> = networks.iter().map(|n| (n.id, n.bandwidth_mbps)).collect();
 
     let mut factory = PolicyFactory::new(rates.clone()).expect("valid networks");
-    let mut fleet = FleetEngine::new(FleetConfig::with_root_seed(2024));
+    let mut config = FleetConfig::with_root_seed(2024);
+    if threads > 0 {
+        config = config.with_threads(threads);
+    }
+    let mut fleet = FleetEngine::new(config);
     // A mixed fleet: most devices run Smart EXP3, with baseline cohorts to
     // compare against in the final metrics.
     fleet

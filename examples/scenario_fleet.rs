@@ -12,8 +12,13 @@
 //! mid-scenario checkpoint round-trip and the measured decision throughput.
 //!
 //! ```text
-//! cargo run --release --example scenario_fleet [sessions] [slots]
+//! cargo run --release --example scenario_fleet [sessions] [slots] [threads]
 //! ```
+//!
+//! `threads` overrides the engine's worker-thread count (0 or absent =
+//! machine parallelism); with the partitioned feedback phase, every one of
+//! the slot's four phases now scales with it, and results stay bit-identical
+//! at any value.
 
 use smartexp3::core::PolicyKind;
 use smartexp3::engine::{FleetConfig, FleetEngine};
@@ -25,7 +30,7 @@ fn parse_arg(value: Option<String>, name: &str, default: usize) -> usize {
         None => default,
         Some(raw) => raw.parse().unwrap_or_else(|_| {
             eprintln!("error: {name} must be a non-negative integer, got `{raw}`");
-            eprintln!("usage: scenario_fleet [sessions] [slots]");
+            eprintln!("usage: scenario_fleet [sessions] [slots] [threads]");
             std::process::exit(2);
         }),
     }
@@ -35,14 +40,15 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let sessions = parse_arg(args.next(), "sessions", 1_000_000).max(1);
     let slots = parse_arg(args.next(), "slots", 40).max(2);
+    let threads = parse_arg(args.next(), "threads", 0);
 
+    let mut config = FleetConfig::with_root_seed(2026);
+    if threads > 0 {
+        config = config.with_threads(threads);
+    }
     let build_start = Instant::now();
-    let mut scenario = equal_share(
-        sessions,
-        PolicyKind::SmartExp3,
-        FleetConfig::with_root_seed(2026),
-    )
-    .expect("valid scenario");
+    let mut scenario =
+        equal_share(sessions, PolicyKind::SmartExp3, config).expect("valid scenario");
     println!(
         "world `{}`: {} sessions in {} areas, built in {:.2}s",
         scenario.name,

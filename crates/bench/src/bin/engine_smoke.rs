@@ -3,9 +3,11 @@
 //! Steps a Smart EXP3 fleet through fused choose+observe slots (the same
 //! workload as the `engine_throughput` Criterion bench) **and** through the
 //! equal-share congestion scenario of the environment layer (the
-//! `scenario_throughput` workload) — the latter twice, with the partitioned
-//! feedback phase on and off, so the repository's perf trajectory records
-//! the sharded-feedback axis. One JSON record per configuration is appended
+//! `scenario_throughput` workload) — the latter three times: partitioned
+//! feedback on, partitioned with streaming telemetry on (the observability
+//! overhead datapoint), and feedback forced sequential — so the repository's
+//! perf trajectory records both the sharded-feedback and the telemetry
+//! axis. One JSON record per configuration is appended
 //! to `BENCH_engine.json`; every record names its `world`, `threads` and
 //! `feedback` mode explicitly (older records lack those fields but keep
 //! parsing — readers treat them as additive).
@@ -18,6 +20,7 @@
 use smartexp3_core::{NetworkId, Observation, PolicyFactory, PolicyKind};
 use smartexp3_engine::{FleetConfig, FleetEngine, StepContext};
 use smartexp3_env::{cooperative, equal_share, GossipConfig, Scenario};
+use smartexp3_telemetry::RingSink;
 use std::time::Instant;
 
 fn feedback(ctx: &mut StepContext<'_>) -> Observation {
@@ -60,6 +63,20 @@ fn measure_scenario(scenario: &mut Scenario, slots: usize) -> f64 {
     let sessions = scenario.sessions();
     let start = Instant::now();
     scenario.run(slots);
+    (sessions * slots) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Same measurement with streaming telemetry enabled: per-partition metric
+/// accumulation, canonical-order merge and a ring sink every slot. Paired
+/// with the telemetry-off `equal_share` datapoint, this records what the
+/// observability layer costs.
+fn measure_scenario_streaming(scenario: &mut Scenario, slots: usize) -> f64 {
+    assert!(scenario.enable_telemetry(), "world streams telemetry");
+    let mut sink = RingSink::new(1);
+    scenario.run_streaming(slots.div_ceil(4).max(1), &mut sink);
+    let sessions = scenario.sessions();
+    let start = Instant::now();
+    scenario.run_streaming(slots, &mut sink);
     (sessions * slots) as f64 / start.elapsed().as_secs_f64()
 }
 
@@ -121,6 +138,12 @@ fn main() {
     let mut partitioned =
         equal_share(sessions, PolicyKind::SmartExp3, config.clone()).expect("valid scenario");
     let partitioned_rate = measure_scenario(&mut partitioned, slots);
+    // Telemetry datapoint: the identical world with per-slot streaming
+    // metrics on — the partitioned/telemetry pair is the observability
+    // overhead the README quotes (budget: ≤ 10% decisions/sec).
+    let mut streaming =
+        equal_share(sessions, PolicyKind::SmartExp3, config.clone()).expect("valid scenario");
+    let streaming_rate = measure_scenario_streaming(&mut streaming, slots);
     let mut sequential = equal_share(
         sessions,
         PolicyKind::SmartExp3,
@@ -163,6 +186,15 @@ fn main() {
         record(
             "scenario_throughput/equal_share",
             "equal_share",
+            "partitioned+telemetry",
+            sessions,
+            slots,
+            threads,
+            streaming_rate,
+        ),
+        record(
+            "scenario_throughput/equal_share",
+            "equal_share",
             "sequential",
             sessions,
             slots,
@@ -193,10 +225,13 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!(
-        "closure {:.2}M, scenario {:.2}M (sequential feedback {:.2}M), cooperative {:.2}M \
-         decisions/sec over {sessions} sessions x {slots} slots, {threads} threads -> appended to {out}",
+        "closure {:.2}M, scenario {:.2}M (telemetry {:.2}M = {:+.1}%, sequential feedback \
+         {:.2}M), cooperative {:.2}M decisions/sec over {sessions} sessions x {slots} slots, \
+         {threads} threads -> appended to {out}",
         closure / 1e6,
         partitioned_rate / 1e6,
+        streaming_rate / 1e6,
+        (streaming_rate / partitioned_rate - 1.0) * 100.0,
         sequential_rate / 1e6,
         coop_rate / 1e6
     );

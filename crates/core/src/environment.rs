@@ -298,6 +298,27 @@ pub trait Environment: Send + Sync {
         let _ = (slot, choices, tops);
     }
 
+    /// Enables or disables streaming telemetry accumulation; returns `true`
+    /// when this environment supports it (and the new setting took effect).
+    ///
+    /// Telemetry is pure observation: toggling it must not change choices,
+    /// gains, the environment RNG trajectory or [`state`](Self::state).
+    /// Environments that support partitioned feedback accumulate one
+    /// [`SlotMetrics`](smartexp3_telemetry::SlotMetrics) per partition while
+    /// grading and merge them in canonical partition order, so the series is
+    /// identical at any thread count and with partitioning on or off. The
+    /// default declines (`false`): worlds without telemetry pay nothing.
+    fn set_telemetry(&mut self, enabled: bool) -> bool {
+        let _ = enabled;
+        false
+    }
+
+    /// The metrics accumulated for the most recently graded slot, or `None`
+    /// when telemetry is unsupported or disabled.
+    fn telemetry(&self) -> Option<&smartexp3_telemetry::SlotMetrics> {
+        None
+    }
+
     /// Serializes the environment's dynamic state (current bandwidths,
     /// pending events, mobility positions, environment RNG, per-session
     /// accounting) as an opaque JSON string, or `None` when this environment

@@ -84,6 +84,7 @@ pub use hybrid_block_exp3::HybridBlockExp3;
 pub use policy::{probability_of, Observation, Policy, PolicyStats, SelectionKind};
 pub use shared::{SharedFeedback, SharedRate};
 pub use smart_exp3::{SmartExp3, SmartExp3Config, SmartExp3Features};
+pub use smartexp3_telemetry::SlotMetrics;
 pub use state::PolicyState;
 pub use stats::NetworkStats;
 pub use types::{splitmix64, BlockIndex, NetworkId, SlotIndex};

@@ -73,7 +73,9 @@ use smartexp3_core::{
     PartitionJob, Policy, PolicyFactory, PolicyKind, PolicyState, PolicyStats, SharedFeedback,
     SlotIndex,
 };
+use smartexp3_telemetry::{SlotTiming, TelemetryRecord, TelemetrySink};
 use std::fmt;
+use std::time::Instant;
 
 /// Identifier of one session (one simulated device) within a fleet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -533,6 +535,10 @@ pub struct FleetEngine {
     env_choices: Vec<Option<NetworkId>>,
     env_feedback: Vec<Option<Observation>>,
     env_tops: Vec<Option<(NetworkId, f64)>>,
+    /// Wall-clock phase breakdown of the most recent [`step_env`]
+    /// (`Self::step_env`) slot. Host timing, *not* covered by any
+    /// determinism contract, and deliberately excluded from snapshots.
+    last_timing: Option<SlotTiming>,
 }
 
 impl fmt::Debug for FleetEngine {
@@ -569,6 +575,7 @@ impl FleetEngine {
             env_choices: Vec::new(),
             env_feedback: Vec::new(),
             env_tops: Vec::new(),
+            last_timing: None,
         }
     }
 
@@ -807,6 +814,25 @@ impl FleetEngine {
     /// Panics when `env.sessions() != self.len()` — the environment and the
     /// fleet must describe the same session set.
     pub fn step_env(&mut self, env: &mut dyn Environment) {
+        self.step_env_with_sink(env, None);
+    }
+
+    /// [`step_env`](Self::step_env) with streaming telemetry: after the slot
+    /// completes, one [`TelemetryRecord`] — the environment's
+    /// [`telemetry`](Environment::telemetry) metrics (empty if the world has
+    /// none enabled) plus this slot's [`SlotTiming`] — is delivered to
+    /// `sink`, if one is given. The sink is an observer: stepping with or
+    /// without one is bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `env.sessions() != self.len()`, as in
+    /// [`step_env`](Self::step_env).
+    pub fn step_env_with_sink(
+        &mut self,
+        env: &mut dyn Environment,
+        sink: Option<&mut dyn TelemetrySink>,
+    ) {
         assert_eq!(
             env.sessions(),
             self.sessions.len(),
@@ -817,7 +843,10 @@ impl FleetEngine {
         let slot = self.slot;
         let shard_size = self.config.shard_size.max(1);
         let count = self.sessions.len();
+        let phase_start = Instant::now();
         env.begin_slot(slot);
+        let begin_slot_s = phase_start.elapsed().as_secs_f64();
+        let phase_start = Instant::now();
 
         // Phase 2: choose (parallel).
         if self.env_choices.len() != count {
@@ -857,6 +886,8 @@ impl FleetEngine {
             });
         }
         let active = self.env_choices.iter().flatten().count() as u64;
+        let choose_s = phase_start.elapsed().as_secs_f64();
+        let phase_start = Instant::now();
 
         // Phase 3: joint feedback. Partitioned worlds fan their independent
         // areas out over the worker pool; everything else — including any
@@ -887,6 +918,8 @@ impl FleetEngine {
                 *feedback = None;
             }
         }
+        let feedback_s = phase_start.elapsed().as_secs_f64();
+        let phase_start = Instant::now();
 
         // Phase 4: observe (parallel), then the end-of-slot hook. Sessions in
         // a cooperative environment additionally hear their neighbourhood's
@@ -948,6 +981,23 @@ impl FleetEngine {
         }
         let tops: &[Option<(NetworkId, f64)>] = if wants_tops { &self.env_tops } else { &[] };
         env.end_slot(slot, &self.env_choices, tops);
+        let observe_s = phase_start.elapsed().as_secs_f64();
+
+        let timing = SlotTiming {
+            begin_slot_s,
+            choose_s,
+            feedback_s,
+            observe_s,
+        };
+        self.last_timing = Some(timing);
+        if let Some(sink) = sink {
+            sink.record(&TelemetryRecord {
+                slot,
+                active,
+                metrics: env.telemetry().cloned().unwrap_or_default(),
+                timing,
+            });
+        }
 
         self.decisions += active;
         self.slot += 1;
@@ -958,6 +1008,29 @@ impl FleetEngine {
         for _ in 0..slots {
             self.step_env(env);
         }
+    }
+
+    /// Runs `slots` environment-driven steps, streaming one
+    /// [`TelemetryRecord`] per slot into `sink` (see
+    /// [`step_env_with_sink`](Self::step_env_with_sink)).
+    pub fn run_env_with_sink(
+        &mut self,
+        env: &mut dyn Environment,
+        slots: usize,
+        sink: &mut dyn TelemetrySink,
+    ) {
+        for _ in 0..slots {
+            self.step_env_with_sink(env, Some(&mut *sink));
+        }
+    }
+
+    /// Wall-clock phase breakdown of the most recent
+    /// [`step_env`](Self::step_env) slot, or `None` before the first
+    /// environment-driven step. Host timing only — excluded from the
+    /// determinism contract and from snapshots.
+    #[must_use]
+    pub fn last_slot_timing(&self) -> Option<SlotTiming> {
+        self.last_timing
     }
 
     /// Broadcasts a network-set change to every session (e.g. AP churn in the

@@ -389,6 +389,16 @@ impl Environment for CooperativeEnvironment {
         self.inner.wants_top_choices()
     }
 
+    fn set_telemetry(&mut self, enabled: bool) -> bool {
+        // Gossip is pure information sharing; the graded quantities live in
+        // the wrapped world, so telemetry is the inner environment's.
+        self.inner.set_telemetry(enabled)
+    }
+
+    fn telemetry(&self) -> Option<&smartexp3_core::SlotMetrics> {
+        self.inner.telemetry()
+    }
+
     fn end_slot(
         &mut self,
         slot: SlotIndex,

@@ -36,6 +36,7 @@ use netsim::{
 };
 use smartexp3_core::{ConfigError, Environment, NetworkId, PolicyFactory, PolicyKind};
 use smartexp3_engine::{FleetConfig, FleetEngine};
+use smartexp3_telemetry::TelemetrySink;
 use tracegen::paper_trace_pair;
 
 /// Devices per replicated congestion area (the paper's settings use 20 per
@@ -61,6 +62,23 @@ impl Scenario {
     /// Steps the scenario `slots` slots through the unified engine path.
     pub fn run(&mut self, slots: usize) {
         self.fleet.run_env(self.environment.as_mut(), slots);
+    }
+
+    /// Enables streaming telemetry on the world; returns `false` when the
+    /// environment does not support it. Telemetry is pure observation — the
+    /// trajectory is unchanged — so it can be toggled mid-run.
+    pub fn enable_telemetry(&mut self) -> bool {
+        self.environment.set_telemetry(true)
+    }
+
+    /// Steps the scenario `slots` slots, delivering one
+    /// [`TelemetryRecord`](smartexp3_telemetry::TelemetryRecord) per slot to
+    /// `sink`. Call [`enable_telemetry`](Self::enable_telemetry) first if the
+    /// records should carry per-slot metrics (without it they still carry
+    /// `slot`, `active` and phase timing).
+    pub fn run_streaming(&mut self, slots: usize, sink: &mut dyn TelemetrySink) {
+        self.fleet
+            .run_env_with_sink(self.environment.as_mut(), slots, sink);
     }
 
     /// Number of sessions in the world.

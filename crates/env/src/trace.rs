@@ -17,7 +17,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use smartexp3_core::{
     EnvStateError, Environment, NetworkId, Observation, PartitionExecutor, PartitionJob,
-    SequentialExecutor, SessionRange, SessionView, SlotIndex,
+    SequentialExecutor, SessionRange, SessionView, SlotIndex, SlotMetrics,
 };
 use tracegen::{TracePair, CELLULAR, WIFI};
 
@@ -56,6 +56,13 @@ pub struct TraceEnvironment {
     env_seed: u64,
     ranges: Vec<SessionRange>,
     rngs: Vec<StdRng>,
+    /// Whether phase groups accumulate streaming telemetry while grading.
+    telemetry_enabled: bool,
+    /// One accumulator per phase group, merged in canonical partition order
+    /// into `slot_metrics` after every feedback pass.
+    partition_metrics: Vec<SlotMetrics>,
+    /// Last slot's fleet-level metrics (telemetry only; never serialized).
+    slot_metrics: SlotMetrics,
 }
 
 /// Derives phase group `partition`'s delay-sampling stream. Partition 0
@@ -104,6 +111,9 @@ impl TraceEnvironment {
             env_seed,
             ranges: Vec::new(),
             rngs: Vec::new(),
+            telemetry_enabled: false,
+            partition_metrics: Vec::new(),
+            slot_metrics: SlotMetrics::new(),
         };
         env.rebuild_partitions(TRACE_PARTITION_SESSIONS);
         env
@@ -128,6 +138,7 @@ impl TraceEnvironment {
         self.rngs = (0..partitions)
             .map(|p| trace_rng(self.env_seed, p))
             .collect();
+        self.partition_metrics = vec![SlotMetrics::new(); partitions];
     }
 
     /// Total download across all sessions, in megabits.
@@ -145,7 +156,11 @@ impl TraceEnvironment {
 
 /// Grades one phase group: canonical session order, delays from the group's
 /// own stream. `start` is the global index of the group's first session;
-/// `sessions`, `choices` and `out` are the group's slices.
+/// `sessions`, `choices` and `out` are the group's slices. With `telemetry`
+/// on, `metrics` additionally accumulates the group's streaming series; the
+/// trace world's "distance to equilibrium" is the shortfall against the best
+/// rate the session's own trace offered that slot (there is no congestion, so
+/// the per-session optimum *is* the equilibrium).
 #[allow(clippy::too_many_arguments)]
 fn run_partition(
     pairs: &[TracePair],
@@ -158,7 +173,14 @@ fn run_partition(
     choices: &[Option<NetworkId>],
     sessions: &mut [TraceSessionDyn],
     out: &mut [Option<Observation>],
+    telemetry: bool,
+    metrics: &mut SlotMetrics,
 ) {
+    if telemetry {
+        metrics.clear();
+    }
+    let mut graded = 0usize;
+    let mut shortfall_sum = 0.0;
     for (i, choice) in choices.iter().enumerate() {
         let Some(chosen) = *choice else {
             out[i] = None;
@@ -190,11 +212,25 @@ fn run_partition(
         session.download_megabits += rate * (slot_duration - delay).max(0.0);
 
         let scaled_gain = (rate / gain_scale).clamp(0.0, 1.0);
+        if telemetry {
+            graded += 1;
+            metrics.record_session(rate, scaled_gain, switched);
+            let best = pair
+                .wifi
+                .rate_at(trace_slot)
+                .max(pair.cellular.rate_at(trace_slot));
+            if best > 0.0 {
+                shortfall_sum += (best - rate).max(0.0) * 100.0 / best;
+            }
+        }
         let mut observation = Observation::bandit(slot, chosen, rate, scaled_gain);
         if switched {
             observation = observation.with_switch(delay);
         }
         out[i] = Some(observation);
+    }
+    if telemetry && graded > 0 {
+        metrics.finish_area(shortfall_sum / graded as f64);
     }
 }
 
@@ -229,6 +265,7 @@ impl Environment for TraceEnvironment {
         out: &mut [Option<Observation>],
         executor: &dyn PartitionExecutor,
     ) {
+        let telemetry = self.telemetry_enabled;
         let pairs: &[TracePair] = &self.pairs;
         let gain_scale = self.gain_scale;
         let wifi_delay = self.wifi_delay;
@@ -237,7 +274,12 @@ impl Environment for TraceEnvironment {
         let mut sessions_rest: &mut [TraceSessionDyn] = &mut self.sessions;
         let mut out_rest: &mut [Option<Observation>] = out;
         let mut choices_rest: &[Option<NetworkId>] = choices;
-        for (range, rng) in self.ranges.iter().zip(self.rngs.iter_mut()) {
+        for ((range, rng), metrics) in self
+            .ranges
+            .iter()
+            .zip(self.rngs.iter_mut())
+            .zip(self.partition_metrics.iter_mut())
+        {
             let len = range.len();
             let (job_sessions, rest) = sessions_rest.split_at_mut(len);
             sessions_rest = rest;
@@ -258,10 +300,32 @@ impl Environment for TraceEnvironment {
                     job_choices,
                     job_sessions,
                     job_out,
+                    telemetry,
+                    metrics,
                 );
             }));
         }
         executor.run(jobs);
+        // Canonical-partition-order merge: identical result under any
+        // executor, so the telemetry series is thread-count independent.
+        if telemetry {
+            self.slot_metrics.clear();
+            for metrics in &self.partition_metrics {
+                self.slot_metrics.merge(metrics);
+            }
+        }
+    }
+
+    fn set_telemetry(&mut self, enabled: bool) -> bool {
+        self.telemetry_enabled = enabled;
+        if !enabled {
+            self.slot_metrics.clear();
+        }
+        true
+    }
+
+    fn telemetry(&self) -> Option<&SlotMetrics> {
+        self.telemetry_enabled.then_some(&self.slot_metrics)
     }
 
     fn state(&self) -> Option<String> {

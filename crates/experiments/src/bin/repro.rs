@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro <experiment> [--runs N] [--slots N] [--threads N] [--seed N] [--paper-scale]
+//!                    [--telemetry PATH]
 //!
 //! experiments:
 //!   fig2 | fig3 | table4 | fig4 | table5 | fig5 | fig6 | fig7 | fig8 |
@@ -16,10 +17,16 @@ use experiments::{
     cooperative, distance, download, dynamics, fairness, mobility, robustness, scalability,
     stability, switching, tracedriven, wild,
 };
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str =
     "usage: repro <experiment> [--runs N] [--slots N] [--threads N] [--seed N] [--paper-scale]
+                  [--telemetry PATH]
+
+flags:
+  --telemetry PATH  stream per-slot fleet telemetry (JSONL, tailable) to PATH
+                    while running the coop experiment's broadcast variant
 
 experiments:
   fig2     number of network switches (Figure 2)
@@ -45,13 +52,35 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let experiment = args[0].to_lowercase();
-    let scale = match parse_scale(&args[1..]) {
-        Ok(scale) => scale,
+    let (scale, telemetry) = match parse_scale(&args[1..]) {
+        Ok(parsed) => parsed,
         Err(message) => {
             eprintln!("error: {message}\n\n{USAGE}");
             return ExitCode::FAILURE;
         }
     };
+
+    if let Some(path) = &telemetry {
+        if !matches!(experiment.as_str(), "coop" | "cooperative" | "all") {
+            eprintln!("error: --telemetry is only wired to the coop experiment\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+        match cooperative::export_telemetry(&scale, path) {
+            Ok(records) => {
+                eprintln!(
+                    "telemetry: wrote {records} slot records to {} (tail with `tail -f`)",
+                    path.display()
+                );
+            }
+            Err(error) => {
+                eprintln!(
+                    "error: telemetry export to {} failed: {error}",
+                    path.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     let known = run_experiment(&experiment, &scale);
     if !known {
@@ -61,13 +90,21 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn parse_scale(args: &[String]) -> Result<Scale, String> {
+fn parse_scale(args: &[String]) -> Result<(Scale, Option<PathBuf>), String> {
     let mut scale = Scale::default();
+    let mut telemetry = None;
     let mut index = 0;
     while index < args.len() {
         let flag = args[index].clone();
         match flag.as_str() {
             "--paper-scale" => scale = Scale::paper(),
+            "--telemetry" => {
+                index += 1;
+                let value = args
+                    .get(index)
+                    .ok_or_else(|| format!("missing value for {flag}"))?;
+                telemetry = Some(PathBuf::from(value));
+            }
             "--runs" | "--slots" | "--threads" | "--seed" => {
                 index += 1;
                 let value = args
@@ -87,7 +124,7 @@ fn parse_scale(args: &[String]) -> Result<Scale, String> {
         }
         index += 1;
     }
-    Ok(scale)
+    Ok((scale, telemetry))
 }
 
 fn run_experiment(experiment: &str, scale: &Scale) -> bool {

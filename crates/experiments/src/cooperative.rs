@@ -6,21 +6,24 @@
 //! This experiment measures exactly that on the fleet engine: one
 //! 100-device equal-share service area (the scenario library's congestion
 //! world) is run three ways — isolated, broadcast gossip, and
-//! probabilistic-push gossip — and the per-slot **distance to Nash
-//! equilibrium** (Definition 3 of the Smart EXP3 paper) is averaged over
-//! independent runs.
+//! probabilistic-push gossip — and the per-slot **distance to equilibrium**
+//! (the streaming Definition-4 distance: mean shortfall against the area's
+//! fair share, in percent) is averaged over independent runs.
 //!
-//! All three variants go through `FleetEngine::run_env`; the cooperative
-//! ones wrap the world in the scenario library's `CooperativeEnvironment`,
-//! so the comparison exercises the exact gossip path production fleets use.
+//! All three variants go through the engine's streaming-telemetry path
+//! (`FleetEngine::run_env_with_sink`); the cooperative ones wrap the world
+//! in the scenario library's `CooperativeEnvironment`, so the comparison
+//! exercises the exact gossip *and* telemetry paths production fleets use —
+//! no dense recorder, no per-session buffering.
 
 use crate::config::Scale;
 use crate::report::format_series;
 use crate::runner::{average_series, downsample, run_many};
-use congestion_game::{distance_to_nash, DeviceState, ResourceSelectionGame};
-use smartexp3_core::{NetworkId, PolicyKind};
+use smartexp3_core::PolicyKind;
 use smartexp3_env::{cooperative, equal_share, GossipConfig, Scenario, DEVICES_PER_AREA};
+use smartexp3_telemetry::{JsonlSink, RingSink, TelemetrySink};
 use std::fmt;
+use std::path::Path;
 
 /// Number of buckets used when rendering the series textually.
 pub const SERIES_BUCKETS: usize = 12;
@@ -37,7 +40,8 @@ pub const PUSH_PROBABILITY: f64 = 0.25;
 pub struct ConvergenceCurve {
     /// Variant name (`isolated`, `broadcast`, `push`).
     pub label: &'static str,
-    /// Average (over runs) distance to Nash equilibrium per slot, percent.
+    /// Average (over runs) distance to equilibrium per slot (Definition-4
+    /// fair-share shortfall), percent.
     pub distance: Vec<f64>,
 }
 
@@ -101,56 +105,28 @@ fn build(scale: &Scale, variant: &str, kind: PolicyKind, seed: u64) -> Scenario 
     .expect("static scenario construction cannot fail")
 }
 
-/// Steps `scenario` slot by slot, reading the joint choices back from the
-/// fleet and scoring each slot's allocation against the Nash equilibrium of
-/// the single area's game (equal-share world: the observed rate of every
-/// device is its network's bandwidth divided by that network's load).
-fn distance_series(
-    scenario: &mut Scenario,
-    slots: usize,
-    game: &ResourceSelectionGame,
-) -> Vec<f64> {
-    let networks = game.networks();
-    let mut series = Vec::with_capacity(slots);
-    let mut states: Vec<DeviceState> = Vec::with_capacity(scenario.sessions());
-    for _ in 0..slots {
-        scenario.run(1);
-        let choices = scenario.fleet.last_choices();
-        let mut loads = vec![0usize; networks.len()];
-        for network in choices.iter().flatten() {
-            if let Some(i) = networks.iter().position(|n| n == network) {
-                loads[i] += 1;
-            }
-        }
-        states.clear();
-        states.extend(choices.iter().flatten().map(|&network| {
-            let i = networks
-                .iter()
-                .position(|n| *n == network)
-                .expect("sessions choose area networks");
-            DeviceState {
-                network,
-                observed_rate: game.share(network, loads[i]),
-            }
-        }));
-        series.push(distance_to_nash(game, &states));
-    }
-    series
+/// Runs `scenario` with streaming telemetry and returns the per-slot
+/// distance-to-equilibrium series (Definition 4: mean shortfall against the
+/// area's fair share, percent) straight from the environment's partition
+/// accumulators — no dense recorder, no per-session state.
+fn distance_series(scenario: &mut Scenario, slots: usize) -> Vec<f64> {
+    assert!(
+        scenario.enable_telemetry(),
+        "the cooperative experiment's worlds all support streaming telemetry"
+    );
+    let mut sink = RingSink::new(slots.max(1));
+    scenario.run_streaming(slots, &mut sink);
+    sink.records().map(|r| r.metrics.distance_mean()).collect()
 }
 
 /// Runs the comparison for one policy kind at the given scale.
 #[must_use]
 pub fn run_for(scale: &Scale, kind: PolicyKind) -> CooperativeResult {
-    let game = ResourceSelectionGame::new([
-        (NetworkId(0), 4.0),
-        (NetworkId(1), 7.0),
-        (NetworkId(2), 22.0),
-    ]);
     let variants = ["isolated", "broadcast", "push"];
     let runs: Vec<[Vec<f64>; 3]> = run_many(scale, |seed| {
         variants.map(|variant| {
             let mut scenario = build(scale, variant, kind, seed);
-            distance_series(&mut scenario, scale.slots, &game)
+            distance_series(&mut scenario, scale.slots)
         })
     });
     let averaged = |index: usize, label: &'static str| ConvergenceCurve {
@@ -171,6 +147,25 @@ pub fn run(scale: &Scale) -> CooperativeResult {
     run_for(scale, PolicyKind::Exp3)
 }
 
+/// Runs one broadcast-gossip world (the first seed of `scale`) with the
+/// JSONL telemetry sink streaming to `path`, and returns the number of
+/// records written — the `repro coop --telemetry <path>` exporter. The file
+/// carries one fleet's slot series, so it stays schema-valid under
+/// [`smartexp3_telemetry::validate_jsonl`] (slots strictly increasing).
+///
+/// # Errors
+///
+/// Returns the underlying I/O error when the file cannot be created or
+/// written.
+pub fn export_telemetry(scale: &Scale, path: &Path) -> std::io::Result<u64> {
+    let mut scenario = build(scale, "broadcast", PolicyKind::Exp3, scale.seed(0));
+    assert!(scenario.enable_telemetry());
+    let mut sink = JsonlSink::create(path)?;
+    scenario.run_streaming(scale.slots, &mut sink);
+    TelemetrySink::flush(&mut sink)?;
+    sink.finish()
+}
+
 impl fmt::Display for CooperativeResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let bucket = (self.isolated.distance.len() / SERIES_BUCKETS).max(1);
@@ -180,7 +175,7 @@ impl fmt::Display for CooperativeResult {
             .map(|c| (c.label.to_string(), downsample(&c.distance, bucket)))
             .collect();
         f.write_str(&format_series(
-            "Co-Bandit — distance to Nash equilibrium (%), isolated vs gossip",
+            "Co-Bandit — distance to fair-share equilibrium (%), isolated vs gossip",
             bucket,
             &curves,
         ))?;

@@ -14,6 +14,7 @@ use congestion_game::median;
 use netsim::{NetworkSpec, SimulationConfig};
 use smartexp3_core::PolicyKind;
 use smartexp3_engine::FleetConfig;
+use smartexp3_telemetry::RingSink;
 use std::fmt;
 use std::time::Instant;
 
@@ -128,16 +129,25 @@ pub fn run_with(
 pub struct FleetScalePoint {
     /// Number of concurrent sessions.
     pub sessions: usize,
-    /// Decisions per second sustained through `FleetEngine::run_env` on the
-    /// replicated equal-share congestion world.
+    /// Decisions per second sustained through the engine's streaming
+    /// telemetry path on the replicated equal-share congestion world.
     pub decisions_per_sec: f64,
+    /// Final-slot mean scaled gain (streaming telemetry).
+    pub mean_gain: f64,
+    /// Final-slot Jain fairness index of observed goodput.
+    pub jain: f64,
+    /// Final-slot mean per-area distance to equilibrium, percent.
+    pub distance_mean_pct: f64,
 }
 
 /// Fleet-scale scalability: steps the replicated equal-share congestion
 /// world (Smart EXP3 everywhere) for `slots` slots at each session count and
-/// reports sustained decision throughput. `config` carries the engine's
-/// parallelism override (and the partitioned-feedback switch), so
-/// thread-scaling sweeps are reproducible from the CLI.
+/// reports sustained decision throughput plus the final slot's streaming
+/// quality metrics (mean gain, Jain index, distance to equilibrium) — so the
+/// sweep shows *what the fleet converged to*, not just how fast it stepped.
+/// `config` carries the engine's parallelism override (and the
+/// partitioned-feedback switch), so thread-scaling sweeps are reproducible
+/// from the CLI.
 #[must_use]
 pub fn fleet_sweep(
     session_counts: &[usize],
@@ -150,12 +160,18 @@ pub fn fleet_sweep(
             let mut scenario =
                 smartexp3_env::equal_share(sessions, PolicyKind::SmartExp3, config.clone())
                     .expect("fleet sweep construction cannot fail");
+            assert!(scenario.enable_telemetry());
+            let mut sink = RingSink::new(1);
             let start = Instant::now();
-            scenario.run(slots);
+            scenario.run_streaming(slots, &mut sink);
+            let elapsed = start.elapsed().as_secs_f64().max(f64::EPSILON);
+            let last = sink.latest().expect("the sweep runs at least one slot");
             FleetScalePoint {
                 sessions,
-                decisions_per_sec: (sessions * slots) as f64
-                    / start.elapsed().as_secs_f64().max(f64::EPSILON),
+                decisions_per_sec: (sessions * slots) as f64 / elapsed,
+                mean_gain: last.metrics.mean_gain(),
+                jain: last.metrics.jain(),
+                distance_mean_pct: last.metrics.distance_mean(),
             }
         })
         .collect()
@@ -216,11 +232,14 @@ mod tests {
     }
 
     #[test]
-    fn fleet_sweep_reports_positive_throughput() {
+    fn fleet_sweep_reports_positive_throughput_and_quality_metrics() {
         let points = fleet_sweep(&[200, 400], 5, FleetConfig::with_root_seed(1));
         assert_eq!(points.len(), 2);
         for point in &points {
             assert!(point.decisions_per_sec > 0.0, "{point:?}");
+            assert!(point.mean_gain > 0.0, "{point:?}");
+            assert!(point.jain > 0.0 && point.jain <= 1.0, "{point:?}");
+            assert!(point.distance_mean_pct >= 0.0, "{point:?}");
         }
     }
 }

@@ -21,8 +21,12 @@ pub fn standard_deviation(values: &[f64]) -> f64 {
 
 /// Jain's fairness index `(Σx)² / (n·Σx²)` ∈ (0, 1]; 1 means perfectly fair.
 ///
-/// Returns 1.0 for an empty slice (vacuously fair) and 0.0 if every value is
-/// zero.
+/// Degenerate populations are **vacuously fair**: both the empty slice and
+/// the all-zero slice return 1.0. The two cases are the same situation —
+/// nobody received anything, so nobody was favoured — and the all-zero case
+/// is also the limit of `jain_index(&[x; n])` (which is exactly 1 for every
+/// `x > 0`) as `x → 0`. The streaming telemetry accumulator
+/// (`smartexp3_telemetry::SlotMetrics::jain`) follows the same convention.
 #[must_use]
 pub fn jain_index(values: &[f64]) -> f64 {
     if values.is_empty() {
@@ -31,7 +35,7 @@ pub fn jain_index(values: &[f64]) -> f64 {
     let sum: f64 = values.iter().sum();
     let sum_sq: f64 = values.iter().map(|v| v * v).sum();
     if sum_sq == 0.0 {
-        return 0.0;
+        return 1.0;
     }
     sum * sum / (values.len() as f64 * sum_sq)
 }
@@ -66,7 +70,16 @@ mod tests {
     fn degenerate_inputs() {
         assert_eq!(standard_deviation(&[]), 0.0);
         assert_eq!(standard_deviation(&[5.0]), 0.0);
+        // Both degenerate populations are vacuously fair — one convention for
+        // "nobody received anything", whether there are zero or n receivers.
         assert_eq!(jain_index(&[]), 1.0);
-        assert_eq!(jain_index(&[0.0, 0.0]), 0.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn partial_starvation_is_not_vacuously_fair() {
+        // One of two devices starved: the classic Jain value is 1/2, and the
+        // all-zero convention must not leak into mixed populations.
+        assert!((jain_index(&[0.0, 1.0]) - 0.5).abs() < 1e-12);
     }
 }

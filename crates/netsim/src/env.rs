@@ -50,7 +50,7 @@ use rand::{RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 use smartexp3_core::{
     splitmix64, EnvStateError, Environment, NetworkId, Observation, PartitionExecutor,
-    PartitionJob, SequentialExecutor, SessionRange, SessionView, SlotIndex,
+    PartitionJob, SequentialExecutor, SessionRange, SessionView, SlotIndex, SlotMetrics,
 };
 use std::collections::BTreeMap;
 
@@ -292,6 +292,10 @@ struct FeedbackPartition {
     choices: Vec<(usize, NetworkId)>,
     records: Vec<SelectionRecord>,
     full_gains_pool: Vec<Vec<(NetworkId, f64)>>,
+    /// Streaming telemetry accumulated while grading — filled only when the
+    /// environment has telemetry enabled, then merged across partitions in
+    /// canonical partition order by the sequential reduce.
+    metrics: SlotMetrics,
 }
 
 /// The immutable world tables grading reads — split out so partition jobs
@@ -413,13 +417,19 @@ impl FeedbackPartition {
         devices: &mut [DeviceDyn],
         out: &mut [Option<Observation>],
         record: bool,
+        telemetry: bool,
     ) {
         self.choices.clear();
         self.records.clear();
+        if telemetry {
+            self.metrics.clear();
+        }
         self.state.load.fill(0);
+        let mut graded = 0usize;
         for (i, choice) in choices.iter().enumerate() {
             match choice {
                 Some(chosen) => {
+                    graded += 1;
                     if devices[i].available.contains(chosen) {
                         if let Ok(dense) = tables.universe.binary_search(chosen) {
                             if let Ok(local) = self.networks.binary_search(&dense) {
@@ -447,6 +457,21 @@ impl FeedbackPartition {
                 );
             }
         }
+        // Definition-4 fair share for this partition's area: the bandwidth
+        // the partition owns, split evenly over the sessions graded this
+        // slot (the streaming analogue of the recorder's
+        // `distance_from_average_bit_rate`).
+        let fair_share = if telemetry && graded > 0 {
+            let aggregate: f64 = self
+                .networks
+                .iter()
+                .map(|&dense| tables.bandwidth_by_index[dense])
+                .sum();
+            aggregate / graded as f64
+        } else {
+            0.0
+        };
+        let mut shortfall_sum = 0.0;
         for (i, choice) in choices.iter().enumerate() {
             let Some(chosen) = *choice else { continue };
             if let Some(previous) = out[i].take() {
@@ -463,6 +488,17 @@ impl FeedbackPartition {
                 chosen,
                 slot,
             );
+            if telemetry {
+                self.metrics.record_session(
+                    observation.bit_rate_mbps,
+                    observation.scaled_gain,
+                    observation.switched,
+                );
+                if fair_share > 0.0 {
+                    shortfall_sum +=
+                        (fair_share - observation.bit_rate_mbps).max(0.0) * 100.0 / fair_share;
+                }
+            }
             if record {
                 self.choices.push((self.range.start + i, chosen));
                 self.records.push(SelectionRecord {
@@ -473,6 +509,9 @@ impl FeedbackPartition {
                 });
             }
             out[i] = Some(observation);
+        }
+        if telemetry && graded > 0 {
+            self.metrics.finish_area(shortfall_sum / graded as f64);
         }
     }
 }
@@ -640,6 +679,12 @@ pub struct CongestionEnvironment {
     choices: Vec<(usize, NetworkId)>,
     records: Vec<SelectionRecord>,
     full_gains_pool: Vec<Vec<(NetworkId, f64)>>,
+    /// Whether partitions accumulate streaming telemetry while grading.
+    telemetry_enabled: bool,
+    /// Last slot's fleet-level metrics: the per-partition accumulators merged
+    /// in canonical partition order (so the series is identical at any
+    /// thread count and with partitioning on or off).
+    slot_metrics: SlotMetrics,
 }
 
 impl CongestionEnvironment {
@@ -726,6 +771,7 @@ impl CongestionEnvironment {
                 choices: Vec::new(),
                 records: Vec::new(),
                 full_gains_pool: Vec::new(),
+                metrics: SlotMetrics::new(),
             })
             .collect();
         let partition_rngs = (0..partitions.len())
@@ -753,15 +799,32 @@ impl CongestionEnvironment {
             choices: Vec::new(),
             records: Vec::new(),
             full_gains_pool: Vec::new(),
+            telemetry_enabled: false,
+            slot_metrics: SlotMetrics::new(),
         }
     }
 
     /// Enables the paper-metrics recorder (distance to Nash, stable-state
     /// detection, …). Recorded environments cannot be checkpointed — the
     /// recorder accumulates whole-run series — so fleet-scale scenarios
-    /// leave it off.
+    /// leave it off and use streaming telemetry
+    /// ([`Environment::set_telemetry`]) instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the environment hosts more than
+    /// [`DENSE_RECORDER_MAX_SESSIONS`](crate::DENSE_RECORDER_MAX_SESSIONS)
+    /// sessions: the dense recorder keeps per-session, per-slot state, so
+    /// attaching it to a fleet is a programming error, not a data condition.
     #[must_use]
     pub fn with_recorder(mut self) -> Self {
+        assert!(
+            self.profiles.len() <= crate::DENSE_RECORDER_MAX_SESSIONS,
+            "dense recorder rejected: {} sessions exceeds DENSE_RECORDER_MAX_SESSIONS ({}); \
+             use streaming telemetry (Environment::set_telemetry) for fleet-scale runs",
+            self.profiles.len(),
+            crate::DENSE_RECORDER_MAX_SESSIONS,
+        );
         self.recorder = Some(RunRecorder::new(
             self.profiles.len(),
             self.config.slot_duration_s,
@@ -1063,6 +1126,7 @@ impl Environment for CongestionEnvironment {
         executor: &dyn PartitionExecutor,
     ) {
         let record = self.recorder.is_some();
+        let telemetry = self.telemetry_enabled;
         let CongestionEnvironment {
             partitions,
             partition_rngs,
@@ -1075,6 +1139,7 @@ impl Environment for CongestionEnvironment {
             gain_scale,
             choices: global_choices,
             records: global_records,
+            slot_metrics,
             ..
         } = self;
         let tables = GradeTables {
@@ -1110,6 +1175,7 @@ impl Environment for CongestionEnvironment {
                     job_devices,
                     job_out,
                     record,
+                    telemetry,
                 );
             }));
         }
@@ -1126,6 +1192,27 @@ impl Environment for CongestionEnvironment {
                 global_records.extend_from_slice(&partition.records);
             }
         }
+        // Telemetry merge runs in the same canonical partition order, so the
+        // f64 sums (and hence the exported series) are independent of which
+        // worker graded which partition.
+        if telemetry {
+            slot_metrics.clear();
+            for partition in partitions.iter() {
+                slot_metrics.merge(&partition.metrics);
+            }
+        }
+    }
+
+    fn set_telemetry(&mut self, enabled: bool) -> bool {
+        self.telemetry_enabled = enabled;
+        if !enabled {
+            self.slot_metrics.clear();
+        }
+        true
+    }
+
+    fn telemetry(&self) -> Option<&SlotMetrics> {
+        self.telemetry_enabled.then_some(&self.slot_metrics)
     }
 
     fn wants_top_choices(&self) -> bool {
@@ -1308,6 +1395,12 @@ mod tests {
                 "slot {slot}"
             );
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "dense recorder rejected")]
+    fn dense_recorder_refuses_fleet_scale_populations() {
+        let _ = environment(crate::DENSE_RECORDER_MAX_SESSIONS + 1, Vec::new()).with_recorder();
     }
 
     #[test]

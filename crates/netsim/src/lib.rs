@@ -57,7 +57,7 @@ pub use event::{BandwidthEvent, EventSchedule};
 pub use network::{
     figure1_networks, setting1_networks, setting2_networks, NetworkSpec, Technology,
 };
-pub use recorder::{RunRecorder, RunResult, SelectionRecord};
+pub use recorder::{RunRecorder, RunResult, SelectionRecord, DENSE_RECORDER_MAX_SESSIONS};
 pub use sharing::SharingModel;
 pub use sim::{Simulation, SimulationConfig};
 pub use topology::{AreaId, ServiceArea, Topology};

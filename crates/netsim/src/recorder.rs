@@ -17,6 +17,16 @@ use congestion_game::{
 use serde::{Deserialize, Serialize};
 use smartexp3_core::NetworkId;
 
+/// Ceiling on the fleet size the dense recorder accepts.
+///
+/// The recorder keeps per-slot, per-session state (and optionally the raw
+/// `SelectionRecord`s), so its memory grows with `sessions × slots` — fine at
+/// paper scale, hopeless at fleet scale. Attaching it to a fleet above this
+/// threshold is rejected (see `CongestionEnvironment::with_recorder`); fleets
+/// beyond it must use the streaming `smartexp3-telemetry` accumulators, whose
+/// memory is constant in the session count.
+pub const DENSE_RECORDER_MAX_SESSIONS: usize = 20_000;
+
 /// One device's situation during one slot, as fed to the recorder.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SelectionRecord {
@@ -44,6 +54,13 @@ pub struct RunRecorder {
     unutilized_megabits: f64,
     selections: Option<Vec<Vec<SelectionRecord>>>,
     recorded_slots: usize,
+    // Per-slot scratch buffers, reused across slots so steady-state recording
+    // allocates nothing (the raw `selections` queue, when enabled, is the
+    // only growing storage).
+    scratch_states: Vec<DeviceState>,
+    scratch_rates: Vec<f64>,
+    scratch_choices: Vec<NetworkId>,
+    scratch_tops: Vec<(NetworkId, f64)>,
 }
 
 impl RunRecorder {
@@ -77,6 +94,10 @@ impl RunRecorder {
                 None
             },
             recorded_slots: 0,
+            scratch_states: Vec::new(),
+            scratch_rates: Vec::new(),
+            scratch_choices: Vec::new(),
+            scratch_tops: Vec::new(),
         }
     }
 
@@ -85,25 +106,28 @@ impl RunRecorder {
     pub fn record_slot(&mut self, game: &ResourceSelectionGame, records: &[SelectionRecord]) {
         self.recorded_slots += 1;
 
-        let device_states: Vec<DeviceState> = records
-            .iter()
-            .map(|r| DeviceState {
+        self.scratch_states.clear();
+        self.scratch_states
+            .extend(records.iter().map(|r| DeviceState {
                 network: r.network,
                 observed_rate: r.rate_mbps,
-            })
-            .collect();
+            }));
         self.distance_to_nash
-            .push(distance_to_nash(game, &device_states));
+            .push(distance_to_nash(game, &self.scratch_states));
 
-        let observed_rates: Vec<f64> = records.iter().map(|r| r.rate_mbps).collect();
+        self.scratch_rates.clear();
+        self.scratch_rates
+            .extend(records.iter().map(|r| r.rate_mbps));
         self.distance_from_average
             .push(distance_from_average_bit_rate(
                 game.aggregate_rate(),
-                &observed_rates,
+                &self.scratch_rates,
             ));
 
-        let choices: Vec<NetworkId> = records.iter().map(|r| r.network).collect();
-        let allocation = game.allocation_from_choices(&choices);
+        self.scratch_choices.clear();
+        self.scratch_choices
+            .extend(records.iter().map(|r| r.network));
+        let allocation = game.allocation_from_choices(&self.scratch_choices);
         if is_nash_allocation(game, &allocation) {
             self.slots_at_nash += 1;
         }
@@ -112,8 +136,10 @@ impl RunRecorder {
         }
         self.unutilized_megabits += game.unutilized_rate(&allocation) * self.slot_duration_s;
 
-        let tops: Vec<(NetworkId, f64)> = records.iter().map(|r| r.top_choice).collect();
-        self.detector.record_slot(&tops);
+        self.scratch_tops.clear();
+        self.scratch_tops
+            .extend(records.iter().map(|r| r.top_choice));
+        self.detector.record_slot(&self.scratch_tops);
 
         if let Some(selections) = &mut self.selections {
             selections.push(records.to_vec());

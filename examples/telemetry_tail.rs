@@ -1,0 +1,148 @@
+//! Streaming-telemetry demo: one million concurrent Smart EXP3 sessions with
+//! the per-slot fleet summary printed live and the full time series exported
+//! as tailable JSONL.
+//!
+//! Every slot, each independent service area reduces its own memory-bounded
+//! metric accumulator inside the partitioned feedback phase, the environment
+//! merges them in canonical partition order (so the series is bit-identical
+//! at any thread count), and the engine pairs the result with a wall-clock
+//! phase breakdown into one `TelemetryRecord`. This example fans the records
+//! into two sinks at once: a ring buffer that drives the live console
+//! summary, and — when a path is given — a `JsonlSink` a dashboard can
+//! follow with `tail -f` while the run is still going. The export is
+//! re-parsed and schema-validated at the end.
+//!
+//! ```text
+//! cargo run --release --example telemetry_tail [sessions] [slots] [threads] [jsonl-path]
+//! ```
+
+use smartexp3::core::PolicyKind;
+use smartexp3::engine::FleetConfig;
+use smartexp3::scenarios::equal_share;
+use smartexp3::telemetry::{validate_jsonl, JsonlSink, RingSink, TelemetryRecord, TelemetrySink};
+use std::time::Instant;
+
+fn parse_arg(value: Option<&String>, name: &str, default: usize) -> usize {
+    match value {
+        None => default,
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("error: {name} must be a non-negative integer, got `{raw}`");
+            eprintln!("usage: telemetry_tail [sessions] [slots] [threads] [jsonl-path]");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// Fans every record into the live ring and, optionally, the JSONL export.
+struct TeeSink {
+    ring: RingSink,
+    file: Option<JsonlSink>,
+}
+
+impl TelemetrySink for TeeSink {
+    fn record(&mut self, record: &TelemetryRecord) {
+        self.ring.record(record);
+        if let Some(file) = &mut self.file {
+            file.record(record);
+        }
+        let m = &record.metrics;
+        println!(
+            "slot {:>4}  active {:>9}  goodput {:>6.2} Mbps  gain {:.3}  jain {:.4}  \
+             switch {:>5.1} %  distance {:>5.1} %  slot time {:>7.1} ms",
+            record.slot,
+            record.active,
+            m.mean_rate_mbps(),
+            m.mean_gain(),
+            m.jain(),
+            m.switch_rate() * 100.0,
+            m.distance_mean(),
+            record.timing.total_s() * 1e3,
+        );
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match &mut self.file {
+            Some(file) => file.flush(),
+            None => Ok(()),
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sessions = parse_arg(args.first(), "sessions", 1_000_000).max(1);
+    let slots = parse_arg(args.get(1), "slots", 30).max(1);
+    let threads = parse_arg(args.get(2), "threads", 0);
+    let path = args.get(3).cloned();
+
+    let mut config = FleetConfig::with_root_seed(2026);
+    if threads > 0 {
+        config = config.with_threads(threads);
+    }
+    let build_start = Instant::now();
+    let mut scenario =
+        equal_share(sessions, PolicyKind::SmartExp3, config).expect("valid scenario");
+    assert!(
+        scenario.enable_telemetry(),
+        "the equal-share world streams telemetry"
+    );
+    println!(
+        "world `{}`: {} sessions built in {:.2}s — streaming telemetry{}",
+        scenario.name,
+        scenario.sessions(),
+        build_start.elapsed().as_secs_f64(),
+        path.as_deref()
+            .map(|p| format!(", exporting JSONL to {p}"))
+            .unwrap_or_default()
+    );
+
+    let file = path.as_deref().map(|p| {
+        JsonlSink::create(p).unwrap_or_else(|error| {
+            eprintln!("error: cannot create {p}: {error}");
+            std::process::exit(2);
+        })
+    });
+    let mut sink = TeeSink {
+        ring: RingSink::new(slots),
+        file,
+    };
+    let run_start = Instant::now();
+    scenario.run_streaming(slots, &mut sink);
+    let elapsed = run_start.elapsed().as_secs_f64();
+
+    let last = sink.ring.latest().expect("at least one slot ran");
+    let timing_sum: f64 = sink.ring.records().map(|r| r.timing.total_s()).sum();
+    println!(
+        "ran {} slots in {:.2}s ({:.2}M decisions/sec); phase-timed {:.2}s of it",
+        slots,
+        elapsed,
+        (sessions * slots) as f64 / elapsed / 1e6,
+        timing_sum,
+    );
+    println!(
+        "final slot: goodput {:.2} Mbps mean, jain {:.4}, switch rate {:.1} %, \
+         distance to equilibrium {:.1} %",
+        last.metrics.mean_rate_mbps(),
+        last.metrics.jain(),
+        last.metrics.switch_rate() * 100.0,
+        last.metrics.distance_mean(),
+    );
+
+    if let Some(file) = sink.file.take() {
+        let written = file.finish().expect("telemetry export flushes");
+        let path = path.expect("path exists when the file sink does");
+        let text = std::fs::read_to_string(&path).expect("export reads back");
+        match validate_jsonl(&text) {
+            Ok(records) => {
+                assert_eq!(records as u64, written, "every written record validates");
+                println!(
+                    "export: {records} schema-valid records in {path} (tail with `tail -f {path}`)"
+                );
+            }
+            Err(error) => {
+                eprintln!("error: schema validation failed: {error}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

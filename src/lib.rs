@@ -23,7 +23,12 @@
 //!   every paper world (shared congestion, bandwidth dynamics, area
 //!   mobility, trace replay) as an [`Environment`](core::Environment)
 //!   driveable by [`FleetEngine::run_env`](engine::FleetEngine::run_env)
-//!   with millions of sessions.
+//!   with millions of sessions;
+//! * [`telemetry`] (`smartexp3-telemetry`) — streaming fleet telemetry:
+//!   memory-bounded per-slot metric accumulators
+//!   ([`SlotMetrics`](telemetry::SlotMetrics)), slot-phase wall-clock timing
+//!   ([`SlotTiming`](telemetry::SlotTiming)) and tailable sinks
+//!   ([`RingSink`](telemetry::RingSink), [`JsonlSink`](telemetry::JsonlSink)).
 //!
 //! ## Fleet engine
 //!
@@ -66,6 +71,7 @@ pub use netsim;
 pub use smartexp3_core as core;
 pub use smartexp3_engine as engine;
 pub use smartexp3_env as scenarios;
+pub use smartexp3_telemetry as telemetry;
 pub use tracegen;
 
 // Convenience re-exports of the most commonly used items.

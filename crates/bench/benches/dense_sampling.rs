@@ -1,0 +1,74 @@
+//! Large-K sampling: the O(K) linear CDF walk vs the O(log K) Fenwick
+//! descent, at arm counts from the paper's settings (handfuls) up to a
+//! dense-urban catalog (1024 networks).
+//!
+//! Two levels: the raw [`WeightTable`] draw+update cycle, and the full EXP3
+//! per-slot cost (`choose` + `observe`) a dense-urban session pays online.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use smartexp3_core::{
+    Exp3, Exp3Config, NetworkId, Observation, Policy, SamplerStrategy, WeightTable,
+};
+use std::time::Duration;
+
+const ARM_COUNTS: [usize; 3] = [64, 256, 1024];
+const STRATEGIES: [SamplerStrategy; 2] = [SamplerStrategy::Linear, SamplerStrategy::Tree];
+
+fn networks(k: usize) -> Vec<NetworkId> {
+    (0..k as u32).map(NetworkId).collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weight_table_draw_update");
+    group
+        .sample_size(60)
+        .measurement_time(Duration::from_secs(2));
+    for k in ARM_COUNTS {
+        for strategy in STRATEGIES {
+            let id = BenchmarkId::new(format!("{strategy:?}"), k);
+            group.bench_function(id, |b| {
+                let mut table = WeightTable::uniform_with_strategy(&networks(k), strategy);
+                let mut rng = StdRng::seed_from_u64(7);
+                b.iter(|| {
+                    let (arm, probability) = table.sample(0.1, &mut rng);
+                    table.multiplicative_update(arm, 0.1, 0.5 / probability);
+                    arm
+                })
+            });
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("exp3_slot");
+    group
+        .sample_size(60)
+        .measurement_time(Duration::from_secs(2));
+    for k in ARM_COUNTS {
+        for strategy in STRATEGIES {
+            let id = BenchmarkId::new(format!("{strategy:?}"), k);
+            group.bench_function(id, |b| {
+                let config = Exp3Config {
+                    sampler: strategy,
+                    ..Exp3Config::default()
+                };
+                let mut policy = Exp3::new(networks(k), config).expect("valid config");
+                let mut rng = StdRng::seed_from_u64(11);
+                let mut slot = 0usize;
+                b.iter(|| {
+                    let chosen = policy.choose(slot, &mut rng);
+                    let gain = 0.2 + 0.6 * (chosen.index() as f64 / k as f64);
+                    let observation = Observation::bandit(slot, chosen, gain * 22.0, gain);
+                    policy.observe(&observation, &mut rng);
+                    slot += 1;
+                    chosen
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

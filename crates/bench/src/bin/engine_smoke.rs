@@ -17,11 +17,22 @@
 //!     [-- --sessions N] [--slots N] [--threads N] [--out PATH]
 //! ```
 
-use smartexp3_core::{NetworkId, Observation, PolicyFactory, PolicyKind};
+use smartexp3_core::{NetworkId, Observation, PolicyFactory, PolicyKind, SamplerStrategy};
 use smartexp3_engine::{FleetConfig, FleetEngine, StepContext};
-use smartexp3_env::{cooperative, equal_share, GossipConfig, Scenario};
+use smartexp3_env::{
+    cooperative, dense_urban, equal_share, DenseUrbanConfig, GossipConfig, Scenario,
+};
 use smartexp3_telemetry::RingSink;
 use std::time::Instant;
+
+/// Sessions in the dense-urban datapoints: one paper-shaped city block. The
+/// large-K comparison is about per-decision sampling cost, so the fleet is
+/// kept cache-resident — at huge fleets every strategy is DRAM-bound and the
+/// sampler difference is masked by memory traffic.
+const DENSE_SESSIONS: usize = 64;
+
+/// Networks per block in the dense-urban datapoints (the arm count K).
+const DENSE_NETWORKS: usize = 512;
 
 fn feedback(ctx: &mut StepContext<'_>) -> Observation {
     let gain = if ctx.chosen == NetworkId(2) {
@@ -95,20 +106,65 @@ fn parse_flag(args: &[String], name: &str, default: usize) -> usize {
 
 /// One BENCH_engine.json line. `world` names the measured workload and
 /// `feedback` its feedback mode, so multi-world runs are unambiguous.
-fn record(
-    bench: &str,
-    world: &str,
-    feedback: &str,
+/// `extra` carries pre-rendered additive JSON fields (empty for none) —
+/// the dense-urban records use it for the sampler axis.
+struct Record {
+    bench: &'static str,
+    world: &'static str,
+    feedback: &'static str,
+    policy: &'static str,
     sessions: usize,
     slots: usize,
     threads: usize,
     decisions_per_sec: f64,
-) -> String {
-    format!(
-        "{{\"bench\":\"{bench}\",\"world\":\"{world}\",\"feedback\":\"{feedback}\",\
-         \"sessions\":{sessions},\"slots\":{slots},\"threads\":{threads},\
-         \"decisions_per_sec\":{decisions_per_sec:.0},\"policy\":\"SmartExp3\"}}"
-    )
+    extra: String,
+}
+
+impl Record {
+    fn render(&self) -> String {
+        let Record {
+            bench,
+            world,
+            feedback,
+            policy,
+            sessions,
+            slots,
+            threads,
+            decisions_per_sec,
+            extra,
+        } = self;
+        format!(
+            "{{\"bench\":\"{bench}\",\"world\":\"{world}\",\"feedback\":\"{feedback}\",\
+             \"sessions\":{sessions},\"slots\":{slots},\"threads\":{threads},\
+             \"decisions_per_sec\":{decisions_per_sec:.0},\"policy\":\"{policy}\"{extra}}}"
+        )
+    }
+}
+
+/// Dense-urban large-K datapoint: one cache-resident city block (64 sessions,
+/// K = 512) stepped with the given sampler. Returns `(total decisions/sec,
+/// sampling-phase decisions/sec)` — the second divides decisions by the
+/// summed choose-phase wall time from the streaming timing records, isolating
+/// the cost the sampler strategy actually controls from the
+/// strategy-independent environment and observe work.
+fn measure_dense(sampler: SamplerStrategy, slots: usize, threads: usize) -> (f64, f64) {
+    let config = FleetConfig::with_root_seed(2026).with_threads(threads);
+    let dense = DenseUrbanConfig {
+        networks_per_area: DENSE_NETWORKS,
+        sampler,
+        ..DenseUrbanConfig::default()
+    };
+    let mut scenario =
+        dense_urban(DENSE_SESSIONS, PolicyKind::Exp3, config, dense).expect("valid scenario");
+    let mut sink = RingSink::new(slots);
+    scenario.run_streaming(slots.div_ceil(4).max(1), &mut sink);
+    let mut sink = RingSink::new(slots);
+    let start = Instant::now();
+    scenario.run_streaming(slots, &mut sink);
+    let elapsed = start.elapsed().as_secs_f64();
+    let decisions = (DENSE_SESSIONS * slots) as f64;
+    let choose_s: f64 = sink.records().map(|r| r.timing.choose_s).sum();
+    (decisions / elapsed, decisions / choose_s.max(f64::EPSILON))
 }
 
 fn main() {
@@ -164,60 +220,79 @@ fn main() {
     .expect("valid scenario");
     let coop_rate = measure_scenario(&mut coop, slots);
 
+    // Large-K sampler datapoints: the dense-urban world at K = 512, once per
+    // CDF-inversion strategy. The small fleet needs many slots for a stable
+    // wall-clock reading, so the slot count is scaled up from `--slots`.
+    let dense_slots = (slots * 50).max(500);
+    let (linear_total, linear_sampling) =
+        measure_dense(SamplerStrategy::Linear, dense_slots, threads);
+    let (tree_total, tree_sampling) = measure_dense(SamplerStrategy::Tree, dense_slots, threads);
+    let dense_extra = |sampler: SamplerStrategy, sampling_rate: f64| {
+        format!(
+            ",\"sampler\":\"{sampler:?}\",\"networks\":{DENSE_NETWORKS},\
+             \"sampling_decisions_per_sec\":{sampling_rate:.0}"
+        )
+    };
+
+    let smart_record = |bench, world, feedback, decisions_per_sec| Record {
+        bench,
+        world,
+        feedback,
+        policy: "SmartExp3",
+        sessions,
+        slots,
+        threads,
+        decisions_per_sec,
+        extra: String::new(),
+    };
+    let dense_record = |sampler: SamplerStrategy, total: f64, sampling: f64| Record {
+        bench: "scenario_throughput/dense_urban",
+        world: "dense_urban",
+        feedback: "partitioned",
+        policy: "Exp3",
+        sessions: DENSE_SESSIONS,
+        slots: dense_slots,
+        threads,
+        decisions_per_sec: total,
+        extra: dense_extra(sampler, sampling),
+    };
     let records = [
-        record(
-            "engine_throughput/step",
-            "closure",
-            "fused",
-            sessions,
-            slots,
-            threads,
-            closure,
-        ),
-        record(
+        smart_record("engine_throughput/step", "closure", "fused", closure),
+        smart_record(
             "scenario_throughput/equal_share",
             "equal_share",
             "partitioned",
-            sessions,
-            slots,
-            threads,
             partitioned_rate,
         ),
-        record(
+        smart_record(
             "scenario_throughput/equal_share",
             "equal_share",
             "partitioned+telemetry",
-            sessions,
-            slots,
-            threads,
             streaming_rate,
         ),
-        record(
+        smart_record(
             "scenario_throughput/equal_share",
             "equal_share",
             "sequential",
-            sessions,
-            slots,
-            threads,
             sequential_rate,
         ),
-        record(
+        smart_record(
             "scenario_throughput/cooperative",
             "cooperative",
             "partitioned",
-            sessions,
-            slots,
-            threads,
             coop_rate,
         ),
+        dense_record(SamplerStrategy::Linear, linear_total, linear_sampling),
+        dense_record(SamplerStrategy::Tree, tree_total, tree_sampling),
     ];
     let mut contents = std::fs::read_to_string(&out).unwrap_or_default();
     if !contents.is_empty() && !contents.ends_with('\n') {
         contents.push('\n');
     }
     for record in &records {
-        println!("{record}");
-        contents.push_str(record);
+        let line = record.render();
+        println!("{line}");
+        contents.push_str(&line);
         contents.push('\n');
     }
     if let Err(error) = std::fs::write(&out, contents) {
@@ -234,5 +309,15 @@ fn main() {
         (streaming_rate / partitioned_rate - 1.0) * 100.0,
         sequential_rate / 1e6,
         coop_rate / 1e6
+    );
+    eprintln!(
+        "dense_urban K={DENSE_NETWORKS}: tree {:.2}M vs linear {:.2}M total ({:.2}x); \
+         sampling phase {:.2}M vs {:.2}M ({:.2}x)",
+        tree_total / 1e6,
+        linear_total / 1e6,
+        tree_total / linear_total,
+        tree_sampling / 1e6,
+        linear_sampling / 1e6,
+        tree_sampling / linear_sampling
     );
 }

@@ -189,6 +189,22 @@ pub trait Environment: Send + Sync {
     /// any session chooses.
     fn begin_slot(&mut self, slot: SlotIndex);
 
+    /// Partition-parallel variant of [`begin_slot`](Self::begin_slot),
+    /// sharded over the same [`feedback_partitions`](Self::feedback_partitions)
+    /// as the feedback phase. Drivers may call it instead of `begin_slot`
+    /// whenever the environment advertises partitions; both must produce
+    /// bit-identical state (the slot refresh is expected to be RNG-free per
+    /// session, so unlike `feedback_partitioned` there are no per-partition
+    /// RNG streams to carry).
+    ///
+    /// The default ignores `executor` and runs the sequential
+    /// [`begin_slot`](Self::begin_slot) — third-party environments are
+    /// untouched.
+    fn begin_slot_partitioned(&mut self, slot: SlotIndex, executor: &dyn PartitionExecutor) {
+        let _ = executor;
+        self.begin_slot(slot);
+    }
+
     /// The view of session `session` for the current slot. Called from
     /// parallel workers during the choose phase, after
     /// [`begin_slot`](Self::begin_slot); implementations must precompute any

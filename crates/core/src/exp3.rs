@@ -9,7 +9,7 @@
 
 use crate::error::{check_networks, check_unit_interval};
 use crate::policy::{Observation, Policy, PolicyStats, SelectionKind};
-use crate::{ConfigError, GammaSchedule, NetworkId, SlotIndex, WeightTable};
+use crate::{ConfigError, GammaSchedule, NetworkId, SamplerStrategy, SlotIndex, WeightTable};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
@@ -18,6 +18,10 @@ use serde::{Deserialize, Serialize};
 pub struct Exp3Config {
     /// Exploration-rate schedule, evaluated at the slot index (1-based).
     pub gamma: GammaSchedule,
+    /// How the per-slot draw inverts the CDF (see [`SamplerStrategy`]).
+    /// Golden decision pins are scoped to this choice; the default `Linear`
+    /// reproduces the historical trajectories bit-exactly.
+    pub sampler: SamplerStrategy,
 }
 
 impl Exp3Config {
@@ -60,7 +64,7 @@ impl Exp3 {
         config.validate()?;
         Ok(Exp3 {
             config,
-            weights: WeightTable::uniform(&networks),
+            weights: WeightTable::uniform_with_strategy(&networks, config.sampler),
             decisions: 0,
             current: None,
             current_probability: 1.0,
@@ -193,11 +197,41 @@ mod tests {
         }
     }
 
+    /// Golden decision pin for the Fenwick-sampler configuration: the
+    /// chosen-arm trajectory from a fixed seed is part of this config's
+    /// contract (pins are scoped per policy configuration — the `Linear`
+    /// default keeps its own pins via the environment fingerprint tests).
+    #[test]
+    fn tree_sampler_decisions_are_pinned() {
+        let config = Exp3Config {
+            sampler: SamplerStrategy::Tree,
+            ..Exp3Config::default()
+        };
+        let mut policy = Exp3::new(nets(8), config).unwrap();
+        let mut rng = StdRng::seed_from_u64(2026);
+        let mut sequence = Vec::new();
+        for slot in 0..24 {
+            let chosen = policy.choose(slot, &mut rng);
+            let gain = if chosen == NetworkId(5) { 0.9 } else { 0.2 };
+            policy.observe(
+                &Observation::bandit(slot, chosen, gain * 22.0, gain),
+                &mut rng,
+            );
+            sequence.push(chosen.0);
+        }
+        assert_eq!(
+            sequence,
+            [3, 4, 5, 6, 0, 7, 6, 7, 6, 4, 7, 5, 7, 7, 4, 2, 5, 4, 1, 2, 2, 2, 6, 0],
+            "tree-sampler Exp3 decision pin drifted"
+        );
+    }
+
     #[test]
     fn construction_rejects_bad_inputs() {
         assert!(Exp3::new(vec![], Exp3Config::default()).is_err());
         let bad = Exp3Config {
             gamma: GammaSchedule::Fixed(0.0),
+            ..Exp3Config::default()
         };
         assert!(Exp3::new(nets(2), bad).is_err());
     }

@@ -8,7 +8,7 @@
 
 use crate::{
     CentralizedCoordinator, ConfigError, Exp3, Exp3Config, FixedRandom, FullInformation,
-    FullInformationConfig, Greedy, NetworkId, Policy, SmartExp3, SmartExp3Config,
+    FullInformationConfig, Greedy, NetworkId, Policy, SamplerStrategy, SmartExp3, SmartExp3Config,
     SmartExp3Features,
 };
 use serde::{Deserialize, Serialize};
@@ -147,6 +147,17 @@ impl PolicyFactory {
     #[must_use]
     pub fn with_exp3_config(mut self, config: Exp3Config) -> Self {
         self.exp3_config = config;
+        self
+    }
+
+    /// Selects the CDF-inversion strategy for every EXP3-family policy this
+    /// factory builds (both the slot-level baseline and the Smart EXP3
+    /// variants). Dense-spectrum worlds pass [`SamplerStrategy::Tree`] here
+    /// to make each draw O(log k) instead of O(k).
+    #[must_use]
+    pub fn with_sampler(mut self, sampler: SamplerStrategy) -> Self {
+        self.exp3_config.sampler = sampler;
+        self.smart_config.sampler = sampler;
         self
     }
 

@@ -88,4 +88,4 @@ pub use smartexp3_telemetry::SlotMetrics;
 pub use state::PolicyState;
 pub use stats::NetworkStats;
 pub use types::{splitmix64, BlockIndex, NetworkId, SlotIndex};
-pub use weights::{DistributionSummary, WeightTable};
+pub use weights::{DistributionSummary, SamplerStrategy, WeightTable};

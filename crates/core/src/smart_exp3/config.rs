@@ -2,7 +2,7 @@
 //! variants.
 
 use crate::error::{check_positive, check_unit_interval};
-use crate::{ConfigError, GammaSchedule};
+use crate::{ConfigError, GammaSchedule, SamplerStrategy};
 use serde::{Deserialize, Serialize};
 
 /// Which of Smart EXP3's mechanisms are enabled.
@@ -120,6 +120,11 @@ pub struct SmartExp3Config {
     /// horizons with the reset mechanism disabled. `None` reproduces the
     /// paper exactly.
     pub max_block_length: Option<u64>,
+    /// How the fresh-decision random draw inverts the CDF (see
+    /// [`SamplerStrategy`]). Golden decision pins are scoped to this choice;
+    /// the default `Linear` reproduces the historical trajectories
+    /// bit-exactly.
+    pub sampler: SamplerStrategy,
 }
 
 impl Default for SmartExp3Config {
@@ -135,6 +140,7 @@ impl Default for SmartExp3Config {
             reset_drop_fraction: 0.15,
             reset_drop_slots: 4,
             max_block_length: None,
+            sampler: SamplerStrategy::default(),
         }
     }
 }

@@ -98,7 +98,7 @@ impl SmartExp3 {
             Vec::new()
         };
         Ok(SmartExp3 {
-            weights: WeightTable::uniform(&networks),
+            weights: WeightTable::uniform_with_strategy(&networks, config.sampler),
             stats_table: NetworkStats::new(),
             block_index: 0,
             current_gamma: config.gamma.value(1),
@@ -606,6 +606,34 @@ mod tests {
             let obs = Observation::bandit(t, chosen, gain * 22.0, gain);
             policy.observe(&obs, &mut rng);
         }
+    }
+
+    /// Golden decision pin for the Fenwick-sampler configuration (the
+    /// `Linear` default keeps its historical pins; each sampler config owns
+    /// its trajectory).
+    #[test]
+    fn tree_sampler_decisions_are_pinned() {
+        let config = SmartExp3Config {
+            sampler: crate::SamplerStrategy::Tree,
+            ..SmartExp3Config::default()
+        };
+        let mut policy = SmartExp3::new(nets(8), config).unwrap();
+        let mut rng = StdRng::seed_from_u64(2026);
+        let mut sequence = Vec::new();
+        for slot in 0..24 {
+            let chosen = policy.choose(slot, &mut rng);
+            let gain = if chosen == NetworkId(5) { 0.9 } else { 0.2 };
+            policy.observe(
+                &Observation::bandit(slot, chosen, gain * 22.0, gain),
+                &mut rng,
+            );
+            sequence.push(chosen.0);
+        }
+        assert_eq!(
+            sequence,
+            [7, 5, 1, 5, 5, 6, 5, 5, 2, 5, 5, 4, 5, 5, 0, 5, 5, 3, 5, 5, 6, 5, 5, 4],
+            "tree-sampler SmartExp3 decision pin drifted"
+        );
     }
 
     #[test]

@@ -29,7 +29,11 @@
 //!
 //! 1. `log_weights` is always the exact ground truth; the cache is derived
 //!    data and never feeds back into it.
-//! 2. `max_log_weight` equals `max(log_weights)` at all times.
+//! 2. `max_log_weight` equals `max(log_weights)` at all times under the
+//!    linear strategy; under the tree strategy it is a **shift reference**
+//!    that may lag the maximum by at most `MAX_SHIFT_SLACK` between rebuilds
+//!    (the softmax ratio is shift-invariant, so probabilities are
+//!    unaffected).
 //! 3. `exp_weights[i]` equals `exp(log_weights[i] − max_log_weight)` exactly;
 //!    `exp_sum` equals `Σ exp_weights[i]` up to the accumulated rounding of at
 //!    most `PATCH_LIMIT` constant-time adjustments (relative error well below
@@ -37,6 +41,26 @@
 //! 4. Every field is serialized, so a snapshot restores the cache **bit
 //!    identically** and a restored policy continues on the exact trajectory
 //!    of the original.
+//!
+//! ## Sublinear sampling (`SamplerStrategy::Tree`)
+//!
+//! The cache makes updates O(1), but [`sample`](WeightTable::sample) still
+//! walks the CDF in O(k) — fine for the paper's handful of networks, a real
+//! cost in dense-spectrum worlds with hundreds of visible arms. The opt-in
+//! [`SamplerStrategy::Tree`] keeps a **Fenwick tree of prefix sums over the
+//! cached exponentials**, patched in O(log k) on exactly the events that
+//! patch the cache and rebuilt on exactly the events that rebuild it, giving
+//! an O(log k) CDF inversion (the γ/k uniform mixture is folded in
+//! analytically during the descent, so the tree never has to be rebuilt when
+//! γ changes).
+//!
+//! Both strategies sample the same distribution (within the 1e-12 cache
+//! tolerance) and consume exactly one `rng.gen::<f64>()` per draw, but their
+//! floating-point accumulation orders differ, so a given target can resolve
+//! to a different arm at CDF boundaries. Bit-exactness of decision
+//! trajectories is therefore **per policy config**: worlds built on the
+//! default [`SamplerStrategy::Linear`] keep their historical golden pins,
+//! and tree-sampled configs carry their own.
 
 use crate::NetworkId;
 use rand::Rng;
@@ -49,6 +73,37 @@ use serde::{Deserialize, Serialize};
 /// a from-scratch softmax — two orders of magnitude tighter than the 1e-12
 /// contract the property tests assert.
 const PATCH_LIMIT: u32 = 64;
+
+/// How far (in the log domain) a weight may rise **above** the cached shift
+/// reference before the tree strategy rebuilds. The linear strategy rebuilds
+/// on any overshoot — the historical behaviour its golden pins encode — but
+/// at large K the near-uniform phase makes almost every update the new
+/// maximum, turning each O(1) patch into an O(k) rebuild. Under
+/// [`SamplerStrategy::Tree`] the softmax shift only has to keep
+/// `exp(lw − reference)` finite and well-scaled, not anchored to the exact
+/// maximum: `exp(40) ≈ 2.4e17` stays far from overflow (`exp(709)`) and far
+/// above underflow for any arm within the slack, so probabilities keep full
+/// double precision (the softmax ratio is shift-invariant). Rebuilds then
+/// come from `PATCH_LIMIT` (or churn events), restoring the amortized-O(1)
+/// update the cache was built for.
+const MAX_SHIFT_SLACK: f64 = 40.0;
+
+/// How [`WeightTable::sample`] inverts the CDF.
+///
+/// Part of each policy's configuration: changing it changes the
+/// floating-point accumulation order of the CDF inversion (not the sampled
+/// distribution), so golden decision pins are scoped to a (policy config,
+/// strategy) pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SamplerStrategy {
+    /// O(k) walk over the cached probabilities — the historical default, and
+    /// the fastest option for the paper's small network sets.
+    #[default]
+    Linear,
+    /// O(log k) Fenwick-tree descent over prefix sums of the cached
+    /// exponentials — for dense-spectrum worlds with hundreds of arms.
+    Tree,
+}
 
 /// One-pass digest of an EXP3 distribution (see [`WeightTable::summary`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -77,33 +132,69 @@ pub struct WeightTable {
     exp_sum: f64,
     /// Constant-time adjustments applied since the last full rebuild.
     patches: u32,
+    /// How [`sample`](Self::sample) inverts the CDF.
+    strategy: SamplerStrategy,
+    /// Fenwick tree over `exp_weights` (1-indexed semantics in a 0-based
+    /// vec). Empty under [`SamplerStrategy::Linear`]; under `Tree` it is
+    /// rebuilt by every `rebuild_cache` and patched alongside every
+    /// constant-time cache adjustment, so its prefix sums track `exp_weights`
+    /// within the same `PATCH_LIMIT`-bounded drift as `exp_sum`.
+    tree: Vec<f64>,
 }
 
 impl WeightTable {
-    /// Creates a table with uniform (unit) weights over `arms`.
+    /// Creates a table with uniform (unit) weights over `arms`, sampling with
+    /// the default [`SamplerStrategy::Linear`].
     ///
     /// Duplicate arms are collapsed; the caller is expected to have validated
     /// the arm list already (see [`ConfigError`](crate::ConfigError)).
     #[must_use]
     pub fn uniform(arms: &[NetworkId]) -> Self {
+        Self::uniform_with_strategy(arms, SamplerStrategy::default())
+    }
+
+    /// Creates a table with uniform (unit) weights over `arms` and an explicit
+    /// sampling strategy.
+    ///
+    /// Duplicate arms are collapsed keeping the first occurrence, exactly as
+    /// [`uniform`](Self::uniform) does (the two constructors produce
+    /// identical tables apart from the strategy).
+    #[must_use]
+    pub fn uniform_with_strategy(arms: &[NetworkId], strategy: SamplerStrategy) -> Self {
+        // Collapse duplicates in O(k log k): sort (arm, first position)
+        // pairs, dedup by arm (keeping the earliest position), then restore
+        // insertion order. A per-arm sorted insert would be O(k²) — felt at
+        // the dense-urban scale of ~1000 arms × thousands of sessions.
+        let mut pairs: Vec<(NetworkId, usize)> = arms
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(position, arm)| (arm, position))
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup_by(|later, first| later.0 == first.0);
+        pairs.sort_unstable_by_key(|&(_, position)| position);
+        let arms: Vec<NetworkId> = pairs.into_iter().map(|(arm, _)| arm).collect();
         let mut table = WeightTable {
-            arms: Vec::with_capacity(arms.len()),
-            log_weights: Vec::with_capacity(arms.len()),
+            log_weights: vec![0.0; arms.len()],
             index: Vec::with_capacity(arms.len()),
+            arms,
             max_log_weight: f64::NEG_INFINITY,
-            exp_weights: Vec::with_capacity(arms.len()),
+            exp_weights: Vec::new(),
             exp_sum: 0.0,
             patches: 0,
+            strategy,
+            tree: Vec::new(),
         };
-        for &arm in arms {
-            if let Err(slot) = table.index_slot(arm) {
-                table.index.insert(slot, (arm, table.arms.len()));
-                table.arms.push(arm);
-                table.log_weights.push(0.0);
-            }
-        }
+        table.rebuild_index();
         table.rebuild_cache();
         table
+    }
+
+    /// The active sampling strategy.
+    #[must_use]
+    pub fn strategy(&self) -> SamplerStrategy {
+        self.strategy
     }
 
     /// Number of arms currently tracked.
@@ -155,6 +246,34 @@ impl WeightTable {
             .extend(self.log_weights.iter().map(|&lw| (lw - max).exp()));
         self.exp_sum = self.exp_weights.iter().sum();
         self.patches = 0;
+        self.rebuild_tree();
+    }
+
+    /// Rebuilds the Fenwick tree from the cached exponentials, in place and
+    /// in O(k). No-op (and no allocation) under the linear strategy.
+    fn rebuild_tree(&mut self) {
+        self.tree.clear();
+        if self.strategy != SamplerStrategy::Tree {
+            return;
+        }
+        let k = self.exp_weights.len();
+        self.tree.extend_from_slice(&self.exp_weights);
+        for node in 1..=k {
+            let parent = node + (node & node.wrapping_neg());
+            if parent <= k {
+                let child_sum = self.tree[node - 1];
+                self.tree[parent - 1] += child_sum;
+            }
+        }
+    }
+
+    /// Point-adds `delta` to position `i` of the Fenwick tree, in O(log k).
+    fn tree_add(&mut self, i: usize, delta: f64) {
+        let mut node = i + 1;
+        while node <= self.tree.len() {
+            self.tree[node - 1] += delta;
+            node += node & node.wrapping_neg();
+        }
     }
 
     /// Rebuilds the sorted arm index (positions shift after a removal).
@@ -198,8 +317,16 @@ impl WeightTable {
         self.log_weights[i] = new_lw;
 
         let removed = self.exp_weights[i];
+        // The linear strategy rebuilds on any overshoot of the cached shift
+        // (the exact historical condition its golden pins encode); the tree
+        // strategy tolerates `MAX_SHIFT_SLACK` of overshoot so the hot path
+        // stays an O(log k) patch (see the constant's docs).
+        let shift_limit = match self.strategy {
+            SamplerStrategy::Linear => self.max_log_weight,
+            SamplerStrategy::Tree => self.max_log_weight + MAX_SHIFT_SLACK,
+        };
         if self.patches >= PATCH_LIMIT
-            || new_lw > self.max_log_weight
+            || new_lw > shift_limit
             || (delta < 0.0 && (old_lw == self.max_log_weight || removed > 0.5 * self.exp_sum))
         {
             // The maximum shifted, the arm that defined it shrank, a dominant
@@ -211,7 +338,13 @@ impl WeightTable {
             self.exp_weights[i] = added;
             self.exp_sum += added - removed;
             self.patches += 1;
-            if !(self.exp_sum.is_finite() && self.exp_sum > 0.0) {
+            if self.exp_sum.is_finite() && self.exp_sum > 0.0 {
+                // The cache patch held; mirror it into the Fenwick tree so
+                // the sampler sees the same O(log k)-maintained prefix sums.
+                if self.strategy == SamplerStrategy::Tree {
+                    self.tree_add(i, added - removed);
+                }
+            } else {
                 self.rebuild_cache();
             }
         }
@@ -320,33 +453,90 @@ impl WeightTable {
     }
 
     /// Samples an arm from the EXP3 distribution, reusing the cache (no
-    /// allocation, no softmax recomputation).
+    /// allocation, no softmax recomputation). Exactly one `f64` is drawn
+    /// from `rng`, whichever [`SamplerStrategy`] is active.
     ///
     /// If the distribution has been damaged despite the non-finite-update
     /// guard (probabilities that fail to accumulate past the drawn target),
-    /// the walk falls back to the **last arm** instead of panicking — one
-    /// poisoned session must never take down a fleet.
+    /// the walk falls back to an arm instead of panicking — one poisoned
+    /// session must never take down a fleet.
     ///
     /// # Panics
     ///
     /// Panics if the table is empty.
     pub fn sample(&self, gamma: f64, rng: &mut dyn RngCore) -> (NetworkId, f64) {
+        let target: f64 = rng.gen();
+        self.sample_at(gamma, target)
+    }
+
+    /// Deterministic core of [`sample`](Self::sample): inverts the CDF at
+    /// `target ∈ [0, 1)` using the active strategy. Exposed so tests can pin
+    /// strategy equivalence at chosen targets without mocking an RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty.
+    #[must_use]
+    pub fn sample_at(&self, gamma: f64, target: f64) -> (NetworkId, f64) {
         assert!(
             !self.arms.is_empty(),
             "cannot sample from an empty weight table"
         );
+        let i = match self.strategy {
+            SamplerStrategy::Linear => self.invert_linear(gamma, target),
+            SamplerStrategy::Tree => self.invert_tree(gamma, target),
+        };
+        (self.arms[i], self.probability_at(i, gamma))
+    }
+
+    /// O(k) CDF walk — the historical sampler. Its exact subtraction order
+    /// defines the pre-existing golden decision pins, so it must never
+    /// change.
+    fn invert_linear(&self, gamma: f64, mut target: f64) -> usize {
         let k = self.arms.len();
-        let mut target: f64 = rng.gen();
         for i in 0..k {
             let p = self.probability_at(i, gamma);
             if target < p || i + 1 == k {
-                return (self.arms[i], p);
+                return i;
             }
             target -= p;
         }
         // Unreachable through the loop above (the `i + 1 == k` branch fires
         // on the final arm), but kept as a defensive fallback.
-        (self.arms[k - 1], self.probability_at(k - 1, gamma))
+        k - 1
+    }
+
+    /// O(log k) Fenwick descent. The mixed per-arm mass is
+    /// `(1-γ)·e_i/Σe + γ/k`; the tree stores prefix sums of the `e_i` alone
+    /// and the uniform γ/k share is added analytically from the arm count
+    /// covered so far, so the structure is γ-free and survives schedule
+    /// decay without rebuilds. Finds the largest prefix whose cumulative
+    /// mass is ≤ `target`, i.e. the same arm the linear walk selects (up to
+    /// floating-point accumulation order at CDF boundaries).
+    fn invert_tree(&self, gamma: f64, target: f64) -> usize {
+        let k = self.arms.len();
+        let scale = (1.0 - gamma) / self.exp_sum;
+        let uniform = gamma / k as f64;
+        let mut covered = 0usize; // arms confirmed to lie below the target
+        let mut acc = 0.0f64; // Fenwick prefix of exp_weights over them
+        let mut step = 1usize << (usize::BITS - 1 - k.leading_zeros());
+        while step > 0 {
+            let next = covered + step;
+            if next <= k {
+                let prefix = acc + self.tree[next - 1];
+                let mass = scale * prefix + uniform * next as f64;
+                if mass <= target {
+                    covered = next;
+                    acc = prefix;
+                }
+            }
+            step >>= 1;
+        }
+        // `covered == k` only when the target sits at or beyond the total
+        // mass (≈1 up to rounding) — mirror the linear walk's last-arm
+        // fallback. A damaged cache (NaN masses) never advances the descent
+        // and resolves to the first arm.
+        covered.min(k - 1)
     }
 
     /// Adds a newly discovered arm.
@@ -359,11 +549,15 @@ impl WeightTable {
             Ok(_) => return,
             Err(slot) => slot,
         };
-        let lw = if self.max_log_weight.is_finite() {
-            self.max_log_weight
-        } else {
-            0.0
-        };
+        // The ground-truth maximum, not the cached shift reference (under
+        // the tree strategy the reference may lag the maximum by up to
+        // `MAX_SHIFT_SLACK`; under the linear strategy the two are equal).
+        let true_max = self
+            .log_weights
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let lw = if true_max.is_finite() { true_max } else { 0.0 };
         self.index.insert(slot, (arm, self.arms.len()));
         self.arms.push(arm);
         self.log_weights.push(lw);
@@ -638,5 +832,92 @@ mod tests {
             }
         }
         assert!(hits > 1600, "expected heavy bias towards arm 1, got {hits}");
+    }
+
+    /// Property test for the Fenwick path: a tree-strategy table driven
+    /// through a random mix of updates, arm churn and resets must keep its
+    /// distribution within 1e-12 of the from-scratch softmax after every
+    /// operation. The tree cache's shift reference is allowed to lag the true
+    /// max (`MAX_SHIFT_SLACK`), so agreeing with the naive computation is
+    /// exactly the shift-invariance the design claims.
+    #[test]
+    fn tree_distribution_tracks_the_naive_softmax_under_churn() {
+        let mut table = WeightTable::uniform_with_strategy(&arms(12), SamplerStrategy::Tree);
+        let mut rng = StdRng::seed_from_u64(314);
+        let mut next_arm = 12u32;
+        for step in 0..4_000 {
+            match rng.gen::<u32>() % 20 {
+                0 => {
+                    table.add_arm(NetworkId(next_arm));
+                    next_arm += 1;
+                }
+                1 if table.len() > 2 => {
+                    let victim = table.arms()[rng.gen::<usize>() % table.len()];
+                    assert!(table.remove_arm(victim));
+                }
+                2 if step % 500 == 2 => table.reset_uniform(),
+                _ => {
+                    let arm = table.arms()[rng.gen::<usize>() % table.len()];
+                    let gain = rng.gen::<f64>() * 40.0 - 5.0;
+                    table.multiplicative_update(arm, 0.3, gain);
+                }
+            }
+            let gamma = rng.gen::<f64>();
+            let cached = table.probabilities(gamma);
+            let naive = naive_probabilities(&table, gamma);
+            for (c, n) in cached.iter().zip(&naive) {
+                assert!((c - n).abs() < 1e-12, "step {step}: cached {c} naive {n}");
+            }
+        }
+    }
+
+    /// The two CDF inverters must agree decision-for-decision: identical
+    /// update histories, identical targets, same chosen arm at every draw.
+    #[test]
+    fn linear_and_tree_inversion_agree_decision_for_decision() {
+        for k in [2u32, 64, 1024] {
+            let mut linear = WeightTable::uniform_with_strategy(&arms(k), SamplerStrategy::Linear);
+            let mut tree = WeightTable::uniform_with_strategy(&arms(k), SamplerStrategy::Tree);
+            let mut rng = StdRng::seed_from_u64(u64::from(k));
+            for step in 0..1_500 {
+                let target = rng.gen::<f64>();
+                let gamma = 0.05 + 0.9 * rng.gen::<f64>();
+                let (arm_l, p_l) = linear.sample_at(gamma, target);
+                let (arm_t, p_t) = tree.sample_at(gamma, target);
+                assert_eq!(arm_l, arm_t, "K={k} step {step}: inverters disagreed");
+                assert!(
+                    (p_l - p_t).abs() < 1e-12,
+                    "K={k} step {step}: probabilities drifted: {p_l} vs {p_t}"
+                );
+                let gain = rng.gen::<f64>() / p_l.max(1e-6);
+                linear.multiplicative_update(arm_l, gamma, gain);
+                tree.multiplicative_update(arm_t, gamma, gain);
+            }
+            // Boundary targets: 0 must land on the first arm's mass, and
+            // targets at (or past) 1.0 must clamp into the last arm rather
+            // than walk off the table.
+            for target in [0.0, 1.0 - 1e-15, 1.0] {
+                let (arm_l, _) = linear.sample_at(0.2, target);
+                let (arm_t, _) = tree.sample_at(0.2, target);
+                assert_eq!(arm_l, arm_t, "K={k} target {target}: boundary drifted");
+            }
+        }
+    }
+
+    /// Non-finite estimated gains must be rejected on the tree path exactly
+    /// as on the linear path: distribution untouched, sampling still sound.
+    #[test]
+    fn tree_path_rejects_non_finite_gains() {
+        let mut table = WeightTable::uniform_with_strategy(&arms(6), SamplerStrategy::Tree);
+        table.multiplicative_update(NetworkId(3), 0.4, 5.0);
+        let before = table.probabilities(0.1);
+        table.multiplicative_update(NetworkId(0), 0.4, f64::NAN);
+        table.multiplicative_update(NetworkId(1), 0.4, f64::INFINITY);
+        table.multiplicative_update(NetworkId(2), 0.4, f64::NEG_INFINITY);
+        assert_eq!(table.probabilities(0.1), before);
+        let mut rng = StdRng::seed_from_u64(9);
+        let (arm, p) = table.sample(0.1, &mut rng);
+        assert!(table.arms().contains(&arm));
+        assert!(p.is_finite() && p > 0.0);
     }
 }

@@ -412,12 +412,16 @@ impl std::error::Error for SnapshotError {}
 /// Version 5: the engine configuration records the partitioned-feedback
 /// switch ([`FleetConfig::partitioned_feedback`]), and partitioned
 /// environments embed **one RNG stream per feedback partition** in the
-/// environment state instead of a single stream. Texts from versions 2–4
-/// fail to parse field-for-field, so [`from_json`](FleetEngine::from_json)
-/// probes the version first and reports
-/// [`SnapshotError::UnsupportedVersion`] instead of a confusing
-/// missing-field error.
-pub const SNAPSHOT_VERSION: u32 = 5;
+/// environment state instead of a single stream.
+///
+/// Version 6: EXP3-family policy checkpoints carry the per-policy
+/// `SamplerStrategy` and, for tree-sampled configs, the Fenwick tree over
+/// the cached exponentials — so a restored dense-spectrum session resumes
+/// its O(log k) sampler bit-identically. Texts from versions 2–5 fail to
+/// parse field-for-field, so [`from_json`](FleetEngine::from_json) probes
+/// the version first and reports [`SnapshotError::UnsupportedVersion`]
+/// instead of a confusing missing-field error.
+pub const SNAPSHOT_VERSION: u32 = 6;
 
 /// Checkpoint of one session.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -780,7 +784,13 @@ impl FleetEngine {
     ///
     /// One slot runs four phases:
     ///
-    /// 1. `env.begin_slot` — sequential environment-state advance;
+    /// 1. `env.begin_slot` — environment-state advance. Worlds that
+    ///    advertise [`feedback_partitions`](Environment::feedback_partitions)
+    ///    (with [`FleetConfig::partitioned_feedback`] on and more than one
+    ///    worker) get [`Environment::begin_slot_partitioned`] with an
+    ///    executor backed by the worker pool instead — the RNG-free
+    ///    per-session refresh fans out over the same area partitions as
+    ///    feedback, bit-identically;
     /// 2. choose — sharded over rayon workers: each session reads its
     ///    [`SessionView`](smartexp3_core::SessionView), absorbs a visibility
     ///    change if one is reported, and (when active) picks a network with
@@ -843,8 +853,22 @@ impl FleetEngine {
         let slot = self.slot;
         let shard_size = self.config.shard_size.max(1);
         let count = self.sessions.len();
+        let workers = match &self.pool {
+            Some(pool) => pool.current_num_threads(),
+            None => rayon::current_num_threads(),
+        };
+        // Partitioned worlds may fan both the slot-begin refresh (phase 1)
+        // and the joint feedback (phase 3) out over the worker pool; the
+        // gate is shared so the two phases always agree.
+        let partitioned =
+            self.config.partitioned_feedback && workers > 1 && env.feedback_partitions().is_some();
         let phase_start = Instant::now();
-        env.begin_slot(slot);
+        if partitioned {
+            let executor = PoolExecutor { pool: &self.pool };
+            env.begin_slot_partitioned(slot, &executor);
+        } else {
+            env.begin_slot(slot);
+        }
         let begin_slot_s = phase_start.elapsed().as_secs_f64();
         let phase_start = Instant::now();
 
@@ -898,11 +922,7 @@ impl FleetEngine {
         if self.env_feedback.len() != count {
             self.env_feedback.resize(count, None);
         }
-        let workers = match &self.pool {
-            Some(pool) => pool.current_num_threads(),
-            None => rayon::current_num_threads(),
-        };
-        if self.config.partitioned_feedback && workers > 1 && env.feedback_partitions().is_some() {
+        if partitioned {
             let executor = PoolExecutor { pool: &self.pool };
             env.feedback_partitioned(slot, &self.env_choices, &mut self.env_feedback, &executor);
         } else {
@@ -1437,9 +1457,10 @@ mod tests {
         assert!(FleetEngine::from_json("{not json").is_err());
         // Previous-release texts (version 2 lacks the `environment` field,
         // version 3 lacks the cooperative-feedback counters in its policy
-        // states, version 4 lacks the partitioned-feedback config switch)
-        // must be diagnosed as unsupported versions, not malformed.
-        for version in [2u32, 3, 4] {
+        // states, version 4 lacks the partitioned-feedback config switch,
+        // version 5 lacks the per-policy sampler strategy) must be diagnosed
+        // as unsupported versions, not malformed.
+        for version in [2u32, 3, 4, 5] {
             match FleetEngine::from_json(&format!("{{\"version\":{version},\"sessions\":[]}}")) {
                 Err(SnapshotError::UnsupportedVersion(v)) if v == version => {}
                 other => panic!("expected UnsupportedVersion({version}), got {other:?}"),

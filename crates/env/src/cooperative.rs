@@ -276,6 +276,12 @@ impl Environment for CooperativeEnvironment {
         self.inner.begin_slot(slot);
     }
 
+    fn begin_slot_partitioned(&mut self, slot: SlotIndex, executor: &dyn PartitionExecutor) {
+        // The gossip phase never runs at slot begin, so the wrapped world's
+        // sharded refresh is safe regardless of the neighbourhood plan.
+        self.inner.begin_slot_partitioned(slot, executor);
+    }
+
     fn session_view(&self, session: usize, slot: SlotIndex) -> SessionView<'_> {
         self.inner.session_view(session, slot)
     }

@@ -15,11 +15,13 @@
 //! | [`area_mobility`] | replicated Figure-1 maps; 8 of every 20 devices walk food court → study area → bus stop | visibility churn, `on_networks_changed` |
 //! | [`trace_driven`] | every session replays the §VI-B WiFi/cellular trace pairs, phase-shifted per session | non-stationary rates, switching delays |
 //! | [`cooperative`] | the equal-share areas with a Co-Bandit gossip layer: sessions share observed rates within their area | shared feedback, `Policy::observe_shared` |
+//! | [`dense_urban`] | dense-spectrum city blocks: one macro cell, a band of small cells and hundreds of weak APs per area (256–1024 networks visible per device) | large-K sampling ([`SamplerStrategy`](smartexp3_core::SamplerStrategy)) |
 //!
 //! Scale: sessions are grouped into independent replicas (100 devices per
-//! congestion area, 20 per mobility map), so the worlds stay *paper-shaped*
-//! at any population — a million sessions is ten thousand food courts, not
-//! one network with a million devices.
+//! congestion area, 20 per mobility map, [`DenseUrbanConfig::devices_per_area`]
+//! per city block), so the worlds stay *paper-shaped* at any population — a
+//! million sessions is ten thousand food courts, not one network with a
+//! million devices.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,7 +36,9 @@ use netsim::{
     AreaId, BandwidthEvent, CongestionEnvironment, DeviceProfile, NetworkSpec, ServiceArea,
     SimulationConfig, Topology,
 };
-use smartexp3_core::{ConfigError, Environment, NetworkId, PolicyFactory, PolicyKind};
+use smartexp3_core::{
+    ConfigError, Environment, NetworkId, PolicyFactory, PolicyKind, SamplerStrategy,
+};
 use smartexp3_engine::{FleetConfig, FleetEngine};
 use smartexp3_telemetry::TelemetrySink;
 use tracegen::paper_trace_pair;
@@ -218,6 +222,133 @@ pub fn cooperative(
         gossip_seed,
     ));
     Ok(scenario)
+}
+
+/// Shape of the [`dense_urban`] world: how many networks each city block
+/// advertises, how many devices share it, and which CDF-inversion strategy
+/// the EXP3-family policies use over that catalog.
+#[derive(Debug, Clone, Copy)]
+pub struct DenseUrbanConfig {
+    /// Networks visible per city block — the per-policy arm count `K`.
+    /// The world is meant for 256–1024; anything ≥ 2 builds (tests use
+    /// small blocks to stay fast).
+    pub networks_per_area: usize,
+    /// Devices sharing one city block.
+    pub devices_per_area: usize,
+    /// CDF-inversion strategy for every EXP3-family policy in the world.
+    /// Golden decision pins are **per policy config**: trajectories are
+    /// bit-stable for a fixed strategy, but [`SamplerStrategy::Linear`] and
+    /// [`SamplerStrategy::Tree`] runs are distinct pinned configurations.
+    pub sampler: SamplerStrategy,
+}
+
+impl Default for DenseUrbanConfig {
+    fn default() -> Self {
+        DenseUrbanConfig {
+            networks_per_area: 512,
+            devices_per_area: 64,
+            sampler: SamplerStrategy::Tree,
+        }
+    }
+}
+
+/// The dense-spectrum catalog of city block `area`: network `0` is the
+/// macro cell, the next `k/16` are mid-tier small cells, and the rest are
+/// weak APs — ids ascend within the block so visibility lists stay sorted.
+fn dense_area_networks(area: usize, k: usize) -> Vec<NetworkSpec> {
+    let base = (area * k) as u32;
+    (0..k)
+        .map(|j| {
+            let id = base + j as u32;
+            if j == 0 {
+                NetworkSpec::cellular(id, 22.0)
+            } else if j <= k / 16 {
+                // Small cells: 7.0–14.5 Mbps in a deterministic ramp.
+                NetworkSpec::wifi(id, 7.0 + (j % 4) as f64 * 2.5)
+            } else {
+                // Weak APs: 1.0–4.5 Mbps.
+                NetworkSpec::wifi(id, 1.0 + (j % 8) as f64 * 0.5)
+            }
+        })
+        .collect()
+}
+
+/// World 6 — **dense urban spectrum**: `sessions` devices partitioned into
+/// city blocks of [`DenseUrbanConfig::devices_per_area`], each block one
+/// shared-bandwidth congestion game over
+/// [`DenseUrbanConfig::networks_per_area`] networks (one 22 Mbps macro cell,
+/// a band of small cells, hundreds of weak APs). This is the large-K
+/// stress world for the sublinear sampler: with
+/// [`SamplerStrategy::Tree`] each draw costs O(log K) instead of O(K).
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from policy construction.
+///
+/// # Panics
+///
+/// Panics when `sessions == 0`, `networks_per_area < 2` or
+/// `devices_per_area == 0`.
+pub fn dense_urban(
+    sessions: usize,
+    kind: PolicyKind,
+    config: FleetConfig,
+    dense: DenseUrbanConfig,
+) -> Result<Scenario, ConfigError> {
+    assert!(sessions > 0, "a scenario needs at least one session");
+    assert!(
+        dense.networks_per_area >= 2,
+        "a bandit needs at least two arms"
+    );
+    assert!(
+        dense.devices_per_area > 0,
+        "a block needs at least one device"
+    );
+    let per_area = dense.devices_per_area;
+    let k = dense.networks_per_area;
+    let areas = sessions.div_ceil(per_area);
+    let mut networks = Vec::with_capacity(areas * k);
+    let mut service_areas = Vec::with_capacity(areas);
+    let mut profiles = Vec::with_capacity(sessions);
+    let mut fleet = FleetEngine::new(config);
+
+    for area in 0..areas {
+        let specs = dense_area_networks(area, k);
+        let ids: Vec<NetworkId> = specs.iter().map(|n| n.id).collect();
+        let rates: Vec<(NetworkId, f64)> = specs.iter().map(|n| (n.id, n.bandwidth_mbps)).collect();
+        service_areas.push(ServiceArea {
+            id: AreaId(area as u32),
+            name: format!("block {area}"),
+            networks: ids.clone(),
+        });
+        networks.extend(specs);
+
+        let population = (sessions - area * per_area).min(per_area);
+        let mut factory = PolicyFactory::new(rates)?.with_sampler(dense.sampler);
+        fleet.add_fleet(&mut factory, kind, population)?;
+        for device in 0..population {
+            profiles.push(DeviceProfile::new(
+                (area * per_area + device) as u32,
+                AreaId(area as u32),
+                ids.clone(),
+            ));
+        }
+    }
+
+    let seed = fleet.config().environment_seed();
+    let environment = CongestionEnvironment::new(
+        networks,
+        Topology::new(service_areas),
+        Vec::new(),
+        profiles,
+        SimulationConfig::default(),
+        seed,
+    );
+    Ok(Scenario {
+        name: "dense_urban",
+        environment: Box::new(environment),
+        fleet,
+    })
 }
 
 /// World 3 — **area mobility**: `sessions` devices partitioned into
@@ -430,6 +561,22 @@ mod tests {
                 .shared_observations,
             0
         );
+    }
+
+    #[test]
+    fn dense_urban_builds_sorted_large_catalogs() {
+        let dense = DenseUrbanConfig {
+            networks_per_area: 64,
+            devices_per_area: 8,
+            ..DenseUrbanConfig::default()
+        };
+        let mut scenario =
+            dense_urban(20, PolicyKind::Exp3, FleetConfig::with_root_seed(17), dense).unwrap();
+        assert_eq!(scenario.sessions(), 20);
+        assert_eq!(scenario.name, "dense_urban");
+        scenario.run(4);
+        assert_eq!(scenario.fleet.metrics().decisions, 4 * 20);
+        assert!(scenario.fleet.metrics().kind(PolicyKind::Exp3).is_some());
     }
 
     #[test]

@@ -21,8 +21,8 @@ use smartexp3_core::{
 };
 use smartexp3_engine::{FleetConfig, FleetEngine};
 use smartexp3_env::{
-    area_mobility, cooperative, dynamic_bandwidth, equal_share, trace_driven, GossipConfig,
-    Scenario,
+    area_mobility, cooperative, dense_urban, dynamic_bandwidth, equal_share, trace_driven,
+    DenseUrbanConfig, GossipConfig, Scenario,
 };
 
 fn scenario_fingerprint(scenario: &Scenario) -> String {
@@ -60,6 +60,20 @@ fn build_config(config: FleetConfig, world: &str) -> Scenario {
         "cooperative" => {
             cooperative(180, PolicyKind::SmartExp3, config, GossipConfig::push(0.4)).unwrap()
         }
+        // Large-K world on the Fenwick sampler: covers the tree cache and the
+        // sharded `begin_slot` refresh under the thread-identity and
+        // snapshot-round-trip matrices.
+        "dense_urban" => dense_urban(
+            48,
+            PolicyKind::Exp3,
+            config,
+            DenseUrbanConfig {
+                networks_per_area: 96,
+                devices_per_area: 16,
+                ..DenseUrbanConfig::default()
+            },
+        )
+        .unwrap(),
         other => panic!("unknown world {other}"),
     }
 }
@@ -72,6 +86,7 @@ fn every_world_is_bit_identical_at_any_thread_count() {
         "area_mobility",
         "trace_driven",
         "cooperative",
+        "dense_urban",
     ] {
         let mut reference = build(1, world);
         assert!(
@@ -119,6 +134,7 @@ fn mid_scenario_snapshots_restore_bit_identically() {
         "area_mobility",
         "trace_driven",
         "cooperative",
+        "dense_urban",
     ] {
         let mut original = build(2, world);
         original.run(15);

@@ -14,7 +14,7 @@ use experiments::config::Scale;
 use experiments::controlled::{self, ControlledScenario};
 use experiments::settings::DynamicSetting;
 use experiments::{
-    cooperative, distance, download, dynamics, fairness, mobility, robustness, scalability,
+    cooperative, dense, distance, download, dynamics, fairness, mobility, robustness, scalability,
     stability, switching, tracedriven, wild,
 };
 use std::path::PathBuf;
@@ -43,6 +43,7 @@ experiments:
   fig14    controlled testbed, dynamic     fig15   controlled testbed, mixed
   wild     in-the-wild 500 MB download (§VII-B)
   coop     Co-Bandit gossip vs isolated convergence (follow-up paper)
+  dense    dense-urban large-K sampling, linear vs tree throughput
   all      everything above";
 
 fn main() -> ExitCode {
@@ -193,6 +194,9 @@ fn run_experiment(experiment: &str, scale: &Scale) -> bool {
     }
     if wants(&["coop", "cooperative"]) {
         println!("{}", cooperative::run(scale));
+    }
+    if wants(&["dense", "dense_urban"]) {
+        println!("{}", dense::run(scale));
     }
     matched
 }

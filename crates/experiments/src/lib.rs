@@ -19,6 +19,7 @@
 //! | [`controlled`] | Figures 13–15 + Table VII — testbed emulation |
 //! | [`wild`] | §VII-B — 500 MB download in the wild |
 //! | [`cooperative`] | Co-Bandit follow-up — gossip vs isolated convergence |
+//! | [`dense`] | dense-urban large-K worlds — linear vs tree sampling throughput |
 //!
 //! Every experiment takes a [`Scale`] (number of runs, slots, threads, seed)
 //! and returns a displayable result; the `repro` binary wires them to a CLI.
@@ -29,6 +30,7 @@
 pub mod config;
 pub mod controlled;
 pub mod cooperative;
+pub mod dense;
 pub mod distance;
 pub mod download;
 pub mod dynamics;

@@ -204,6 +204,42 @@ struct DeviceDyn {
     total_delay_seconds: f64,
 }
 
+/// Per-device visibility bookkeeping derived from [`DeviceDyn`] — *not*
+/// serialized (a restore resets it and the next refresh falls back to the
+/// full vector comparison, which is the historical behaviour).
+///
+/// `area` caches the service area the device's `available` list was copied
+/// from, so a device that stays put skips the O(K) list comparison every
+/// slot — the difference between O(1) and O(K) per session per slot in
+/// dense-urban worlds with hundreds of visible networks. `sorted` records
+/// whether `available` is ascending, letting membership checks on the hot
+/// grading path binary-search instead of scanning.
+#[derive(Debug, Clone, Copy, Default)]
+struct VisibilityCache {
+    /// The area whose network list `available` currently mirrors, or `None`
+    /// when unknown (never refreshed, or just restored from a checkpoint).
+    area: Option<AreaId>,
+    /// Whether `available` is ascending (computed when the list changes).
+    sorted: bool,
+}
+
+/// `true` when `list` is ascending (duplicates allowed) — the precondition
+/// for binary-searching it.
+fn is_ascending(list: &[NetworkId]) -> bool {
+    list.windows(2).all(|pair| pair[0] <= pair[1])
+}
+
+/// Membership check on a visible-network list: binary search when the list
+/// is known to be sorted (every topology built from ascending ids — all the
+/// stock worlds), linear scan otherwise. Semantically identical either way.
+fn sees(available: &[NetworkId], sorted: bool, network: NetworkId) -> bool {
+    if sorted {
+        available.binary_search(&network).is_ok()
+    } else {
+        available.contains(&network)
+    }
+}
+
 /// Serialized dynamic state (see [`Environment::state`]).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct CongestionEnvState {
@@ -308,6 +344,74 @@ struct GradeTables<'a> {
     gain_scale: f64,
 }
 
+/// Advances one device's life-cycle state (activity, mobility, visibility)
+/// into `slot` — the canonical per-session slot refresh, shared by the
+/// sequential [`refresh_visibility`](CongestionEnvironment::refresh_visibility)
+/// wrapper and the partitioned `begin_slot` jobs (it touches only the
+/// device's own state plus the immutable area tables, so partitions can run
+/// it concurrently without an RNG or any cross-session coupling).
+fn refresh_device(
+    profile: &DeviceProfile,
+    device: &mut DeviceDyn,
+    cache: &mut VisibilityCache,
+    area_index: &[(AreaId, usize)],
+    area_networks: &[(AreaId, Vec<NetworkId>)],
+    slot: usize,
+) -> VisibilityUpdate {
+    if !profile.is_active_at(slot) {
+        device.was_active = false;
+        device.active_now = false;
+        return VisibilityUpdate::Inactive;
+    }
+    device.active_now = true;
+    let area = profile.area_at(slot);
+    if device.was_active && cache.area == Some(area) {
+        // The device stayed in the area its visible list was copied from and
+        // area lists are fixed for the environment's lifetime, so the O(K)
+        // list comparison below is guaranteed to report Unchanged.
+        return VisibilityUpdate::Unchanged;
+    }
+    let visible: &[NetworkId] = area_index
+        .binary_search_by_key(&area, |&(a, _)| a)
+        .ok()
+        .map_or(&[], |found| area_networks[area_index[found].1].1.as_slice());
+    let mut update = VisibilityUpdate::Unchanged;
+    if device.available != visible {
+        update = if device.available.is_empty() && !device.was_active {
+            VisibilityUpdate::FirstActivation
+        } else {
+            VisibilityUpdate::Changed
+        };
+        device.available.clear();
+        device.available.extend_from_slice(visible);
+        cache.sorted = is_ascending(&device.available);
+        if let Some(current) = device.current {
+            if !sees(&device.available, cache.sorted, current) {
+                device.current = None;
+            }
+        }
+    }
+    cache.area = Some(area);
+    device.was_active = true;
+    update
+}
+
+/// `true` when a device's visible set differs (as a set) from the networks
+/// its policy was built over — the fleet-engine analogue of the legacy
+/// first-activation policy introspection.
+fn differs_from_home(profile: &DeviceProfile, device: &DeviceDyn) -> bool {
+    let home = &profile.home_networks;
+    let available = &device.available;
+    if available.len() != home.len() {
+        return true;
+    }
+    if is_ascending(home) {
+        !available.iter().all(|n| home.binary_search(n).is_ok())
+    } else {
+        !available.iter().all(|n| home.contains(n))
+    }
+}
+
 /// Returns a consumed observation's counterfactual-gain buffer to `pool`.
 fn recycle_full_gains(observation: Observation, pool: &mut Vec<Vec<(NetworkId, f64)>>) {
     if let Some(mut gains) = observation.full_gains {
@@ -331,10 +435,11 @@ fn grade_session(
     pool: &mut Vec<Vec<(NetworkId, f64)>>,
     profile: &DeviceProfile,
     device: &mut DeviceDyn,
+    available_sorted: bool,
     chosen: NetworkId,
     slot: SlotIndex,
 ) -> Observation {
-    let valid = device.available.contains(&chosen);
+    let valid = sees(&device.available, available_sorted, chosen);
     let dense = tables.universe.binary_search(&chosen).ok();
     let local = dense.and_then(|d| networks.binary_search(&d).ok());
     let observed_rate = match local {
@@ -415,6 +520,7 @@ impl FeedbackPartition {
         choices: &[Option<NetworkId>],
         profiles: &[DeviceProfile],
         devices: &mut [DeviceDyn],
+        visibility: &[VisibilityCache],
         out: &mut [Option<Observation>],
         record: bool,
         telemetry: bool,
@@ -430,7 +536,7 @@ impl FeedbackPartition {
             match choice {
                 Some(chosen) => {
                     graded += 1;
-                    if devices[i].available.contains(chosen) {
+                    if sees(&devices[i].available, visibility[i].sorted, *chosen) {
                         if let Ok(dense) = tables.universe.binary_search(chosen) {
                             if let Ok(local) = self.networks.binary_search(&dense) {
                                 self.state.load[local] += 1;
@@ -485,6 +591,7 @@ impl FeedbackPartition {
                 &mut self.full_gains_pool,
                 &profiles[i],
                 &mut devices[i],
+                visibility[i].sorted,
                 chosen,
                 slot,
             );
@@ -646,6 +753,9 @@ pub struct CongestionEnvironment {
     config: SimulationConfig,
     profiles: Vec<DeviceProfile>,
     devices: Vec<DeviceDyn>,
+    /// Derived per-device visibility bookkeeping, parallel to `devices`
+    /// (not serialized; see [`VisibilityCache`]).
+    visibility: Vec<VisibilityCache>,
     schedule: EventSchedule,
     gain_scale: f64,
     /// Dense network index: every id the run can encounter, ascending.
@@ -780,6 +890,7 @@ impl CongestionEnvironment {
 
         CongestionEnvironment {
             config,
+            visibility: vec![VisibilityCache::default(); profiles.len()],
             profiles,
             devices,
             schedule: EventSchedule::new(events),
@@ -916,48 +1027,14 @@ impl CongestionEnvironment {
     /// visibility) into `slot` and reports what changed. After a `Changed` /
     /// `FirstActivation` the new visible set is [`available`](Self::available).
     pub(crate) fn refresh_visibility(&mut self, index: usize, slot: usize) -> VisibilityUpdate {
-        let profile = &self.profiles[index];
-        let device = &mut self.devices[index];
-        if !profile.is_active_at(slot) {
-            device.was_active = false;
-            device.active_now = false;
-            return VisibilityUpdate::Inactive;
-        }
-        device.active_now = true;
-        let area = profile.area_at(slot);
-        let visible: &[NetworkId] = self
-            .area_index
-            .binary_search_by_key(&area, |&(a, _)| a)
-            .ok()
-            .map_or(&[], |found| {
-                self.area_networks[self.area_index[found].1].1.as_slice()
-            });
-        let mut update = VisibilityUpdate::Unchanged;
-        if device.available != visible {
-            update = if device.available.is_empty() && !device.was_active {
-                VisibilityUpdate::FirstActivation
-            } else {
-                VisibilityUpdate::Changed
-            };
-            device.available.clear();
-            device.available.extend_from_slice(visible);
-            if let Some(current) = device.current {
-                if !device.available.contains(&current) {
-                    device.current = None;
-                }
-            }
-        }
-        device.was_active = true;
-        update
-    }
-
-    /// `true` when device `index`'s visible set differs (as a set) from the
-    /// networks its policy was built over — the fleet-engine analogue of the
-    /// legacy first-activation policy introspection.
-    fn differs_from_home(&self, index: usize) -> bool {
-        let home = &self.profiles[index].home_networks;
-        let available = &self.devices[index].available;
-        available.len() != home.len() || !available.iter().all(|n| home.contains(n))
+        refresh_device(
+            &self.profiles[index],
+            &mut self.devices[index],
+            &mut self.visibility[index],
+            &self.area_index,
+            &self.area_networks,
+            slot,
+        )
     }
 
     /// Opens the selection phase of a slot.
@@ -972,7 +1049,11 @@ impl CongestionEnvironment {
     /// Registers the choice of active device `index` (valid or not) and
     /// accounts its load.
     pub(crate) fn register_choice(&mut self, index: usize, chosen: NetworkId) {
-        if self.devices[index].available.contains(&chosen) {
+        if sees(
+            &self.devices[index].available,
+            self.visibility[index].sorted,
+            chosen,
+        ) {
             if let Ok(dense) = self.universe.binary_search(&chosen) {
                 let (partition, local) = self.network_home[dense];
                 self.partitions[partition as usize].state.load[local as usize] += 1;
@@ -1042,6 +1123,7 @@ impl CongestionEnvironment {
             &mut self.full_gains_pool,
             &self.profiles[index],
             &mut self.devices[index],
+            self.visibility[index].sorted,
             chosen,
             slot,
         );
@@ -1083,15 +1165,61 @@ impl Environment for CongestionEnvironment {
     }
 
     fn begin_slot(&mut self, slot: SlotIndex) {
+        // The sequential path is the partitioned computation run in
+        // partition order on the calling thread — bit-identical to any
+        // parallel execution because the refresh is RNG-free and touches
+        // only per-session state.
+        self.begin_slot_partitioned(slot, &SequentialExecutor);
+    }
+
+    fn begin_slot_partitioned(&mut self, slot: SlotIndex, executor: &dyn PartitionExecutor) {
         self.apply_due_events(slot);
-        for index in 0..self.profiles.len() {
-            let pending = match self.refresh_visibility(index, slot) {
-                VisibilityUpdate::Inactive | VisibilityUpdate::Unchanged => false,
-                VisibilityUpdate::Changed => true,
-                VisibilityUpdate::FirstActivation => self.differs_from_home(index),
-            };
-            self.devices[index].pending_change = pending;
+        let CongestionEnvironment {
+            profiles,
+            devices,
+            visibility,
+            area_index,
+            area_networks,
+            ranges,
+            ..
+        } = self;
+        let area_index: &[(AreaId, usize)] = area_index;
+        let area_networks: &[(AreaId, Vec<NetworkId>)] = area_networks;
+        let mut jobs: Vec<PartitionJob<'_>> = Vec::with_capacity(ranges.len());
+        let mut devices_rest: &mut [DeviceDyn] = devices;
+        let mut visibility_rest: &mut [VisibilityCache] = visibility;
+        let mut profiles_rest: &[DeviceProfile] = profiles;
+        for range in ranges.iter() {
+            let len = range.len();
+            let (job_devices, rest) = devices_rest.split_at_mut(len);
+            devices_rest = rest;
+            let (job_visibility, rest) = visibility_rest.split_at_mut(len);
+            visibility_rest = rest;
+            let (job_profiles, rest) = profiles_rest.split_at(len);
+            profiles_rest = rest;
+            jobs.push(Box::new(move || {
+                for ((profile, device), cache) in job_profiles
+                    .iter()
+                    .zip(job_devices.iter_mut())
+                    .zip(job_visibility.iter_mut())
+                {
+                    let pending = match refresh_device(
+                        profile,
+                        device,
+                        cache,
+                        area_index,
+                        area_networks,
+                        slot,
+                    ) {
+                        VisibilityUpdate::Inactive | VisibilityUpdate::Unchanged => false,
+                        VisibilityUpdate::Changed => true,
+                        VisibilityUpdate::FirstActivation => differs_from_home(profile, device),
+                    };
+                    device.pending_change = pending;
+                }
+            }));
         }
+        executor.run(jobs);
     }
 
     fn session_view(&self, session: usize, _slot: SlotIndex) -> SessionView<'_> {
@@ -1131,6 +1259,7 @@ impl Environment for CongestionEnvironment {
             partitions,
             partition_rngs,
             devices,
+            visibility,
             profiles,
             config,
             universe,
@@ -1155,6 +1284,7 @@ impl Environment for CongestionEnvironment {
         let mut out_rest: &mut [Option<Observation>] = out;
         let mut choices_rest: &[Option<NetworkId>] = choices;
         let mut profiles_rest: &[DeviceProfile] = profiles;
+        let mut visibility_rest: &[VisibilityCache] = visibility;
         for (partition, rng) in partitions.iter_mut().zip(partition_rngs.iter_mut()) {
             let len = partition.range.len();
             let (job_devices, rest) = devices_rest.split_at_mut(len);
@@ -1165,6 +1295,8 @@ impl Environment for CongestionEnvironment {
             choices_rest = rest;
             let (job_profiles, rest) = profiles_rest.split_at(len);
             profiles_rest = rest;
+            let (job_visibility, rest) = visibility_rest.split_at(len);
+            visibility_rest = rest;
             jobs.push(Box::new(move || {
                 partition.run_slot(
                     tables,
@@ -1173,6 +1305,7 @@ impl Environment for CongestionEnvironment {
                     job_choices,
                     job_profiles,
                     job_devices,
+                    job_visibility,
                     job_out,
                     record,
                     telemetry,
@@ -1288,6 +1421,17 @@ impl Environment for CongestionEnvironment {
         self.schedule.set_cursor(state.cursor);
         self.partition_rngs = state.rngs.into_iter().map(StdRng::from_state).collect();
         self.devices = state.devices;
+        // The visibility cache is derived data: recompute sortedness from the
+        // restored lists and drop the area memo, so the next refresh falls
+        // back to the (historical) full list comparison.
+        self.visibility = self
+            .devices
+            .iter()
+            .map(|device| VisibilityCache {
+                area: None,
+                sorted: is_ascending(&device.available),
+            })
+            .collect();
         self.game = ResourceSelectionGame::new(self.bandwidths.iter().map(|(&n, &r)| (n, r)));
         for (i, &network) in self.universe.iter().enumerate() {
             self.bandwidth_by_index[i] = self.bandwidths.get(&network).copied().unwrap_or(0.0);

@@ -103,6 +103,43 @@ impl fmt::Display for PolicyKind {
     }
 }
 
+/// A homogeneous batch of policies built by
+/// [`PolicyFactory::build_fleet_concrete`]: the EXP3 family comes back as
+/// concrete values so the fleet engine can store them inline in its
+/// monomorphized **fleet lanes** (contiguous per-kind storage, static
+/// dispatch); every other kind stays behind the trait object and runs on the
+/// boxed fallback lane.
+pub enum FleetPolicies {
+    /// Concrete slot-level EXP3 instances ([`PolicyKind::Exp3`]).
+    Exp3(Vec<Exp3>),
+    /// Concrete Smart EXP3 instances — the full algorithm or any feature
+    /// ablation (`BlockExp3`, `HybridBlockExp3`, `SmartExp3WithoutReset`,
+    /// `SmartExp3` are all one concrete type with different feature flags).
+    SmartExp3(Vec<SmartExp3>),
+    /// Policies that only exist behind `Box<dyn Policy>` (the baselines, the
+    /// oracles, and — via [`PolicyFactory::build_fleet`] — any future kind
+    /// without a dedicated lane).
+    Boxed(Vec<Box<dyn Policy>>),
+}
+
+impl FleetPolicies {
+    /// Number of policies in the batch, whatever the lane.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            FleetPolicies::Exp3(v) => v.len(),
+            FleetPolicies::SmartExp3(v) => v.len(),
+            FleetPolicies::Boxed(v) => v.len(),
+        }
+    }
+
+    /// `true` when the batch is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// Builds policies of any [`PolicyKind`] for one common environment.
 #[derive(Debug, Clone)]
 pub struct PolicyFactory {
@@ -186,6 +223,57 @@ impl PolicyFactory {
         (0..count).map(|_| self.build(kind)).collect()
     }
 
+    /// Builds `count` independent policies of the requested kind as a
+    /// *concrete* homogeneous batch — the construction hook behind the fleet
+    /// engine's lanes. The policies are constructed by exactly the same
+    /// constructor calls as [`build_fleet`](Self::build_fleet), so a lane
+    /// fleet starts from bit-identical state; only the storage differs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the underlying constructors.
+    pub fn build_fleet_concrete(
+        &mut self,
+        kind: PolicyKind,
+        count: usize,
+    ) -> Result<FleetPolicies, ConfigError> {
+        Ok(match kind {
+            PolicyKind::Exp3 => FleetPolicies::Exp3(
+                (0..count)
+                    .map(|_| Exp3::new(self.networks.clone(), self.exp3_config))
+                    .collect::<Result<_, _>>()?,
+            ),
+            PolicyKind::BlockExp3
+            | PolicyKind::HybridBlockExp3
+            | PolicyKind::SmartExp3WithoutReset
+            | PolicyKind::SmartExp3 => {
+                let config = self.smart_variant_config(kind);
+                FleetPolicies::SmartExp3(
+                    (0..count)
+                        .map(|_| SmartExp3::new(self.networks.clone(), config))
+                        .collect::<Result<_, _>>()?,
+                )
+            }
+            _ => FleetPolicies::Boxed(self.build_fleet(kind, count)?),
+        })
+    }
+
+    /// The Smart EXP3 configuration for one of the family's feature
+    /// ablations: the factory-wide [`SmartExp3Config`] with the feature set
+    /// selected by `kind`.
+    fn smart_variant_config(&self, kind: PolicyKind) -> SmartExp3Config {
+        let features = match kind {
+            PolicyKind::BlockExp3 => SmartExp3Features::block_exp3(),
+            PolicyKind::HybridBlockExp3 => SmartExp3Features::hybrid_block_exp3(),
+            PolicyKind::SmartExp3WithoutReset => SmartExp3Features::smart_exp3_without_reset(),
+            _ => SmartExp3Features::smart_exp3(),
+        };
+        SmartExp3Config {
+            features,
+            ..self.smart_config
+        }
+    }
+
     /// Builds one policy of the requested kind.
     ///
     /// Each call for [`PolicyKind::Centralized`] registers one more device
@@ -199,34 +287,12 @@ impl PolicyFactory {
         let networks = self.networks.clone();
         let policy: Box<dyn Policy> = match kind {
             PolicyKind::Exp3 => Box::new(Exp3::new(networks, self.exp3_config)?),
-            PolicyKind::BlockExp3 => Box::new(SmartExp3::new(
-                networks,
-                SmartExp3Config {
-                    features: SmartExp3Features::block_exp3(),
-                    ..self.smart_config
-                },
-            )?),
-            PolicyKind::HybridBlockExp3 => Box::new(SmartExp3::new(
-                networks,
-                SmartExp3Config {
-                    features: SmartExp3Features::hybrid_block_exp3(),
-                    ..self.smart_config
-                },
-            )?),
-            PolicyKind::SmartExp3WithoutReset => Box::new(SmartExp3::new(
-                networks,
-                SmartExp3Config {
-                    features: SmartExp3Features::smart_exp3_without_reset(),
-                    ..self.smart_config
-                },
-            )?),
-            PolicyKind::SmartExp3 => Box::new(SmartExp3::new(
-                networks,
-                SmartExp3Config {
-                    features: SmartExp3Features::smart_exp3(),
-                    ..self.smart_config
-                },
-            )?),
+            PolicyKind::BlockExp3
+            | PolicyKind::HybridBlockExp3
+            | PolicyKind::SmartExp3WithoutReset
+            | PolicyKind::SmartExp3 => {
+                Box::new(SmartExp3::new(networks, self.smart_variant_config(kind))?)
+            }
             PolicyKind::Greedy => Box::new(Greedy::new(networks)?),
             PolicyKind::FixedRandom => Box::new(FixedRandom::new(networks)?),
             PolicyKind::FullInformation => Box::new(FullInformation::new(
@@ -283,6 +349,38 @@ mod tests {
         assert_eq!(counts.get(&NetworkId(2)), Some(&14));
         assert_eq!(counts.get(&NetworkId(1)), Some(&4));
         assert_eq!(counts.get(&NetworkId(0)), Some(&2));
+    }
+
+    #[test]
+    fn concrete_fleets_match_boxed_fleets_at_construction() {
+        for kind in PolicyKind::all() {
+            let mut concrete_factory = PolicyFactory::new(rates()).unwrap();
+            let mut boxed_factory = PolicyFactory::new(rates()).unwrap();
+            let concrete = concrete_factory.build_fleet_concrete(kind, 3).unwrap();
+            let boxed = boxed_factory.build_fleet(kind, 3).unwrap();
+            assert_eq!(concrete.len(), 3);
+            assert!(!concrete.is_empty());
+            let concrete_names: Vec<&str> = match &concrete {
+                FleetPolicies::Exp3(v) => v.iter().map(|p| p.name()).collect(),
+                FleetPolicies::SmartExp3(v) => v.iter().map(|p| p.name()).collect(),
+                FleetPolicies::Boxed(v) => v.iter().map(|p| p.name()).collect(),
+            };
+            let boxed_names: Vec<&str> = boxed.iter().map(|p| p.name()).collect();
+            assert_eq!(concrete_names, boxed_names, "name mismatch for {kind:?}");
+            let expect_lane = matches!(
+                kind,
+                PolicyKind::Exp3
+                    | PolicyKind::BlockExp3
+                    | PolicyKind::HybridBlockExp3
+                    | PolicyKind::SmartExp3WithoutReset
+                    | PolicyKind::SmartExp3
+            );
+            assert_eq!(
+                !matches!(concrete, FleetPolicies::Boxed(_)),
+                expect_lane,
+                "lane routing mismatch for {kind:?}"
+            );
+        }
     }
 
     #[test]

@@ -142,6 +142,10 @@ impl Policy for FullInformation {
         self.weights.probability_pairs_into(0.0, out);
     }
 
+    fn top_probabilities_into(&self, k: usize, out: &mut Vec<(NetworkId, f64)>) {
+        self.weights.top_probabilities_into(0.0, k, out);
+    }
+
     fn last_selection_kind(&self) -> SelectionKind {
         SelectionKind::Random
     }

@@ -197,6 +197,29 @@ pub trait Policy: Send {
         out.extend(self.probabilities());
     }
 
+    /// Bounded top-`k` variant of
+    /// [`probabilities_into`](Policy::probabilities_into): fills `out`
+    /// (cleared first, capacity reused) with at most `k` `(network,
+    /// probability)` pairs, highest probability first. Readers that only
+    /// consume the most probable choice(s) — the engine's end-of-slot
+    /// top-choices hook, dashboards — should prefer this entry point so
+    /// dense worlds (hundreds of networks per session) don't pay for a full
+    /// O(K) listing per session per slot.
+    ///
+    /// Ties break towards the **later-listed** network, exactly as scanning
+    /// the full listing with `Iterator::max_by(f64::total_cmp)` would — so
+    /// `top_probabilities_into(1, ..)` is a drop-in for that idiom. The
+    /// default selects over `probabilities_into`; the EXP3 family overrides
+    /// it to heap-select directly over the cached exponentials.
+    fn top_probabilities_into(&self, k: usize, out: &mut Vec<(NetworkId, f64)>) {
+        self.probabilities_into(out);
+        // Reverse, then stable-sort descending: later-listed entries stay
+        // ahead of earlier ones with equal probability.
+        out.reverse();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1));
+        out.truncate(k);
+    }
+
     /// The kind of the most recent selection (see [`SelectionKind`]).
     fn last_selection_kind(&self) -> SelectionKind;
 
@@ -214,6 +237,57 @@ pub trait Policy: Send {
     /// [`PolicyState`]: crate::PolicyState
     fn state(&self) -> Option<crate::PolicyState> {
         None
+    }
+}
+
+/// `Box<dyn Policy>` is itself a [`Policy`], delegating every method to the
+/// boxed value. This lets generic drivers — most importantly the fleet
+/// engine's lane loops, which are monomorphized per concrete policy type —
+/// treat the boxed fallback lane as just another `P: Policy`, reusing one
+/// code path for both static and dynamic dispatch.
+impl Policy for Box<dyn Policy> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn choose(&mut self, slot: SlotIndex, rng: &mut dyn RngCore) -> NetworkId {
+        (**self).choose(slot, rng)
+    }
+
+    fn observe(&mut self, observation: &Observation, rng: &mut dyn RngCore) {
+        (**self).observe(observation, rng);
+    }
+
+    fn observe_shared(&mut self, shared: &crate::SharedFeedback, rng: &mut dyn RngCore) {
+        (**self).observe_shared(shared, rng);
+    }
+
+    fn on_networks_changed(&mut self, available: &[NetworkId], rng: &mut dyn RngCore) {
+        (**self).on_networks_changed(available, rng);
+    }
+
+    fn probabilities(&self) -> Vec<(NetworkId, f64)> {
+        (**self).probabilities()
+    }
+
+    fn probabilities_into(&self, out: &mut Vec<(NetworkId, f64)>) {
+        (**self).probabilities_into(out);
+    }
+
+    fn top_probabilities_into(&self, k: usize, out: &mut Vec<(NetworkId, f64)>) {
+        (**self).top_probabilities_into(k, out);
+    }
+
+    fn last_selection_kind(&self) -> SelectionKind {
+        (**self).last_selection_kind()
+    }
+
+    fn stats(&self) -> PolicyStats {
+        (**self).stats()
+    }
+
+    fn state(&self) -> Option<crate::PolicyState> {
+        (**self).state()
     }
 }
 

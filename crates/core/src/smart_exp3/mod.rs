@@ -569,6 +569,11 @@ impl Policy for SmartExp3 {
         self.weights.probability_pairs_into(self.current_gamma, out);
     }
 
+    fn top_probabilities_into(&self, k: usize, out: &mut Vec<(NetworkId, f64)>) {
+        self.weights
+            .top_probabilities_into(self.current_gamma, k, out);
+    }
+
     fn last_selection_kind(&self) -> SelectionKind {
         self.last_kind
     }

@@ -21,6 +21,11 @@ use serde::{Deserialize, Serialize};
 /// variants (Block EXP3, Hybrid Block EXP3, Smart EXP3 w/o Reset) are all
 /// [`SmartExp3`] instances with different feature sets, so they round-trip
 /// through the [`PolicyState::SmartExp3`] variant.
+///
+/// The variants carry *concrete* policy values, which is what lets the fleet
+/// engine route a restored [`PolicyState::Exp3`] / [`PolicyState::SmartExp3`]
+/// back into its monomorphized fleet lanes instead of boxing it: lane and
+/// boxed sessions snapshot to the same bytes and restore bit-identically.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum PolicyState {
     /// Slot-level EXP3.

@@ -400,6 +400,37 @@ impl WeightTable {
         );
     }
 
+    /// Bounded top-`k` `(arm, probability)` selection over the cached
+    /// exponentials, highest probability first: fills `out` (cleared first,
+    /// capacity reused) with at most `k` pairs without materialising the full
+    /// O(K) listing — an O(K·k) insertion-select, so dense-world readers that
+    /// only consume the top choice pay O(K) instead of O(K) + an O(K)
+    /// allocation-sized copy.
+    ///
+    /// Ties break towards the **later-inserted** arm (the opposite of
+    /// [`summary`](Self::summary)), matching what a reader gets from scanning
+    /// the full [`probability_pairs_into`](Self::probability_pairs_into)
+    /// listing with `Iterator::max_by` — the historical engine idiom this
+    /// method replaces. Comparisons use `f64::total_cmp`.
+    pub fn top_probabilities_into(&self, gamma: f64, k: usize, out: &mut Vec<(NetworkId, f64)>) {
+        out.clear();
+        if k == 0 {
+            return;
+        }
+        for (i, &arm) in self.arms.iter().enumerate() {
+            let p = self.probability_at(i, gamma);
+            if out.len() == k && out[k - 1].1.total_cmp(&p).is_gt() {
+                continue;
+            }
+            let pos = out
+                .iter()
+                .position(|&(_, q)| q.total_cmp(&p).is_le())
+                .unwrap_or(out.len());
+            out.insert(pos, (arm, p));
+            out.truncate(k);
+        }
+    }
+
     /// Probability of a specific arm under the EXP3 rule, in O(log k) (an
     /// index lookup plus a constant-time cache read).
     #[must_use]
@@ -635,6 +666,56 @@ mod tests {
         for p in probs {
             assert!((p - 0.25).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn top_probabilities_match_a_full_listing_scan() {
+        let mut rng = StdRng::seed_from_u64(71);
+        for strategy in [SamplerStrategy::Linear, SamplerStrategy::Tree] {
+            let mut table = WeightTable::uniform_with_strategy(&arms(17), strategy);
+            let gamma = 0.07;
+            for round in 0..200 {
+                let arm = NetworkId(round % 17);
+                table.multiplicative_update(arm, gamma, ((round % 13) as f64).mul_add(0.17, 0.4));
+                let mut pairs = Vec::new();
+                table.probability_pairs_into(gamma, &mut pairs);
+                // The engine's historical idiom: scan the full listing, last
+                // maximal element wins ties.
+                let expected_top = pairs.iter().copied().max_by(|a, b| a.1.total_cmp(&b.1));
+                let mut top = Vec::new();
+                table.top_probabilities_into(gamma, 1, &mut top);
+                assert_eq!(top.first().copied(), expected_top);
+
+                // Full-width selection must be a descending permutation of
+                // the listing; k = 0 must yield nothing.
+                table.top_probabilities_into(gamma, 17, &mut top);
+                assert_eq!(top.len(), 17);
+                let mut sorted = pairs.clone();
+                sorted.sort_by(|a, b| b.1.total_cmp(&a.1));
+                for (got, want) in top.iter().zip(&sorted) {
+                    assert_eq!(got.1.to_bits(), want.1.to_bits());
+                }
+                table.top_probabilities_into(gamma, 0, &mut top);
+                assert!(top.is_empty());
+                let _ = table.sample(gamma, &mut rng);
+            }
+        }
+    }
+
+    #[test]
+    fn top_probabilities_tie_towards_the_later_arm() {
+        // A fresh table is exactly uniform: every arm ties, so the selected
+        // top-1 must be the *last* arm (engine `max_by` semantics), and the
+        // top-3 must come back in reverse insertion order.
+        let table = WeightTable::uniform(&arms(5));
+        let mut top = Vec::new();
+        table.top_probabilities_into(0.1, 1, &mut top);
+        assert_eq!(top[0].0, NetworkId(4));
+        table.top_probabilities_into(0.1, 3, &mut top);
+        assert_eq!(
+            top.iter().map(|&(a, _)| a).collect::<Vec<_>>(),
+            vec![NetworkId(4), NetworkId(3), NetworkId(2)]
+        );
     }
 
     #[test]

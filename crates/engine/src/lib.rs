@@ -1,9 +1,25 @@
 //! # smartexp3-engine
 //!
 //! A high-throughput **fleet engine**: hosts thousands to millions of
-//! independent bandit sessions — each a boxed [`Policy`] from
-//! `smartexp3-core` plus its own deterministic RNG stream — and steps them in
-//! parallel with batched APIs.
+//! independent bandit sessions — each a [`Policy`] from `smartexp3-core`
+//! plus its own deterministic RNG stream — and steps them in parallel with
+//! batched APIs.
+//!
+//! ## Fleet lanes
+//!
+//! Sessions are stored in contiguous homogeneous **lane segments**: fleets
+//! built through [`FleetEngine::add_fleet`] keep EXP3-family policies as
+//! concrete values (`Vec<LaneSession<Exp3>>` / `Vec<LaneSession<SmartExp3>>`)
+//! laid out back-to-back in session order, and every per-slot phase loop is
+//! monomorphized per lane — no `Box` pointer-chase, no vtable call per
+//! decision. Everything else (baselines, oracles, third-party policies via
+//! [`FleetEngine::add_session`], or any fleet with
+//! [`FleetConfig::fleet_lanes`] off) runs on the **boxed fallback lane**,
+//! which executes the exact same generic loop bodies through `Box<dyn
+//! Policy>`. Lane routing is a storage decision only: each session keeps its
+//! private RNG stream and runs the same policy code, so a lane fleet is
+//! **bit-identical** to an all-boxed fleet — same decisions, same snapshot
+//! bytes (up to the recorded config flag), at any thread count.
 //!
 //! ## Seeding model
 //!
@@ -69,9 +85,9 @@ use rayon::prelude::*;
 use rayon::{ThreadPool, ThreadPoolBuilder};
 use serde::{Deserialize, Serialize};
 use smartexp3_core::{
-    splitmix64, ConfigError, Environment, NetworkId, NetworkStats, Observation, PartitionExecutor,
-    PartitionJob, Policy, PolicyFactory, PolicyKind, PolicyState, PolicyStats, SharedFeedback,
-    SlotIndex,
+    splitmix64, ConfigError, Environment, Exp3, FleetPolicies, NetworkId, NetworkStats,
+    Observation, PartitionExecutor, PartitionJob, Policy, PolicyFactory, PolicyKind, PolicyState,
+    PolicyStats, SharedFeedback, SlotIndex, SmartExp3,
 };
 use smartexp3_telemetry::{SlotTiming, TelemetryRecord, TelemetrySink};
 use std::fmt;
@@ -111,6 +127,14 @@ pub struct FleetConfig {
     /// sequential path (fan-out would be pure dispatch overhead). Results
     /// are independent of this value by the partition contract.
     pub partitioned_feedback: bool,
+    /// Whether [`FleetEngine::add_fleet`] routes EXP3-family policies into
+    /// homogeneous **fleet lanes** — contiguous, monomorphized per-kind
+    /// storage stepped with static dispatch (the default). `false` forces
+    /// every session onto the boxed fallback lane, reproducing the
+    /// historical `Vec<Box<dyn Policy>>` layout — useful for measuring the
+    /// lane speedup. Lanes hold the same policy states and per-session RNG
+    /// streams as boxes, so results are independent of this value.
+    pub fleet_lanes: bool,
 }
 
 impl Default for FleetConfig {
@@ -120,6 +144,7 @@ impl Default for FleetConfig {
             shard_size: 1024,
             threads: None,
             partitioned_feedback: true,
+            fleet_lanes: true,
         }
     }
 }
@@ -155,6 +180,14 @@ impl FleetConfig {
         self
     }
 
+    /// Enables or disables the monomorphized fleet lanes (on by default);
+    /// see [`FleetConfig::fleet_lanes`].
+    #[must_use]
+    pub fn with_fleet_lanes(mut self, lanes: bool) -> Self {
+        self.fleet_lanes = lanes;
+        self
+    }
+
     /// Derives the seed for an [`Environment`]'s own RNG from this fleet's
     /// root seed — a stream kept distinct (by an odd-multiplier avalanche
     /// over a different constant) from every per-session stream
@@ -185,10 +218,16 @@ pub fn session_rng(root_seed: u64, id: SessionId) -> StdRng {
 }
 
 /// One hosted session: a policy plus its private RNG stream and statistics.
-struct Session {
+///
+/// `P` is the policy storage: a concrete EXP3-family type on the
+/// monomorphized fleet lanes (the policy lives *inline* in the lane's `Vec`,
+/// so a shard walk is a linear scan), or `Box<dyn Policy>` on the fallback
+/// lane. `Box<dyn Policy>` implements [`Policy`] by delegation, so every
+/// phase loop is written once, generically.
+struct LaneSession<P> {
     id: SessionId,
     kind: PolicyKind,
-    policy: Box<dyn Policy>,
+    policy: P,
     rng: StdRng,
     /// Per-session gain statistics ([`NetworkStats`]), merged into fleet-wide
     /// per-kind aggregates by [`FleetEngine::metrics`].
@@ -198,7 +237,7 @@ struct Session {
     last_choice: Option<NetworkId>,
 }
 
-impl Session {
+impl<P: Policy> LaneSession<P> {
     fn choose(&mut self, slot: SlotIndex) -> NetworkId {
         let chosen = self.policy.choose(slot, &mut self.rng);
         self.last_choice = Some(chosen);
@@ -210,6 +249,109 @@ impl Session {
             .record_slot(observation.network, observation.scaled_gain);
         self.policy.observe(observation, &mut self.rng);
     }
+}
+
+/// A contiguous run of same-storage sessions, in global session order.
+///
+/// Sessions added consecutively with the same storage type extend the last
+/// segment; a storage change starts a new one. Segments therefore partition
+/// the global session index space into contiguous ranges by construction,
+/// which is what lets the engine hand each rayon worker a plain sub-slice of
+/// a lane plus the matching sub-slices of the global per-session buffers —
+/// no scatter indices, no `unsafe`.
+enum LaneSegment {
+    /// Monomorphized lane: slot-level EXP3, stored inline.
+    Exp3(Vec<LaneSession<Exp3>>),
+    /// Monomorphized lane: Smart EXP3 (the full algorithm and all feature
+    /// ablations are one concrete type), stored inline.
+    Smart(Vec<LaneSession<SmartExp3>>),
+    /// Fallback lane: anything behind `Box<dyn Policy>` (baselines, oracles,
+    /// third-party policies, or entire fleets with
+    /// [`FleetConfig::fleet_lanes`] off).
+    Boxed(Vec<LaneSession<Box<dyn Policy>>>),
+}
+
+/// A shard — at most `shard_size` contiguous sessions of one segment —
+/// handed to a rayon worker. The variant is matched **once per shard**, so
+/// the per-session loop body inside is statically dispatched for the
+/// monomorphized lanes.
+enum ShardSessions<'a> {
+    /// Shard of an [`LaneSegment::Exp3`] lane.
+    Exp3(&'a mut [LaneSession<Exp3>]),
+    /// Shard of a [`LaneSegment::Smart`] lane.
+    Smart(&'a mut [LaneSession<SmartExp3>]),
+    /// Shard of the boxed fallback lane.
+    Boxed(&'a mut [LaneSession<Box<dyn Policy>>]),
+}
+
+impl LaneSegment {
+    fn len(&self) -> usize {
+        match self {
+            LaneSegment::Exp3(lane) => lane.len(),
+            LaneSegment::Smart(lane) => lane.len(),
+            LaneSegment::Boxed(lane) => lane.len(),
+        }
+    }
+
+    /// Splits the segment into shard-sized session runs (the final shard may
+    /// be shorter), wrapped for once-per-shard lane dispatch.
+    fn shards(&mut self, shard_size: usize) -> Vec<ShardSessions<'_>> {
+        match self {
+            LaneSegment::Exp3(lane) => lane
+                .chunks_mut(shard_size)
+                .map(ShardSessions::Exp3)
+                .collect(),
+            LaneSegment::Smart(lane) => lane
+                .chunks_mut(shard_size)
+                .map(ShardSessions::Smart)
+                .collect(),
+            LaneSegment::Boxed(lane) => lane
+                .chunks_mut(shard_size)
+                .map(ShardSessions::Boxed)
+                .collect(),
+        }
+    }
+}
+
+/// Runs `$body` with `$sessions` bound to the shard's typed session slice.
+/// The match happens once per shard, so `$body` is monomorphized per lane:
+/// static dispatch (and cross-call inlining) on the EXP3/Smart lanes, the
+/// historical vtable path on the boxed fallback lane.
+macro_rules! with_lane {
+    ($shard:expr, |$sessions:ident| $body:expr) => {
+        match $shard {
+            ShardSessions::Exp3($sessions) => $body,
+            ShardSessions::Smart($sessions) => $body,
+            ShardSessions::Boxed($sessions) => $body,
+        }
+    };
+}
+
+/// Iterates every session of every segment in global session order, binding
+/// `$session` to a `&`/`&mut LaneSession<_>` per the borrow of `$segments`.
+/// Used by the sequential cold paths (metrics, snapshot, broadcast).
+macro_rules! for_each_lane_session {
+    ($segments:expr, |$session:ident| $body:expr) => {
+        for segment in $segments {
+            match segment {
+                LaneSegment::Exp3(lane) => {
+                    for $session in lane {
+                        $body
+                    }
+                }
+                LaneSegment::Smart(lane) => {
+                    for $session in lane {
+                        $body
+                    }
+                }
+                LaneSegment::Boxed(lane) => {
+                    for $session in lane {
+                        $body
+                    }
+                }
+            }
+        }
+    };
 }
 
 /// Reusable per-shard buffers for batched stepping.
@@ -417,11 +559,18 @@ impl std::error::Error for SnapshotError {}
 /// Version 6: EXP3-family policy checkpoints carry the per-policy
 /// `SamplerStrategy` and, for tree-sampled configs, the Fenwick tree over
 /// the cached exponentials — so a restored dense-spectrum session resumes
-/// its O(log k) sampler bit-identically. Texts from versions 2–5 fail to
-/// parse field-for-field, so [`from_json`](FleetEngine::from_json) probes
-/// the version first and reports [`SnapshotError::UnsupportedVersion`]
-/// instead of a confusing missing-field error.
-pub const SNAPSHOT_VERSION: u32 = 6;
+/// its O(log k) sampler bit-identically.
+///
+/// Version 7: the engine configuration records the fleet-lanes switch
+/// ([`FleetConfig::fleet_lanes`]). Lane routing is storage layout only —
+/// session states, RNG streams and trajectories are identical either way,
+/// and on restore EXP3-family [`PolicyState`]s are routed back into lanes
+/// (or boxed, per the recorded flag) — but a version-6 text lacks the
+/// field. Texts from versions 2–6 therefore fail to parse field-for-field,
+/// so [`from_json`](FleetEngine::from_json) probes the version first and
+/// reports [`SnapshotError::UnsupportedVersion`] instead of a confusing
+/// missing-field error.
+pub const SNAPSHOT_VERSION: u32 = 7;
 
 /// Checkpoint of one session.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -466,7 +615,7 @@ pub struct FleetSnapshot {
 /// Per-shard work unit of [`FleetEngine::step_with`]: sessions, the shard's
 /// slice of the last-choice mirror, and its persistent scratch.
 type StepShard<'a> = (
-    &'a mut [Session],
+    ShardSessions<'a>,
     &'a mut [Option<NetworkId>],
     &'a mut SlotScratch,
 );
@@ -474,7 +623,7 @@ type StepShard<'a> = (
 /// Per-shard work unit of [`FleetEngine::choose_all`]: sessions, the shard's
 /// slices of the choice output and the last-choice mirror.
 type ChooseAllShard<'a> = (
-    &'a mut [Session],
+    ShardSessions<'a>,
     &'a mut [NetworkId],
     &'a mut [Option<NetworkId>],
 );
@@ -483,7 +632,7 @@ type ChooseAllShard<'a> = (
 /// shard's slices of the joint-choice buffer and the last-choice mirror.
 type ChooseShard<'a> = (
     usize,
-    &'a mut [Session],
+    ShardSessions<'a>,
     &'a mut [Option<NetworkId>],
     &'a mut [Option<NetworkId>],
 );
@@ -492,7 +641,7 @@ type ChooseShard<'a> = (
 /// shard's slice of the top-choice buffer and its persistent scratch.
 type ObserveShard<'a> = (
     usize,
-    &'a mut [Session],
+    ShardSessions<'a>,
     &'a mut [Option<(NetworkId, f64)>],
     &'a mut SlotScratch,
 );
@@ -521,7 +670,10 @@ impl PartitionExecutor for PoolExecutor<'_> {
 pub struct FleetEngine {
     config: FleetConfig,
     pool: Option<ThreadPool>,
-    sessions: Vec<Session>,
+    /// Sessions in global session order, stored as contiguous homogeneous
+    /// lane segments (see the crate docs on fleet lanes). `self.last` always
+    /// holds one entry per session, so it doubles as the session count.
+    segments: Vec<LaneSegment>,
     slot: SlotIndex,
     next_id: u64,
     decisions: u64,
@@ -549,7 +701,7 @@ impl fmt::Debug for FleetEngine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("FleetEngine")
             .field("config", &self.config)
-            .field("sessions", &self.sessions.len())
+            .field("sessions", &self.len())
             .field("slot", &self.slot)
             .field("decisions", &self.decisions)
             .finish_non_exhaustive()
@@ -569,7 +721,7 @@ impl FleetEngine {
         FleetEngine {
             config,
             pool,
-            sessions: Vec::new(),
+            segments: Vec::new(),
             slot: 0,
             next_id: 0,
             decisions: 0,
@@ -592,13 +744,14 @@ impl FleetEngine {
     /// Number of hosted sessions.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.sessions.len()
+        // The last-choice mirror always has exactly one entry per session.
+        self.last.len()
     }
 
     /// `true` when the fleet hosts no sessions.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.sessions.is_empty()
+        self.last.is_empty()
     }
 
     /// The next slot to be stepped.
@@ -607,26 +760,66 @@ impl FleetEngine {
         self.slot
     }
 
-    /// Adds one session running `policy`, assigning it the next session id
-    /// and its private RNG stream.
-    pub fn add_session(&mut self, kind: PolicyKind, policy: Box<dyn Policy>) -> SessionId {
+    /// Builds the `LaneSession` for the next session id, advancing the id
+    /// counter and growing the last-choice mirror. The caller appends the
+    /// session to the appropriate lane.
+    fn new_lane_session<P>(&mut self, kind: PolicyKind, policy: P) -> LaneSession<P> {
         let id = SessionId(self.next_id);
         self.next_id += 1;
-        self.sessions.push(Session {
+        self.last.push(None);
+        LaneSession {
             id,
             kind,
             rng: session_rng(self.config.root_seed, id),
             policy,
             gains: NetworkStats::new(),
             last_choice: None,
-        });
-        self.last.push(None);
+        }
+    }
+
+    /// Appends to the trailing boxed segment, or starts one. (And likewise
+    /// for the two monomorphized lanes below: extending only the *last*
+    /// segment preserves global session order under interleaved adds.)
+    fn append_boxed(&mut self, session: LaneSession<Box<dyn Policy>>) {
+        match self.segments.last_mut() {
+            Some(LaneSegment::Boxed(lane)) => lane.push(session),
+            _ => self.segments.push(LaneSegment::Boxed(vec![session])),
+        }
+    }
+
+    fn append_exp3(&mut self, session: LaneSession<Exp3>) {
+        match self.segments.last_mut() {
+            Some(LaneSegment::Exp3(lane)) => lane.push(session),
+            _ => self.segments.push(LaneSegment::Exp3(vec![session])),
+        }
+    }
+
+    fn append_smart(&mut self, session: LaneSession<SmartExp3>) {
+        match self.segments.last_mut() {
+            Some(LaneSegment::Smart(lane)) => lane.push(session),
+            _ => self.segments.push(LaneSegment::Smart(vec![session])),
+        }
+    }
+
+    /// Adds one session running `policy`, assigning it the next session id
+    /// and its private RNG stream. Individually added boxed policies always
+    /// run on the fallback lane; bulk EXP3-family adds through
+    /// [`add_fleet`](Self::add_fleet) go to the monomorphized lanes.
+    pub fn add_session(&mut self, kind: PolicyKind, policy: Box<dyn Policy>) -> SessionId {
+        let session = self.new_lane_session(kind, policy);
+        let id = session.id;
+        self.append_boxed(session);
         id
     }
 
     /// Bulk-adds `count` sessions of `kind` built by `factory` (via the
     /// factory's bulk-construction hook). Returns the ids of the new
     /// sessions, which are always a contiguous run.
+    ///
+    /// With [`FleetConfig::fleet_lanes`] on (the default), EXP3-family kinds
+    /// are stored concretely in monomorphized lane segments; other kinds —
+    /// and every kind when the toggle is off — go to the boxed fallback
+    /// lane. The routing never changes behaviour, only storage.
     ///
     /// # Errors
     ///
@@ -638,11 +831,56 @@ impl FleetEngine {
         kind: PolicyKind,
         count: usize,
     ) -> Result<Vec<SessionId>, ConfigError> {
-        let policies = factory.build_fleet(kind, count)?;
-        Ok(policies
-            .into_iter()
-            .map(|policy| self.add_session(kind, policy))
-            .collect())
+        if !self.config.fleet_lanes {
+            let policies = factory.build_fleet(kind, count)?;
+            return Ok(policies
+                .into_iter()
+                .map(|policy| self.add_session(kind, policy))
+                .collect());
+        }
+        Ok(match factory.build_fleet_concrete(kind, count)? {
+            FleetPolicies::Exp3(policies) => policies
+                .into_iter()
+                .map(|policy| {
+                    let session = self.new_lane_session(kind, policy);
+                    let id = session.id;
+                    self.append_exp3(session);
+                    id
+                })
+                .collect(),
+            FleetPolicies::SmartExp3(policies) => policies
+                .into_iter()
+                .map(|policy| {
+                    let session = self.new_lane_session(kind, policy);
+                    let id = session.id;
+                    self.append_smart(session);
+                    id
+                })
+                .collect(),
+            FleetPolicies::Boxed(policies) => policies
+                .into_iter()
+                .map(|policy| self.add_session(kind, policy))
+                .collect(),
+        })
+    }
+
+    /// Total shard count across all segments for the given shard size.
+    /// Shards never span a segment boundary (each worker gets one typed
+    /// slice), so this can exceed `len().div_ceil(shard_size)` in a
+    /// mixed-lane fleet.
+    fn shard_count(&self, shard_size: usize) -> usize {
+        self.segments
+            .iter()
+            .map(|segment| segment.len().div_ceil(shard_size))
+            .sum()
+    }
+
+    /// Grows the per-shard scratch pool to cover `shard_count` shards —
+    /// the one place both step paths size their scratch from.
+    fn ensure_scratch(&mut self, shard_count: usize) {
+        if self.scratch.len() < shard_count {
+            self.scratch.resize_with(shard_count, SlotScratch::default);
+        }
     }
 
     /// Runs `operation` inside this engine's thread pool (or inline when no
@@ -661,27 +899,40 @@ impl FleetEngine {
     pub fn choose_all(&mut self) -> &[NetworkId] {
         let slot = self.slot;
         let shard_size = self.config.shard_size.max(1);
-        let count = self.sessions.len();
+        let count = self.len();
         // Choices are written by the parallel workers themselves (the same
         // pattern as `step_env`'s choose phase) rather than re-read from
         // `last_choice` afterwards — there is no window in which a session
         // could be observed without a recorded choice, and no panic path.
         self.choices.clear();
         self.choices.resize(count, NetworkId(0));
-        let work: Vec<ChooseAllShard<'_>> = self
-            .sessions
-            .chunks_mut(shard_size)
-            .zip(self.choices.chunks_mut(shard_size))
-            .zip(self.last.chunks_mut(shard_size))
-            .map(|((sessions, choices), last)| (sessions, choices, last))
-            .collect();
+        let mut work: Vec<ChooseAllShard<'_>> = Vec::new();
+        let mut choices = self.choices.as_mut_slice();
+        let mut last = self.last.as_mut_slice();
+        for segment in &mut self.segments {
+            let n = segment.len();
+            let (segment_choices, rest) = choices.split_at_mut(n);
+            choices = rest;
+            let (segment_last, rest) = last.split_at_mut(n);
+            last = rest;
+            for ((shard, c), l) in segment
+                .shards(shard_size)
+                .into_iter()
+                .zip(segment_choices.chunks_mut(shard_size))
+                .zip(segment_last.chunks_mut(shard_size))
+            {
+                work.push((shard, c, l));
+            }
+        }
         Self::in_pool(&self.pool, || {
             work.into_par_iter().for_each(|(shard, choices, last)| {
-                for (i, session) in shard.iter_mut().enumerate() {
-                    let chosen = session.choose(slot);
-                    choices[i] = chosen;
-                    last[i] = Some(chosen);
-                }
+                with_lane!(shard, |sessions| {
+                    for (i, session) in sessions.iter_mut().enumerate() {
+                        let chosen = session.choose(slot);
+                        choices[i] = chosen;
+                        last[i] = Some(chosen);
+                    }
+                });
             });
         });
         self.decisions += count as u64;
@@ -699,21 +950,27 @@ impl FleetEngine {
     pub fn observe_all(&mut self, observations: &[Observation]) {
         assert_eq!(
             observations.len(),
-            self.sessions.len(),
+            self.len(),
             "one observation per session required"
         );
         let shard_size = self.config.shard_size.max(1);
-        let sessions = &mut self.sessions;
+        let mut work: Vec<(usize, ShardSessions<'_>)> = Vec::new();
+        let mut segment_start = 0usize;
+        for segment in &mut self.segments {
+            let n = segment.len();
+            for (i, shard) in segment.shards(shard_size).into_iter().enumerate() {
+                work.push((segment_start + i * shard_size, shard));
+            }
+            segment_start += n;
+        }
         Self::in_pool(&self.pool, || {
-            sessions
-                .par_chunks_mut(shard_size)
-                .enumerate()
-                .for_each(|(shard_index, shard)| {
-                    let offset = shard_index * shard_size;
-                    for (i, session) in shard.iter_mut().enumerate() {
+            work.into_par_iter().for_each(|(offset, shard)| {
+                with_lane!(shard, |sessions| {
+                    for (i, session) in sessions.iter_mut().enumerate() {
                         session.observe(&observations[offset + i]);
                     }
                 });
+            });
         });
         self.slot += 1;
     }
@@ -733,38 +990,48 @@ impl FleetEngine {
     {
         let slot = self.slot;
         let shard_size = self.config.shard_size.max(1);
-        let shard_count = self.sessions.len().div_ceil(shard_size);
-        if self.scratch.len() < shard_count {
-            self.scratch.resize_with(shard_count, SlotScratch::default);
+        let count = self.len();
+        let shard_count = self.shard_count(shard_size);
+        self.ensure_scratch(shard_count);
+        let mut work: Vec<StepShard<'_>> = Vec::new();
+        let mut last = self.last.as_mut_slice();
+        let mut scratch = self.scratch.iter_mut();
+        for segment in &mut self.segments {
+            let n = segment.len();
+            let (segment_last, rest) = last.split_at_mut(n);
+            last = rest;
+            for ((shard, l), s) in segment
+                .shards(shard_size)
+                .into_iter()
+                .zip(segment_last.chunks_mut(shard_size))
+                .zip(&mut scratch)
+            {
+                work.push((shard, l, s));
+            }
         }
-        let work: Vec<StepShard<'_>> = self
-            .sessions
-            .chunks_mut(shard_size)
-            .zip(self.last.chunks_mut(shard_size))
-            .zip(self.scratch.iter_mut())
-            .map(|((shard, last), scratch)| (shard, last, scratch))
-            .collect();
         let feedback = &feedback;
         Self::in_pool(&self.pool, || {
             work.into_par_iter().for_each(|(shard, last, scratch)| {
-                for (index, session) in shard.iter_mut().enumerate() {
-                    let previous = session.last_choice;
-                    let chosen = session.choose(slot);
-                    last[index] = Some(chosen);
-                    let mut context = StepContext {
-                        session: session.id,
-                        slot,
-                        chosen,
-                        previous,
-                        scratch: &mut *scratch,
-                    };
-                    let observation = feedback(&mut context);
-                    session.observe(&observation);
-                    scratch.recycle(observation);
-                }
+                with_lane!(shard, |sessions| {
+                    for (index, session) in sessions.iter_mut().enumerate() {
+                        let previous = session.last_choice;
+                        let chosen = session.choose(slot);
+                        last[index] = Some(chosen);
+                        let mut context = StepContext {
+                            session: session.id,
+                            slot,
+                            chosen,
+                            previous,
+                            scratch: &mut *scratch,
+                        };
+                        let observation = feedback(&mut context);
+                        session.observe(&observation);
+                        scratch.recycle(observation);
+                    }
+                });
             });
         });
-        self.decisions += self.sessions.len() as u64;
+        self.decisions += count as u64;
         self.slot += 1;
     }
 
@@ -845,14 +1112,14 @@ impl FleetEngine {
     ) {
         assert_eq!(
             env.sessions(),
-            self.sessions.len(),
+            self.len(),
             "environment describes {} sessions, fleet hosts {}",
             env.sessions(),
-            self.sessions.len()
+            self.len()
         );
         let slot = self.slot;
         let shard_size = self.config.shard_size.max(1);
-        let count = self.sessions.len();
+        let count = self.len();
         let workers = match &self.pool {
             Some(pool) => pool.current_num_threads(),
             None => rayon::current_num_threads(),
@@ -878,34 +1145,47 @@ impl FleetEngine {
         }
         {
             let env_view: &dyn Environment = env;
-            let work: Vec<ChooseShard<'_>> = self
-                .sessions
-                .chunks_mut(shard_size)
-                .zip(self.env_choices.chunks_mut(shard_size))
-                .zip(self.last.chunks_mut(shard_size))
-                .enumerate()
-                .map(|(shard, ((sessions, choices), last))| {
-                    (shard * shard_size, sessions, choices, last)
-                })
-                .collect();
+            let mut work: Vec<ChooseShard<'_>> = Vec::new();
+            let mut choices = self.env_choices.as_mut_slice();
+            let mut last = self.last.as_mut_slice();
+            let mut segment_start = 0usize;
+            for segment in &mut self.segments {
+                let n = segment.len();
+                let (segment_choices, rest) = choices.split_at_mut(n);
+                choices = rest;
+                let (segment_last, rest) = last.split_at_mut(n);
+                last = rest;
+                for (i, ((shard, c), l)) in segment
+                    .shards(shard_size)
+                    .into_iter()
+                    .zip(segment_choices.chunks_mut(shard_size))
+                    .zip(segment_last.chunks_mut(shard_size))
+                    .enumerate()
+                {
+                    work.push((segment_start + i * shard_size, shard, c, l));
+                }
+                segment_start += n;
+            }
             Self::in_pool(&self.pool, || {
                 work.into_par_iter()
                     .for_each(|(offset, shard, choices, last)| {
-                        for (i, session) in shard.iter_mut().enumerate() {
-                            let view = env_view.session_view(offset + i, slot);
-                            if let Some(networks) = view.networks_changed {
-                                session
-                                    .policy
-                                    .on_networks_changed(networks, &mut session.rng);
+                        with_lane!(shard, |sessions| {
+                            for (i, session) in sessions.iter_mut().enumerate() {
+                                let view = env_view.session_view(offset + i, slot);
+                                if let Some(networks) = view.networks_changed {
+                                    session
+                                        .policy
+                                        .on_networks_changed(networks, &mut session.rng);
+                                }
+                                choices[i] = if view.active {
+                                    let chosen = session.choose(slot);
+                                    last[i] = Some(chosen);
+                                    Some(chosen)
+                                } else {
+                                    None
+                                };
                             }
-                            choices[i] = if view.active {
-                                let chosen = session.choose(slot);
-                                last[i] = Some(chosen);
-                                Some(chosen)
-                            } else {
-                                None
-                            };
-                        }
+                        });
                     });
             });
         }
@@ -950,52 +1230,64 @@ impl FleetEngine {
         if self.env_tops.len() != count {
             self.env_tops.resize(count, None);
         }
-        let shard_count = count.div_ceil(shard_size);
-        if self.scratch.len() < shard_count {
-            self.scratch.resize_with(shard_count, SlotScratch::default);
-        }
+        let shard_count = self.shard_count(shard_size);
+        self.ensure_scratch(shard_count);
         {
             let env_view: &dyn Environment = env;
             let feedback = &self.env_feedback;
-            let work: Vec<ObserveShard<'_>> = self
-                .sessions
-                .chunks_mut(shard_size)
-                .zip(self.env_tops.chunks_mut(shard_size))
-                .zip(self.scratch.iter_mut())
-                .enumerate()
-                .map(|(shard, ((sessions, tops), scratch))| {
-                    (shard * shard_size, sessions, tops, scratch)
-                })
-                .collect();
+            let mut work: Vec<ObserveShard<'_>> = Vec::new();
+            let mut tops = self.env_tops.as_mut_slice();
+            let mut scratch = self.scratch.iter_mut();
+            let mut segment_start = 0usize;
+            for segment in &mut self.segments {
+                let n = segment.len();
+                let (segment_tops, rest) = tops.split_at_mut(n);
+                tops = rest;
+                for (i, ((shard, t), s)) in segment
+                    .shards(shard_size)
+                    .into_iter()
+                    .zip(segment_tops.chunks_mut(shard_size))
+                    .zip(&mut scratch)
+                    .enumerate()
+                {
+                    work.push((segment_start + i * shard_size, shard, t, s));
+                }
+                segment_start += n;
+            }
             Self::in_pool(&self.pool, || {
                 work.into_par_iter()
                     .for_each(|(offset, shard, tops, scratch)| {
-                        for (i, session) in shard.iter_mut().enumerate() {
-                            let Some(observation) = &feedback[offset + i] else {
-                                if wants_tops {
-                                    tops[i] = None;
+                        with_lane!(shard, |sessions| {
+                            for (i, session) in sessions.iter_mut().enumerate() {
+                                let Some(observation) = &feedback[offset + i] else {
+                                    if wants_tops {
+                                        tops[i] = None;
+                                    }
+                                    continue;
+                                };
+                                session.observe(observation);
+                                if shares_feedback
+                                    && env_view
+                                        .shared_feedback_into(offset + i, &mut scratch.shared)
+                                {
+                                    session
+                                        .policy
+                                        .observe_shared(&scratch.shared, &mut session.rng);
                                 }
-                                continue;
-                            };
-                            session.observe(observation);
-                            if shares_feedback
-                                && env_view.shared_feedback_into(offset + i, &mut scratch.shared)
-                            {
-                                session
-                                    .policy
-                                    .observe_shared(&scratch.shared, &mut session.rng);
+                                if wants_tops {
+                                    // Bounded top-1 read: O(K) with no full
+                                    // listing write-out. Ties resolve to the
+                                    // later-listed arm, exactly as the
+                                    // full-listing `max_by` scan this
+                                    // replaces (see
+                                    // `Policy::top_probabilities_into`).
+                                    session
+                                        .policy
+                                        .top_probabilities_into(1, &mut scratch.probabilities);
+                                    tops[i] = scratch.probabilities.first().copied();
+                                }
                             }
-                            if wants_tops {
-                                session
-                                    .policy
-                                    .probabilities_into(&mut scratch.probabilities);
-                                tops[i] = scratch
-                                    .probabilities
-                                    .iter()
-                                    .copied()
-                                    .max_by(|a, b| a.1.total_cmp(&b.1));
-                            }
-                        }
+                        });
                     });
             });
         }
@@ -1058,14 +1350,19 @@ impl FleetEngine {
     /// dynamism keep their state (see [`Policy::on_networks_changed`]).
     pub fn networks_changed(&mut self, available: &[NetworkId]) {
         let shard_size = self.config.shard_size.max(1);
-        let sessions = &mut self.sessions;
+        let mut work: Vec<ShardSessions<'_>> = Vec::new();
+        for segment in &mut self.segments {
+            work.extend(segment.shards(shard_size));
+        }
         Self::in_pool(&self.pool, || {
-            sessions.par_chunks_mut(shard_size).for_each(|shard| {
-                for session in shard {
-                    session
-                        .policy
-                        .on_networks_changed(available, &mut session.rng);
-                }
+            work.into_par_iter().for_each(|shard| {
+                with_lane!(shard, |sessions| {
+                    for session in sessions {
+                        session
+                            .policy
+                            .on_networks_changed(available, &mut session.rng);
+                    }
+                });
             });
         });
     }
@@ -1082,7 +1379,37 @@ impl FleetEngine {
     /// inspection (name, stats, probabilities).
     #[must_use]
     pub fn policy(&self, index: usize) -> Option<&dyn Policy> {
-        self.sessions.get(index).map(|s| &*s.policy)
+        let mut index = index;
+        for segment in &self.segments {
+            let n = segment.len();
+            if index < n {
+                return Some(match segment {
+                    LaneSegment::Exp3(lane) => &lane[index].policy,
+                    LaneSegment::Smart(lane) => &lane[index].policy,
+                    LaneSegment::Boxed(lane) => &*lane[index].policy,
+                });
+            }
+            index -= n;
+        }
+        None
+    }
+
+    /// The policy kind of session `index` (in session order).
+    #[must_use]
+    pub fn kind(&self, index: usize) -> Option<PolicyKind> {
+        let mut index = index;
+        for segment in &self.segments {
+            let n = segment.len();
+            if index < n {
+                return Some(match segment {
+                    LaneSegment::Exp3(lane) => lane[index].kind,
+                    LaneSegment::Smart(lane) => lane[index].kind,
+                    LaneSegment::Boxed(lane) => lane[index].kind,
+                });
+            }
+            index -= n;
+        }
+        None
     }
 
     /// Aggregates fleet-wide metrics.
@@ -1094,7 +1421,7 @@ impl FleetEngine {
         let mut per_kind: Vec<(PolicyKind, KindMetrics)> = Vec::new();
         let mut switches = 0u64;
         let mut resets = 0u64;
-        for session in &self.sessions {
+        for_each_lane_session!(&self.segments, |session| {
             let stats = session.policy.stats();
             switches += stats.switches;
             resets += stats.resets;
@@ -1114,10 +1441,10 @@ impl FleetEngine {
             entry.policy.explorations += stats.explorations;
             entry.policy.shared_observations += stats.shared_observations;
             entry.gains.merge(&session.gains);
-        }
+        });
         per_kind.sort_by_key(|(kind, _)| PolicyKind::all().iter().position(|k| k == kind));
         FleetMetrics {
-            sessions: self.sessions.len(),
+            sessions: self.len(),
             slot: self.slot,
             decisions: self.decisions,
             switches,
@@ -1133,23 +1460,30 @@ impl FleetEngine {
     /// Returns [`SnapshotError::UnsupportedPolicy`] when any session runs the
     /// centralized oracle (its state lives in the shared coordinator).
     pub fn snapshot(&self) -> Result<FleetSnapshot, SnapshotError> {
-        let mut sessions = Vec::with_capacity(self.sessions.len());
-        for session in &self.sessions {
-            let policy = session
-                .policy
-                .state()
-                .ok_or(SnapshotError::UnsupportedPolicy {
-                    session: session.id,
-                    kind: session.kind,
-                })?;
-            sessions.push(SessionSnapshot {
-                id: session.id.0,
-                kind: session.kind,
-                policy,
-                rng: session.rng.state(),
-                gains: session.gains.clone(),
-                last_choice: session.last_choice,
-            });
+        let mut sessions = Vec::with_capacity(self.len());
+        let mut failed: Option<SnapshotError> = None;
+        for_each_lane_session!(&self.segments, |session| {
+            if failed.is_none() {
+                match session.policy.state() {
+                    Some(policy) => sessions.push(SessionSnapshot {
+                        id: session.id.0,
+                        kind: session.kind,
+                        policy,
+                        rng: session.rng.state(),
+                        gains: session.gains.clone(),
+                        last_choice: session.last_choice,
+                    }),
+                    None => {
+                        failed = Some(SnapshotError::UnsupportedPolicy {
+                            session: session.id,
+                            kind: session.kind,
+                        });
+                    }
+                }
+            }
+        });
+        if let Some(error) = failed {
+            return Err(error);
         }
         Ok(FleetSnapshot {
             version: SNAPSHOT_VERSION,
@@ -1211,6 +1545,12 @@ impl FleetEngine {
     /// Restores a fleet from a snapshot. The restored fleet continues
     /// bit-identically to the fleet the snapshot was taken from.
     ///
+    /// With [`FleetConfig::fleet_lanes`] recorded as on, EXP3-family policy
+    /// states are routed back into the monomorphized lanes; otherwise (and
+    /// for every other state) they are boxed onto the fallback lane. Either
+    /// way the restored sessions hold the same states and RNG streams, so
+    /// the routing never changes the trajectory.
+    ///
     /// # Errors
     ///
     /// Returns [`SnapshotError::UnsupportedVersion`] for snapshots from an
@@ -1219,23 +1559,42 @@ impl FleetEngine {
         if snapshot.version != SNAPSHOT_VERSION {
             return Err(SnapshotError::UnsupportedVersion(snapshot.version));
         }
+        let lanes = snapshot.config.fleet_lanes;
         let mut engine = FleetEngine::new(snapshot.config);
         engine.slot = snapshot.slot;
-        engine.next_id = snapshot.next_id;
         engine.decisions = snapshot.decisions;
-        engine.sessions = snapshot
-            .sessions
-            .into_iter()
-            .map(|s| Session {
-                id: SessionId(s.id),
-                kind: s.kind,
-                policy: s.policy.into_policy(),
-                rng: StdRng::from_state(s.rng),
-                gains: s.gains,
-                last_choice: s.last_choice,
-            })
-            .collect();
-        engine.last = engine.sessions.iter().map(|s| s.last_choice).collect();
+        for s in snapshot.sessions {
+            let id = SessionId(s.id);
+            let rng = StdRng::from_state(s.rng);
+            engine.last.push(s.last_choice);
+            match s.policy {
+                PolicyState::Exp3(policy) if lanes => engine.append_exp3(LaneSession {
+                    id,
+                    kind: s.kind,
+                    policy: *policy,
+                    rng,
+                    gains: s.gains,
+                    last_choice: s.last_choice,
+                }),
+                PolicyState::SmartExp3(policy) if lanes => engine.append_smart(LaneSession {
+                    id,
+                    kind: s.kind,
+                    policy: *policy,
+                    rng,
+                    gains: s.gains,
+                    last_choice: s.last_choice,
+                }),
+                other => engine.append_boxed(LaneSession {
+                    id,
+                    kind: s.kind,
+                    policy: other.into_policy(),
+                    rng,
+                    gains: s.gains,
+                    last_choice: s.last_choice,
+                }),
+            }
+        }
+        engine.next_id = snapshot.next_id;
         Ok(engine)
     }
 
@@ -1458,9 +1817,10 @@ mod tests {
         // Previous-release texts (version 2 lacks the `environment` field,
         // version 3 lacks the cooperative-feedback counters in its policy
         // states, version 4 lacks the partitioned-feedback config switch,
-        // version 5 lacks the per-policy sampler strategy) must be diagnosed
-        // as unsupported versions, not malformed.
-        for version in [2u32, 3, 4, 5] {
+        // version 5 lacks the per-policy sampler strategy, version 6 lacks
+        // the fleet-lanes config switch) must be diagnosed as unsupported
+        // versions, not malformed.
+        for version in [2u32, 3, 4, 5, 6] {
             match FleetEngine::from_json(&format!("{{\"version\":{version},\"sessions\":[]}}")) {
                 Err(SnapshotError::UnsupportedVersion(v)) if v == version => {}
                 other => panic!("expected UnsupportedVersion({version}), got {other:?}"),
@@ -1480,14 +1840,39 @@ mod tests {
             let gain = 0.4;
             Observation::bandit(ctx.slot, ctx.chosen, gain * 22.0, gain)
         });
-        for (session, choice) in fleet.sessions.iter().zip(fleet.last_choices().iter()) {
-            if matches!(session.kind, PolicyKind::SmartExp3 | PolicyKind::Greedy) {
+        for index in 0..fleet.len() {
+            let kind = fleet.kind(index).unwrap();
+            let choice = fleet.last_choices()[index];
+            if matches!(kind, PolicyKind::SmartExp3 | PolicyKind::Greedy) {
                 assert!(
                     remaining.contains(&choice.unwrap()),
-                    "{} still on a vanished network",
-                    session.id
+                    "session#{index} still on a vanished network"
                 );
             }
         }
+    }
+
+    #[test]
+    fn lane_fleets_match_boxed_fleets_exactly() {
+        // The in-crate smoke version of the lane/boxed equivalence property
+        // (the full churn + snapshot matrix lives in tests/lanes.rs): same
+        // seed, lanes on vs off, identical trajectory and metrics.
+        let lanes = build_fleet(Some(2), 16, 60);
+        let mut boxed = FleetEngine::new(lanes.config().clone().with_fleet_lanes(false));
+        let mut factory = PolicyFactory::new(rates()).unwrap();
+        boxed
+            .add_fleet(&mut factory, PolicyKind::SmartExp3, 30)
+            .unwrap();
+        boxed.add_fleet(&mut factory, PolicyKind::Exp3, 15).unwrap();
+        boxed
+            .add_fleet(&mut factory, PolicyKind::Greedy, 15)
+            .unwrap();
+        let mut lanes = lanes;
+        for _ in 0..25 {
+            lanes.step_with(feedback);
+            boxed.step_with(feedback);
+            assert_eq!(lanes.last_choices(), boxed.last_choices());
+        }
+        assert_eq!(lanes.metrics(), boxed.metrics());
     }
 }

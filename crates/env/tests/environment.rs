@@ -35,6 +35,7 @@ fn scenario_fingerprint(scenario: &Scenario) -> String {
     snapshot.config.threads = None;
     snapshot.config.shard_size = 0;
     snapshot.config.partitioned_feedback = true;
+    snapshot.config.fleet_lanes = true;
     serde_json::to_string(&snapshot).expect("snapshots serialize")
 }
 
@@ -119,6 +120,21 @@ fn every_world_is_bit_identical_at_any_thread_count() {
             expected,
             "{world} diverged with partitioned feedback disabled"
         );
+        // The boxed fallback (fleet lanes disabled) must also match: lane
+        // routing is a storage decision, never a behavioural one.
+        let mut boxed = build_config(
+            FleetConfig::with_root_seed(42)
+                .with_threads(2)
+                .with_shard_size(16)
+                .with_fleet_lanes(false),
+            world,
+        );
+        boxed.run(40);
+        assert_eq!(
+            scenario_fingerprint(&boxed),
+            expected,
+            "{world} diverged with fleet lanes disabled"
+        );
     }
 }
 
@@ -147,12 +163,27 @@ fn mid_scenario_snapshots_restore_bit_identically() {
 
         let mut resumed = build(8, world);
         resumed.fleet =
-            FleetEngine::from_snapshot_env(snapshot, resumed.environment.as_mut()).unwrap();
+            FleetEngine::from_snapshot_env(snapshot.clone(), resumed.environment.as_mut()).unwrap();
         resumed.run(25);
         assert_eq!(
             scenario_fingerprint(&resumed),
             expected,
             "{world} diverged after snapshot/restore"
+        );
+
+        // Crossed restore: a snapshot taken with lanes on restores into a
+        // boxed-only engine (and continues bit-identically) when the restored
+        // config disables lanes — checkpoints are portable across the toggle.
+        let mut crossed_snapshot = snapshot;
+        crossed_snapshot.config.fleet_lanes = false;
+        let mut crossed = build(2, world);
+        crossed.fleet =
+            FleetEngine::from_snapshot_env(crossed_snapshot, crossed.environment.as_mut()).unwrap();
+        crossed.run(25);
+        assert_eq!(
+            scenario_fingerprint(&crossed),
+            expected,
+            "{world} diverged after a lanes-on -> lanes-off crossed restore"
         );
     }
 }

@@ -1,0 +1,82 @@
+//! Event-driven stepping throughput: the wake-queue engine path
+//! (`FleetEngine::run_until`) on the duty-cycle world, against the same
+//! world stepped slot-synchronously.
+//!
+//! The two sides take different decision counts per wall-clock window — the
+//! sync path wakes every session every slot, the event path only due
+//! cohorts — so each benchmark reports throughput in *decisions*, not
+//! slots: sync advances `SLOTS` slots with `sessions` decisions each; the
+//! event side's element count is the cadence-mix decision total over the
+//! same horizon.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smartexp3_core::PolicyKind;
+use smartexp3_engine::FleetConfig;
+use smartexp3_env::{duty_cycle, DutyCycleConfig, Scenario};
+use std::time::Duration;
+
+/// Slots advanced per benchmark iteration.
+const SLOTS: usize = 8;
+
+/// The cadence mix: 1/2/4/8 round-robin, averaging 15/32 decisions per
+/// session-slot.
+const CADENCES: [usize; 4] = [1, 2, 4, 8];
+
+fn build(sessions: usize) -> Scenario {
+    duty_cycle(
+        sessions,
+        PolicyKind::SmartExp3,
+        FleetConfig::with_root_seed(1),
+        DutyCycleConfig {
+            cadences: CADENCES.to_vec(),
+            burst_period: 16,
+            horizon_slots: 1 << 20,
+        },
+    )
+    .unwrap()
+}
+
+/// Decisions the event path takes per `SLOTS` slots at the cadence mix:
+/// each cadence-c quarter of the fleet decides `SLOTS / c` times.
+fn event_decisions(sessions: usize) -> u64 {
+    CADENCES
+        .iter()
+        .map(|&cadence| (sessions / CADENCES.len() * (SLOTS / cadence)) as u64)
+        .sum()
+}
+
+fn bench_event_stepping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_stepping");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    for sessions in [1_000usize, 10_000, 100_000] {
+        group.throughput(Throughput::Elements((sessions * SLOTS) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("sync", sessions),
+            &sessions,
+            |b, &sessions| {
+                let mut scenario = build(sessions);
+                b.iter(|| scenario.run(SLOTS));
+            },
+        );
+        group.throughput(Throughput::Elements(event_decisions(sessions)));
+        group.bench_with_input(
+            BenchmarkId::new("events", sessions),
+            &sessions,
+            |b, &sessions| {
+                let mut scenario = build(sessions);
+                b.iter(|| {
+                    let until = scenario.fleet.slot() + SLOTS;
+                    scenario
+                        .fleet
+                        .run_until(scenario.environment.as_mut(), until);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_stepping);
+criterion_main!(benches);

@@ -20,15 +20,27 @@
 //! `threads` exceeds the record's `host_cores`, the datapoint measures an
 //! oversubscribed worker pool, not parallel scaling.
 //!
+//! A **duty-cycle pair** records the event-driven engine path: the same
+//! world stepped slot-synchronously and through the wake queue
+//! (`run_until`), the latter with wake-to-decision latency percentiles in
+//! the record's `extra` fields.
+//!
 //! ```text
 //! cargo run --release -p smartexp3-bench --bin engine_smoke \
-//!     [-- --sessions N] [--slots N] [--threads N] [--out PATH]
+//!     [-- --sessions N] [--slots N] [--threads N] [--out PATH] [--only SUBSTR]
 //! ```
+//!
+//! `--only SUBSTR` runs only the datapoint groups whose name contains
+//! `SUBSTR` (groups: `closure`, `equal_share`, `equal_share_telemetry`,
+//! `equal_share_sequential`, `cooperative`, `dense_urban`, `duty_cycle`,
+//! `ab_closure`, `ab_equal_share`, `ab_dense_urban`) — e.g. `--only ab`
+//! runs the three A/B groups, `--only equal_share` everything on that world.
 
 use smartexp3_core::{NetworkId, Observation, PolicyFactory, PolicyKind, SamplerStrategy};
 use smartexp3_engine::{FleetConfig, FleetEngine, StepContext};
 use smartexp3_env::{
-    cooperative, dense_urban, equal_share, DenseUrbanConfig, GossipConfig, Scenario,
+    cooperative, dense_urban, duty_cycle, equal_share, DenseUrbanConfig, DutyCycleConfig,
+    GossipConfig, Scenario,
 };
 use smartexp3_telemetry::RingSink;
 use std::time::Instant;
@@ -287,6 +299,54 @@ fn measure_dense(sampler: SamplerStrategy, slots: usize, threads: usize) -> (f64
     (decisions / elapsed, decisions / choose_s.max(f64::EPSILON))
 }
 
+/// Sync-vs-event-driven pair on the duty-cycle world. Returns the two
+/// throughputs plus the event run's latency extra (pre-rendered JSON).
+fn measure_duty_cycle(sessions: usize, slots: usize, config: &FleetConfig) -> (f64, f64, String) {
+    let warm = slots.div_ceil(4).max(1);
+    let build = || {
+        duty_cycle(
+            sessions,
+            PolicyKind::SmartExp3,
+            config.clone(),
+            DutyCycleConfig {
+                cadences: vec![1, 2, 4, 8],
+                burst_period: (slots / 4).max(2),
+                horizon_slots: warm + slots,
+            },
+        )
+        .expect("valid scenario")
+    };
+    // Sync baseline: the identical world stepped slot-synchronously (the
+    // cadences are ignored — every session decides every slot).
+    let mut sync = build();
+    let sync_rate = measure_scenario(&mut sync, slots);
+    // Event-driven: only due cohorts decide, so the rate divides the
+    // decisions the engine actually took (from the metrics delta) by wall
+    // time.
+    let mut events = build();
+    events.fleet.run_until(events.environment.as_mut(), warm);
+    let warm_decisions = events.fleet.metrics().decisions;
+    let start = Instant::now();
+    events
+        .fleet
+        .run_until(events.environment.as_mut(), warm + slots);
+    let elapsed = start.elapsed().as_secs_f64();
+    let decided = events.fleet.metrics().decisions - warm_decisions;
+    let event_rate = decided as f64 / elapsed.max(f64::EPSILON);
+    let latency_extra = match events.fleet.last_wake_latency() {
+        Some(latency) => format!(
+            ",\"stepping\":\"events\",\"latency_count\":{},\"latency_p50_us\":{:.2},\
+             \"latency_p95_us\":{:.2},\"latency_p99_us\":{:.2}",
+            latency.count,
+            latency.p50_s * 1e6,
+            latency.p95_s * 1e6,
+            latency.p99_s * 1e6
+        ),
+        None => ",\"stepping\":\"events\"".to_string(),
+    };
+    (sync_rate, event_rate, latency_extra)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let sessions = parse_flag(&args, "--sessions", 100_000);
@@ -297,62 +357,16 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let only = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let wanted = |group: &str| only.as_deref().is_none_or(|filter| group.contains(filter));
     let auto_threads = std::thread::available_parallelism().map_or(1, usize::from);
     let threads = parse_flag(&args, "--threads", auto_threads);
     let config = FleetConfig::with_root_seed(1).with_threads(threads);
-
-    let mut fleet = build_fleet(sessions, &config);
-    // Warm-up: drives the fleet out of its all-fresh-decision opening slots
-    // and populates the per-shard scratch buffers.
-    let _ = measure(&mut fleet, slots.div_ceil(4).max(1));
-    let closure = measure(&mut fleet, slots);
-
-    // Environment-driven datapoints: the same fleet size stepped through the
-    // equal-share congestion scenario via `run_env`, with the feedback phase
-    // fanned out over the partitions (default) and forced sequential — the
-    // pair records what sharding the last sequential phase buys.
-    let mut partitioned =
-        equal_share(sessions, PolicyKind::SmartExp3, config.clone()).expect("valid scenario");
-    let partitioned_rate = measure_scenario(&mut partitioned, slots);
-    // Telemetry datapoint: the identical world with per-slot streaming
-    // metrics on — the partitioned/telemetry pair is the observability
-    // overhead the README quotes (budget: ≤ 10% decisions/sec).
-    let mut streaming =
-        equal_share(sessions, PolicyKind::SmartExp3, config.clone()).expect("valid scenario");
-    let streaming_rate = measure_scenario_streaming(&mut streaming, slots);
-    let mut sequential = equal_share(
-        sessions,
-        PolicyKind::SmartExp3,
-        config.clone().with_partitioned_feedback(false),
-    )
-    .expect("valid scenario");
-    let sequential_rate = measure_scenario(&mut sequential, slots);
-
-    // Cooperative datapoint: the same world with the Co-Bandit gossip layer
-    // (per-area broadcast digests + `observe_shared` folding), so the perf
-    // trajectory also tracks what cooperation costs on top of equal_share.
-    let mut coop = cooperative(
-        sessions,
-        PolicyKind::SmartExp3,
-        config,
-        GossipConfig::broadcast(),
-    )
-    .expect("valid scenario");
-    let coop_rate = measure_scenario(&mut coop, slots);
-
-    // Large-K sampler datapoints: the dense-urban world at K = 512, once per
-    // CDF-inversion strategy. The small fleet needs many slots for a stable
-    // wall-clock reading, so the slot count is scaled up from `--slots`.
-    let dense_slots = (slots * 50).max(500);
-    let (linear_total, linear_sampling) =
-        measure_dense(SamplerStrategy::Linear, dense_slots, threads);
-    let (tree_total, tree_sampling) = measure_dense(SamplerStrategy::Tree, dense_slots, threads);
-    let dense_extra = |sampler: SamplerStrategy, sampling_rate: f64| {
-        format!(
-            ",\"sampler\":\"{sampler:?}\",\"networks\":{DENSE_NETWORKS},\
-             \"sampling_decisions_per_sec\":{sampling_rate:.0}"
-        )
-    };
+    let mut records = Vec::new();
 
     let smart_record = |bench, world, feedback, decisions_per_sec| Record {
         bench,
@@ -365,46 +379,177 @@ fn main() {
         decisions_per_sec,
         extra: String::new(),
     };
-    let dense_record = |sampler: SamplerStrategy, total: f64, sampling: f64| Record {
-        bench: "scenario_throughput/dense_urban",
-        world: "dense_urban",
-        feedback: "partitioned",
-        policy: "Exp3",
-        sessions: DENSE_SESSIONS,
-        slots: dense_slots,
-        threads,
-        decisions_per_sec: total,
-        extra: dense_extra(sampler, sampling),
-    };
-    let mut records = vec![
-        smart_record("engine_throughput/step", "closure", "fused", closure),
-        smart_record(
+
+    let mut closure = None;
+    if wanted("closure") {
+        let mut fleet = build_fleet(sessions, &config);
+        // Warm-up: drives the fleet out of its all-fresh-decision opening
+        // slots and populates the per-shard scratch buffers.
+        let _ = measure(&mut fleet, slots.div_ceil(4).max(1));
+        let rate = measure(&mut fleet, slots);
+        records.push(smart_record(
+            "engine_throughput/step",
+            "closure",
+            "fused",
+            rate,
+        ));
+        closure = Some(rate);
+    }
+
+    // Environment-driven datapoints: the same fleet size stepped through the
+    // equal-share congestion scenario via `run_env`, with the feedback phase
+    // fanned out over the partitions (default) and forced sequential — the
+    // pair records what sharding the last sequential phase buys.
+    let mut partitioned_rate = None;
+    if wanted("equal_share") {
+        let mut partitioned =
+            equal_share(sessions, PolicyKind::SmartExp3, config.clone()).expect("valid scenario");
+        let rate = measure_scenario(&mut partitioned, slots);
+        records.push(smart_record(
             "scenario_throughput/equal_share",
             "equal_share",
             "partitioned",
-            partitioned_rate,
-        ),
-        smart_record(
+            rate,
+        ));
+        partitioned_rate = Some(rate);
+    }
+    // Telemetry datapoint: the identical world with per-slot streaming
+    // metrics on — the partitioned/telemetry pair is the observability
+    // overhead the README quotes (budget: ≤ 10% decisions/sec).
+    let mut streaming_rate = None;
+    if wanted("equal_share_telemetry") {
+        let mut streaming =
+            equal_share(sessions, PolicyKind::SmartExp3, config.clone()).expect("valid scenario");
+        let rate = measure_scenario_streaming(&mut streaming, slots);
+        records.push(smart_record(
             "scenario_throughput/equal_share",
             "equal_share",
             "partitioned+telemetry",
-            streaming_rate,
-        ),
-        smart_record(
+            rate,
+        ));
+        streaming_rate = Some(rate);
+    }
+    let mut sequential_rate = None;
+    if wanted("equal_share_sequential") {
+        let mut sequential = equal_share(
+            sessions,
+            PolicyKind::SmartExp3,
+            config.clone().with_partitioned_feedback(false),
+        )
+        .expect("valid scenario");
+        let rate = measure_scenario(&mut sequential, slots);
+        records.push(smart_record(
             "scenario_throughput/equal_share",
             "equal_share",
             "sequential",
-            sequential_rate,
-        ),
-        smart_record(
+            rate,
+        ));
+        sequential_rate = Some(rate);
+    }
+
+    // Cooperative datapoint: the same world with the Co-Bandit gossip layer
+    // (per-area broadcast digests + `observe_shared` folding), so the perf
+    // trajectory also tracks what cooperation costs on top of equal_share.
+    let mut coop_rate = None;
+    if wanted("cooperative") {
+        let mut coop = cooperative(
+            sessions,
+            PolicyKind::SmartExp3,
+            config.clone(),
+            GossipConfig::broadcast(),
+        )
+        .expect("valid scenario");
+        let rate = measure_scenario(&mut coop, slots);
+        records.push(smart_record(
             "scenario_throughput/cooperative",
             "cooperative",
             "partitioned",
-            coop_rate,
-        ),
-        dense_record(SamplerStrategy::Linear, linear_total, linear_sampling),
-        dense_record(SamplerStrategy::Tree, tree_total, tree_sampling),
-    ];
+            rate,
+        ));
+        coop_rate = Some(rate);
+    }
+
+    // Event-driven datapoints: the duty-cycle world (1/2/4/8 cadence mix)
+    // stepped slot-synchronously and through the wake queue. The event
+    // record carries wake-to-decision latency percentiles in `extra`.
+    if wanted("duty_cycle") {
+        let (sync_rate, event_rate, latency_extra) = measure_duty_cycle(sessions, slots, &config);
+        records.push(Record {
+            bench: "scenario_throughput/duty_cycle",
+            world: "duty_cycle",
+            feedback: "partitioned",
+            policy: "SmartExp3",
+            sessions,
+            slots,
+            threads,
+            decisions_per_sec: sync_rate,
+            extra: ",\"stepping\":\"sync\"".to_string(),
+        });
+        records.push(Record {
+            bench: "scenario_throughput/duty_cycle",
+            world: "duty_cycle",
+            feedback: "partitioned",
+            policy: "SmartExp3",
+            sessions,
+            slots,
+            threads,
+            decisions_per_sec: event_rate,
+            extra: latency_extra,
+        });
+        eprintln!(
+            "duty_cycle: sync {:.2}M vs event-driven {:.2}M decisions/sec",
+            sync_rate / 1e6,
+            event_rate / 1e6
+        );
+    }
+
+    // Large-K sampler datapoints: the dense-urban world at K = 512, once per
+    // CDF-inversion strategy. The small fleet needs many slots for a stable
+    // wall-clock reading, so the slot count is scaled up from `--slots`.
+    let dense_slots = (slots * 50).max(500);
+    if wanted("dense_urban") {
+        let (linear_total, linear_sampling) =
+            measure_dense(SamplerStrategy::Linear, dense_slots, threads);
+        let (tree_total, tree_sampling) =
+            measure_dense(SamplerStrategy::Tree, dense_slots, threads);
+        let dense_extra = |sampler: SamplerStrategy, sampling_rate: f64| {
+            format!(
+                ",\"sampler\":\"{sampler:?}\",\"networks\":{DENSE_NETWORKS},\
+                 \"sampling_decisions_per_sec\":{sampling_rate:.0}"
+            )
+        };
+        let dense_record = |sampler: SamplerStrategy, total: f64, sampling: f64| Record {
+            bench: "scenario_throughput/dense_urban",
+            world: "dense_urban",
+            feedback: "partitioned",
+            policy: "Exp3",
+            sessions: DENSE_SESSIONS,
+            slots: dense_slots,
+            threads,
+            decisions_per_sec: total,
+            extra: dense_extra(sampler, sampling),
+        };
+        records.push(dense_record(
+            SamplerStrategy::Linear,
+            linear_total,
+            linear_sampling,
+        ));
+        records.push(dense_record(
+            SamplerStrategy::Tree,
+            tree_total,
+            tree_sampling,
+        ));
+        eprintln!(
+            "dense_urban K={DENSE_NETWORKS}: tree {:.2}M vs linear {:.2}M total ({:.2}x); \
+             sampling phase {:.2}M vs {:.2}M ({:.2}x)",
+            tree_total / 1e6,
+            linear_total / 1e6,
+            tree_total / linear_total,
+            tree_sampling / 1e6,
+            linear_sampling / 1e6,
+            tree_sampling / linear_sampling
+        );
+    }
 
     // Interleaved lane-vs-boxed A/B pairs at a fixed thread ladder. Records
     // report the median of AB_RUNS interleaved runs plus the min/max band;
@@ -424,27 +569,53 @@ fn main() {
         // and the lane delta bounds the engine's dispatch overhead) and
         // slot-level EXP3 (samples and reweights every slot — the
         // inlining-sensitive workload the lanes target).
-        for (policy, ab_kind) in [
-            ("SmartExp3", PolicyKind::SmartExp3),
-            ("Exp3", PolicyKind::Exp3),
-        ] {
-            let (lane, boxed) = ab_closure(sessions, slots, ab_threads, ab_kind);
+        if wanted("ab_closure") {
+            for (policy, ab_kind) in [
+                ("SmartExp3", PolicyKind::SmartExp3),
+                ("Exp3", PolicyKind::Exp3),
+            ] {
+                let (lane, boxed) = ab_closure(sessions, slots, ab_threads, ab_kind);
+                eprintln!(
+                    "A/B closure/{policy} {ab_threads}t: lanes {:.2}M vs boxed {:.2}M \
+                     decisions/sec ({:.2}x)",
+                    lane.median / 1e6,
+                    boxed.median / 1e6,
+                    lane.median / boxed.median
+                );
+                if ab_threads == 1 && ab_kind == PolicyKind::Exp3 {
+                    closure_speedup_1t = Some(lane.median / boxed.median);
+                }
+                for (mode, b) in [("on", &lane), ("off", &boxed)] {
+                    records.push(Record {
+                        bench: "engine_throughput/step",
+                        world: "closure",
+                        feedback: "fused",
+                        policy,
+                        sessions,
+                        slots,
+                        threads: ab_threads,
+                        decisions_per_sec: b.median,
+                        extra: ab_extra(mode, b),
+                    });
+                }
+            }
+        }
+
+        if wanted("ab_equal_share") {
+            let (lane, boxed) = ab_equal_share(sessions, slots, ab_threads);
             eprintln!(
-                "A/B closure/{policy} {ab_threads}t: lanes {:.2}M vs boxed {:.2}M \
-                 decisions/sec ({:.2}x)",
+                "A/B equal_share {ab_threads}t: lanes {:.2}M vs boxed {:.2}M decisions/sec \
+                 ({:.2}x)",
                 lane.median / 1e6,
                 boxed.median / 1e6,
                 lane.median / boxed.median
             );
-            if ab_threads == 1 && ab_kind == PolicyKind::Exp3 {
-                closure_speedup_1t = Some(lane.median / boxed.median);
-            }
             for (mode, b) in [("on", &lane), ("off", &boxed)] {
                 records.push(Record {
-                    bench: "engine_throughput/step",
-                    world: "closure",
-                    feedback: "fused",
-                    policy,
+                    bench: "scenario_throughput/equal_share",
+                    world: "equal_share",
+                    feedback: "partitioned",
+                    policy: "SmartExp3",
                     sessions,
                     slots,
                     threads: ab_threads,
@@ -454,52 +625,41 @@ fn main() {
             }
         }
 
-        let (lane, boxed) = ab_equal_share(sessions, slots, ab_threads);
-        eprintln!(
-            "A/B equal_share {ab_threads}t: lanes {:.2}M vs boxed {:.2}M decisions/sec ({:.2}x)",
-            lane.median / 1e6,
-            boxed.median / 1e6,
-            lane.median / boxed.median
-        );
-        for (mode, b) in [("on", &lane), ("off", &boxed)] {
-            records.push(Record {
-                bench: "scenario_throughput/equal_share",
-                world: "equal_share",
-                feedback: "partitioned",
-                policy: "SmartExp3",
-                sessions,
-                slots,
-                threads: ab_threads,
-                decisions_per_sec: b.median,
-                extra: ab_extra(mode, b),
-            });
-        }
-
-        let (lane, boxed) = ab_dense(dense_slots, ab_threads);
-        eprintln!(
-            "A/B dense_urban {ab_threads}t: lanes {:.2}M vs boxed {:.2}M decisions/sec ({:.2}x)",
-            lane.median / 1e6,
-            boxed.median / 1e6,
-            lane.median / boxed.median
-        );
-        for (mode, b) in [("on", &lane), ("off", &boxed)] {
-            records.push(Record {
-                bench: "scenario_throughput/dense_urban",
-                world: "dense_urban",
-                feedback: "partitioned",
-                policy: "Exp3",
-                sessions: DENSE_SESSIONS,
-                slots: dense_slots,
-                threads: ab_threads,
-                decisions_per_sec: b.median,
-                extra: format!(",\"networks\":{DENSE_NETWORKS}{}", ab_extra(mode, b)),
-            });
+        if wanted("ab_dense_urban") {
+            let (lane, boxed) = ab_dense(dense_slots, ab_threads);
+            eprintln!(
+                "A/B dense_urban {ab_threads}t: lanes {:.2}M vs boxed {:.2}M decisions/sec \
+                 ({:.2}x)",
+                lane.median / 1e6,
+                boxed.median / 1e6,
+                lane.median / boxed.median
+            );
+            for (mode, b) in [("on", &lane), ("off", &boxed)] {
+                records.push(Record {
+                    bench: "scenario_throughput/dense_urban",
+                    world: "dense_urban",
+                    feedback: "partitioned",
+                    policy: "Exp3",
+                    sessions: DENSE_SESSIONS,
+                    slots: dense_slots,
+                    threads: ab_threads,
+                    decisions_per_sec: b.median,
+                    extra: format!(",\"networks\":{DENSE_NETWORKS}{}", ab_extra(mode, b)),
+                });
+            }
         }
     }
     if let Some(speedup) = closure_speedup_1t {
         eprintln!("fleet lanes: {speedup:.2}x boxed on engine_throughput/step (Exp3, 1 thread)");
     }
 
+    if records.is_empty() {
+        eprintln!(
+            "error: --only `{}` matches no datapoint group",
+            only.as_deref().unwrap_or("")
+        );
+        std::process::exit(2);
+    }
     let mut contents = std::fs::read_to_string(&out).unwrap_or_default();
     if !contents.is_empty() && !contents.ends_with('\n') {
         contents.push('\n');
@@ -514,25 +674,35 @@ fn main() {
         eprintln!("error: cannot write {out}: {error}");
         std::process::exit(1);
     }
-    eprintln!(
-        "closure {:.2}M, scenario {:.2}M (telemetry {:.2}M = {:+.1}%, sequential feedback \
-         {:.2}M), cooperative {:.2}M decisions/sec over {sessions} sessions x {slots} slots, \
-         {threads} threads -> appended to {out}",
-        closure / 1e6,
-        partitioned_rate / 1e6,
-        streaming_rate / 1e6,
-        (streaming_rate / partitioned_rate - 1.0) * 100.0,
-        sequential_rate / 1e6,
-        coop_rate / 1e6
-    );
-    eprintln!(
-        "dense_urban K={DENSE_NETWORKS}: tree {:.2}M vs linear {:.2}M total ({:.2}x); \
-         sampling phase {:.2}M vs {:.2}M ({:.2}x)",
-        tree_total / 1e6,
-        linear_total / 1e6,
-        tree_total / linear_total,
-        tree_sampling / 1e6,
-        linear_sampling / 1e6,
-        tree_sampling / linear_sampling
-    );
+    if let (
+        Some(closure),
+        Some(partitioned_rate),
+        Some(streaming_rate),
+        Some(sequential_rate),
+        Some(coop_rate),
+    ) = (
+        closure,
+        partitioned_rate,
+        streaming_rate,
+        sequential_rate,
+        coop_rate,
+    ) {
+        eprintln!(
+            "closure {:.2}M, scenario {:.2}M (telemetry {:.2}M = {:+.1}%, sequential feedback \
+             {:.2}M), cooperative {:.2}M decisions/sec over {sessions} sessions x {slots} slots, \
+             {threads} threads -> appended to {out}",
+            closure / 1e6,
+            partitioned_rate / 1e6,
+            streaming_rate / 1e6,
+            (streaming_rate / partitioned_rate - 1.0) * 100.0,
+            sequential_rate / 1e6,
+            coop_rate / 1e6
+        );
+    } else {
+        eprintln!(
+            "{} records over {sessions} sessions x {slots} slots, {threads} threads -> appended \
+             to {out}",
+            records.len()
+        );
+    }
 }

@@ -52,6 +52,26 @@
 //! [`restore`](Environment::restore); a fleet engine embeds that string in
 //! its own snapshot so a mid-scenario checkpoint resumes bit-identically —
 //! pending events, mobility positions and the environment RNG included.
+//!
+//! # Event-driven stepping
+//!
+//! Slot-synchronous stepping advances every session one global slot at a
+//! time. Real devices do not tick in lock-step: each decides on its own
+//! cadence (duty cycles, block boundaries), and the world pushes events
+//! (bandwidth changes, area transitions) between decisions. The wake
+//! protocol — [`wake_cadence`](Environment::wake_cadence),
+//! [`first_wake`](Environment::first_wake),
+//! [`next_wake`](Environment::next_wake) and
+//! [`next_env_event`](Environment::next_env_event) — lets an event-driven
+//! driver ask each session when it decides next and the environment when
+//! its own state next changes, so the driver only materialises the
+//! timestamps where something actually happens.
+//!
+//! Every method has a **uniform-cadence default** (every session wakes every
+//! slot, no pushed events), under which an event-driven driver degenerates
+//! to exactly the slot-synchronous schedule — existing environments satisfy
+//! the protocol unchanged, and a driver honouring it must produce
+//! bit-identical trajectories to slot stepping at cadence 1.
 
 use crate::{NetworkId, Observation, SlotIndex};
 use serde::{Deserialize, Serialize};
@@ -335,6 +355,50 @@ pub trait Environment: Send + Sync {
         None
     }
 
+    /// The decision cadence of `session` in slots: once awake at time `t`,
+    /// the session next decides at `t + wake_cadence(session)` (unless
+    /// [`next_wake`](Self::next_wake) is overridden with a richer schedule).
+    /// The default — cadence 1, every session decides every slot — is the
+    /// uniform-cadence adapter that makes slot-synchronous environments
+    /// satisfy the event protocol unchanged. Implementations must return a
+    /// value ≥ 1; drivers clamp 0 to 1.
+    fn wake_cadence(&self, session: usize) -> usize {
+        let _ = session;
+        1
+    }
+
+    /// The first slot at which `session` decides. The default (slot 0,
+    /// matching slot-synchronous stepping) suits uniform worlds; duty-cycle
+    /// worlds stagger first wakes so cohorts do not all collide at 0.
+    fn first_wake(&self, session: usize) -> SlotIndex {
+        let _ = session;
+        0
+    }
+
+    /// The next slot at which `session` decides, given that it just decided
+    /// at `woke_at`. Must be strictly greater than `woke_at` (drivers clamp
+    /// to `woke_at + 1`). The default applies
+    /// [`wake_cadence`](Self::wake_cadence) as a fixed period.
+    fn next_wake(&self, session: usize, woke_at: SlotIndex) -> SlotIndex {
+        woke_at + self.wake_cadence(session).max(1)
+    }
+
+    /// The earliest slot **at or after** `from` at which the environment's
+    /// own state changes (a scheduled bandwidth event fires, a device moves
+    /// between areas, an activity window opens or closes) — or `None` when
+    /// no such slot remains. An event-driven driver must call
+    /// [`begin_slot`](Self::begin_slot) (or its partitioned variant) at
+    /// every such slot even when no session wakes there, because slot-state
+    /// advances like event-schedule cursors are applied, not skipped.
+    ///
+    /// The default (`None`) declares the environment free of pushed events:
+    /// its `begin_slot` must then tolerate being called only at wake times
+    /// (i.e. its per-slot refresh is a pure function of the absolute slot).
+    fn next_env_event(&self, from: SlotIndex) -> Option<SlotIndex> {
+        let _ = from;
+        None
+    }
+
     /// Serializes the environment's dynamic state (current bandwidths,
     /// pending events, mobility positions, environment RNG, per-session
     /// accounting) as an opaque JSON string, or `None` when this environment
@@ -464,5 +528,44 @@ mod tests {
         out[0] = None;
         env.feedback_partitioned(0, &[Some(NetworkId(0))], &mut out, &SequentialExecutor);
         assert_eq!(out[0].as_ref().map(|o| o.network), Some(NetworkId(0)));
+    }
+
+    #[test]
+    fn wake_protocol_defaults_to_uniform_cadence() {
+        let env = Trivial;
+        assert_eq!(env.wake_cadence(0), 1);
+        assert_eq!(env.first_wake(0), 0);
+        // Uniform cadence 1: the wake schedule is exactly the slot sequence.
+        assert_eq!(env.next_wake(0, 0), 1);
+        assert_eq!(env.next_wake(0, 41), 42);
+        // No pushed events anywhere.
+        assert!(env.next_env_event(0).is_none());
+        assert!(env.next_env_event(1_000_000).is_none());
+    }
+
+    #[test]
+    fn next_wake_clamps_zero_cadence_to_one() {
+        struct ZeroCadence;
+        impl Environment for ZeroCadence {
+            fn sessions(&self) -> usize {
+                1
+            }
+            fn begin_slot(&mut self, _slot: SlotIndex) {}
+            fn session_view(&self, _session: usize, _slot: SlotIndex) -> SessionView<'_> {
+                SessionView::active_static()
+            }
+            fn feedback(
+                &mut self,
+                _slot: SlotIndex,
+                _choices: &[Option<NetworkId>],
+                _out: &mut [Option<Observation>],
+            ) {
+            }
+            fn wake_cadence(&self, _session: usize) -> usize {
+                0
+            }
+        }
+        // A buggy cadence of 0 must still make forward progress.
+        assert_eq!(ZeroCadence.next_wake(0, 7), 8);
     }
 }

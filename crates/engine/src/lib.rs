@@ -89,7 +89,9 @@ use smartexp3_core::{
     Observation, PartitionExecutor, PartitionJob, Policy, PolicyFactory, PolicyKind, PolicyState,
     PolicyStats, SharedFeedback, SlotIndex, SmartExp3,
 };
-use smartexp3_telemetry::{SlotTiming, TelemetryRecord, TelemetrySink};
+use smartexp3_telemetry::{Histogram, LatencyStats, SlotTiming, TelemetryRecord, TelemetrySink};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::fmt;
 use std::time::Instant;
 
@@ -515,6 +517,40 @@ pub enum SnapshotError {
     Environment(String),
 }
 
+/// What a known historical snapshot version lacks relative to the current
+/// format — the actionable half of the [`SnapshotError::UnsupportedVersion`]
+/// diagnostic. `None` for versions this engine has never written (future or
+/// garbage values), which keep the generic message.
+fn version_hint(version: u32) -> Option<&'static str> {
+    Some(match version {
+        2 => {
+            "version 2 texts predate embedded environment state; \
+             re-run under SNAPSHOT_VERSION 2 or regenerate the checkpoint"
+        }
+        3 => {
+            "version 3 policy states predate the cooperative-feedback counters; \
+             re-run under SNAPSHOT_VERSION 3 or regenerate the checkpoint"
+        }
+        4 => {
+            "version 4 configs predate the partitioned-feedback switch; \
+             re-run under SNAPSHOT_VERSION 4 or regenerate the checkpoint"
+        }
+        5 => {
+            "version 5 policy states predate the per-policy sampler strategy; \
+             re-run under SNAPSHOT_VERSION 5 or regenerate the checkpoint"
+        }
+        6 => {
+            "version 6 configs predate the fleet-lanes switch; \
+             re-run under SNAPSHOT_VERSION 6 or regenerate the checkpoint"
+        }
+        7 => {
+            "version 7 texts predate the event-engine wake queue; \
+             re-run under SNAPSHOT_VERSION 7 or regenerate the checkpoint"
+        }
+        _ => return None,
+    })
+}
+
 impl fmt::Display for SnapshotError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -523,7 +559,15 @@ impl fmt::Display for SnapshotError {
                 "{session} runs `{kind}`, whose state cannot be captured per session"
             ),
             SnapshotError::UnsupportedVersion(version) => {
-                write!(f, "unsupported fleet snapshot format version {version}")
+                write!(
+                    f,
+                    "unsupported fleet snapshot format version {version} \
+                     (this engine writes version {SNAPSHOT_VERSION})"
+                )?;
+                if let Some(hint) = version_hint(*version) {
+                    write!(f, ": {hint}")?;
+                }
+                Ok(())
             }
             SnapshotError::Malformed(message) => write!(f, "malformed fleet snapshot: {message}"),
             SnapshotError::Environment(message) => {
@@ -569,8 +613,14 @@ impl std::error::Error for SnapshotError {}
 /// field. Texts from versions 2–6 therefore fail to parse field-for-field,
 /// so [`from_json`](FleetEngine::from_json) probes the version first and
 /// reports [`SnapshotError::UnsupportedVersion`] instead of a confusing
-/// missing-field error.
-pub const SNAPSHOT_VERSION: u32 = 7;
+/// missing-field error (with a per-version hint, see [`version_hint`]).
+///
+/// Version 8: snapshots carry the event-driven engine's **wake queue**
+/// ([`FleetSnapshot::wake_queue`]) — the pending `(wake_time, session)`
+/// entries of [`FleetEngine::step_events`], sorted for stable bytes, or
+/// `None` when the fleet was stepped slot-synchronously — so a checkpoint
+/// taken between two wake cohorts restores the exact event schedule.
+pub const SNAPSHOT_VERSION: u32 = 8;
 
 /// Checkpoint of one session.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -610,6 +660,32 @@ pub struct FleetSnapshot {
     /// (its own opaque JSON, see [`Environment::state`]), or `None` for
     /// closure-driven fleets.
     pub environment: Option<String>,
+    /// Pending wakes of the event-driven engine path, sorted ascending by
+    /// `(wake, session)` for stable snapshot bytes; `None` when the fleet
+    /// was stepped slot-synchronously (the wake queue is then re-seeded from
+    /// the environment's wake protocol on the next event-driven step).
+    pub wake_queue: Option<Vec<WakeEntry>>,
+}
+
+impl FleetSnapshot {
+    /// Serializes this snapshot to JSON. Same bytes as
+    /// [`FleetEngine::to_json`], but usable after field-level edits (e.g.
+    /// normalising [`wake_queue`](Self::wake_queue) away for
+    /// stepping-mode-agnostic fingerprints).
+    pub fn to_json(&self) -> Result<String, SnapshotError> {
+        serde_json::to_string(self).map_err(|e| SnapshotError::Malformed(e.to_string()))
+    }
+}
+
+/// One pending wake of the event-driven engine: session `session` decides
+/// next at slot `wake`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WakeEntry {
+    /// The slot at which the session next decides.
+    pub wake: SlotIndex,
+    /// The session (by id — session ids are assigned sequentially, so this
+    /// is also the session's index).
+    pub session: u64,
 }
 
 /// Per-shard work unit of [`FleetEngine::step_with`]: sessions, the shard's
@@ -645,6 +721,120 @@ type ObserveShard<'a> = (
     &'a mut [Option<(NetworkId, f64)>],
     &'a mut SlotScratch,
 );
+
+/// Per-shard work unit of the event-driven choose phase: global offset,
+/// sessions, the shard's slices of the joint-choice buffer and last-choice
+/// mirror, and its wake-to-decision latency histogram.
+type EventChooseShard<'a> = (
+    usize,
+    ShardSessions<'a>,
+    &'a mut [Option<NetworkId>],
+    &'a mut [Option<NetworkId>],
+    &'a mut Histogram,
+);
+
+/// Layout of the wake-to-decision latency histograms: first real bucket at
+/// `2^-30` s (~1 ns), 34 buckets, so the top bucket opens at 4 s — per-slot
+/// decision latencies land comfortably inside.
+const LATENCY_MIN_EXP: i32 = -30;
+/// Bucket count of the latency histograms (see [`LATENCY_MIN_EXP`]).
+const LATENCY_BUCKETS: usize = 34;
+
+impl ShardSessions<'_> {
+    /// Sessions in the shard.
+    fn len(&self) -> usize {
+        match self {
+            ShardSessions::Exp3(sessions) => sessions.len(),
+            ShardSessions::Smart(sessions) => sessions.len(),
+            ShardSessions::Boxed(sessions) => sessions.len(),
+        }
+    }
+}
+
+/// Carves the runs intersecting one lane into `(global_offset, shard)` work
+/// units of at most `shard_size` sessions, via progressive `split_at_mut` —
+/// the event-path analogue of [`LaneSegment::shards`], restricted to a wake
+/// cohort. `runs` are disjoint ascending global index ranges; `lane` starts
+/// at global index `segment_start`.
+fn carve_lane<'a, P>(
+    mut lane: &'a mut [LaneSession<P>],
+    segment_start: usize,
+    runs: &[(usize, usize)],
+    shard_size: usize,
+    wrap: fn(&'a mut [LaneSession<P>]) -> ShardSessions<'a>,
+    out: &mut Vec<(usize, ShardSessions<'a>)>,
+) {
+    let segment_end = segment_start + lane.len();
+    // Global index of `lane[0]` as the leading part is progressively split
+    // away.
+    let mut cursor = segment_start;
+    for &(start, end) in runs {
+        let a = start.max(segment_start);
+        let b = end.min(segment_end);
+        if a >= b {
+            continue;
+        }
+        let (_, tail) = lane.split_at_mut(a - cursor);
+        let (mut hit, tail) = tail.split_at_mut(b - a);
+        lane = tail;
+        cursor = b;
+        let mut offset = a;
+        while hit.len() > shard_size {
+            let (chunk, rest) = hit.split_at_mut(shard_size);
+            out.push((offset, wrap(chunk)));
+            offset += shard_size;
+            hit = rest;
+        }
+        if !hit.is_empty() {
+            out.push((offset, wrap(hit)));
+        }
+    }
+}
+
+/// Carves a wake cohort (as disjoint ascending `runs` of global session
+/// indices) across all lane segments into typed shard work units, in global
+/// session order. With a single run covering every session this produces
+/// exactly the sharding of the slot-synchronous path — which is what keeps
+/// uniform-cadence event stepping bit-identical to [`FleetEngine::step_env`].
+fn carve_cohort<'a>(
+    segments: &'a mut [LaneSegment],
+    runs: &[(usize, usize)],
+    shard_size: usize,
+) -> Vec<(usize, ShardSessions<'a>)> {
+    let mut out = Vec::new();
+    let mut segment_start = 0usize;
+    for segment in segments {
+        let n = segment.len();
+        match segment {
+            LaneSegment::Exp3(lane) => carve_lane(
+                lane.as_mut_slice(),
+                segment_start,
+                runs,
+                shard_size,
+                ShardSessions::Exp3,
+                &mut out,
+            ),
+            LaneSegment::Smart(lane) => carve_lane(
+                lane.as_mut_slice(),
+                segment_start,
+                runs,
+                shard_size,
+                ShardSessions::Smart,
+                &mut out,
+            ),
+            LaneSegment::Boxed(lane) => carve_lane(
+                lane.as_mut_slice(),
+                segment_start,
+                runs,
+                shard_size,
+                ShardSessions::Boxed,
+                &mut out,
+            ),
+        }
+        segment_start += n;
+    }
+    out
+}
 
 /// The engine-side [`PartitionExecutor`]: runs an environment's feedback
 /// partition jobs on the same worker pool the choose and observe shards use.
@@ -695,6 +885,28 @@ pub struct FleetEngine {
     /// (`Self::step_env`) slot. Host timing, *not* covered by any
     /// determinism contract, and deliberately excluded from snapshots.
     last_timing: Option<SlotTiming>,
+    /// Pending wakes of the event-driven path: a min-heap keyed
+    /// `(wake_time, session_index)`, so cohorts drain in deterministic
+    /// (time, then session) order. Embedded in snapshots (sorted) when
+    /// primed.
+    wakes: BinaryHeap<Reverse<(SlotIndex, usize)>>,
+    /// Whether `wakes` currently describes the fleet. Slot-synchronous
+    /// stepping and fleet growth invalidate the queue; the next event-driven
+    /// step re-seeds it from the environment's wake protocol.
+    wakes_primed: bool,
+    /// Scratch: the session indices due at the timestamp being processed
+    /// (ascending, as popped from the heap).
+    cohort: Vec<usize>,
+    /// Scratch: the cohort compressed into contiguous `[start, end)` runs.
+    cohort_runs: Vec<(usize, usize)>,
+    /// Per-shard wake-to-decision latency histograms of the event path
+    /// (host timing, outside all determinism contracts), merged in shard
+    /// order into `latency_total` after each cohort.
+    latency_shards: Vec<Histogram>,
+    /// Merged latency histogram of the most recent cohort.
+    latency_total: Histogram,
+    /// Latency percentiles of the most recent event-driven cohort.
+    last_latency: Option<LatencyStats>,
 }
 
 impl fmt::Debug for FleetEngine {
@@ -732,6 +944,13 @@ impl FleetEngine {
             env_feedback: Vec::new(),
             env_tops: Vec::new(),
             last_timing: None,
+            wakes: BinaryHeap::new(),
+            wakes_primed: false,
+            cohort: Vec::new(),
+            cohort_runs: Vec::new(),
+            latency_shards: Vec::new(),
+            latency_total: Histogram::new(LATENCY_MIN_EXP, LATENCY_BUCKETS),
+            last_latency: None,
         }
     }
 
@@ -767,6 +986,9 @@ impl FleetEngine {
         let id = SessionId(self.next_id);
         self.next_id += 1;
         self.last.push(None);
+        // A grown fleet needs its wake queue re-seeded (the new session has
+        // no pending wake yet).
+        self.wakes_primed = false;
         LaneSession {
             id,
             kind,
@@ -973,6 +1195,7 @@ impl FleetEngine {
             });
         });
         self.slot += 1;
+        self.wakes_primed = false;
     }
 
     /// Fused step: every session chooses, the `feedback` closure grades the
@@ -1033,6 +1256,7 @@ impl FleetEngine {
         });
         self.decisions += count as u64;
         self.slot += 1;
+        self.wakes_primed = false;
     }
 
     /// Convenience: runs `slots` fused steps.
@@ -1308,11 +1532,13 @@ impl FleetEngine {
                 active,
                 metrics: env.telemetry().cloned().unwrap_or_default(),
                 timing,
+                latency: None,
             });
         }
 
         self.decisions += active;
         self.slot += 1;
+        self.wakes_primed = false;
     }
 
     /// Convenience: runs `slots` environment-driven steps.
@@ -1334,6 +1560,390 @@ impl FleetEngine {
         for _ in 0..slots {
             self.step_env_with_sink(env, Some(&mut *sink));
         }
+    }
+
+    /// Seeds the wake queue from the environment's wake protocol, unless it
+    /// is already primed (by a previous event-driven step or a restored
+    /// snapshot). Each session is seeded at its
+    /// [`first_wake`](Environment::first_wake), advanced along its own
+    /// [`next_wake`](Environment::next_wake) schedule until the wake reaches
+    /// the engine's current slot — so a fleet that already stepped (or
+    /// resumed mid-run without a recorded queue) rejoins its cadence grid
+    /// instead of waking everything immediately.
+    fn prime_wakes(&mut self, env: &dyn Environment) {
+        if self.wakes_primed {
+            return;
+        }
+        self.wakes.clear();
+        for index in 0..self.len() {
+            let mut wake = env.first_wake(index);
+            while wake < self.slot {
+                wake = env.next_wake(index, wake).max(wake + 1);
+            }
+            self.wakes.push(Reverse((wake, index)));
+        }
+        self.wakes_primed = true;
+    }
+
+    /// The next timestamp the event engine would materialise: the earlier of
+    /// the soonest pending session wake and the environment's next pushed
+    /// event at or after the current slot. `None` when nothing remains
+    /// (empty fleet and an event-free environment).
+    fn next_timestamp(&self, env: &dyn Environment) -> Option<SlotIndex> {
+        let wake = self.wakes.peek().map(|Reverse((t, _))| *t);
+        let event = env.next_env_event(self.slot);
+        match (wake, event) {
+            (Some(w), Some(e)) => Some(w.min(e)),
+            (wake, event) => wake.or(event),
+        }
+    }
+
+    /// Event-driven step: materialises the **next timestamp at which
+    /// anything happens** — the earliest pending session wake, or the
+    /// environment's next pushed event ([`Environment::next_env_event`]) —
+    /// instead of ticking every session every slot. Returns the timestamp
+    /// processed, or `None` when nothing remains.
+    ///
+    /// At a wake timestamp `t`, the cohort of sessions due at `t` (drained
+    /// from the deterministic `(wake_time, session)` queue) runs as a
+    /// micro-batch through the *same* four-phase loop as
+    /// [`step_env`](Self::step_env): `begin_slot(t)` (partitioned when the
+    /// world advertises partitions), cohort choose (sharded over the worker
+    /// pool, monomorphized lane dispatch, per-session RNG streams), joint
+    /// feedback over the full-length choice buffer (non-cohort sessions are
+    /// `None`, exactly like inactive sessions), cohort observe and
+    /// `end_slot`. Each cohort session is then rescheduled at its
+    /// [`next_wake`](Environment::next_wake). At an env-event-only
+    /// timestamp, only `begin_slot(t)` runs — scheduled state advances
+    /// (event cursors!) are applied, never skipped — and no session decides.
+    ///
+    /// **Correctness anchor:** with every session at the default uniform
+    /// cadence 1, the cohort is always the whole fleet and this path is
+    /// **bit-identical** to [`step_env`](Self::step_env) — same choices,
+    /// same RNG streams, same environment state — at any thread count and
+    /// shard size, lanes and partitioning on or off.
+    ///
+    /// As a side effect the wake-to-decision latency of every cohort
+    /// decision (wall-clock from cohort start to the session's choice, host
+    /// timing only) is recorded into a log-bucket histogram; read the
+    /// percentiles via [`last_wake_latency`](Self::last_wake_latency) or a
+    /// telemetry sink ([`step_events_with_sink`](Self::step_events_with_sink)).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `env.sessions() != self.len()`, as in
+    /// [`step_env`](Self::step_env).
+    pub fn step_events(&mut self, env: &mut dyn Environment) -> Option<SlotIndex> {
+        self.step_events_with_sink(env, None)
+    }
+
+    /// [`step_events`](Self::step_events) with streaming telemetry: after a
+    /// wake cohort completes, one [`TelemetryRecord`] — keyed by the cohort
+    /// timestamp, with the environment's metrics, this cohort's
+    /// [`SlotTiming`] and its wake-to-decision [`LatencyStats`] — is
+    /// delivered to `sink`. Env-event-only timestamps produce no record (no
+    /// session decided, so the slot series stays strictly increasing and
+    /// histogram counts stay consistent with the validator's contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `env.sessions() != self.len()`.
+    pub fn step_events_with_sink(
+        &mut self,
+        env: &mut dyn Environment,
+        sink: Option<&mut dyn TelemetrySink>,
+    ) -> Option<SlotIndex> {
+        assert_eq!(
+            env.sessions(),
+            self.len(),
+            "environment describes {} sessions, fleet hosts {}",
+            env.sessions(),
+            self.len()
+        );
+        self.prime_wakes(env);
+        let t = self.next_timestamp(env)?;
+        debug_assert!(t >= self.slot, "wake queue fell behind the clock");
+        let shard_size = self.config.shard_size.max(1);
+        let count = self.len();
+        let workers = match &self.pool {
+            Some(pool) => pool.current_num_threads(),
+            None => rayon::current_num_threads(),
+        };
+        let partitioned =
+            self.config.partitioned_feedback && workers > 1 && env.feedback_partitions().is_some();
+
+        // Phase 1: environment-state advance at t — also runs for
+        // env-event-only timestamps, because scheduled advances (event
+        // cursors) are applied by `begin_slot`, not recomputed from the
+        // absolute slot.
+        let phase_start = Instant::now();
+        if partitioned {
+            let executor = PoolExecutor { pool: &self.pool };
+            env.begin_slot_partitioned(t, &executor);
+        } else {
+            env.begin_slot(t);
+        }
+        let begin_slot_s = phase_start.elapsed().as_secs_f64();
+
+        // Drain the cohort due at t (ascending session index, by heap order).
+        self.cohort.clear();
+        while let Some(&Reverse((wake, index))) = self.wakes.peek() {
+            if wake != t {
+                break;
+            }
+            self.wakes.pop();
+            self.cohort.push(index);
+        }
+        if self.cohort.is_empty() {
+            // Env-event-only timestamp: state advanced, nobody decides, no
+            // feedback, no telemetry record.
+            self.slot = t + 1;
+            return Some(t);
+        }
+        self.cohort_runs.clear();
+        for &index in &self.cohort {
+            match self.cohort_runs.last_mut() {
+                Some((_, end)) if *end == index => *end += 1,
+                _ => self.cohort_runs.push((index, index + 1)),
+            }
+        }
+        let cohort_start = Instant::now();
+
+        // Phase 2: cohort choose (parallel). The full-length joint-choice
+        // buffer is cleared first so non-cohort sessions read as absent —
+        // the same shape feedback already handles for inactive sessions.
+        if self.env_choices.len() != count {
+            self.env_choices.resize(count, None);
+        }
+        self.env_choices.fill(None);
+        let cohort_shard_count;
+        {
+            let env_view: &dyn Environment = env;
+            let shards = carve_cohort(&mut self.segments, &self.cohort_runs, shard_size);
+            cohort_shard_count = shards.len();
+            if self.latency_shards.len() < cohort_shard_count {
+                self.latency_shards.resize_with(cohort_shard_count, || {
+                    Histogram::new(LATENCY_MIN_EXP, LATENCY_BUCKETS)
+                });
+            }
+            let mut work: Vec<EventChooseShard<'_>> = Vec::with_capacity(cohort_shard_count);
+            let mut choices = self.env_choices.as_mut_slice();
+            let mut last = self.last.as_mut_slice();
+            let mut latency = self.latency_shards.iter_mut();
+            let mut consumed = 0usize;
+            for (offset, shard) in shards {
+                let len = shard.len();
+                let (_, rest) = choices.split_at_mut(offset - consumed);
+                let (shard_choices, rest) = rest.split_at_mut(len);
+                choices = rest;
+                let (_, rest) = last.split_at_mut(offset - consumed);
+                let (shard_last, rest) = rest.split_at_mut(len);
+                last = rest;
+                consumed = offset + len;
+                let histogram = latency.next().expect("sized above");
+                histogram.clear();
+                work.push((offset, shard, shard_choices, shard_last, histogram));
+            }
+            Self::in_pool(&self.pool, || {
+                work.into_par_iter()
+                    .for_each(|(offset, shard, choices, last, latency)| {
+                        with_lane!(shard, |sessions| {
+                            for (i, session) in sessions.iter_mut().enumerate() {
+                                let view = env_view.session_view(offset + i, t);
+                                if let Some(networks) = view.networks_changed {
+                                    session
+                                        .policy
+                                        .on_networks_changed(networks, &mut session.rng);
+                                }
+                                choices[i] = if view.active {
+                                    let chosen = session.choose(t);
+                                    last[i] = Some(chosen);
+                                    latency.record(cohort_start.elapsed().as_secs_f64());
+                                    Some(chosen)
+                                } else {
+                                    None
+                                };
+                            }
+                        });
+                    });
+            });
+        }
+        // Merge per-shard latency in shard order (host timing — outside all
+        // determinism contracts, so the merge order only matters for
+        // reproducible float sums within one process).
+        self.latency_total.clear();
+        for histogram in &self.latency_shards[..cohort_shard_count] {
+            self.latency_total.merge(histogram);
+        }
+        let latency = LatencyStats::from_histogram(&self.latency_total);
+        self.last_latency = latency;
+        let active = self.env_choices.iter().flatten().count() as u64;
+        let choose_s = cohort_start.elapsed().as_secs_f64();
+        let phase_start = Instant::now();
+
+        // Phase 3: joint feedback over the full-length buffers, exactly as
+        // the slot-synchronous path (partitioned fan-out, structural guard).
+        if self.env_feedback.len() != count {
+            self.env_feedback.resize(count, None);
+        }
+        if partitioned {
+            let executor = PoolExecutor { pool: &self.pool };
+            env.feedback_partitioned(t, &self.env_choices, &mut self.env_feedback, &executor);
+        } else {
+            env.feedback(t, &self.env_choices, &mut self.env_feedback);
+        }
+        for (choice, feedback) in self.env_choices.iter().zip(self.env_feedback.iter_mut()) {
+            if choice.is_none() {
+                *feedback = None;
+            }
+        }
+        let feedback_s = phase_start.elapsed().as_secs_f64();
+        let phase_start = Instant::now();
+
+        // Phase 4: cohort observe (parallel), then the end-of-slot hook.
+        let wants_tops = env.wants_top_choices();
+        let shares_feedback = env.shares_feedback();
+        if self.env_tops.len() != count {
+            self.env_tops.resize(count, None);
+        }
+        if wants_tops {
+            // Stale tops from earlier cohorts must not leak into end_slot.
+            self.env_tops.fill(None);
+        }
+        self.ensure_scratch(cohort_shard_count);
+        {
+            let env_view: &dyn Environment = env;
+            let feedback = &self.env_feedback;
+            let shards = carve_cohort(&mut self.segments, &self.cohort_runs, shard_size);
+            let mut work: Vec<ObserveShard<'_>> = Vec::with_capacity(shards.len());
+            let mut tops = self.env_tops.as_mut_slice();
+            let mut scratch = self.scratch.iter_mut();
+            let mut consumed = 0usize;
+            for (offset, shard) in shards {
+                let len = shard.len();
+                let (_, rest) = tops.split_at_mut(offset - consumed);
+                let (shard_tops, rest) = rest.split_at_mut(len);
+                tops = rest;
+                consumed = offset + len;
+                work.push((
+                    offset,
+                    shard,
+                    shard_tops,
+                    scratch.next().expect("sized above"),
+                ));
+            }
+            Self::in_pool(&self.pool, || {
+                work.into_par_iter()
+                    .for_each(|(offset, shard, tops, scratch)| {
+                        with_lane!(shard, |sessions| {
+                            for (i, session) in sessions.iter_mut().enumerate() {
+                                let Some(observation) = &feedback[offset + i] else {
+                                    if wants_tops {
+                                        tops[i] = None;
+                                    }
+                                    continue;
+                                };
+                                session.observe(observation);
+                                if shares_feedback
+                                    && env_view
+                                        .shared_feedback_into(offset + i, &mut scratch.shared)
+                                {
+                                    session
+                                        .policy
+                                        .observe_shared(&scratch.shared, &mut session.rng);
+                                }
+                                if wants_tops {
+                                    session
+                                        .policy
+                                        .top_probabilities_into(1, &mut scratch.probabilities);
+                                    tops[i] = scratch.probabilities.first().copied();
+                                }
+                            }
+                        });
+                    });
+            });
+        }
+        let tops: &[Option<(NetworkId, f64)>] = if wants_tops { &self.env_tops } else { &[] };
+        env.end_slot(t, &self.env_choices, tops);
+        let observe_s = phase_start.elapsed().as_secs_f64();
+
+        let timing = SlotTiming {
+            begin_slot_s,
+            choose_s,
+            feedback_s,
+            observe_s,
+        };
+        self.last_timing = Some(timing);
+        if let Some(sink) = sink {
+            sink.record(&TelemetryRecord {
+                slot: t,
+                active,
+                metrics: env.telemetry().cloned().unwrap_or_default(),
+                timing,
+                latency,
+            });
+        }
+
+        // Reschedule the cohort on each session's own cadence; forward
+        // progress is enforced even against a buggy `next_wake`.
+        for &index in &self.cohort {
+            let next = env.next_wake(index, t).max(t + 1);
+            self.wakes.push(Reverse((next, index)));
+        }
+        self.decisions += active;
+        self.slot = t + 1;
+        Some(t)
+    }
+
+    /// Runs event-driven steps until the clock reaches `until`: every
+    /// timestamp strictly below `until` at which anything happens is
+    /// materialised (in order), then the clock jumps to `until` — idle gaps
+    /// cost nothing. A subsequent [`step_env`](Self::step_env) or
+    /// [`run_until`](Self::run_until) continues from slot `until`.
+    pub fn run_until(&mut self, env: &mut dyn Environment, until: SlotIndex) {
+        self.run_until_with_sink_impl(env, until, None);
+    }
+
+    /// [`run_until`](Self::run_until) streaming one [`TelemetryRecord`] per
+    /// wake cohort into `sink` (see
+    /// [`step_events_with_sink`](Self::step_events_with_sink)).
+    pub fn run_until_with_sink(
+        &mut self,
+        env: &mut dyn Environment,
+        until: SlotIndex,
+        sink: &mut dyn TelemetrySink,
+    ) {
+        self.run_until_with_sink_impl(env, until, Some(sink));
+    }
+
+    fn run_until_with_sink_impl(
+        &mut self,
+        env: &mut dyn Environment,
+        until: SlotIndex,
+        mut sink: Option<&mut dyn TelemetrySink>,
+    ) {
+        self.prime_wakes(env);
+        while let Some(t) = self.next_timestamp(env) {
+            if t >= until {
+                break;
+            }
+            match &mut sink {
+                Some(sink) => self.step_events_with_sink(env, Some(&mut **sink)),
+                None => self.step_events(env),
+            };
+        }
+        if self.slot < until {
+            self.slot = until;
+        }
+    }
+
+    /// Wake-to-decision latency percentiles of the most recent event-driven
+    /// cohort ([`step_events`](Self::step_events)), or `None` before the
+    /// first cohort (or when the last cohort made no decision). Host timing
+    /// only — excluded from the determinism contract and from snapshots.
+    #[must_use]
+    pub fn last_wake_latency(&self) -> Option<LatencyStats> {
+        self.last_latency
     }
 
     /// Wall-clock phase breakdown of the most recent
@@ -1485,6 +2095,21 @@ impl FleetEngine {
         if let Some(error) = failed {
             return Err(error);
         }
+        let wake_queue = if self.wakes_primed {
+            let mut pending: Vec<WakeEntry> = self
+                .wakes
+                .iter()
+                .map(|Reverse((wake, session))| WakeEntry {
+                    wake: *wake,
+                    session: *session as u64,
+                })
+                .collect();
+            // Heap iteration order is arbitrary; sort for stable bytes.
+            pending.sort_by_key(|entry| (entry.wake, entry.session));
+            Some(pending)
+        } else {
+            None
+        };
         Ok(FleetSnapshot {
             version: SNAPSHOT_VERSION,
             config: self.config.clone(),
@@ -1493,6 +2118,7 @@ impl FleetEngine {
             decisions: self.decisions,
             sessions,
             environment: None,
+            wake_queue,
         })
     }
 
@@ -1595,6 +2221,13 @@ impl FleetEngine {
             }
         }
         engine.next_id = snapshot.next_id;
+        if let Some(pending) = snapshot.wake_queue {
+            engine.wakes = pending
+                .into_iter()
+                .map(|entry| Reverse((entry.wake, entry.session as usize)))
+                .collect();
+            engine.wakes_primed = true;
+        }
         Ok(engine)
     }
 
@@ -1604,8 +2237,7 @@ impl FleetEngine {
     ///
     /// Propagates [`snapshot`](Self::snapshot) errors.
     pub fn to_json(&self) -> Result<String, SnapshotError> {
-        let snapshot = self.snapshot()?;
-        serde_json::to_string(&snapshot).map_err(|e| SnapshotError::Malformed(e.to_string()))
+        self.snapshot()?.to_json()
     }
 
     /// Restores a fleet from JSON text produced by [`to_json`](Self::to_json).
@@ -1818,14 +2450,29 @@ mod tests {
         // version 3 lacks the cooperative-feedback counters in its policy
         // states, version 4 lacks the partitioned-feedback config switch,
         // version 5 lacks the per-policy sampler strategy, version 6 lacks
-        // the fleet-lanes config switch) must be diagnosed as unsupported
-        // versions, not malformed.
-        for version in [2u32, 3, 4, 5, 6] {
+        // the fleet-lanes config switch, version 7 lacks the event-engine
+        // wake queue) must be diagnosed as unsupported versions, not
+        // malformed.
+        for version in [2u32, 3, 4, 5, 6, 7] {
             match FleetEngine::from_json(&format!("{{\"version\":{version},\"sessions\":[]}}")) {
                 Err(SnapshotError::UnsupportedVersion(v)) if v == version => {}
                 other => panic!("expected UnsupportedVersion({version}), got {other:?}"),
             }
         }
+        // Every probed version carries an actionable hint naming the release
+        // that can still read the checkpoint; unknown versions stay generic.
+        for version in [5u32, 6, 7] {
+            let text = SnapshotError::UnsupportedVersion(version).to_string();
+            assert!(
+                text.contains(&format!("re-run under SNAPSHOT_VERSION {version}")),
+                "v{version} hint missing from: {text}"
+            );
+        }
+        let generic = SnapshotError::UnsupportedVersion(999).to_string();
+        assert!(
+            !generic.contains("re-run under"),
+            "unexpected hint: {generic}"
+        );
     }
 
     #[test]
@@ -1874,5 +2521,229 @@ mod tests {
             assert_eq!(lanes.last_choices(), boxed.last_choices());
         }
         assert_eq!(lanes.metrics(), boxed.metrics());
+    }
+
+    /// Deterministic world for event-engine tests: every session is always
+    /// active, feedback is a pure function of `(slot, choice, session)`, the
+    /// wake protocol staggers sessions over `cadences` and `events` are
+    /// pushed environment timestamps. `begin_slots` records every
+    /// state-advance so tests can assert which timestamps materialised.
+    struct CadenceEnv {
+        sessions: usize,
+        cadences: Vec<usize>,
+        events: Vec<SlotIndex>,
+        begin_slots: Vec<SlotIndex>,
+    }
+
+    impl CadenceEnv {
+        fn uniform(sessions: usize) -> Self {
+            CadenceEnv {
+                sessions,
+                cadences: vec![1],
+                events: Vec::new(),
+                begin_slots: Vec::new(),
+            }
+        }
+
+        fn cadence_of(&self, session: usize) -> usize {
+            self.cadences[session % self.cadences.len()].max(1)
+        }
+    }
+
+    impl Environment for CadenceEnv {
+        fn sessions(&self) -> usize {
+            self.sessions
+        }
+
+        fn begin_slot(&mut self, slot: SlotIndex) {
+            self.begin_slots.push(slot);
+        }
+
+        fn session_view(
+            &self,
+            _session: usize,
+            _slot: SlotIndex,
+        ) -> smartexp3_core::SessionView<'_> {
+            smartexp3_core::SessionView::active_static()
+        }
+
+        fn feedback(
+            &mut self,
+            slot: SlotIndex,
+            choices: &[Option<NetworkId>],
+            out: &mut [Option<Observation>],
+        ) {
+            for (session, (choice, out)) in choices.iter().zip(out.iter_mut()).enumerate() {
+                *out = choice.map(|chosen| {
+                    let wobble = ((session + slot) % 5) as f64 / 100.0;
+                    let gain = if chosen == NetworkId(2) {
+                        0.8 - wobble
+                    } else {
+                        0.25 + wobble
+                    };
+                    Observation::bandit(slot, chosen, gain * 22.0, gain)
+                });
+            }
+        }
+
+        fn wake_cadence(&self, session: usize) -> usize {
+            self.cadence_of(session)
+        }
+
+        fn first_wake(&self, session: usize) -> SlotIndex {
+            session % self.cadence_of(session)
+        }
+
+        fn next_env_event(&self, from: SlotIndex) -> Option<SlotIndex> {
+            self.events.iter().copied().find(|&at| at >= from)
+        }
+    }
+
+    #[test]
+    fn event_stepping_is_bit_identical_to_sync_at_uniform_cadence() {
+        // The in-crate smoke version of the correctness anchor (the full
+        // world × threads × lanes × partitioning matrix lives in
+        // crates/env/tests): uniform cadence 1 makes every cohort the whole
+        // fleet, so step_events must reproduce step_env bit-for-bit.
+        for threads in [Some(1), Some(2)] {
+            let mut sync = build_fleet(threads, 8, 40);
+            let mut events = build_fleet(threads, 8, 40);
+            let mut sync_env = CadenceEnv::uniform(40);
+            let mut events_env = CadenceEnv::uniform(40);
+            for step in 0..20 {
+                sync.step_env(&mut sync_env);
+                assert_eq!(events.step_events(&mut events_env), Some(step));
+                assert_eq!(events.last_choices(), sync.last_choices(), "step {step}");
+            }
+            assert_eq!(events.slot(), sync.slot());
+            assert_eq!(events.metrics(), sync.metrics());
+            assert_eq!(events_env.begin_slots, sync_env.begin_slots);
+            let mut event_snapshot = events.snapshot().unwrap();
+            // The event engine additionally carries its wake queue; the
+            // session states and RNG streams must match exactly.
+            assert!(event_snapshot.wake_queue.is_some());
+            event_snapshot.wake_queue = None;
+            assert_eq!(
+                serde_json::to_string(&event_snapshot).unwrap(),
+                serde_json::to_string(&sync.snapshot().unwrap()).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn heterogeneous_cadences_wake_only_due_cohorts() {
+        let mut fleet = build_fleet(Some(2), 8, 40);
+        let mut env = CadenceEnv {
+            sessions: 40,
+            cadences: vec![1, 2, 4, 8],
+            events: Vec::new(),
+            begin_slots: Vec::new(),
+        };
+        let until = 16;
+        fleet.run_until(&mut env, until);
+        assert_eq!(fleet.slot(), until);
+        // Each session wakes at first_wake, then every cadence slots; count
+        // the wakes strictly below `until` per session.
+        let expected: u64 = (0..40)
+            .map(|session| {
+                let cadence = env.cadence_of(session);
+                let first = session % cadence;
+                ((until - first).div_ceil(cadence)) as u64
+            })
+            .sum();
+        assert_eq!(fleet.metrics().decisions, expected);
+        // Slot 15 wakes the cadence-1 group (10), the cadence-2 group (odd
+        // first wakes, 10) and the cadence-8 sessions staggered to 7 mod 8
+        // (5) — 25 decisions, never the whole fleet.
+        assert_eq!(fleet.last_wake_latency().unwrap().count, 25);
+    }
+
+    #[test]
+    fn env_event_only_timestamps_advance_state_without_decisions() {
+        let mut fleet = build_fleet(Some(1), 8, 8);
+        let mut env = CadenceEnv {
+            sessions: 8,
+            cadences: vec![64],
+            events: vec![3, 5],
+            begin_slots: Vec::new(),
+        };
+        // All eight sessions first wake in 0..8 (staggered); the pushed
+        // events at 3 and 5 coincide with wakes. Run past every wake, then
+        // the next timestamps are event-free: nothing before slot 64.
+        fleet.run_until(&mut env, 10);
+        assert_eq!(fleet.slot(), 10);
+        assert_eq!(env.begin_slots, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(fleet.metrics().decisions, 8);
+        // A world with pushed events beyond every wake: the engine
+        // materialises the event timestamp, advances state, decides nothing.
+        let mut fleet = build_fleet(Some(1), 8, 8);
+        let mut env = CadenceEnv {
+            sessions: 8,
+            cadences: vec![64],
+            events: vec![20],
+            begin_slots: Vec::new(),
+        };
+        fleet.run_until(&mut env, 8);
+        let decided_by_8 = fleet.metrics().decisions;
+        assert_eq!(fleet.step_events(&mut env), Some(20));
+        assert_eq!(*env.begin_slots.last().unwrap(), 20);
+        assert_eq!(fleet.metrics().decisions, decided_by_8);
+        assert_eq!(fleet.slot(), 21);
+    }
+
+    #[test]
+    fn wake_queue_round_trips_through_snapshots() {
+        let mut original = build_fleet(Some(2), 8, 40);
+        let mut env = CadenceEnv {
+            sessions: 40,
+            cadences: vec![1, 3, 5],
+            events: Vec::new(),
+            begin_slots: Vec::new(),
+        };
+        for _ in 0..7 {
+            original.step_events(&mut env);
+        }
+        let snapshot = original.snapshot().unwrap();
+        let queue = snapshot.wake_queue.clone().expect("queue primed");
+        assert_eq!(queue.len(), 40);
+        assert!(queue
+            .windows(2)
+            .all(|w| (w[0].wake, w[0].session) < (w[1].wake, w[1].session)));
+        let mut restored = FleetEngine::from_snapshot(snapshot).unwrap();
+        // The restored fleet continues on the recorded schedule without
+        // re-priming — bit-identical timestamps, choices and bytes.
+        let mut restored_env = CadenceEnv {
+            sessions: 40,
+            cadences: vec![1, 3, 5],
+            events: Vec::new(),
+            begin_slots: Vec::new(),
+        };
+        for _ in 0..9 {
+            let expected = original.step_events(&mut env);
+            assert_eq!(restored.step_events(&mut restored_env), expected);
+            assert_eq!(restored.last_choices(), original.last_choices());
+        }
+        assert_eq!(restored.to_json().unwrap(), original.to_json().unwrap());
+    }
+
+    #[test]
+    fn run_until_fast_forwards_idle_tails() {
+        let mut fleet = build_fleet(Some(1), 8, 8);
+        let mut env = CadenceEnv {
+            sessions: 8,
+            cadences: vec![100],
+            events: Vec::new(),
+            begin_slots: Vec::new(),
+        };
+        // Every session wakes once in 0..8, then nothing until ~100; the
+        // clock jumps straight to the horizon.
+        fleet.run_until(&mut env, 50);
+        assert_eq!(fleet.slot(), 50);
+        assert_eq!(fleet.metrics().decisions, 8);
+        assert_eq!(env.begin_slots.len(), 8);
+        // Latency percentiles were recorded for the last cohort.
+        let latency = fleet.last_wake_latency().expect("cohort decided");
+        assert_eq!(latency.count, 1);
+        assert!(latency.p50_s <= latency.p95_s && latency.p95_s <= latency.p99_s);
     }
 }

@@ -16,6 +16,7 @@
 //! | [`trace_driven`] | every session replays the §VI-B WiFi/cellular trace pairs, phase-shifted per session | non-stationary rates, switching delays |
 //! | [`cooperative`] | the equal-share areas with a Co-Bandit gossip layer: sessions share observed rates within their area | shared feedback, `Policy::observe_shared` |
 //! | [`dense_urban`] | dense-spectrum city blocks: one macro cell, a band of small cells and hundreds of weak APs per area (256–1024 networks visible per device) | large-K sampling ([`SamplerStrategy`](smartexp3_core::SamplerStrategy)) |
+//! | [`duty_cycle`] | the equal-share areas with heterogeneous wake cadences (1/2/4/8 round-robin, staggered) and periodic cellular bandwidth bursts | event-driven stepping ([`FleetEngine::step_events`](smartexp3_engine::FleetEngine::step_events)), wake-to-decision latency |
 //!
 //! Scale: sessions are grouped into independent replicas (100 devices per
 //! congestion area, 20 per mobility map, [`DenseUrbanConfig::devices_per_area`]
@@ -27,9 +28,11 @@
 #![warn(missing_docs)]
 
 mod cooperative;
+mod duty_cycle;
 mod trace;
 
 pub use cooperative::{CooperativeEnvironment, GossipConfig, GossipMode};
+pub use duty_cycle::{DutyCycleConfig, DutyCycleEnvironment};
 pub use trace::{TraceEnvironment, TRACE_PARTITION_SESSIONS};
 
 use netsim::{
@@ -220,6 +223,53 @@ pub fn cooperative(
         membership,
         gossip,
         gossip_seed,
+    ));
+    Ok(scenario)
+}
+
+/// World 7 — **heterogeneous duty cycles**: the [`equal_share`] congestion
+/// areas wrapped in a [`DutyCycleEnvironment`] — session `i` wakes every
+/// `cadences[i % cadences.len()]` slots (staggered by index), and every
+/// [`DutyCycleConfig::burst_period`] slots each area's cellular network
+/// collapses to 2 Mbps, recovering half a period later. Built for the
+/// event-driven engine path: step it with
+/// [`FleetEngine::run_until`](smartexp3_engine::FleetEngine::run_until) /
+/// [`step_events`](smartexp3_engine::FleetEngine::step_events) rather than
+/// `run_env` (the slot-synchronous path still works — cadences are then
+/// simply ignored).
+///
+/// Visibility in this world is static by design: `networks_changed`
+/// notifications are edge-triggered and would be missed by sleeping
+/// sessions, so burstiness comes from scheduled bandwidth collapses (level
+/// changes every later wake observes correctly), not mobility.
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from policy construction.
+pub fn duty_cycle(
+    sessions: usize,
+    kind: PolicyKind,
+    config: FleetConfig,
+    duty: DutyCycleConfig,
+) -> Result<Scenario, ConfigError> {
+    let areas = sessions.div_ceil(DEVICES_PER_AREA);
+    let mut events = Vec::new();
+    if duty.burst_period > 0 {
+        let half = (duty.burst_period / 2).max(1);
+        for area in 0..areas {
+            let cellular = NetworkId((area * 3 + 2) as u32);
+            let mut at = duty.burst_period;
+            while at <= duty.horizon_slots {
+                events.push(BandwidthEvent::new(at, cellular, 2.0));
+                events.push(BandwidthEvent::new(at + half, cellular, 22.0));
+                at += duty.burst_period;
+            }
+        }
+    }
+    let mut scenario = congestion_world(sessions, kind, config, events, "duty_cycle")?;
+    scenario.environment = Box::new(DutyCycleEnvironment::new(
+        scenario.environment,
+        duty.cadences,
     ));
     Ok(scenario)
 }
@@ -577,6 +627,34 @@ mod tests {
         scenario.run(4);
         assert_eq!(scenario.fleet.metrics().decisions, 4 * 20);
         assert!(scenario.fleet.metrics().kind(PolicyKind::Exp3).is_some());
+    }
+
+    #[test]
+    fn duty_cycle_world_steps_event_driven() {
+        let mut scenario = duty_cycle(
+            120,
+            PolicyKind::SmartExp3,
+            FleetConfig::with_root_seed(23),
+            DutyCycleConfig {
+                cadences: vec![1, 2, 4],
+                burst_period: 8,
+                horizon_slots: 32,
+            },
+        )
+        .unwrap();
+        assert_eq!(scenario.name, "duty_cycle");
+        assert_eq!(scenario.sessions(), 120);
+        // Bursts materialise as env events even between wakes.
+        assert_eq!(scenario.environment.next_env_event(0), Some(8));
+        scenario.fleet.run_until(scenario.environment.as_mut(), 16);
+        assert_eq!(scenario.fleet.slot(), 16);
+        // 40 cadence-1 sessions decide 16×, 40 cadence-2 decide 8×, 40
+        // cadence-4 decide 4×.
+        assert_eq!(
+            scenario.fleet.metrics().decisions,
+            40 * 16 + 40 * 8 + 40 * 4
+        );
+        assert!(scenario.fleet.last_wake_latency().is_some());
     }
 
     #[test]

@@ -21,13 +21,17 @@ use smartexp3_core::{
 };
 use smartexp3_engine::{FleetConfig, FleetEngine};
 use smartexp3_env::{
-    area_mobility, cooperative, dense_urban, dynamic_bandwidth, equal_share, trace_driven,
-    DenseUrbanConfig, GossipConfig, Scenario,
+    area_mobility, cooperative, dense_urban, duty_cycle, dynamic_bandwidth, equal_share,
+    trace_driven, DenseUrbanConfig, DutyCycleConfig, GossipConfig, Scenario,
 };
 
 fn scenario_fingerprint(scenario: &Scenario) -> String {
     // Parallelism knobs are part of the snapshot but must never affect the
-    // trajectory; normalise them so the fingerprint compares pure state.
+    // trajectory; normalise them so the fingerprint compares pure state. The
+    // wake queue is stripped too: it records *scheduling* state (primed only
+    // on the event-driven path), so sync-vs-event comparisons normalise it
+    // away and compare session states, RNG streams and the clock — tests
+    // that care about the queue itself compare `wake_queue` directly.
     let mut snapshot = scenario
         .fleet
         .snapshot()
@@ -36,6 +40,7 @@ fn scenario_fingerprint(scenario: &Scenario) -> String {
     snapshot.config.shard_size = 0;
     snapshot.config.partitioned_feedback = true;
     snapshot.config.fleet_lanes = true;
+    snapshot.wake_queue = None;
     serde_json::to_string(&snapshot).expect("snapshots serialize")
 }
 
@@ -136,6 +141,174 @@ fn every_world_is_bit_identical_at_any_thread_count() {
             "{world} diverged with fleet lanes disabled"
         );
     }
+}
+
+#[test]
+fn uniform_cadence_event_stepping_is_bit_identical_to_sync_on_every_world() {
+    // The tentpole correctness anchor: none of the catalog worlds override
+    // the wake protocol, so every session runs the default uniform cadence 1
+    // and `step_events` must reproduce `step_env` bit-for-bit — same
+    // choices, same RNG streams, same environment state — at 1/2/8 threads,
+    // with partitioned feedback on or off and fleet lanes on or off.
+    for world in [
+        "equal_share",
+        "dynamic_bandwidth",
+        "area_mobility",
+        "trace_driven",
+        "cooperative",
+        "dense_urban",
+    ] {
+        let mut reference = build(1, world);
+        reference.run(40);
+        let expected = scenario_fingerprint(&reference);
+        let expected_env = reference.environment.state();
+        let event_configs = [
+            FleetConfig::with_root_seed(42)
+                .with_threads(1)
+                .with_shard_size(16),
+            FleetConfig::with_root_seed(42)
+                .with_threads(2)
+                .with_shard_size(16),
+            FleetConfig::with_root_seed(42)
+                .with_threads(8)
+                .with_shard_size(16),
+            FleetConfig::with_root_seed(42)
+                .with_threads(2)
+                .with_shard_size(16)
+                .with_partitioned_feedback(false),
+            FleetConfig::with_root_seed(42)
+                .with_threads(2)
+                .with_shard_size(16)
+                .with_fleet_lanes(false),
+        ];
+        for (index, config) in event_configs.into_iter().enumerate() {
+            let mut scenario = build_config(config, world);
+            scenario.fleet.run_until(scenario.environment.as_mut(), 40);
+            assert_eq!(scenario.fleet.slot(), 40, "{world} clock, config {index}");
+            assert_eq!(
+                scenario_fingerprint(&scenario),
+                expected,
+                "{world} event stepping diverged from sync (config {index})"
+            );
+            assert_eq!(
+                scenario.environment.state(),
+                expected_env,
+                "{world} environment state diverged under event stepping (config {index})"
+            );
+        }
+    }
+}
+
+fn build_duty_cycle(config: FleetConfig) -> Scenario {
+    duty_cycle(
+        180,
+        PolicyKind::SmartExp3,
+        config,
+        DutyCycleConfig {
+            cadences: vec![1, 2, 4, 8],
+            burst_period: 10,
+            horizon_slots: 60,
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn duty_cycle_trajectories_are_identical_at_any_thread_count() {
+    let mut reference = build_duty_cycle(
+        FleetConfig::with_root_seed(42)
+            .with_threads(1)
+            .with_shard_size(16),
+    );
+    reference
+        .fleet
+        .run_until(reference.environment.as_mut(), 40);
+    let expected = scenario_fingerprint(&reference);
+    let expected_queue = reference.fleet.snapshot().unwrap().wake_queue;
+    let expected_env = reference.environment.state();
+    assert!(expected_queue.is_some(), "event runs prime the queue");
+    for config in [
+        FleetConfig::with_root_seed(42)
+            .with_threads(2)
+            .with_shard_size(16),
+        FleetConfig::with_root_seed(42)
+            .with_threads(8)
+            .with_shard_size(16),
+        FleetConfig::with_root_seed(42)
+            .with_threads(2)
+            .with_shard_size(16)
+            .with_partitioned_feedback(false),
+        FleetConfig::with_root_seed(42)
+            .with_threads(2)
+            .with_shard_size(16)
+            .with_fleet_lanes(false),
+    ] {
+        let mut scenario = build_duty_cycle(config);
+        scenario.fleet.run_until(scenario.environment.as_mut(), 40);
+        assert_eq!(scenario_fingerprint(&scenario), expected);
+        assert_eq!(
+            scenario.fleet.snapshot().unwrap().wake_queue,
+            expected_queue
+        );
+        assert_eq!(scenario.environment.state(), expected_env);
+    }
+}
+
+#[test]
+fn mid_queue_snapshots_restore_the_event_schedule_bit_exactly() {
+    // Checkpoint an event-driven run while the wake queue holds pending
+    // cohorts from every cadence group (1/2/4/8) and two bandwidth events
+    // are still unconsumed (bursts at 20/25 and 30/35), then prove the
+    // restored pair — remaining queue, per-session RNG streams and env
+    // event cursor — continues bit-exactly without re-priming.
+    let build = |config: FleetConfig| {
+        duty_cycle(
+            180,
+            PolicyKind::SmartExp3,
+            config,
+            DutyCycleConfig {
+                cadences: vec![1, 2, 4, 8],
+                burst_period: 20,
+                horizon_slots: 60,
+            },
+        )
+        .unwrap()
+    };
+    let mut original = build(
+        FleetConfig::with_root_seed(42)
+            .with_threads(2)
+            .with_shard_size(16),
+    );
+    original.fleet.run_until(original.environment.as_mut(), 13);
+    let snapshot = original
+        .fleet
+        .snapshot_env(original.environment.as_ref())
+        .expect("duty-cycle worlds checkpoint");
+    let queue = snapshot.wake_queue.as_ref().expect("queue primed");
+    assert_eq!(queue.len(), 180, "every session has one pending wake");
+    // The queue spans multiple timestamps: cadence-1 sessions are due at 13,
+    // cadence-8 stragglers well past it.
+    let wakes: Vec<usize> = queue.iter().map(|e| e.wake).collect();
+    assert!(wakes.contains(&13));
+    assert!(wakes.iter().any(|&w| w > 14));
+
+    original.fleet.run_until(original.environment.as_mut(), 45);
+    let expected = scenario_fingerprint(&original);
+    let expected_queue = original.fleet.snapshot().unwrap().wake_queue;
+    let expected_env = original.environment.state();
+
+    // Restore at a different thread count; the recorded queue must be used
+    // as-is (no re-priming), so the continuation is bit-identical.
+    let mut resumed = build(
+        FleetConfig::with_root_seed(42)
+            .with_threads(8)
+            .with_shard_size(16),
+    );
+    resumed.fleet = FleetEngine::from_snapshot_env(snapshot, resumed.environment.as_mut()).unwrap();
+    resumed.fleet.run_until(resumed.environment.as_mut(), 45);
+    assert_eq!(scenario_fingerprint(&resumed), expected);
+    assert_eq!(resumed.fleet.snapshot().unwrap().wake_queue, expected_queue);
+    assert_eq!(resumed.environment.state(), expected_env);
 }
 
 #[test]

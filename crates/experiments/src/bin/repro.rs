@@ -14,8 +14,8 @@ use experiments::config::Scale;
 use experiments::controlled::{self, ControlledScenario};
 use experiments::settings::DynamicSetting;
 use experiments::{
-    cooperative, dense, distance, download, dynamics, fairness, mobility, robustness, scalability,
-    stability, switching, tracedriven, wild,
+    cooperative, dense, distance, download, dynamics, events, fairness, mobility, robustness,
+    scalability, stability, switching, tracedriven, wild,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -26,7 +26,9 @@ const USAGE: &str =
 
 flags:
   --telemetry PATH  stream per-slot fleet telemetry (JSONL, tailable) to PATH
-                    while running the coop experiment's broadcast variant
+                    while running the coop experiment's broadcast variant, or
+                    an event-driven duty-cycle run (with wake-to-decision
+                    latency percentiles) for the events experiment
 
 experiments:
   fig2     number of network switches (Figure 2)
@@ -44,6 +46,7 @@ experiments:
   wild     in-the-wild 500 MB download (§VII-B)
   coop     Co-Bandit gossip vs isolated convergence (follow-up paper)
   dense    dense-urban large-K sampling, linear vs tree throughput
+  events   event-driven stepping: sync vs wake-queue trajectories + latency
   all      everything above";
 
 fn main() -> ExitCode {
@@ -62,11 +65,19 @@ fn main() -> ExitCode {
     };
 
     if let Some(path) = &telemetry {
-        if !matches!(experiment.as_str(), "coop" | "cooperative" | "all") {
-            eprintln!("error: --telemetry is only wired to the coop experiment\n\n{USAGE}");
-            return ExitCode::FAILURE;
-        }
-        match cooperative::export_telemetry(&scale, path) {
+        let export = match experiment.as_str() {
+            "coop" | "cooperative" | "all" => cooperative::export_telemetry,
+            // The event-driven export: one record per wake timestamp, each
+            // carrying wake-to-decision latency percentiles.
+            "events" | "duty_cycle" => events::export_telemetry,
+            _ => {
+                eprintln!(
+                    "error: --telemetry is only wired to the coop and events experiments\n\n{USAGE}"
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+        match export(&scale, path) {
             Ok(records) => {
                 eprintln!(
                     "telemetry: wrote {records} slot records to {} (tail with `tail -f`)",
@@ -197,6 +208,9 @@ fn run_experiment(experiment: &str, scale: &Scale) -> bool {
     }
     if wants(&["dense", "dense_urban"]) {
         println!("{}", dense::run(scale));
+    }
+    if wants(&["events", "duty_cycle"]) {
+        println!("{}", events::run(scale));
     }
     matched
 }

@@ -1,0 +1,231 @@
+//! Synchronous vs event-driven stepping on the duty-cycle world.
+//!
+//! The paper's devices decide on their own cadence; the engine's
+//! [`step_events`](smartexp3_engine::FleetEngine::step_events) path honours
+//! that by materialising only the timestamps at which anything happens.
+//! This experiment runs the scenario library's [`duty_cycle`] world twice
+//! from the same root seed — once slot-synchronously through `run_env`
+//! (which ignores cadences: every session decides every slot) and once
+//! event-driven through `run_until` — and reports the decision counts and
+//! throughput of both, plus the event path's wake-to-decision latency
+//! percentiles (p50/p95/p99).
+//!
+//! It also re-runs a **uniform-cadence** copy of the world both ways and
+//! checks the trajectories are bit-identical — the engine's correctness
+//! anchor, surfaced as a reproducible CLI check.
+
+use crate::config::Scale;
+use smartexp3_core::PolicyKind;
+use smartexp3_env::{duty_cycle, DutyCycleConfig, Scenario};
+use smartexp3_telemetry::{JsonlSink, LatencyStats, TelemetrySink};
+use std::fmt;
+use std::path::Path;
+use std::time::Instant;
+
+/// Sessions in the default comparison.
+pub const DEFAULT_SESSIONS: usize = 2000;
+
+/// One timed run of the duty-cycle world under one stepping mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModeMeasurement {
+    /// Wall-clock seconds for the whole run.
+    pub elapsed_s: f64,
+    /// Decisions taken across the run.
+    pub decisions: u64,
+    /// Fleet-wide mean per-decision gain.
+    pub mean_gain: f64,
+}
+
+impl ModeMeasurement {
+    /// Decisions per wall-clock second.
+    #[must_use]
+    pub fn decisions_per_sec(&self) -> f64 {
+        if self.elapsed_s > 0.0 {
+            self.decisions as f64 / self.elapsed_s
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// The sync-vs-event comparison on one duty-cycle world.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventsResult {
+    /// Sessions in the world.
+    pub sessions: usize,
+    /// Slots (the event run's horizon; the sync run steps the same count).
+    pub slots: usize,
+    /// The slot-synchronous run (cadences ignored).
+    pub sync: ModeMeasurement,
+    /// The event-driven run (cohorts on the 1/2/4/8 cadence mix).
+    pub events: ModeMeasurement,
+    /// Wake-to-decision latency of the event run's final cohort.
+    pub latency: Option<LatencyStats>,
+    /// Whether a uniform-cadence copy of the world produced bit-identical
+    /// trajectories under both stepping modes (the correctness anchor).
+    pub uniform_identical: bool,
+}
+
+fn build(scale: &Scale, sessions: usize, cadences: Vec<usize>) -> Scenario {
+    duty_cycle(
+        sessions,
+        PolicyKind::SmartExp3,
+        scale.fleet_config(scale.seed(0)),
+        DutyCycleConfig {
+            cadences,
+            burst_period: (scale.slots / 4).max(2),
+            horizon_slots: scale.slots,
+        },
+    )
+    .expect("static scenario construction cannot fail")
+}
+
+fn measure(
+    mut scenario: Scenario,
+    slots: usize,
+    event_driven: bool,
+) -> (ModeMeasurement, Option<LatencyStats>) {
+    let start = Instant::now();
+    if event_driven {
+        scenario
+            .fleet
+            .run_until(scenario.environment.as_mut(), slots);
+    } else {
+        scenario.run(slots);
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let metrics = scenario.fleet.metrics();
+    let measurement = ModeMeasurement {
+        elapsed_s,
+        decisions: metrics.decisions,
+        mean_gain: metrics
+            .kind(PolicyKind::SmartExp3)
+            .map_or(0.0, |m| m.mean_gain()),
+    };
+    (measurement, scenario.fleet.last_wake_latency())
+}
+
+/// Fingerprint with scheduling state stripped — sync runs never prime the
+/// wake queue, so the comparison covers session states, RNG streams and the
+/// clock.
+fn fingerprint(scenario: &Scenario) -> String {
+    let mut snapshot = scenario.fleet.snapshot().expect("fleets snapshot");
+    snapshot.wake_queue = None;
+    snapshot.to_json().expect("snapshots serialize")
+}
+
+/// Runs the comparison on a world of `sessions` sessions over `scale.slots`
+/// slots.
+#[must_use]
+pub fn run_with(scale: &Scale, sessions: usize) -> EventsResult {
+    let (sync, _) = measure(build(scale, sessions, vec![1, 2, 4, 8]), scale.slots, false);
+    let (events, latency) = measure(build(scale, sessions, vec![1, 2, 4, 8]), scale.slots, true);
+
+    // The correctness anchor as a CLI-visible check: uniform cadence 1 must
+    // make the two modes bit-identical.
+    let mut uniform_sync = build(scale, sessions, vec![1]);
+    uniform_sync.run(scale.slots);
+    let mut uniform_events = build(scale, sessions, vec![1]);
+    uniform_events
+        .fleet
+        .run_until(uniform_events.environment.as_mut(), scale.slots);
+    let uniform_identical = fingerprint(&uniform_sync) == fingerprint(&uniform_events);
+
+    EventsResult {
+        sessions,
+        slots: scale.slots,
+        sync,
+        events,
+        latency,
+        uniform_identical,
+    }
+}
+
+/// Streams per-slot telemetry from an event-driven duty-cycle run to `path`
+/// (JSONL, one record per wake timestamp). Unlike the slot-synchronous
+/// export, every record carries wake-to-decision latency percentiles —
+/// the series `telemetry_dash` renders in its latency columns.
+///
+/// # Errors
+/// Returns the underlying I/O error if `path` cannot be created or written.
+pub fn export_telemetry(scale: &Scale, path: &Path) -> std::io::Result<u64> {
+    let mut scenario = build(scale, DEFAULT_SESSIONS, vec![1, 2, 4, 8]);
+    assert!(scenario.enable_telemetry());
+    let mut sink = JsonlSink::create(path)?;
+    scenario
+        .fleet
+        .run_until_with_sink(scenario.environment.as_mut(), scale.slots, &mut sink);
+    TelemetrySink::flush(&mut sink)?;
+    sink.finish()
+}
+
+/// Runs the default comparison: [`DEFAULT_SESSIONS`] sessions.
+#[must_use]
+pub fn run(scale: &Scale) -> EventsResult {
+    run_with(scale, DEFAULT_SESSIONS)
+}
+
+impl fmt::Display for EventsResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Event-driven stepping — duty-cycle world, {} sessions, {} slots, cadences 1/2/4/8",
+            self.sessions, self.slots
+        )?;
+        for (label, m) in [("sync", &self.sync), ("events", &self.events)] {
+            writeln!(
+                f,
+                "{label:<8} {:>12.0} decisions/s ({} decisions in {:.3} s), mean gain {:.4}",
+                m.decisions_per_sec(),
+                m.decisions,
+                m.elapsed_s,
+                m.mean_gain
+            )?;
+        }
+        match &self.latency {
+            Some(latency) => writeln!(
+                f,
+                "wake-to-decision latency (last cohort, {} decisions): p50 {:.1} µs, p95 {:.1} µs, p99 {:.1} µs",
+                latency.count,
+                latency.p50_s * 1e6,
+                latency.p95_s * 1e6,
+                latency.p99_s * 1e6
+            )?,
+            None => writeln!(f, "wake-to-decision latency: no cohort recorded")?,
+        }
+        writeln!(
+            f,
+            "uniform-cadence bit-identity: {}",
+            if self.uniform_identical {
+                "PASS"
+            } else {
+                "FAIL"
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_mode_decides_less_and_stays_bit_identical_at_uniform_cadence() {
+        let scale = Scale::quick().with_slots(40);
+        let result = run_with(&scale, 120);
+        // Sync ignores cadences: every session decides every slot. The
+        // event path wakes 1/2/4/8 cohorts: 40·(1 + 1/2 + 1/4 + 1/8)/4 of
+        // that.
+        assert_eq!(result.sync.decisions, 40 * 120);
+        assert!(result.events.decisions < result.sync.decisions);
+        assert_eq!(
+            result.events.decisions,
+            40 * 30 + 20 * 30 + 10 * 30 + 5 * 30
+        );
+        assert!(result.uniform_identical, "correctness anchor violated");
+        assert!(result.latency.is_some());
+        let text = result.to_string();
+        assert!(text.contains("Event-driven stepping"));
+        assert!(text.contains("PASS"));
+    }
+}

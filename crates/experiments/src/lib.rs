@@ -20,6 +20,7 @@
 //! | [`wild`] | §VII-B — 500 MB download in the wild |
 //! | [`cooperative`] | Co-Bandit follow-up — gossip vs isolated convergence |
 //! | [`dense`] | dense-urban large-K worlds — linear vs tree sampling throughput |
+//! | [`events`] | event-driven stepping — sync vs wake-queue trajectories and latency |
 //!
 //! Every experiment takes a [`Scale`] (number of runs, slots, threads, seed)
 //! and returns a displayable result; the `repro` binary wires them to a CLI.
@@ -34,6 +35,7 @@ pub mod dense;
 pub mod distance;
 pub mod download;
 pub mod dynamics;
+pub mod events;
 pub mod fairness;
 pub mod mobility;
 pub mod report;

@@ -789,6 +789,13 @@ pub struct CongestionEnvironment {
     choices: Vec<(usize, NetworkId)>,
     records: Vec<SelectionRecord>,
     full_gains_pool: Vec<Vec<(NetworkId, f64)>>,
+    /// Every slot at which environment state changes independently of
+    /// session wakes — bandwidth events, device activations/departures,
+    /// scheduled moves — sorted ascending and deduplicated. Drives
+    /// [`Environment::next_env_event`] so the event engine materialises
+    /// these timestamps even when no session is due. Static (derived from
+    /// the scenario definition), so not part of the checkpointable state.
+    event_slots: Vec<usize>,
     /// Whether partitions accumulate streaming telemetry while grading.
     telemetry_enabled: bool,
     /// Last slot's fleet-level metrics: the per-partition accumulators merged
@@ -888,6 +895,19 @@ impl CongestionEnvironment {
             .map(|partition| partition_rng(env_seed, partition))
             .collect();
 
+        let mut event_slots: Vec<usize> = events.iter().map(|e| e.at_slot).collect();
+        for profile in &profiles {
+            if profile.active_from > 0 {
+                event_slots.push(profile.active_from);
+            }
+            if let Some(until) = profile.active_until {
+                event_slots.push(until);
+            }
+            event_slots.extend(profile.moves.iter().map(|&(slot, _)| slot));
+        }
+        event_slots.sort_unstable();
+        event_slots.dedup();
+
         CongestionEnvironment {
             config,
             visibility: vec![VisibilityCache::default(); profiles.len()],
@@ -910,6 +930,7 @@ impl CongestionEnvironment {
             choices: Vec::new(),
             records: Vec::new(),
             full_gains_pool: Vec::new(),
+            event_slots,
             telemetry_enabled: false,
             slot_metrics: SlotMetrics::new(),
         }
@@ -1228,6 +1249,11 @@ impl Environment for CongestionEnvironment {
             active: device.active_now,
             networks_changed: device.pending_change.then_some(device.available.as_slice()),
         }
+    }
+
+    fn next_env_event(&self, from: SlotIndex) -> Option<SlotIndex> {
+        let index = self.event_slots.partition_point(|&slot| slot < from);
+        self.event_slots.get(index).copied()
     }
 
     fn feedback(

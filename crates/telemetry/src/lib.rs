@@ -139,6 +139,69 @@ impl Histogram {
         }
         Some(2.0_f64.powi(self.min_exp + i as i32 - 1))
     }
+
+    /// Lower edge of the bucket containing the `q`-quantile (`0 ≤ q ≤ 1`) of
+    /// the recorded values, or `None` when the histogram is empty. Values in
+    /// the underflow bucket report `0.0`. The resolution is the bucket width
+    /// (a factor of two), which is the usual log-bucket trade: percentile
+    /// reads cost one O(buckets) scan and no per-sample storage.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the quantile sample: ceil(q·n), clamped into [1, n].
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cumulative = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= rank {
+                return Some(self.bucket_lower_edge(i).unwrap_or(0.0));
+            }
+        }
+        None
+    }
+}
+
+/// Percentile summary of a per-decision wake-to-decision latency
+/// distribution, read off a log-bucket [`Histogram`] (so percentiles have
+/// power-of-two resolution).
+///
+/// Latency is measured with `Instant` on the host, like [`SlotTiming`]: it
+/// is *not* part of any determinism contract, and two bit-identical runs
+/// report different latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Decisions measured.
+    pub count: u64,
+    /// Mean latency in seconds.
+    pub mean_s: f64,
+    /// Median (p50) latency in seconds.
+    pub p50_s: f64,
+    /// 95th-percentile latency in seconds.
+    pub p95_s: f64,
+    /// 99th-percentile latency in seconds.
+    pub p99_s: f64,
+}
+
+impl LatencyStats {
+    /// Summarises a latency histogram, or `None` when nothing was recorded.
+    #[must_use]
+    pub fn from_histogram(histogram: &Histogram) -> Option<LatencyStats> {
+        let count = histogram.count();
+        if count == 0 {
+            return None;
+        }
+        Some(LatencyStats {
+            count,
+            mean_s: histogram.sum() / count as f64,
+            p50_s: histogram.quantile(0.50).unwrap_or(0.0),
+            p95_s: histogram.quantile(0.95).unwrap_or(0.0),
+            p99_s: histogram.quantile(0.99).unwrap_or(0.0),
+        })
+    }
 }
 
 /// Per-slot (or per-partition) metric accumulator.
@@ -346,6 +409,11 @@ pub struct TelemetryRecord {
     pub metrics: SlotMetrics,
     /// Wall-clock phase breakdown (excluded from determinism contracts).
     pub timing: SlotTiming,
+    /// Wake-to-decision latency percentiles for the decisions of this
+    /// record, measured by the event-driven engine path (`None` on the
+    /// slot-synchronous path). Host wall-clock, excluded from determinism
+    /// contracts like [`timing`](Self::timing).
+    pub latency: Option<LatencyStats>,
 }
 
 /// Receives one [`TelemetryRecord`] per slot from the engine.
@@ -544,6 +612,21 @@ pub fn validate_jsonl(text: &str) -> Result<usize, String> {
                 m.switches,
                 m.sessions
             ));
+        }
+        if let Some(latency) = &record.latency {
+            let ordered = latency.p50_s >= 0.0
+                && latency.p50_s <= latency.p95_s
+                && latency.p95_s <= latency.p99_s;
+            if !ordered || latency.count == 0 {
+                return Err(format!(
+                    "line {}: malformed latency percentiles (count {}, p50 {}, p95 {}, p99 {})",
+                    line_no + 1,
+                    latency.count,
+                    latency.p50_s,
+                    latency.p95_s,
+                    latency.p99_s
+                ));
+            }
         }
         count += 1;
     }
@@ -750,7 +833,88 @@ mod tests {
                 feedback_s: 0.003,
                 observe_s: 0.004,
             },
+            latency: None,
         }
+    }
+
+    #[test]
+    fn quantiles_walk_the_cumulative_counts() {
+        let mut h = Histogram::new(-2, 8);
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+        // 10 values in bucket [0.25, 0.5), 10 in [1, 2), 1 in [4, 8).
+        for _ in 0..10 {
+            h.record(0.3);
+        }
+        for _ in 0..10 {
+            h.record(1.5);
+        }
+        h.record(5.0);
+        assert_eq!(
+            h.quantile(0.0),
+            Some(0.25),
+            "rank clamps to the first value"
+        );
+        assert_eq!(h.quantile(0.25), Some(0.25));
+        assert_eq!(h.quantile(0.5), Some(1.0));
+        assert_eq!(h.quantile(0.95), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(4.0));
+        // Out-of-range q values clamp instead of panicking.
+        assert_eq!(h.quantile(-3.0), Some(0.25));
+        assert_eq!(h.quantile(7.0), Some(4.0));
+    }
+
+    #[test]
+    fn quantile_reports_zero_for_underflow_values() {
+        let mut h = Histogram::new(-2, 8);
+        h.record(0.0);
+        h.record(-1.0);
+        assert_eq!(h.quantile(0.5), Some(0.0));
+        assert_eq!(LatencyStats::from_histogram(&h).map(|l| l.p99_s), Some(0.0));
+    }
+
+    #[test]
+    fn latency_stats_summarise_a_histogram() {
+        assert!(LatencyStats::from_histogram(&Histogram::new(-30, 34)).is_none());
+        let mut h = Histogram::new(-30, 34);
+        for _ in 0..98 {
+            h.record(1e-6);
+        }
+        h.record(1e-3);
+        h.record(1e-3);
+        let stats = LatencyStats::from_histogram(&h).expect("non-empty");
+        assert_eq!(stats.count, 100);
+        assert!((stats.mean_s - (98.0 * 1e-6 + 2.0 * 1e-3) / 100.0).abs() < 1e-12);
+        // p50 and p95 land in the 1µs bucket, p99 in the 1ms bucket; the
+        // percentiles must be ordered and bucket-resolution accurate.
+        assert!(stats.p50_s <= 1e-6 && stats.p50_s > 1e-7);
+        assert_eq!(stats.p50_s, stats.p95_s);
+        assert!(stats.p99_s > stats.p95_s);
+        assert!(stats.p99_s <= 1e-3 && stats.p99_s > 1e-4);
+    }
+
+    #[test]
+    fn validate_jsonl_checks_latency_ordering() {
+        let mut record = record_for_slot(0);
+        record.latency = Some(LatencyStats {
+            count: 1,
+            mean_s: 1e-5,
+            p50_s: 1e-5,
+            p95_s: 1e-5,
+            p99_s: 1e-5,
+        });
+        let good = serde_json::to_string(&record).unwrap();
+        assert_eq!(validate_jsonl(&good), Ok(1));
+
+        record.latency = Some(LatencyStats {
+            count: 1,
+            mean_s: 1e-5,
+            p50_s: 2e-5,
+            p95_s: 1e-5,
+            p99_s: 1e-5,
+        });
+        let bad = serde_json::to_string(&record).unwrap();
+        let err = validate_jsonl(&bad).unwrap_err();
+        assert!(err.contains("latency"), "unexpected error: {err}");
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! Large-K sampling: the O(K) linear CDF walk vs the O(log K) Fenwick
-//! descent, at arm counts from the paper's settings (handfuls) up to a
-//! dense-urban catalog (1024 networks).
+//! descent vs the amortised-O(1) alias table, at arm counts from the
+//! paper's settings (handfuls) up to a dense-urban catalog (1024 networks).
 //!
-//! Two levels: the raw [`WeightTable`] draw+update cycle, and the full EXP3
-//! per-slot cost (`choose` + `observe`) a dense-urban session pays online.
+//! Three levels: the raw [`WeightTable`] draw+update cycle, the full EXP3
+//! per-slot cost (`choose` + `observe`) a dense-urban session pays online,
+//! and the `alias_sampling` group — static-weight phases (several draws per
+//! update, the duty-cycled workload) where the frozen alias table amortises
+//! its O(K) freeze across O(1) draws.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -14,7 +17,11 @@ use smartexp3_core::{
 use std::time::Duration;
 
 const ARM_COUNTS: [usize; 3] = [64, 256, 1024];
-const STRATEGIES: [SamplerStrategy; 2] = [SamplerStrategy::Linear, SamplerStrategy::Tree];
+const STRATEGIES: [SamplerStrategy; 3] = [
+    SamplerStrategy::Linear,
+    SamplerStrategy::Tree,
+    SamplerStrategy::Alias,
+];
 
 fn networks(k: usize) -> Vec<NetworkId> {
     (0..k as u32).map(NetworkId).collect()
@@ -65,6 +72,40 @@ fn bench(c: &mut Criterion) {
                     chosen
                 })
             });
+        }
+    }
+    group.finish();
+
+    // The tentpole workload: static-weight phases. A duty-cycled session
+    // draws every wake but updates only when it actually connects, so the
+    // table sees runs of draws between updates — exactly where the alias
+    // table's amortised-O(1) draw should pull ahead of both the linear walk
+    // and the Fenwick descent.
+    let mut group = c.benchmark_group("alias_sampling");
+    group
+        .sample_size(60)
+        .measurement_time(Duration::from_secs(2));
+    for k in [256, 512, 1024] {
+        for draws_per_update in [4usize, 16] {
+            for strategy in STRATEGIES {
+                let id = BenchmarkId::new(
+                    format!("{strategy:?}"),
+                    format!("k{k}_draws{draws_per_update}"),
+                );
+                group.bench_function(id, |b| {
+                    let mut table = WeightTable::uniform_with_strategy(&networks(k), strategy);
+                    let mut rng = StdRng::seed_from_u64(23);
+                    b.iter(|| {
+                        let mut last = NetworkId(0);
+                        for _ in 0..draws_per_update {
+                            last = table.sample(0.1, &mut rng).0;
+                        }
+                        let (arm, probability) = table.sample(0.1, &mut rng);
+                        table.multiplicative_update(arm, 0.1, 0.5 / probability);
+                        last
+                    })
+                });
+            }
         }
     }
     group.finish();

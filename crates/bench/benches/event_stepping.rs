@@ -31,6 +31,7 @@ fn build(sessions: usize) -> Scenario {
             cadences: CADENCES.to_vec(),
             burst_period: 16,
             horizon_slots: 1 << 20,
+            ..DutyCycleConfig::default()
         },
     )
     .unwrap()

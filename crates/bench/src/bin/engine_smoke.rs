@@ -30,17 +30,25 @@
 //!     [-- --sessions N] [--slots N] [--threads N] [--out PATH] [--only SUBSTR]
 //! ```
 //!
+//! A **duty-cycled dense group** (`dense_duty_cycle`) is the alias-sampler
+//! headline: the dense-urban blocks under the 2/4/8 wake-cadence mix, the
+//! three CDF-inversion strategies measured **interleaved** (one round each
+//! per A/B run) so host drift hits all three equally, each record carrying
+//! the median of [`AB_RUNS`] runs, the min/max band of its sampling-phase
+//! rate and `host_cores`.
+//!
 //! `--only SUBSTR` runs only the datapoint groups whose name contains
 //! `SUBSTR` (groups: `closure`, `equal_share`, `equal_share_telemetry`,
 //! `equal_share_sequential`, `cooperative`, `dense_urban`, `duty_cycle`,
-//! `ab_closure`, `ab_equal_share`, `ab_dense_urban`) — e.g. `--only ab`
-//! runs the three A/B groups, `--only equal_share` everything on that world.
+//! `dense_duty_cycle`, `ab_closure`, `ab_equal_share`, `ab_dense_urban`) —
+//! e.g. `--only ab` runs the A/B groups, `--only equal_share` everything on
+//! that world.
 
 use smartexp3_core::{NetworkId, Observation, PolicyFactory, PolicyKind, SamplerStrategy};
 use smartexp3_engine::{FleetConfig, FleetEngine, StepContext};
 use smartexp3_env::{
-    cooperative, dense_urban, duty_cycle, equal_share, DenseUrbanConfig, DutyCycleConfig,
-    GossipConfig, Scenario,
+    cooperative, dense_duty_cycle, dense_urban, duty_cycle, equal_share, DenseUrbanConfig,
+    DutyCycleConfig, GossipConfig, Scenario,
 };
 use smartexp3_telemetry::RingSink;
 use std::time::Instant;
@@ -299,6 +307,91 @@ fn measure_dense(sampler: SamplerStrategy, slots: usize, threads: usize) -> (f64
     (decisions / elapsed, decisions / choose_s.max(f64::EPSILON))
 }
 
+/// Cadence mix of the duty-cycled dense datapoints: every session sleeps at
+/// least one slot between decisions, so its weight table is a static-weight
+/// phase most of the wall clock.
+const DENSE_DUTY_CADENCES: [usize; 3] = [2, 4, 8];
+
+/// One measurement window on a duty-cycled dense scenario: steps `slots`
+/// more slots through the wake queue with streaming timing, and returns
+/// `(total decisions/sec, sampling-phase decisions/sec)` — the latter
+/// divides the window's decisions by its summed choose-phase wall time, the
+/// cost the sampler strategy actually controls.
+fn dense_duty_window(scenario: &mut Scenario, slots: usize) -> (f64, f64) {
+    let before = scenario.fleet.metrics().decisions;
+    let until = scenario.fleet.slot() + slots;
+    let mut sink = RingSink::new(slots.max(1));
+    let start = Instant::now();
+    scenario
+        .fleet
+        .run_until_with_sink(scenario.environment.as_mut(), until, &mut sink);
+    let elapsed = start.elapsed().as_secs_f64();
+    let decided = (scenario.fleet.metrics().decisions - before) as f64;
+    let choose_s: f64 = sink.records().map(|r| r.timing.choose_s).sum();
+    (
+        decided / elapsed.max(f64::EPSILON),
+        decided / choose_s.max(f64::EPSILON),
+    )
+}
+
+/// Interleaved three-way sampler comparison on the duty-cycled dense world:
+/// one scenario per strategy from the same seed, warmed through the wake
+/// queue, then measured round-robin (one window each per A/B round) so
+/// clock drift and thermal state hit all three strategies equally. Returns
+/// `(total band, sampling-phase band)` per strategy, in argument order.
+fn ab_dense_duty(slots: usize, threads: usize) -> Vec<(SamplerStrategy, Band, Band)> {
+    let strategies = [
+        SamplerStrategy::Linear,
+        SamplerStrategy::Tree,
+        SamplerStrategy::Alias,
+    ];
+    let warm = slots.div_ceil(4).max(1);
+    let horizon = warm + slots * (AB_RUNS + 1);
+    let mut scenarios: Vec<Scenario> = strategies
+        .iter()
+        .map(|&sampler| {
+            // Wake-latency histograms cost one clock read per decision —
+            // comparable to an alias draw itself — so the sampler A/B turns
+            // them off (recorded in the datapoint's `wake_latency` extra).
+            let config = FleetConfig::with_root_seed(2026)
+                .with_threads(threads)
+                .with_wake_latency(false);
+            let dense = DenseUrbanConfig {
+                networks_per_area: DENSE_NETWORKS,
+                sampler,
+                ..DenseUrbanConfig::default()
+            };
+            let duty = DutyCycleConfig {
+                cadences: DENSE_DUTY_CADENCES.to_vec(),
+                burst_period: (slots / 4).max(2),
+                horizon_slots: horizon,
+                ..DutyCycleConfig::default()
+            };
+            dense_duty_cycle(DENSE_SESSIONS, PolicyKind::Exp3, config, dense, duty)
+                .expect("valid scenario")
+        })
+        .collect();
+    for scenario in &mut scenarios {
+        scenario
+            .fleet
+            .run_until(scenario.environment.as_mut(), warm);
+    }
+    let mut totals: Vec<Vec<f64>> = vec![Vec::with_capacity(AB_RUNS); strategies.len()];
+    let mut samplings: Vec<Vec<f64>> = vec![Vec::with_capacity(AB_RUNS); strategies.len()];
+    for _ in 0..AB_RUNS {
+        for (index, scenario) in scenarios.iter_mut().enumerate() {
+            let (total, sampling) = dense_duty_window(scenario, slots);
+            totals[index].push(total);
+            samplings[index].push(sampling);
+        }
+    }
+    strategies
+        .into_iter()
+        .zip(totals.into_iter().zip(samplings))
+        .map(|(sampler, (total, sampling))| (sampler, band(total), band(sampling)))
+        .collect()
+}
+
 /// Sync-vs-event-driven pair on the duty-cycle world. Returns the two
 /// throughputs plus the event run's latency extra (pre-rendered JSON).
 fn measure_duty_cycle(sessions: usize, slots: usize, config: &FleetConfig) -> (f64, f64, String) {
@@ -312,6 +405,7 @@ fn measure_duty_cycle(sessions: usize, slots: usize, config: &FleetConfig) -> (f
                 cadences: vec![1, 2, 4, 8],
                 burst_period: (slots / 4).max(2),
                 horizon_slots: warm + slots,
+                ..DutyCycleConfig::default()
             },
         )
         .expect("valid scenario")
@@ -512,6 +606,8 @@ fn main() {
             measure_dense(SamplerStrategy::Linear, dense_slots, threads);
         let (tree_total, tree_sampling) =
             measure_dense(SamplerStrategy::Tree, dense_slots, threads);
+        let (alias_total, alias_sampling) =
+            measure_dense(SamplerStrategy::Alias, dense_slots, threads);
         let dense_extra = |sampler: SamplerStrategy, sampling_rate: f64| {
             format!(
                 ",\"sampler\":\"{sampler:?}\",\"networks\":{DENSE_NETWORKS},\
@@ -539,15 +635,73 @@ fn main() {
             tree_total,
             tree_sampling,
         ));
+        records.push(dense_record(
+            SamplerStrategy::Alias,
+            alias_total,
+            alias_sampling,
+        ));
         eprintln!(
-            "dense_urban K={DENSE_NETWORKS}: tree {:.2}M vs linear {:.2}M total ({:.2}x); \
-             sampling phase {:.2}M vs {:.2}M ({:.2}x)",
+            "dense_urban K={DENSE_NETWORKS}: tree {:.2}M vs linear {:.2}M vs alias {:.2}M total; \
+             sampling phase tree {:.2}M / linear {:.2}M / alias {:.2}M \
+             (tree/linear {:.2}x, alias/tree {:.2}x)",
             tree_total / 1e6,
             linear_total / 1e6,
-            tree_total / linear_total,
+            alias_total / 1e6,
             tree_sampling / 1e6,
             linear_sampling / 1e6,
-            tree_sampling / linear_sampling
+            alias_sampling / 1e6,
+            tree_sampling / linear_sampling,
+            alias_sampling / tree_sampling
+        );
+    }
+
+    // The alias headline: duty-cycled dense world (K = 512, cadences 2/4/8),
+    // the three samplers measured interleaved through the wake queue. The
+    // band covers the sampling-phase rate — the metric the strategy controls.
+    if wanted("dense_duty_cycle") {
+        let three_way = ab_dense_duty(dense_slots, threads);
+        for (sampler, total, sampling) in &three_way {
+            records.push(Record {
+                bench: "scenario_throughput/dense_duty_cycle",
+                world: "dense_duty_cycle",
+                feedback: "partitioned",
+                policy: "Exp3",
+                sessions: DENSE_SESSIONS,
+                slots: dense_slots,
+                threads,
+                decisions_per_sec: total.median,
+                extra: format!(
+                    ",\"stepping\":\"events\",\"sampler\":\"{sampler:?}\",\
+                     \"networks\":{DENSE_NETWORKS},\"cadences\":\"2/4/8\",\
+                     \"ab_runs\":{AB_RUNS},\
+                     \"sampling_decisions_per_sec\":{:.0},\
+                     \"sampling_band_min\":{:.0},\"sampling_band_max\":{:.0},\
+                     \"wake_latency\":\"off\",\"host_cores\":{auto_threads}",
+                    sampling.median, sampling.min, sampling.max
+                ),
+            });
+        }
+        let rate = |strategy: SamplerStrategy| {
+            three_way
+                .iter()
+                .find(|(s, _, _)| *s == strategy)
+                .map(|(_, _, sampling)| sampling.median)
+                .unwrap_or(0.0)
+        };
+        let (linear, tree, alias) = (
+            rate(SamplerStrategy::Linear),
+            rate(SamplerStrategy::Tree),
+            rate(SamplerStrategy::Alias),
+        );
+        eprintln!(
+            "dense_duty_cycle K={DENSE_NETWORKS} cadences 2/4/8: sampling phase \
+             linear {:.2}M / tree {:.2}M / alias {:.2}M decisions/sec \
+             (alias/linear {:.2}x, alias/tree {:.2}x)",
+            linear / 1e6,
+            tree / 1e6,
+            alias / 1e6,
+            alias / linear.max(f64::EPSILON),
+            alias / tree.max(f64::EPSILON)
         );
     }
 

@@ -177,7 +177,13 @@ impl Policy for Exp3 {
     }
 
     fn stats(&self) -> PolicyStats {
-        self.stats
+        // The sampler counters live in the weight table (they are its
+        // internal cost signals); overlay them at read time so the policy's
+        // own counter struct never has to mirror table state.
+        let mut stats = self.stats;
+        stats.sampler_rebuilds = self.weights.sampler_rebuilds();
+        stats.overlay_hits = self.weights.overlay_hits();
+        stats
     }
 }
 
@@ -229,6 +235,37 @@ mod tests {
             [3, 4, 5, 6, 0, 7, 6, 7, 6, 4, 7, 5, 7, 7, 4, 2, 5, 4, 1, 2, 2, 2, 6, 0],
             "tree-sampler Exp3 decision pin drifted"
         );
+    }
+
+    /// Golden decision pin for the alias-sampler configuration, captured
+    /// from the same fixed-seed harness as the tree pin. The alias decode
+    /// spends the single draw's bits differently, so its trajectory is its
+    /// own contract.
+    #[test]
+    fn alias_sampler_decisions_are_pinned() {
+        let config = Exp3Config {
+            sampler: SamplerStrategy::Alias,
+            ..Exp3Config::default()
+        };
+        let mut policy = Exp3::new(nets(8), config).unwrap();
+        let mut rng = StdRng::seed_from_u64(2026);
+        let mut sequence = Vec::new();
+        for slot in 0..24 {
+            let chosen = policy.choose(slot, &mut rng);
+            let gain = if chosen == NetworkId(5) { 0.9 } else { 0.2 };
+            policy.observe(
+                &Observation::bandit(slot, chosen, gain * 22.0, gain),
+                &mut rng,
+            );
+            sequence.push(chosen.0);
+        }
+        assert_eq!(
+            sequence,
+            [3, 6, 0, 4, 0, 6, 4, 6, 4, 3, 6, 0, 7, 7, 6, 4, 2, 0, 3, 5, 4, 5, 6, 2],
+            "alias-sampler Exp3 decision pin drifted"
+        );
+        let stats = policy.stats();
+        assert!(stats.sampler_rebuilds > 0, "alias table was never frozen");
     }
 
     #[test]

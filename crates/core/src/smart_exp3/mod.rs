@@ -579,7 +579,12 @@ impl Policy for SmartExp3 {
     }
 
     fn stats(&self) -> PolicyStats {
-        self.stats
+        // The sampler counters live in the weight table; overlay them at
+        // read time (same idiom as `Exp3::stats`).
+        let mut stats = self.stats;
+        stats.sampler_rebuilds = self.weights.sampler_rebuilds();
+        stats.overlay_hits = self.weights.overlay_hits();
+        stats
     }
 }
 
@@ -639,6 +644,37 @@ mod tests {
             [7, 5, 1, 5, 5, 6, 5, 5, 2, 5, 5, 4, 5, 5, 0, 5, 5, 3, 5, 5, 6, 5, 5, 4],
             "tree-sampler SmartExp3 decision pin drifted"
         );
+    }
+
+    /// Golden decision pin for the alias-sampler configuration — Smart
+    /// EXP3's block structure is exactly the static-weight phase the alias
+    /// table amortises over, so this trajectory is the headline config's
+    /// contract.
+    #[test]
+    fn alias_sampler_decisions_are_pinned() {
+        let config = SmartExp3Config {
+            sampler: crate::SamplerStrategy::Alias,
+            ..SmartExp3Config::default()
+        };
+        let mut policy = SmartExp3::new(nets(8), config).unwrap();
+        let mut rng = StdRng::seed_from_u64(2026);
+        let mut sequence = Vec::new();
+        for slot in 0..24 {
+            let chosen = policy.choose(slot, &mut rng);
+            let gain = if chosen == NetworkId(5) { 0.9 } else { 0.2 };
+            policy.observe(
+                &Observation::bandit(slot, chosen, gain * 22.0, gain),
+                &mut rng,
+            );
+            sequence.push(chosen.0);
+        }
+        assert_eq!(
+            sequence,
+            [7, 5, 1, 5, 5, 6, 5, 5, 2, 5, 5, 4, 5, 5, 0, 5, 5, 3, 5, 5, 5, 5, 1, 5],
+            "alias-sampler SmartExp3 decision pin drifted"
+        );
+        let stats = policy.stats();
+        assert!(stats.sampler_rebuilds > 0, "alias table was never frozen");
     }
 
     #[test]

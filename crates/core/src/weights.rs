@@ -54,13 +54,34 @@
 //! analytically during the descent, so the tree never has to be rebuilt when
 //! γ changes).
 //!
-//! Both strategies sample the same distribution (within the 1e-12 cache
-//! tolerance) and consume exactly one `rng.gen::<f64>()` per draw, but their
-//! floating-point accumulation orders differ, so a given target can resolve
-//! to a different arm at CDF boundaries. Bit-exactness of decision
-//! trajectories is therefore **per policy config**: worlds built on the
-//! default [`SamplerStrategy::Linear`] keep their historical golden pins,
-//! and tree-sampled configs carry their own.
+//! ## Amortised-O(1) sampling (`SamplerStrategy::Alias`)
+//!
+//! In the constant-time regime of the Fast EXP3 paper — and of this repo's
+//! duty-cycle worlds, where a sleeping session's weights are frozen across
+//! its whole sleep interval and Smart EXP3's weights are frozen within a
+//! block — even the O(log k) descent is avoidable. The opt-in
+//! [`SamplerStrategy::Alias`] keeps a **Vose alias table** built over the
+//! cached exponentials: two O(1) array reads invert the softmax part of the
+//! CDF, with the γ/k uniform share handled analytically from a prefix of the
+//! draw. Updates do not rebuild the table; instead a **dirty-arm overlay**
+//! records which arms gained mass since the table was frozen, and sampling
+//! draws from the mixture of the frozen table (stale mass) and a short O(d)
+//! walk over the dirty arms (fresh delta mass) — exact, because a clean
+//! arm's frozen mass *is* its current mass. The table is re-frozen in O(k)
+//! only when the dirty mass crosses [`DIRTY_MASS_FRACTION`] of the total or
+//! on the events that already rebuild the cache (max shift, arm churn,
+//! reset, drift budget), so phases with static weights amortise the rebuild
+//! to ~O(k / phase length) while every draw stays O(1).
+//!
+//! All strategies sample the same distribution (within the 1e-12 cache
+//! tolerance) and consume exactly one `rng.gen::<f64>()` per draw — the
+//! alias decode splits the single draw's 53 mantissa bits into a column
+//! index and a coin, rather than drawing twice — but their floating-point
+//! decode orders differ, so a given target can resolve to a different arm at
+//! CDF boundaries. Bit-exactness of decision trajectories is therefore
+//! **per policy config**: worlds built on the default
+//! [`SamplerStrategy::Linear`] keep their historical golden pins, and tree-
+//! or alias-sampled configs carry their own.
 
 use crate::NetworkId;
 use rand::Rng;
@@ -88,6 +109,16 @@ const PATCH_LIMIT: u32 = 64;
 /// update the cache was built for.
 const MAX_SHIFT_SLACK: f64 = 40.0;
 
+/// Fraction of the total sampled mass the dirty-arm overlay may hold before
+/// the alias table is re-frozen. Below the threshold a draw is O(1) with
+/// probability ≥ 1 − `DIRTY_MASS_FRACTION` and an O(dirty) short walk
+/// otherwise (dirty ≤ `PATCH_LIMIT`); above it the stale table no longer
+/// represents most of the distribution and an O(k) rebuild is cheaper than
+/// letting the walk dominate. 25% keeps the expected per-draw cost within
+/// a small constant of a pure alias lookup while rebuilding at most once
+/// per ~`0.25/γ̄`-fold mass growth.
+const DIRTY_MASS_FRACTION: f64 = 0.25;
+
 /// How [`WeightTable::sample`] inverts the CDF.
 ///
 /// Part of each policy's configuration: changing it changes the
@@ -103,6 +134,11 @@ pub enum SamplerStrategy {
     /// O(log k) Fenwick-tree descent over prefix sums of the cached
     /// exponentials — for dense-spectrum worlds with hundreds of arms.
     Tree,
+    /// Amortised-O(1) Vose alias table over the cached exponentials with a
+    /// dirty-arm overlay — for static-weight phases (duty-cycled sleepers,
+    /// Smart EXP3 blocks) in dense-spectrum worlds, where the table freeze
+    /// is amortised over many draws.
+    Alias,
 }
 
 /// One-pass digest of an EXP3 distribution (see [`WeightTable::summary`]).
@@ -140,6 +176,30 @@ pub struct WeightTable {
     /// constant-time cache adjustment, so its prefix sums track `exp_weights`
     /// within the same `PATCH_LIMIT`-bounded drift as `exp_sum`.
     tree: Vec<f64>,
+    /// Vose alias table: probability of keeping the column's own arm.
+    /// Empty unless the strategy is [`SamplerStrategy::Alias`].
+    alias_prob: Vec<f64>,
+    /// Vose alias table: the alternative arm of each column.
+    alias_idx: Vec<usize>,
+    /// The exponentials the alias table was frozen over (`exp_weights` at
+    /// the last [`rebuild_alias`](Self::rebuild_alias)); the overlay walk
+    /// needs them to compute each dirty arm's fresh delta mass.
+    alias_mass: Vec<f64>,
+    /// `Σ alias_mass` at freeze time (recomputed exactly, not the drifting
+    /// `exp_sum`).
+    alias_total: f64,
+    /// Positions patched since the alias table was frozen (deduplicated;
+    /// bounded by `PATCH_LIMIT` between cache rebuilds).
+    dirty: Vec<usize>,
+    /// `Σ_dirty (exp_weights[j] − alias_mass[j])` — the overlay's share of
+    /// the sampled mass, always ≥ 0 (negative deltas force a rebuild).
+    dirty_mass: f64,
+    /// Times the alias table has been (re)built — the observable cost signal
+    /// for rebuild storms. Stays 0 under the other strategies.
+    sampler_rebuilds: u64,
+    /// Draws resolved through the dirty-arm overlay walk instead of the O(1)
+    /// alias lookup. Stays 0 under the other strategies.
+    overlay_hits: u64,
 }
 
 impl WeightTable {
@@ -185,6 +245,14 @@ impl WeightTable {
             patches: 0,
             strategy,
             tree: Vec::new(),
+            alias_prob: Vec::new(),
+            alias_idx: Vec::new(),
+            alias_mass: Vec::new(),
+            alias_total: 0.0,
+            dirty: Vec::new(),
+            dirty_mass: 0.0,
+            sampler_rebuilds: 0,
+            overlay_hits: 0,
         };
         table.rebuild_index();
         table.rebuild_cache();
@@ -247,6 +315,106 @@ impl WeightTable {
         self.exp_sum = self.exp_weights.iter().sum();
         self.patches = 0;
         self.rebuild_tree();
+        self.rebuild_alias();
+    }
+
+    /// (Re)freezes the Vose alias table over the cached exponentials, in
+    /// O(k), and clears the dirty-arm overlay. No-op (beyond clearing) under
+    /// the other strategies.
+    ///
+    /// Vose's method: scale every mass to `e_i · k / Σe`, split the columns
+    /// into deficit (< 1) and surplus (≥ 1) stacks, then repeatedly top a
+    /// deficit column up from a surplus one so every column holds exactly
+    /// one unit — `alias_prob[c]` of it belonging to arm `c` and the rest to
+    /// `alias_idx[c]`. Floating-point leftovers keep their initialised
+    /// `prob = 1, idx = self`, which is the exact-arithmetic limit.
+    fn rebuild_alias(&mut self) {
+        self.alias_prob.clear();
+        self.alias_idx.clear();
+        self.alias_mass.clear();
+        self.alias_total = 0.0;
+        self.dirty.clear();
+        self.dirty_mass = 0.0;
+        if self.strategy != SamplerStrategy::Alias {
+            return;
+        }
+        self.sampler_rebuilds += 1;
+        let k = self.exp_weights.len();
+        if k == 0 {
+            return;
+        }
+        // The freeze total is summed from scratch — the alias decode must be
+        // internally consistent with `alias_mass`, not with the incrementally
+        // drifting `exp_sum`.
+        let total: f64 = self.exp_weights.iter().sum();
+        self.alias_prob.resize(k, 1.0);
+        self.alias_idx.extend(0..k);
+        if !(total.is_finite() && total > 0.0) {
+            // Damaged masses (the non-finite-update guard failed upstream):
+            // freeze a uniform table so sampling stays sound, mirroring the
+            // linear walk's never-panic contract.
+            self.alias_mass.resize(k, 1.0);
+            self.alias_total = k as f64;
+            return;
+        }
+        self.alias_mass.extend_from_slice(&self.exp_weights);
+        self.alias_total = total;
+        let scale = k as f64 / total;
+        let mut scaled: Vec<f64> = self.exp_weights.iter().map(|&e| e * scale).collect();
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(deficit), Some(surplus)) = (small.pop(), large.pop()) {
+            self.alias_prob[deficit] = scaled[deficit];
+            self.alias_idx[deficit] = surplus;
+            scaled[surplus] = (scaled[surplus] + scaled[deficit]) - 1.0;
+            if scaled[surplus] < 1.0 {
+                small.push(surplus);
+            } else {
+                large.push(surplus);
+            }
+        }
+    }
+
+    /// Folds a constant-time cache patch into the dirty-arm overlay: arm `i`
+    /// now carries `delta_mass` more mass than the frozen alias table gives
+    /// it. Only positive deltas reach here (the rebuild condition routes
+    /// negative ones to a full rebuild), so the overlay mass never goes
+    /// negative. Re-freezes the table when the overlay outgrows
+    /// [`DIRTY_MASS_FRACTION`] of the total.
+    fn overlay_patch(&mut self, i: usize, delta_mass: f64) {
+        // O(dirty) dedup keeps the overlay walk exact: a duplicate entry
+        // would double-count the arm's delta. `dirty` is bounded by
+        // `PATCH_LIMIT`, so this scan is as constant as the patch itself.
+        if !self.dirty.contains(&i) {
+            self.dirty.push(i);
+        }
+        self.dirty_mass += delta_mass;
+        let total = self.alias_total + self.dirty_mass;
+        if !(total.is_finite() && total > 0.0) || self.dirty_mass > DIRTY_MASS_FRACTION * total {
+            self.rebuild_alias();
+        }
+    }
+
+    /// Times the alias table has been (re)built over this table's lifetime
+    /// (0 under the linear and tree strategies) — serialized, so restored
+    /// fleets keep counting from the snapshot.
+    #[must_use]
+    pub fn sampler_rebuilds(&self) -> u64 {
+        self.sampler_rebuilds
+    }
+
+    /// Draws resolved through the dirty-arm overlay walk instead of the O(1)
+    /// alias lookup (0 under the linear and tree strategies).
+    #[must_use]
+    pub fn overlay_hits(&self) -> u64 {
+        self.overlay_hits
     }
 
     /// Rebuilds the Fenwick tree from the cached exponentials, in place and
@@ -317,18 +485,7 @@ impl WeightTable {
         self.log_weights[i] = new_lw;
 
         let removed = self.exp_weights[i];
-        // The linear strategy rebuilds on any overshoot of the cached shift
-        // (the exact historical condition its golden pins encode); the tree
-        // strategy tolerates `MAX_SHIFT_SLACK` of overshoot so the hot path
-        // stays an O(log k) patch (see the constant's docs).
-        let shift_limit = match self.strategy {
-            SamplerStrategy::Linear => self.max_log_weight,
-            SamplerStrategy::Tree => self.max_log_weight + MAX_SHIFT_SLACK,
-        };
-        if self.patches >= PATCH_LIMIT
-            || new_lw > shift_limit
-            || (delta < 0.0 && (old_lw == self.max_log_weight || removed > 0.5 * self.exp_sum))
-        {
+        if self.needs_cache_rebuild(old_lw, new_lw, delta, removed) {
             // The maximum shifted, the arm that defined it shrank, a dominant
             // term is about to be cancelled out of the running sum, or the
             // drift budget is spent: recompute from the ground truth.
@@ -339,16 +496,46 @@ impl WeightTable {
             self.exp_sum += added - removed;
             self.patches += 1;
             if self.exp_sum.is_finite() && self.exp_sum > 0.0 {
-                // The cache patch held; mirror it into the Fenwick tree so
-                // the sampler sees the same O(log k)-maintained prefix sums.
-                if self.strategy == SamplerStrategy::Tree {
-                    self.tree_add(i, added - removed);
+                // The cache patch held; mirror it into the sampler structure
+                // so draws see the same incrementally maintained masses.
+                match self.strategy {
+                    SamplerStrategy::Linear => {}
+                    SamplerStrategy::Tree => self.tree_add(i, added - removed),
+                    SamplerStrategy::Alias => self.overlay_patch(i, added - removed),
                 }
             } else {
                 self.rebuild_cache();
             }
         }
         self.renormalize();
+    }
+
+    /// The one shared rebuild condition for every sampling strategy: decides
+    /// whether this update can be a constant-time cache patch or must
+    /// recompute from the ground truth.
+    ///
+    /// The strategies differ only in two knobs. **Shift slack**: the linear
+    /// strategy rebuilds on any overshoot of the cached shift (the exact
+    /// historical condition its golden pins encode — the `+ 0.0` is
+    /// bit-exact), while the tree and alias strategies tolerate
+    /// `MAX_SHIFT_SLACK` so the large-K hot path stays a patch (see that
+    /// constant's docs). **Negative patchability**: linear and tree caches
+    /// patch a shrinking arm in place, but the alias overlay cannot express
+    /// negative delta mass without breaking the single-draw decode, so any
+    /// negative delta rebuilds — harmless in practice, since EXP3-proper
+    /// estimated gains are ≥ 0.
+    fn needs_cache_rebuild(&self, old_lw: f64, new_lw: f64, delta: f64, removed: f64) -> bool {
+        let (slack, patchable_negative) = match self.strategy {
+            SamplerStrategy::Linear => (0.0, true),
+            SamplerStrategy::Tree => (MAX_SHIFT_SLACK, true),
+            SamplerStrategy::Alias => (MAX_SHIFT_SLACK, false),
+        };
+        self.patches >= PATCH_LIMIT
+            || new_lw > self.max_log_weight + slack
+            || (delta < 0.0
+                && (!patchable_negative
+                    || old_lw == self.max_log_weight
+                    || removed > 0.5 * self.exp_sum))
     }
 
     /// Folds one **shared** (gossiped) gain estimate into `arm`'s weight —
@@ -495,29 +682,45 @@ impl WeightTable {
     /// # Panics
     ///
     /// Panics if the table is empty.
-    pub fn sample(&self, gamma: f64, rng: &mut dyn RngCore) -> (NetworkId, f64) {
+    pub fn sample(&mut self, gamma: f64, rng: &mut dyn RngCore) -> (NetworkId, f64) {
         let target: f64 = rng.gen();
-        self.sample_at(gamma, target)
+        let (i, overlay) = self.invert_at(gamma, target);
+        // `&mut self` exists solely for this count: overlay traffic is the
+        // alias strategy's cost signal, surfaced through `PolicyStats`.
+        if overlay {
+            self.overlay_hits += 1;
+        }
+        (self.arms[i], self.probability_at(i, gamma))
     }
 
     /// Deterministic core of [`sample`](Self::sample): inverts the CDF at
     /// `target ∈ [0, 1)` using the active strategy. Exposed so tests can pin
-    /// strategy equivalence at chosen targets without mocking an RNG.
+    /// strategy equivalence at chosen targets without mocking an RNG. Does
+    /// not count overlay hits (it takes `&self`); [`sample`](Self::sample)
+    /// is the counting entry point.
     ///
     /// # Panics
     ///
     /// Panics if the table is empty.
     #[must_use]
     pub fn sample_at(&self, gamma: f64, target: f64) -> (NetworkId, f64) {
+        let (i, _) = self.invert_at(gamma, target);
+        (self.arms[i], self.probability_at(i, gamma))
+    }
+
+    /// Strategy dispatch for the CDF inversion. The second return value
+    /// reports whether the draw resolved through the dirty-arm overlay
+    /// (always `false` for the linear and tree strategies).
+    fn invert_at(&self, gamma: f64, target: f64) -> (usize, bool) {
         assert!(
             !self.arms.is_empty(),
             "cannot sample from an empty weight table"
         );
-        let i = match self.strategy {
-            SamplerStrategy::Linear => self.invert_linear(gamma, target),
-            SamplerStrategy::Tree => self.invert_tree(gamma, target),
-        };
-        (self.arms[i], self.probability_at(i, gamma))
+        match self.strategy {
+            SamplerStrategy::Linear => (self.invert_linear(gamma, target), false),
+            SamplerStrategy::Tree => (self.invert_tree(gamma, target), false),
+            SamplerStrategy::Alias => self.invert_alias(gamma, target),
+        }
     }
 
     /// O(k) CDF walk — the historical sampler. Its exact subtraction order
@@ -568,6 +771,69 @@ impl WeightTable {
         // fallback. A damaged cache (NaN masses) never advances the descent
         // and resolves to the first arm.
         covered.min(k - 1)
+    }
+
+    /// Amortised-O(1) alias decode. The single `target ∈ [0, 1)` is consumed
+    /// in stages, each stage rescaling the remainder back to `[0, 1)` so the
+    /// next stage sees a full-precision uniform variate (splitting the one
+    /// draw rather than drawing again — the one-RNG-draw contract):
+    ///
+    /// 1. `target < γ` resolves the uniform γ/k mixture analytically to arm
+    ///    `⌊target/γ · k⌋`.
+    /// 2. Otherwise the remainder selects softmax mass. A slice proportional
+    ///    to the overlay's share routes to an O(dirty) walk over the dirty
+    ///    arms' fresh deltas (`overlay = true`).
+    /// 3. The rest drives the Vose table: the integer part of `u·k` picks a
+    ///    column, the fractional part is the coin against `alias_prob` —
+    ///    two array reads.
+    ///
+    /// Clean arms' frozen mass equals their current mass, so the mixture of
+    /// stale table plus fresh deltas is the exact cached distribution.
+    /// A damaged table (non-finite totals) falls back to the linear walk —
+    /// one poisoned session must never take down a fleet.
+    fn invert_alias(&self, gamma: f64, target: f64) -> (usize, bool) {
+        let k = self.arms.len();
+        if target < gamma {
+            // γ > 0 here (`target < γ` is unreachable for γ ≤ 0), and the
+            // `min` clamps the `x ≈ k` rounding edge into the last arm.
+            let x = target / gamma * k as f64;
+            return ((x as usize).min(k - 1), false);
+        }
+        let total = self.alias_total + self.dirty_mass;
+        if !(total.is_finite() && total > 0.0) || self.alias_prob.len() != k {
+            return (self.invert_linear(gamma, target), false);
+        }
+        let s = (target - gamma) / (1.0 - gamma);
+        let fresh_frac = self.dirty_mass / total;
+        if s < fresh_frac {
+            // Overlay walk over the fresh deltas, in patch order. The
+            // accumulated `dirty_mass` and the per-arm recomputed deltas can
+            // disagree by ulps, so the walk clamps to the last dirty arm
+            // exactly as the linear walk clamps to its last arm.
+            let mut remaining = s * total;
+            for (walked, &j) in self.dirty.iter().enumerate() {
+                let delta = self.exp_weights[j] - self.alias_mass[j];
+                if remaining < delta || walked + 1 == self.dirty.len() {
+                    return (j, true);
+                }
+                remaining -= delta;
+            }
+            // Unreachable (the walk clamps on its final entry; `s <
+            // fresh_frac` implies the overlay is non-empty), kept defensive.
+            return (k - 1, true);
+        }
+        let u = (s - fresh_frac) / (1.0 - fresh_frac);
+        let x = u * k as f64;
+        let column = (x as usize).min(k - 1);
+        let coin = x - column as f64;
+        // A NaN coin or prob fails the comparison and takes the alias
+        // branch, which always holds a valid arm index.
+        let arm = if coin < self.alias_prob[column] {
+            column
+        } else {
+            self.alias_idx[column]
+        };
+        (arm, false)
     }
 
     /// Adds a newly discovered arm.
@@ -983,6 +1249,280 @@ mod tests {
                 assert_eq!(arm_l, arm_t, "K={k} target {target}: boundary drifted");
             }
         }
+    }
+
+    /// Per-arm probabilities the alias decode actually samples: mass decoded
+    /// from the Vose columns (each column holds `alias_total / k`, split by
+    /// its coin threshold) plus each dirty arm's fresh delta, mixed with the
+    /// γ/k uniform share — the ground truth for what `invert_alias` draws,
+    /// reconstructed without inverting anything.
+    fn alias_decoded_probabilities(table: &WeightTable, gamma: f64) -> Vec<f64> {
+        let k = table.len();
+        let column_mass = table.alias_total / k as f64;
+        let mut mass = vec![0.0f64; k];
+        for c in 0..k {
+            mass[c] += column_mass * table.alias_prob[c];
+            mass[table.alias_idx[c]] += column_mass * (1.0 - table.alias_prob[c]);
+        }
+        for &j in &table.dirty {
+            mass[j] += table.exp_weights[j] - table.alias_mass[j];
+        }
+        let total = table.alias_total + table.dirty_mass;
+        mass.into_iter()
+            .map(|m| (1.0 - gamma) * m / total + gamma / k as f64)
+            .collect()
+    }
+
+    /// Property test for the alias path: an alias-strategy table driven
+    /// through random updates, arm churn, resets and **sleep phases**
+    /// (draw-only stretches, the static-weight regime the strategy exists
+    /// for) must keep both its cached distribution *and* the distribution
+    /// its decode actually samples within 1e-12 of the from-scratch softmax
+    /// after every operation.
+    #[test]
+    fn alias_distribution_tracks_the_naive_softmax_under_churn() {
+        let mut table = WeightTable::uniform_with_strategy(&arms(12), SamplerStrategy::Alias);
+        let mut rng = StdRng::seed_from_u64(314);
+        let mut next_arm = 12u32;
+        for step in 0..4_000 {
+            match rng.gen::<u32>() % 20 {
+                0 => {
+                    table.add_arm(NetworkId(next_arm));
+                    next_arm += 1;
+                }
+                1 if table.len() > 2 => {
+                    let victim = table.arms()[rng.gen::<usize>() % table.len()];
+                    assert!(table.remove_arm(victim));
+                }
+                2 if step % 500 == 2 => table.reset_uniform(),
+                3 => {
+                    // Sleep: frozen weights, sampling only. The overlay and
+                    // table must be untouched by draws.
+                    let before = table.probabilities(0.3);
+                    for _ in 0..25 {
+                        let (arm, p) = table.sample(0.3, &mut rng);
+                        assert!(table.arms().contains(&arm));
+                        assert!(p.is_finite() && p > 0.0);
+                    }
+                    assert_eq!(table.probabilities(0.3), before);
+                }
+                _ => {
+                    let arm = table.arms()[rng.gen::<usize>() % table.len()];
+                    let gain = rng.gen::<f64>() * 40.0 - 5.0;
+                    table.multiplicative_update(arm, 0.3, gain);
+                }
+            }
+            let gamma = rng.gen::<f64>();
+            let cached = table.probabilities(gamma);
+            let naive = naive_probabilities(&table, gamma);
+            let decoded = alias_decoded_probabilities(&table, gamma);
+            for ((c, n), d) in cached.iter().zip(&naive).zip(&decoded) {
+                assert!((c - n).abs() < 1e-12, "step {step}: cached {c} naive {n}");
+                assert!((d - n).abs() < 1e-12, "step {step}: decoded {d} naive {n}");
+            }
+        }
+        assert!(
+            table.sampler_rebuilds() > 0,
+            "churn must have re-frozen the table"
+        );
+    }
+
+    /// Single-draw inversion fuzz for the alias decode: at every target the
+    /// chosen arm must be valid and carry its exact cached probability
+    /// (checked against an update-for-update linear twin), the seam targets
+    /// between the uniform head, the dirty overlay and the frozen table must
+    /// resolve without panicking, and a full grid inversion must map
+    /// Lebesgue measure back to the distribution.
+    #[test]
+    fn alias_inversion_is_sound_decision_for_decision() {
+        for k in [2u32, 64, 1024] {
+            let mut linear = WeightTable::uniform_with_strategy(&arms(k), SamplerStrategy::Linear);
+            let mut alias = WeightTable::uniform_with_strategy(&arms(k), SamplerStrategy::Alias);
+            let mut rng = StdRng::seed_from_u64(2_000 + u64::from(k));
+            for step in 0..1_500 {
+                let target = rng.gen::<f64>();
+                let gamma = 0.05 + 0.9 * rng.gen::<f64>();
+                // The alias decode spends the draw's bits differently from
+                // the linear walk, so the *arm* may differ at equal targets;
+                // what must hold decision-for-decision is that the arm is
+                // real and its reported probability is the distribution's.
+                let (arm, p) = alias.sample_at(gamma, target);
+                assert!(alias.arms().contains(&arm), "K={k} step {step}");
+                let p_twin = linear.probability_of(arm, gamma);
+                assert!(
+                    (p - p_twin).abs() < 1e-12,
+                    "K={k} step {step}: alias {p} vs twin {p_twin}"
+                );
+                let gain = rng.gen::<f64>() / p.max(1e-6);
+                linear.multiplicative_update(arm, gamma, gain);
+                alias.multiplicative_update(arm, gamma, gain);
+            }
+            // Force a live overlay, then probe the decode's seams: 0, the
+            // uniform/softmax boundary γ, the overlay/table split, and the
+            // top of the range (which must clamp, never walk off).
+            linear.reset_uniform();
+            alias.reset_uniform();
+            let gamma = 0.2;
+            for arm in [0u32, 1] {
+                linear.multiplicative_update(NetworkId(arm), gamma, 0.6);
+                alias.multiplicative_update(NetworkId(arm), gamma, 0.6);
+            }
+            assert!(!alias.dirty.is_empty(), "K={k}: overlay should be live");
+            let total = alias.alias_total + alias.dirty_mass;
+            let split = (1.0 - gamma).mul_add(alias.dirty_mass / total, gamma);
+            for target in [
+                0.0,
+                gamma - 1e-12,
+                gamma,
+                split - 1e-12,
+                split,
+                split + 1e-12,
+                1.0 - 1e-15,
+                1.0,
+            ] {
+                let (arm, p) = alias.sample_at(gamma, target);
+                assert!(alias.arms().contains(&arm), "K={k} target {target}");
+                let p_twin = linear.probability_of(arm, gamma);
+                assert!(
+                    (p - p_twin).abs() < 1e-12,
+                    "K={k} target {target}: {p} vs {p_twin}"
+                );
+            }
+            // Grid inversion: each decode segment misattributes at most one
+            // cell, and there are ≤ k uniform-head slots, ≤ 2k Vose column
+            // halves and ≤ |dirty| overlay slices — so total variation is
+            // bounded by (3k + |dirty| + 4) / n.
+            let n = 1usize << 16;
+            let mut counts = vec![0usize; k as usize];
+            for i in 0..n {
+                let t = (i as f64 + 0.5) / n as f64;
+                let (arm, _) = alias.sample_at(gamma, t);
+                counts[alias.position(arm).unwrap()] += 1;
+            }
+            let probs = alias.probabilities(gamma);
+            let tv = counts
+                .iter()
+                .zip(&probs)
+                .map(|(&c, &p)| (c as f64 / n as f64 - p).abs())
+                .sum::<f64>()
+                / 2.0;
+            let bound = (3 * k as usize + alias.dirty.len() + 4) as f64 / n as f64;
+            assert!(tv <= bound + 1e-9, "K={k}: TV {tv} exceeds {bound}");
+        }
+    }
+
+    /// Draws through the overlay are counted; rebuilds re-freeze and clear
+    /// it. The counters are the observability contract `PolicyStats`
+    /// surfaces, so their mechanics are pinned here.
+    #[test]
+    fn alias_overlay_counts_hits_and_rebuilds() {
+        let mut table = WeightTable::uniform_with_strategy(&arms(8), SamplerStrategy::Alias);
+        let built_at_start = table.sampler_rebuilds();
+        assert_eq!(built_at_start, 1, "construction freezes the first table");
+        // A small positive update patches the overlay instead of rebuilding.
+        table.multiplicative_update(NetworkId(3), 0.2, 0.4);
+        assert_eq!(table.sampler_rebuilds(), built_at_start);
+        assert_eq!(table.dirty, vec![3]);
+        assert!(table.dirty_mass > 0.0);
+        // Sampling inside the overlay slice counts a hit: aim just past the
+        // uniform head, inside the fresh fraction.
+        let gamma = 0.1f64;
+        let total = table.alias_total + table.dirty_mass;
+        let inside = (1.0 - gamma).mul_add(0.5 * table.dirty_mass / total, gamma);
+        let hits_before = table.overlay_hits();
+        let (i, overlay) = table.invert_at(gamma, inside);
+        assert!(overlay, "target {inside} should resolve via the overlay");
+        assert_eq!(
+            table.arms()[i],
+            NetworkId(3),
+            "the only dirty arm owns the slice"
+        );
+        assert_eq!(table.overlay_hits(), hits_before, "sample_at never counts");
+        // Repeated growth of one arm crosses DIRTY_MASS_FRACTION and forces
+        // a re-freeze, clearing the overlay.
+        for _ in 0..200 {
+            table.multiplicative_update(NetworkId(3), 0.2, 1.0);
+        }
+        assert!(table.sampler_rebuilds() > built_at_start);
+        // A negative update can never live in the overlay: it rebuilds.
+        let rebuilds = table.sampler_rebuilds();
+        table.multiplicative_update(NetworkId(1), 0.2, -2.0);
+        assert_eq!(table.sampler_rebuilds(), rebuilds + 1);
+        assert!(table.dirty.is_empty());
+        assert_eq!(table.dirty_mass, 0.0);
+    }
+
+    /// Linear and tree tables never touch the alias machinery: counters stay
+    /// zero and the alias vectors stay empty through heavy churn.
+    #[test]
+    fn non_alias_strategies_keep_alias_state_empty() {
+        for strategy in [SamplerStrategy::Linear, SamplerStrategy::Tree] {
+            let mut table = WeightTable::uniform_with_strategy(&arms(6), strategy);
+            let mut rng = StdRng::seed_from_u64(17);
+            for _ in 0..300 {
+                let arm = table.arms()[rng.gen::<usize>() % table.len()];
+                table.multiplicative_update(arm, 0.3, rng.gen::<f64>() * 30.0);
+                let _ = table.sample(0.3, &mut rng);
+            }
+            assert_eq!(table.sampler_rebuilds(), 0);
+            assert_eq!(table.overlay_hits(), 0);
+            assert!(table.alias_prob.is_empty() && table.alias_idx.is_empty());
+            assert!(table.dirty.is_empty());
+        }
+    }
+
+    /// `top_probabilities_into` edge cases: `k = 0`, `k ≥ K`, a single-arm
+    /// table, and the all-equal tie contract (reverse insertion order).
+    #[test]
+    fn top_probabilities_edge_cases() {
+        let mut top = vec![(NetworkId(99), 0.5)];
+        // K = 1: the lone arm carries the entire distribution, for any γ.
+        let single = WeightTable::uniform(&arms(1));
+        single.top_probabilities_into(0.3, 1, &mut top);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].0, NetworkId(0));
+        assert!((top[0].1 - 1.0).abs() < 1e-12);
+        // k ≥ K yields every arm exactly once, never more.
+        single.top_probabilities_into(0.3, 9, &mut top);
+        assert_eq!(top.len(), 1);
+        // k = 0 clears the buffer even on a weighted multi-arm table.
+        let mut weighted = WeightTable::uniform(&arms(6));
+        weighted.multiplicative_update(NetworkId(2), 0.3, 8.0);
+        weighted.top_probabilities_into(0.1, 0, &mut top);
+        assert!(top.is_empty());
+        // k > K on a weighted table: a full descending permutation.
+        weighted.top_probabilities_into(0.1, 10, &mut top);
+        assert_eq!(top.len(), 6);
+        assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
+        assert_eq!(top[0].0, NetworkId(2));
+        // All-equal weights tie towards the later-inserted arm, so the
+        // selection is exactly reverse insertion order at full width.
+        let uniform = WeightTable::uniform(&arms(4));
+        uniform.top_probabilities_into(0.2, 4, &mut top);
+        assert_eq!(
+            top.iter().map(|&(a, _)| a).collect::<Vec<_>>(),
+            vec![NetworkId(3), NetworkId(2), NetworkId(1), NetworkId(0)]
+        );
+    }
+
+    /// Non-finite estimated gains must be rejected on the alias path exactly
+    /// as on the linear path: distribution untouched, overlay untouched,
+    /// sampling still sound.
+    #[test]
+    fn alias_path_rejects_non_finite_gains() {
+        let mut table = WeightTable::uniform_with_strategy(&arms(6), SamplerStrategy::Alias);
+        table.multiplicative_update(NetworkId(3), 0.4, 5.0);
+        let before = table.probabilities(0.1);
+        let dirty_before = table.dirty.clone();
+        table.multiplicative_update(NetworkId(0), 0.4, f64::NAN);
+        table.multiplicative_update(NetworkId(1), 0.4, f64::INFINITY);
+        table.multiplicative_update(NetworkId(2), 0.4, f64::NEG_INFINITY);
+        assert_eq!(table.probabilities(0.1), before);
+        assert_eq!(table.dirty, dirty_before);
+        let mut rng = StdRng::seed_from_u64(9);
+        let (arm, p) = table.sample(0.1, &mut rng);
+        assert!(table.arms().contains(&arm));
+        assert!(p.is_finite() && p > 0.0);
     }
 
     /// Non-finite estimated gains must be rejected on the tree path exactly

@@ -89,7 +89,9 @@ use smartexp3_core::{
     Observation, PartitionExecutor, PartitionJob, Policy, PolicyFactory, PolicyKind, PolicyState,
     PolicyStats, SharedFeedback, SlotIndex, SmartExp3,
 };
-use smartexp3_telemetry::{Histogram, LatencyStats, SlotTiming, TelemetryRecord, TelemetrySink};
+use smartexp3_telemetry::{
+    Histogram, LatencyStats, SamplerCounters, SlotTiming, TelemetryRecord, TelemetrySink,
+};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
@@ -137,6 +139,15 @@ pub struct FleetConfig {
     /// lane speedup. Lanes hold the same policy states and per-session RNG
     /// streams as boxes, so results are independent of this value.
     pub fleet_lanes: bool,
+    /// Whether the event-driven path records per-decision wake-to-decision
+    /// latency histograms (the default). The measurement costs one
+    /// monotonic-clock read per decision — on par with an alias-table draw
+    /// itself — so throughput benches that A/B samplers turn it off.
+    /// `false` makes [`FleetEngine::last_wake_latency`] return `None` and
+    /// cohort telemetry records carry no latency percentiles. Latency is
+    /// host timing, outside all determinism contracts: results are
+    /// independent of this value.
+    pub wake_latency: bool,
 }
 
 impl Default for FleetConfig {
@@ -147,6 +158,7 @@ impl Default for FleetConfig {
             threads: None,
             partitioned_feedback: true,
             fleet_lanes: true,
+            wake_latency: true,
         }
     }
 }
@@ -187,6 +199,15 @@ impl FleetConfig {
     #[must_use]
     pub fn with_fleet_lanes(mut self, lanes: bool) -> Self {
         self.fleet_lanes = lanes;
+        self
+    }
+
+    /// Enables or disables per-decision wake-latency histograms on the
+    /// event-driven path (on by default); see
+    /// [`FleetConfig::wake_latency`].
+    #[must_use]
+    pub fn with_wake_latency(mut self, wake_latency: bool) -> Self {
+        self.wake_latency = wake_latency;
         self
     }
 
@@ -547,6 +568,10 @@ fn version_hint(version: u32) -> Option<&'static str> {
             "version 7 texts predate the event-engine wake queue; \
              re-run under SNAPSHOT_VERSION 7 or regenerate the checkpoint"
         }
+        8 => {
+            "version 8 policy states predate the alias-sampler state; \
+             re-run under SNAPSHOT_VERSION 8 or regenerate the checkpoint"
+        }
         _ => return None,
     })
 }
@@ -620,7 +645,13 @@ impl std::error::Error for SnapshotError {}
 /// entries of [`FleetEngine::step_events`], sorted for stable bytes, or
 /// `None` when the fleet was stepped slot-synchronously — so a checkpoint
 /// taken between two wake cohorts restores the exact event schedule.
-pub const SNAPSHOT_VERSION: u32 = 8;
+///
+/// Version 9: weight tables carry the alias-sampler state —
+/// [`SamplerStrategy::Alias`](smartexp3_core::SamplerStrategy)'s frozen
+/// Vose table, dirty-arm overlay and the `sampler_rebuilds`/`overlay_hits`
+/// counters ([`PolicyStats`]) — so an alias-sampled fleet restores onto the
+/// exact decision trajectory, counters included.
+pub const SNAPSHOT_VERSION: u32 = 9;
 
 /// Checkpoint of one session.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -1533,6 +1564,7 @@ impl FleetEngine {
                 metrics: env.telemetry().cloned().unwrap_or_default(),
                 timing,
                 latency: None,
+                sampler: Some(self.sampler_counters()),
             });
         }
 
@@ -1628,6 +1660,8 @@ impl FleetEngine {
     /// timing only) is recorded into a log-bucket histogram; read the
     /// percentiles via [`last_wake_latency`](Self::last_wake_latency) or a
     /// telemetry sink ([`step_events_with_sink`](Self::step_events_with_sink)).
+    /// [`FleetConfig::wake_latency`] turns the recording off for
+    /// throughput-critical runs (the clock read costs as much as a draw).
     ///
     /// # Panics
     ///
@@ -1708,6 +1742,7 @@ impl FleetEngine {
             }
         }
         let cohort_start = Instant::now();
+        let record_latency = self.config.wake_latency;
 
         // Phase 2: cohort choose (parallel). The full-length joint-choice
         // buffer is cleared first so non-cohort sessions read as absent —
@@ -1758,7 +1793,9 @@ impl FleetEngine {
                                 choices[i] = if view.active {
                                     let chosen = session.choose(t);
                                     last[i] = Some(chosen);
-                                    latency.record(cohort_start.elapsed().as_secs_f64());
+                                    if record_latency {
+                                        latency.record(cohort_start.elapsed().as_secs_f64());
+                                    }
                                     Some(chosen)
                                 } else {
                                     None
@@ -1771,11 +1808,15 @@ impl FleetEngine {
         // Merge per-shard latency in shard order (host timing — outside all
         // determinism contracts, so the merge order only matters for
         // reproducible float sums within one process).
-        self.latency_total.clear();
-        for histogram in &self.latency_shards[..cohort_shard_count] {
-            self.latency_total.merge(histogram);
-        }
-        let latency = LatencyStats::from_histogram(&self.latency_total);
+        let latency = if record_latency {
+            self.latency_total.clear();
+            for histogram in &self.latency_shards[..cohort_shard_count] {
+                self.latency_total.merge(histogram);
+            }
+            LatencyStats::from_histogram(&self.latency_total)
+        } else {
+            None
+        };
         self.last_latency = latency;
         let active = self.env_choices.iter().flatten().count() as u64;
         let choose_s = cohort_start.elapsed().as_secs_f64();
@@ -1881,6 +1922,7 @@ impl FleetEngine {
                 metrics: env.telemetry().cloned().unwrap_or_default(),
                 timing,
                 latency,
+                sampler: Some(self.sampler_counters()),
             });
         }
 
@@ -1939,8 +1981,9 @@ impl FleetEngine {
 
     /// Wake-to-decision latency percentiles of the most recent event-driven
     /// cohort ([`step_events`](Self::step_events)), or `None` before the
-    /// first cohort (or when the last cohort made no decision). Host timing
-    /// only — excluded from the determinism contract and from snapshots.
+    /// first cohort, when the last cohort made no decision, or when
+    /// [`FleetConfig::wake_latency`] is off. Host timing only — excluded
+    /// from the determinism contract and from snapshots.
     #[must_use]
     pub fn last_wake_latency(&self) -> Option<LatencyStats> {
         self.last_latency
@@ -2022,6 +2065,21 @@ impl FleetEngine {
         None
     }
 
+    /// Fleet-wide cumulative sampler counters (alias-table rebuilds and
+    /// overlay-walk hits), summed in session order. Deterministic at any
+    /// thread count; an O(N) scan, so telemetry paths call it once per
+    /// recorded slot and only when a sink is attached.
+    #[must_use]
+    pub fn sampler_counters(&self) -> SamplerCounters {
+        let mut totals = SamplerCounters::default();
+        for_each_lane_session!(&self.segments, |session| {
+            let stats = session.policy.stats();
+            totals.rebuilds += stats.sampler_rebuilds;
+            totals.overlay_hits += stats.overlay_hits;
+        });
+        totals
+    }
+
     /// Aggregates fleet-wide metrics.
     ///
     /// Sessions are folded **in session order**, so the floating-point gain
@@ -2050,6 +2108,8 @@ impl FleetEngine {
             entry.policy.greedy_selections += stats.greedy_selections;
             entry.policy.explorations += stats.explorations;
             entry.policy.shared_observations += stats.shared_observations;
+            entry.policy.sampler_rebuilds += stats.sampler_rebuilds;
+            entry.policy.overlay_hits += stats.overlay_hits;
             entry.gains.merge(&session.gains);
         });
         per_kind.sort_by_key(|(kind, _)| PolicyKind::all().iter().position(|k| k == kind));
@@ -2451,9 +2511,9 @@ mod tests {
         // states, version 4 lacks the partitioned-feedback config switch,
         // version 5 lacks the per-policy sampler strategy, version 6 lacks
         // the fleet-lanes config switch, version 7 lacks the event-engine
-        // wake queue) must be diagnosed as unsupported versions, not
-        // malformed.
-        for version in [2u32, 3, 4, 5, 6, 7] {
+        // wake queue, version 8 lacks the alias-sampler state) must be
+        // diagnosed as unsupported versions, not malformed.
+        for version in [2u32, 3, 4, 5, 6, 7, 8] {
             match FleetEngine::from_json(&format!("{{\"version\":{version},\"sessions\":[]}}")) {
                 Err(SnapshotError::UnsupportedVersion(v)) if v == version => {}
                 other => panic!("expected UnsupportedVersion({version}), got {other:?}"),
@@ -2461,7 +2521,7 @@ mod tests {
         }
         // Every probed version carries an actionable hint naming the release
         // that can still read the checkpoint; unknown versions stay generic.
-        for version in [5u32, 6, 7] {
+        for version in [5u32, 6, 7, 8] {
             let text = SnapshotError::UnsupportedVersion(version).to_string();
             assert!(
                 text.contains(&format!("re-run under SNAPSHOT_VERSION {version}")),
@@ -2724,6 +2784,53 @@ mod tests {
             assert_eq!(restored.last_choices(), original.last_choices());
         }
         assert_eq!(restored.to_json().unwrap(), original.to_json().unwrap());
+    }
+
+    #[test]
+    fn wake_latency_off_skips_instrumentation_without_touching_trajectories() {
+        let build = |wake_latency: bool| {
+            let mut config = FleetConfig::with_root_seed(42)
+                .with_shard_size(8)
+                .with_wake_latency(wake_latency);
+            config.threads = Some(2);
+            let mut factory = PolicyFactory::new(rates()).unwrap();
+            let mut fleet = FleetEngine::new(config);
+            fleet
+                .add_fleet(&mut factory, PolicyKind::SmartExp3, 20)
+                .unwrap();
+            fleet.add_fleet(&mut factory, PolicyKind::Exp3, 20).unwrap();
+            fleet
+        };
+        let mut on = build(true);
+        let mut off = build(false);
+        let mut on_env = CadenceEnv {
+            sessions: 40,
+            cadences: vec![1, 2, 4],
+            events: Vec::new(),
+            begin_slots: Vec::new(),
+        };
+        let mut off_env = CadenceEnv {
+            sessions: 40,
+            cadences: vec![1, 2, 4],
+            events: Vec::new(),
+            begin_slots: Vec::new(),
+        };
+        for step in 0..12 {
+            assert_eq!(off.step_events(&mut off_env), on.step_events(&mut on_env));
+            assert_eq!(off.last_choices(), on.last_choices(), "step {step}");
+        }
+        // Instrumentation is the only difference: the histogram never runs…
+        assert!(on.last_wake_latency().is_some());
+        assert!(off.last_wake_latency().is_none());
+        assert_eq!(off.metrics(), on.metrics());
+        // …and the knob lives outside every determinism contract, so the
+        // snapshots agree byte-for-byte once it is normalised away.
+        let mut off_snapshot = off.snapshot().unwrap();
+        off_snapshot.config.wake_latency = true;
+        assert_eq!(
+            serde_json::to_string(&off_snapshot).unwrap(),
+            serde_json::to_string(&on.snapshot().unwrap()).unwrap()
+        );
     }
 
     #[test]

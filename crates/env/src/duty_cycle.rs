@@ -23,12 +23,12 @@
 //! changes every later wake observes correctly.
 
 use smartexp3_core::{
-    EnvStateError, Environment, NetworkId, Observation, PartitionExecutor, SessionRange,
-    SessionView, SharedFeedback, SlotIndex,
+    EnvStateError, Environment, NetworkId, Observation, PartitionExecutor, SamplerStrategy,
+    SessionRange, SessionView, SharedFeedback, SlotIndex,
 };
 
 /// Shape of the [`duty_cycle`](crate::duty_cycle) world: the wake-cadence
-/// mix and the bandwidth-burst schedule.
+/// mix, the bandwidth-burst schedule, and the policies' sampling strategy.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DutyCycleConfig {
     /// Wake cadences assigned round-robin by session index: session `i`
@@ -42,6 +42,13 @@ pub struct DutyCycleConfig {
     /// Bursts are scheduled up to this slot (events are static, so the
     /// schedule must cover the intended run length).
     pub horizon_slots: usize,
+    /// CDF-inversion strategy for every EXP3-family policy in the world.
+    /// Sleep intervals are static-weight phases, so
+    /// [`SamplerStrategy::Alias`] amortises its table freeze across them;
+    /// the default stays [`SamplerStrategy::Linear`] so historical golden
+    /// pins stand. (In [`dense_duty_cycle`](crate::dense_duty_cycle) the
+    /// dense config's sampler governs instead — one world, one knob.)
+    pub sampler: SamplerStrategy,
 }
 
 impl Default for DutyCycleConfig {
@@ -50,6 +57,7 @@ impl Default for DutyCycleConfig {
             cadences: vec![1, 2, 4, 8],
             burst_period: 32,
             horizon_slots: 256,
+            sampler: SamplerStrategy::Linear,
         }
     }
 }

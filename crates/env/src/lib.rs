@@ -17,6 +17,7 @@
 //! | [`cooperative`] | the equal-share areas with a Co-Bandit gossip layer: sessions share observed rates within their area | shared feedback, `Policy::observe_shared` |
 //! | [`dense_urban`] | dense-spectrum city blocks: one macro cell, a band of small cells and hundreds of weak APs per area (256–1024 networks visible per device) | large-K sampling ([`SamplerStrategy`](smartexp3_core::SamplerStrategy)) |
 //! | [`duty_cycle`] | the equal-share areas with heterogeneous wake cadences (1/2/4/8 round-robin, staggered) and periodic cellular bandwidth bursts | event-driven stepping ([`FleetEngine::step_events`](smartexp3_engine::FleetEngine::step_events)), wake-to-decision latency |
+//! | [`dense_duty_cycle`] | the [`dense_urban`] city blocks under the [`duty_cycle`] wake protocol: large-K catalogs whose weights freeze across sleep intervals, punctuated by macro-cell bandwidth bursts | amortised-O(1) sampling ([`SamplerStrategy::Alias`](smartexp3_core::SamplerStrategy::Alias)) on static-weight phases |
 //!
 //! Scale: sessions are grouped into independent replicas (100 devices per
 //! congestion area, 20 per mobility map, [`DenseUrbanConfig::devices_per_area`]
@@ -106,13 +107,17 @@ fn area_networks(area: usize) -> Vec<NetworkSpec> {
     ]
 }
 
-/// Builds the replicated-congestion-area world shared by [`equal_share`] and
-/// [`dynamic_bandwidth`].
+/// Builds the replicated-congestion-area world shared by [`equal_share`],
+/// [`dynamic_bandwidth`], [`cooperative`] and [`duty_cycle`]. The worlds
+/// whose golden pins predate per-policy samplers pass
+/// [`SamplerStrategy::Linear`] (the factory default, so their trajectories
+/// are bit-identical to the historical builder).
 fn congestion_world(
     sessions: usize,
     kind: PolicyKind,
     config: FleetConfig,
     events: Vec<BandwidthEvent>,
+    sampler: SamplerStrategy,
     name: &'static str,
 ) -> Result<Scenario, ConfigError> {
     assert!(sessions > 0, "a scenario needs at least one session");
@@ -134,7 +139,7 @@ fn congestion_world(
         networks.extend(specs);
 
         let population = (sessions - area * DEVICES_PER_AREA).min(DEVICES_PER_AREA);
-        let mut factory = PolicyFactory::new(rates)?;
+        let mut factory = PolicyFactory::new(rates)?.with_sampler(sampler);
         fleet.add_fleet(&mut factory, kind, population)?;
         for device in 0..population {
             profiles.push(DeviceProfile::new(
@@ -173,7 +178,14 @@ pub fn equal_share(
     kind: PolicyKind,
     config: FleetConfig,
 ) -> Result<Scenario, ConfigError> {
-    congestion_world(sessions, kind, config, Vec::new(), "equal_share")
+    congestion_world(
+        sessions,
+        kind,
+        config,
+        Vec::new(),
+        SamplerStrategy::Linear,
+        "equal_share",
+    )
 }
 
 /// World 2 — **dynamic bandwidth**: the [`equal_share`] world, but every
@@ -197,7 +209,14 @@ pub fn dynamic_bandwidth(
         events.push(BandwidthEvent::new(collapse_at, cellular, 2.0));
         events.push(BandwidthEvent::new(recover_at, cellular, 22.0));
     }
-    congestion_world(sessions, kind, config, events, "dynamic_bandwidth")
+    congestion_world(
+        sessions,
+        kind,
+        config,
+        events,
+        SamplerStrategy::Linear,
+        "dynamic_bandwidth",
+    )
 }
 
 /// World 5 — **cooperative feedback**: the [`equal_share`] congestion areas
@@ -215,7 +234,14 @@ pub fn cooperative(
     config: FleetConfig,
     gossip: GossipConfig,
 ) -> Result<Scenario, ConfigError> {
-    let mut scenario = congestion_world(sessions, kind, config, Vec::new(), "cooperative")?;
+    let mut scenario = congestion_world(
+        sessions,
+        kind,
+        config,
+        Vec::new(),
+        SamplerStrategy::Linear,
+        "cooperative",
+    )?;
     let membership = (0..sessions).map(|i| i / DEVICES_PER_AREA).collect();
     let gossip_seed = scenario.fleet.config().environment_seed();
     scenario.environment = Box::new(CooperativeEnvironment::new(
@@ -266,7 +292,8 @@ pub fn duty_cycle(
             }
         }
     }
-    let mut scenario = congestion_world(sessions, kind, config, events, "duty_cycle")?;
+    let mut scenario =
+        congestion_world(sessions, kind, config, events, duty.sampler, "duty_cycle")?;
     scenario.environment = Box::new(DutyCycleEnvironment::new(
         scenario.environment,
         duty.cadences,
@@ -345,6 +372,19 @@ pub fn dense_urban(
     config: FleetConfig,
     dense: DenseUrbanConfig,
 ) -> Result<Scenario, ConfigError> {
+    dense_world(sessions, kind, config, dense, Vec::new(), "dense_urban")
+}
+
+/// Builds the dense-spectrum city-block world shared by [`dense_urban`] and
+/// [`dense_duty_cycle`].
+fn dense_world(
+    sessions: usize,
+    kind: PolicyKind,
+    config: FleetConfig,
+    dense: DenseUrbanConfig,
+    events: Vec<BandwidthEvent>,
+    name: &'static str,
+) -> Result<Scenario, ConfigError> {
     assert!(sessions > 0, "a scenario needs at least one session");
     assert!(
         dense.networks_per_area >= 2,
@@ -389,16 +429,67 @@ pub fn dense_urban(
     let environment = CongestionEnvironment::new(
         networks,
         Topology::new(service_areas),
-        Vec::new(),
+        events,
         profiles,
         SimulationConfig::default(),
         seed,
     );
     Ok(Scenario {
-        name: "dense_urban",
+        name,
         environment: Box::new(environment),
         fleet,
     })
+}
+
+/// World 8 — **duty-cycled dense spectrum**: the [`dense_urban`] city blocks
+/// wrapped in a [`DutyCycleEnvironment`]. Sessions wake on the
+/// [`DutyCycleConfig::cadences`] round-robin, and every
+/// [`DutyCycleConfig::burst_period`] slots each block's macro cell collapses
+/// to 2 Mbps, recovering half a period later. Between a session's wakes its
+/// weight table is untouched — this is the static-weight phase
+/// [`SamplerStrategy::Alias`](smartexp3_core::SamplerStrategy::Alias)
+/// amortises its table freeze across, which is why this world is the
+/// headline benchmark for the alias sampler.
+///
+/// The policies' sampler comes from `dense.sampler` (one world, one knob);
+/// [`DutyCycleConfig::sampler`] is ignored here — it governs only the
+/// plain [`duty_cycle`] world.
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from policy construction.
+///
+/// # Panics
+///
+/// Panics when `sessions == 0`, `networks_per_area < 2` or
+/// `devices_per_area == 0`.
+pub fn dense_duty_cycle(
+    sessions: usize,
+    kind: PolicyKind,
+    config: FleetConfig,
+    dense: DenseUrbanConfig,
+    duty: DutyCycleConfig,
+) -> Result<Scenario, ConfigError> {
+    let areas = sessions.div_ceil(dense.devices_per_area.max(1));
+    let mut events = Vec::new();
+    if duty.burst_period > 0 {
+        let half = (duty.burst_period / 2).max(1);
+        for area in 0..areas {
+            let macro_cell = NetworkId((area * dense.networks_per_area) as u32);
+            let mut at = duty.burst_period;
+            while at <= duty.horizon_slots {
+                events.push(BandwidthEvent::new(at, macro_cell, 2.0));
+                events.push(BandwidthEvent::new(at + half, macro_cell, 22.0));
+                at += duty.burst_period;
+            }
+        }
+    }
+    let mut scenario = dense_world(sessions, kind, config, dense, events, "dense_duty_cycle")?;
+    scenario.environment = Box::new(DutyCycleEnvironment::new(
+        scenario.environment,
+        duty.cadences,
+    ));
+    Ok(scenario)
 }
 
 /// World 3 — **area mobility**: `sessions` devices partitioned into
@@ -639,6 +730,7 @@ mod tests {
                 cadences: vec![1, 2, 4],
                 burst_period: 8,
                 horizon_slots: 32,
+                ..DutyCycleConfig::default()
             },
         )
         .unwrap();
@@ -655,6 +747,40 @@ mod tests {
             40 * 16 + 40 * 8 + 40 * 4
         );
         assert!(scenario.fleet.last_wake_latency().is_some());
+    }
+
+    #[test]
+    fn dense_duty_cycle_world_steps_event_driven_with_alias() {
+        let dense = DenseUrbanConfig {
+            networks_per_area: 64,
+            devices_per_area: 10,
+            sampler: SamplerStrategy::Alias,
+        };
+        let mut scenario = dense_duty_cycle(
+            30,
+            PolicyKind::Exp3,
+            FleetConfig::with_root_seed(29),
+            dense,
+            DutyCycleConfig {
+                cadences: vec![2, 4],
+                burst_period: 8,
+                horizon_slots: 32,
+                ..DutyCycleConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(scenario.name, "dense_duty_cycle");
+        assert_eq!(scenario.sessions(), 30);
+        // Macro-cell bursts materialise as env events even between wakes.
+        assert_eq!(scenario.environment.next_env_event(0), Some(8));
+        scenario.fleet.run_until(scenario.environment.as_mut(), 16);
+        assert_eq!(scenario.fleet.slot(), 16);
+        // 15 cadence-2 sessions decide 8×, 15 cadence-4 decide 4×.
+        assert_eq!(scenario.fleet.metrics().decisions, 15 * 8 + 15 * 4);
+        // The alias path actually ran: tables were frozen at least once.
+        let metrics = scenario.fleet.metrics();
+        let exp3 = metrics.kind(PolicyKind::Exp3).unwrap();
+        assert!(exp3.policy.sampler_rebuilds > 0);
     }
 
     #[test]

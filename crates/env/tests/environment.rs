@@ -17,12 +17,13 @@ use netsim::{
 };
 use rand::RngCore;
 use smartexp3_core::{
-    NetworkId, Observation, Policy, PolicyKind, PolicyStats, SelectionKind, SlotIndex,
+    NetworkId, Observation, Policy, PolicyKind, PolicyStats, SamplerStrategy, SelectionKind,
+    SlotIndex,
 };
 use smartexp3_engine::{FleetConfig, FleetEngine};
 use smartexp3_env::{
-    area_mobility, cooperative, dense_urban, duty_cycle, dynamic_bandwidth, equal_share,
-    trace_driven, DenseUrbanConfig, DutyCycleConfig, GossipConfig, Scenario,
+    area_mobility, cooperative, dense_duty_cycle, dense_urban, duty_cycle, dynamic_bandwidth,
+    equal_share, trace_driven, DenseUrbanConfig, DutyCycleConfig, GossipConfig, Scenario,
 };
 
 fn scenario_fingerprint(scenario: &Scenario) -> String {
@@ -208,6 +209,7 @@ fn build_duty_cycle(config: FleetConfig) -> Scenario {
             cadences: vec![1, 2, 4, 8],
             burst_period: 10,
             horizon_slots: 60,
+            ..DutyCycleConfig::default()
         },
     )
     .unwrap()
@@ -254,6 +256,172 @@ fn duty_cycle_trajectories_are_identical_at_any_thread_count() {
     }
 }
 
+/// The alias-sampler worlds of the bit-identity matrix: the large-K dense
+/// blocks, the bursty duty-cycle areas (sleep phases are exactly the
+/// static-weight intervals the overlay must survive), and their composition.
+fn build_alias_world(config: FleetConfig, world: &str) -> Scenario {
+    match world {
+        "dense_urban" => dense_urban(
+            48,
+            PolicyKind::Exp3,
+            config,
+            DenseUrbanConfig {
+                networks_per_area: 96,
+                devices_per_area: 16,
+                sampler: SamplerStrategy::Alias,
+            },
+        )
+        .unwrap(),
+        "duty_cycle" => duty_cycle(
+            120,
+            PolicyKind::SmartExp3,
+            config,
+            DutyCycleConfig {
+                cadences: vec![1, 2, 4, 8],
+                burst_period: 10,
+                horizon_slots: 60,
+                sampler: SamplerStrategy::Alias,
+            },
+        )
+        .unwrap(),
+        "dense_duty_cycle" => dense_duty_cycle(
+            32,
+            PolicyKind::SmartExp3,
+            config,
+            DenseUrbanConfig {
+                networks_per_area: 64,
+                devices_per_area: 8,
+                sampler: SamplerStrategy::Alias,
+            },
+            DutyCycleConfig {
+                cadences: vec![2, 4, 8],
+                burst_period: 10,
+                horizon_slots: 60,
+                ..DutyCycleConfig::default()
+            },
+        )
+        .unwrap(),
+        other => panic!("unknown alias world {other}"),
+    }
+}
+
+#[test]
+fn alias_sampler_trajectories_are_bit_identical_at_any_thread_count() {
+    // The tentpole determinism anchor: overlay patches, dirty-mass rebuild
+    // triggers and the sampler counters are all structural (driven by the
+    // per-session update stream), so alias runs must be bit-identical at any
+    // thread count, with partitioned feedback on or off and fleet lanes on
+    // or off — on the sync path and the event-driven path alike.
+    for world in ["dense_urban", "duty_cycle", "dense_duty_cycle"] {
+        let mut reference = build_alias_world(
+            FleetConfig::with_root_seed(42)
+                .with_threads(1)
+                .with_shard_size(16),
+            world,
+        );
+        reference
+            .fleet
+            .run_until(reference.environment.as_mut(), 40);
+        let expected = scenario_fingerprint(&reference);
+        let expected_env = reference.environment.state();
+        for (index, config) in [
+            FleetConfig::with_root_seed(42)
+                .with_threads(2)
+                .with_shard_size(16),
+            FleetConfig::with_root_seed(42)
+                .with_threads(8)
+                .with_shard_size(16),
+            FleetConfig::with_root_seed(42)
+                .with_threads(2)
+                .with_shard_size(16)
+                .with_partitioned_feedback(false),
+            FleetConfig::with_root_seed(42)
+                .with_threads(2)
+                .with_shard_size(16)
+                .with_fleet_lanes(false),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut scenario = build_alias_world(config, world);
+            scenario.fleet.run_until(scenario.environment.as_mut(), 40);
+            assert_eq!(
+                scenario_fingerprint(&scenario),
+                expected,
+                "{world} alias run diverged (config {index})"
+            );
+            assert_eq!(
+                scenario.environment.state(),
+                expected_env,
+                "{world} environment diverged under alias (config {index})"
+            );
+        }
+        // The alias path genuinely ran: at least one table freeze per world.
+        let metrics = reference.fleet.metrics();
+        let stats = metrics
+            .kind(PolicyKind::Exp3)
+            .or_else(|| metrics.kind(PolicyKind::SmartExp3))
+            .expect("alias worlds host an EXP3-family fleet");
+        assert!(
+            stats.policy.sampler_rebuilds > 0,
+            "{world}: no alias rebuilds recorded"
+        );
+    }
+}
+
+#[test]
+fn sampler_strategy_survives_snapshot_round_trips() {
+    // All three strategies must round-trip through `FleetSnapshot` — the
+    // serialized policy state carries the strategy and, for Alias, the
+    // frozen table, overlay and counters — and continue bit-identically when
+    // restored at a different thread count.
+    for sampler in [
+        SamplerStrategy::Linear,
+        SamplerStrategy::Tree,
+        SamplerStrategy::Alias,
+    ] {
+        let dense = DenseUrbanConfig {
+            networks_per_area: 96,
+            devices_per_area: 16,
+            sampler,
+        };
+        let mut original = dense_urban(
+            48,
+            PolicyKind::Exp3,
+            FleetConfig::with_root_seed(42)
+                .with_threads(2)
+                .with_shard_size(16),
+            dense,
+        )
+        .unwrap();
+        original.run(15);
+        let snapshot = original
+            .fleet
+            .snapshot_env(original.environment.as_ref())
+            .unwrap();
+        original.run(25);
+        let expected = scenario_fingerprint(&original);
+
+        let mut resumed = dense_urban(
+            48,
+            PolicyKind::Exp3,
+            FleetConfig::with_root_seed(42)
+                .with_threads(8)
+                .with_shard_size(16),
+            dense,
+        )
+        .unwrap();
+        resumed.fleet =
+            FleetEngine::from_snapshot_env(snapshot, resumed.environment.as_mut()).unwrap();
+        resumed.run(25);
+        assert_eq!(
+            scenario_fingerprint(&resumed),
+            expected,
+            "{sampler:?} diverged after snapshot/restore"
+        );
+    }
+}
+
 #[test]
 fn mid_queue_snapshots_restore_the_event_schedule_bit_exactly() {
     // Checkpoint an event-driven run while the wake queue holds pending
@@ -270,6 +438,7 @@ fn mid_queue_snapshots_restore_the_event_schedule_bit_exactly() {
                 cadences: vec![1, 2, 4, 8],
                 burst_period: 20,
                 horizon_slots: 60,
+                ..DutyCycleConfig::default()
             },
         )
         .unwrap()

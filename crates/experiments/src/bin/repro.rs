@@ -17,18 +17,21 @@ use experiments::{
     cooperative, dense, distance, download, dynamics, events, fairness, mobility, robustness,
     scalability, stability, switching, tracedriven, wild,
 };
+use smartexp3_core::SamplerStrategy;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str =
     "usage: repro <experiment> [--runs N] [--slots N] [--threads N] [--seed N] [--paper-scale]
-                  [--telemetry PATH]
+                  [--telemetry PATH] [--sampler linear|tree|alias]
 
 flags:
   --telemetry PATH  stream per-slot fleet telemetry (JSONL, tailable) to PATH
                     while running the coop experiment's broadcast variant, or
                     an event-driven duty-cycle run (with wake-to-decision
                     latency percentiles) for the events experiment
+  --sampler NAME    restrict the dense experiment's sweep to one
+                    CDF-inversion strategy (default: all three)
 
 experiments:
   fig2     number of network switches (Figure 2)
@@ -45,7 +48,7 @@ experiments:
   fig14    controlled testbed, dynamic     fig15   controlled testbed, mixed
   wild     in-the-wild 500 MB download (§VII-B)
   coop     Co-Bandit gossip vs isolated convergence (follow-up paper)
-  dense    dense-urban large-K sampling, linear vs tree throughput
+  dense    dense-urban large-K sampling, linear vs tree vs alias throughput
   events   event-driven stepping: sync vs wake-queue trajectories + latency
   all      everything above";
 
@@ -56,7 +59,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let experiment = args[0].to_lowercase();
-    let (scale, telemetry) = match parse_scale(&args[1..]) {
+    let (scale, telemetry, sampler) = match parse_scale(&args[1..]) {
         Ok(parsed) => parsed,
         Err(message) => {
             eprintln!("error: {message}\n\n{USAGE}");
@@ -94,7 +97,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let known = run_experiment(&experiment, &scale);
+    let known = run_experiment(&experiment, &scale, sampler);
     if !known {
         eprintln!("error: unknown experiment `{experiment}`\n\n{USAGE}");
         return ExitCode::FAILURE;
@@ -102,9 +105,12 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn parse_scale(args: &[String]) -> Result<(Scale, Option<PathBuf>), String> {
+fn parse_scale(
+    args: &[String],
+) -> Result<(Scale, Option<PathBuf>, Option<SamplerStrategy>), String> {
     let mut scale = Scale::default();
     let mut telemetry = None;
+    let mut sampler = None;
     let mut index = 0;
     while index < args.len() {
         let flag = args[index].clone();
@@ -116,6 +122,18 @@ fn parse_scale(args: &[String]) -> Result<(Scale, Option<PathBuf>), String> {
                     .get(index)
                     .ok_or_else(|| format!("missing value for {flag}"))?;
                 telemetry = Some(PathBuf::from(value));
+            }
+            "--sampler" => {
+                index += 1;
+                let value = args
+                    .get(index)
+                    .ok_or_else(|| format!("missing value for {flag}"))?;
+                sampler = Some(match value.as_str() {
+                    "linear" => SamplerStrategy::Linear,
+                    "tree" => SamplerStrategy::Tree,
+                    "alias" => SamplerStrategy::Alias,
+                    other => return Err(format!("unknown sampler `{other}`")),
+                });
             }
             "--runs" | "--slots" | "--threads" | "--seed" => {
                 index += 1;
@@ -136,10 +154,10 @@ fn parse_scale(args: &[String]) -> Result<(Scale, Option<PathBuf>), String> {
         }
         index += 1;
     }
-    Ok((scale, telemetry))
+    Ok((scale, telemetry, sampler))
 }
 
-fn run_experiment(experiment: &str, scale: &Scale) -> bool {
+fn run_experiment(experiment: &str, scale: &Scale, sampler: Option<SamplerStrategy>) -> bool {
     let everything = experiment == "all";
     let mut matched = false;
     let mut wants = |names: &[&str]| -> bool {
@@ -207,7 +225,18 @@ fn run_experiment(experiment: &str, scale: &Scale) -> bool {
         println!("{}", cooperative::run(scale));
     }
     if wants(&["dense", "dense_urban"]) {
-        println!("{}", dense::run(scale));
+        match sampler {
+            Some(strategy) => println!(
+                "{}",
+                dense::run_strategies(
+                    scale,
+                    dense::DEFAULT_NETWORKS,
+                    dense::DEFAULT_SESSIONS,
+                    &[strategy]
+                )
+            ),
+            None => println!("{}", dense::run(scale)),
+        }
     }
     if wants(&["events", "duty_cycle"]) {
         println!("{}", events::run(scale));

@@ -1,16 +1,18 @@
-//! Dense-urban large-K sampling — linear vs tree CDF inversion.
+//! Dense-urban large-K sampling — linear vs tree vs alias CDF inversion.
 //!
 //! The paper's settings top out at a handful of networks per area, where the
 //! O(K) linear CDF walk is free. A dense urban block advertises hundreds of
 //! candidate networks, and at that scale sampling dominates the per-slot
 //! cost. This experiment runs the scenario library's [`dense_urban`] world
-//! twice from the same root seed — once with
-//! [`SamplerStrategy::Linear`], once with [`SamplerStrategy::Tree`] — and
-//! reports decisions/sec for each, plus the achieved mean gain so the two
-//! configurations can be checked for equivalent decision quality.
+//! once per strategy from the same root seed — the O(K) linear walk, the
+//! O(log K) Fenwick descent ([`SamplerStrategy::Tree`]) and the
+//! amortised-O(1) alias table ([`SamplerStrategy::Alias`]) — and reports
+//! decisions/sec for each, plus the achieved mean gain so the
+//! configurations can be checked for equivalent decision quality, and the
+//! alias run's rebuild/overlay counters so its amortisation is visible.
 //!
-//! The two runs are *different pinned configurations* (the sampler is part
-//! of the policy config), so their trajectories are each bit-stable but not
+//! The runs are *different pinned configurations* (the sampler is part of
+//! the policy config), so their trajectories are each bit-stable but not
 //! bit-identical to one another; distributionally they agree to within the
 //! softmax cache's 1e-12 drift bound.
 
@@ -21,11 +23,18 @@ use std::fmt;
 use std::time::Instant;
 
 /// Networks per city block in the default comparison — the acceptance
-/// point for the sublinear sampler.
+/// point for the sublinear samplers.
 pub const DEFAULT_NETWORKS: usize = 512;
 
 /// Sessions in the default comparison (eight 64-device blocks).
 pub const DEFAULT_SESSIONS: usize = 512;
+
+/// The full sweep: every CDF-inversion strategy the weight table supports.
+pub const ALL_STRATEGIES: [SamplerStrategy; 3] = [
+    SamplerStrategy::Linear,
+    SamplerStrategy::Tree,
+    SamplerStrategy::Alias,
+];
 
 /// One timed run of the dense-urban world under a fixed sampler strategy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,6 +47,10 @@ pub struct StrategyMeasurement {
     pub decisions: u64,
     /// Fleet-wide mean per-decision gain — the decision-quality check.
     pub mean_gain: f64,
+    /// Alias-table freezes across the run (0 for Linear/Tree).
+    pub sampler_rebuilds: u64,
+    /// Draws resolved from the dirty-arm overlay (0 for Linear/Tree).
+    pub overlay_hits: u64,
 }
 
 impl StrategyMeasurement {
@@ -52,8 +65,9 @@ impl StrategyMeasurement {
     }
 }
 
-/// The linear-vs-tree comparison on one dense-urban world.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// The sampler comparison on one dense-urban world: one measurement per
+/// requested strategy.
+#[derive(Debug, Clone, PartialEq)]
 pub struct DenseResult {
     /// Networks per city block (the arm count `K`).
     pub networks_per_area: usize,
@@ -61,22 +75,30 @@ pub struct DenseResult {
     pub sessions: usize,
     /// Slots stepped.
     pub slots: usize,
-    /// The O(K) linear walk.
-    pub linear: StrategyMeasurement,
-    /// The O(log K) Fenwick descent.
-    pub tree: StrategyMeasurement,
+    /// One timed run per strategy, in sweep order.
+    pub measurements: Vec<StrategyMeasurement>,
 }
 
 impl DenseResult {
-    /// Tree throughput over linear throughput.
+    /// The measurement for `strategy`, when it was part of the sweep.
+    #[must_use]
+    pub fn strategy(&self, strategy: SamplerStrategy) -> Option<&StrategyMeasurement> {
+        self.measurements.iter().find(|m| m.strategy == strategy)
+    }
+
+    /// Throughput of `strategy` over the linear walk's, when both ran.
+    #[must_use]
+    pub fn speedup_over_linear(&self, strategy: SamplerStrategy) -> Option<f64> {
+        let linear = self.strategy(SamplerStrategy::Linear)?.decisions_per_sec();
+        let other = self.strategy(strategy)?.decisions_per_sec();
+        (linear > 0.0).then(|| other / linear)
+    }
+
+    /// Tree throughput over linear throughput (the historical headline).
     #[must_use]
     pub fn speedup(&self) -> f64 {
-        let linear = self.linear.decisions_per_sec();
-        if linear > 0.0 {
-            self.tree.decisions_per_sec() / linear
-        } else {
-            f64::INFINITY
-        }
+        self.speedup_over_linear(SamplerStrategy::Tree)
+            .unwrap_or(f64::INFINITY)
     }
 }
 
@@ -104,33 +126,46 @@ fn measure(
     scenario.run(scale.slots);
     let elapsed_s = start.elapsed().as_secs_f64();
     let metrics = scenario.fleet.metrics();
+    let exp3 = metrics.kind(PolicyKind::Exp3);
     StrategyMeasurement {
         strategy,
         elapsed_s,
         decisions: metrics.decisions,
-        mean_gain: metrics
-            .kind(PolicyKind::Exp3)
-            .map_or(0.0, |m| m.mean_gain()),
+        mean_gain: exp3.map_or(0.0, |m| m.mean_gain()),
+        sampler_rebuilds: exp3.map_or(0, |m| m.policy.sampler_rebuilds),
+        overlay_hits: exp3.map_or(0, |m| m.policy.overlay_hits),
     }
 }
 
 /// Runs the comparison on a world of `networks_per_area` networks and
-/// `sessions` sessions, `scale.slots` slots per run.
+/// `sessions` sessions, `scale.slots` slots per run, sweeping `strategies`.
 #[must_use]
-pub fn run_with(scale: &Scale, networks_per_area: usize, sessions: usize) -> DenseResult {
-    let linear = measure(scale, networks_per_area, sessions, SamplerStrategy::Linear);
-    let tree = measure(scale, networks_per_area, sessions, SamplerStrategy::Tree);
+pub fn run_strategies(
+    scale: &Scale,
+    networks_per_area: usize,
+    sessions: usize,
+    strategies: &[SamplerStrategy],
+) -> DenseResult {
     DenseResult {
         networks_per_area,
         sessions,
         slots: scale.slots,
-        linear,
-        tree,
+        measurements: strategies
+            .iter()
+            .map(|&strategy| measure(scale, networks_per_area, sessions, strategy))
+            .collect(),
     }
 }
 
+/// Runs the full three-way comparison on a world of `networks_per_area`
+/// networks and `sessions` sessions.
+#[must_use]
+pub fn run_with(scale: &Scale, networks_per_area: usize, sessions: usize) -> DenseResult {
+    run_strategies(scale, networks_per_area, sessions, &ALL_STRATEGIES)
+}
+
 /// Runs the default comparison: [`DEFAULT_NETWORKS`] networks per block,
-/// [`DEFAULT_SESSIONS`] sessions.
+/// [`DEFAULT_SESSIONS`] sessions, all three strategies.
 #[must_use]
 pub fn run(scale: &Scale) -> DenseResult {
     run_with(scale, DEFAULT_NETWORKS, DEFAULT_SESSIONS)
@@ -143,8 +178,8 @@ impl fmt::Display for DenseResult {
             "Dense urban — K = {} networks/block, {} sessions, {} slots, EXP3",
             self.networks_per_area, self.sessions, self.slots
         )?;
-        for m in [&self.linear, &self.tree] {
-            writeln!(
+        for m in &self.measurements {
+            write!(
                 f,
                 "{:<8} {:>12.0} decisions/s ({} decisions in {:.3} s), mean gain {:.4}",
                 format!("{:?}", m.strategy),
@@ -153,8 +188,25 @@ impl fmt::Display for DenseResult {
                 m.elapsed_s,
                 m.mean_gain
             )?;
+            if m.strategy == SamplerStrategy::Alias {
+                write!(
+                    f,
+                    ", {} rebuilds, {} overlay hits",
+                    m.sampler_rebuilds, m.overlay_hits
+                )?;
+            }
+            writeln!(f)?;
         }
-        writeln!(f, "tree / linear speedup: {:.2}x", self.speedup())
+        for strategy in [SamplerStrategy::Tree, SamplerStrategy::Alias] {
+            if let Some(speedup) = self.speedup_over_linear(strategy) {
+                writeln!(
+                    f,
+                    "{} / linear speedup: {speedup:.2}x",
+                    format!("{strategy:?}").to_lowercase()
+                )?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -163,22 +215,43 @@ mod tests {
     use super::*;
 
     #[test]
-    fn both_strategies_reach_the_same_decision_quality() {
+    fn all_strategies_reach_the_same_decision_quality() {
         let scale = Scale::quick().with_slots(60);
         let result = run_with(&scale, 64, 32);
-        assert_eq!(result.linear.decisions, result.tree.decisions);
-        assert_eq!(result.linear.decisions, 60 * 32);
+        assert_eq!(result.measurements.len(), 3);
+        let linear = result.strategy(SamplerStrategy::Linear).unwrap();
+        let tree = result.strategy(SamplerStrategy::Tree).unwrap();
+        let alias = result.strategy(SamplerStrategy::Alias).unwrap();
+        assert_eq!(linear.decisions, tree.decisions);
+        assert_eq!(linear.decisions, alias.decisions);
+        assert_eq!(linear.decisions, 60 * 32);
         // Same world, same seed, different pinned sampler configs: the
         // trajectories differ decision-for-decision but the achieved mean
-        // gain must agree closely (both samplers invert the same CDF).
-        let (a, b) = (result.linear.mean_gain, result.tree.mean_gain);
-        assert!(a > 0.0 && b > 0.0);
-        assert!(
-            (a - b).abs() / a.max(b) < 0.25,
-            "sampler strategies diverged in quality: linear {a:.4} vs tree {b:.4}"
-        );
+        // gain must agree closely (all samplers invert the same CDF).
+        for m in [tree, alias] {
+            let (a, b) = (linear.mean_gain, m.mean_gain);
+            assert!(a > 0.0 && b > 0.0);
+            assert!(
+                (a - b).abs() / a.max(b) < 0.25,
+                "sampler strategies diverged in quality: linear {a:.4} vs {:?} {b:.4}",
+                m.strategy
+            );
+        }
+        // Only the alias run freezes tables; the counters prove the path ran.
+        assert_eq!(linear.sampler_rebuilds, 0);
+        assert_eq!(tree.sampler_rebuilds, 0);
+        assert!(alias.sampler_rebuilds > 0);
         let text = result.to_string();
         assert!(text.contains("Dense urban"));
-        assert!(text.contains("speedup"));
+        assert!(text.contains("alias / linear speedup"));
+    }
+
+    #[test]
+    fn single_strategy_sweeps_report_without_speedups() {
+        let scale = Scale::quick().with_slots(20);
+        let result = run_strategies(&scale, 32, 16, &[SamplerStrategy::Alias]);
+        assert_eq!(result.measurements.len(), 1);
+        assert!(result.speedup_over_linear(SamplerStrategy::Alias).is_none());
+        assert!(!result.to_string().contains("speedup"));
     }
 }

@@ -75,6 +75,7 @@ fn build(scale: &Scale, sessions: usize, cadences: Vec<usize>) -> Scenario {
             cadences,
             burst_period: (scale.slots / 4).max(2),
             horizon_slots: scale.slots,
+            ..DutyCycleConfig::default()
         },
     )
     .expect("static scenario construction cannot fail")

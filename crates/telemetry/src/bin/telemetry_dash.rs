@@ -6,6 +6,9 @@
 //! and renders a per-slot series — active sessions, mean gain, switch rate,
 //! Jain fairness, slot wall time, and, for event-driven runs, the
 //! wake-to-decision latency percentiles — followed by an aggregate summary.
+//! Runs on the alias sampler additionally report the cumulative
+//! alias-table rebuild and overlay-hit counters, so a rebuild storm shows
+//! up as a steep `rebuilds` slope in the summary.
 //!
 //! ```text
 //! cargo run --release -p smartexp3-telemetry --bin telemetry_dash -- PATH [--tail N]
@@ -141,6 +144,22 @@ fn main() {
             0.0
         }
     );
+    // Sampler counters are cumulative, so the last record holds the run
+    // totals; the delta across the export gives the in-window rate.
+    let samplers: Vec<_> = records.iter().filter_map(|r| r.sampler).collect();
+    match (samplers.first(), samplers.last()) {
+        (Some(first), Some(last)) if last.rebuilds > 0 || last.overlay_hits > 0 => {
+            println!(
+                "sampler: {} alias rebuilds, {} overlay hits cumulative \
+                 (+{} rebuilds, +{} hits across this export)",
+                last.rebuilds,
+                last.overlay_hits,
+                last.rebuilds - first.rebuilds,
+                last.overlay_hits - first.overlay_hits
+            );
+        }
+        _ => {}
+    }
     if with_latency.is_empty() {
         println!("no wake-to-decision latency (slot-synchronous run)");
     } else {

@@ -204,6 +204,23 @@ impl LatencyStats {
     }
 }
 
+/// Fleet-wide sampler-acceleration counters, summed over every session's
+/// weight table at record time.
+///
+/// Both counters are cumulative (monotone across a run's records) and
+/// **deterministic** — they count structural events of the sampling
+/// algorithm, not host timing — so they are identical at any thread count.
+/// They stay 0 for fleets on the linear and tree sampler strategies; under
+/// the alias strategy a climbing `rebuilds` slope is the signature of a
+/// rebuild storm (weights churning faster than draws amortise the freeze).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SamplerCounters {
+    /// Alias-table freezes across the fleet so far.
+    pub rebuilds: u64,
+    /// Draws resolved through the dirty-arm overlay walk so far.
+    pub overlay_hits: u64,
+}
+
 /// Per-slot (or per-partition) metric accumulator.
 ///
 /// Environments fill one of these per feedback partition while grading
@@ -414,6 +431,10 @@ pub struct TelemetryRecord {
     /// slot-synchronous path). Host wall-clock, excluded from determinism
     /// contracts like [`timing`](Self::timing).
     pub latency: Option<LatencyStats>,
+    /// Cumulative fleet-wide sampler counters as of this record (`None` for
+    /// producers that predate the alias sampler). Deterministic, unlike
+    /// [`timing`](Self::timing).
+    pub sampler: Option<SamplerCounters>,
 }
 
 /// Receives one [`TelemetryRecord`] per slot from the engine.
@@ -558,8 +579,9 @@ impl TelemetrySink for JsonlSink {
 
 /// Validates a JSONL telemetry export: every non-empty line must parse as a
 /// [`TelemetryRecord`], slots must be strictly increasing, histogram counts
-/// must match the session counter, Jain's index must lie in `[0, 1]` and
-/// distances must be non-negative. Returns the number of records.
+/// must match the session counter, Jain's index must lie in `[0, 1]`,
+/// distances must be non-negative and cumulative sampler counters must
+/// never decrease. Returns the number of records.
 ///
 /// # Errors
 /// Returns a description of the first violation, prefixed with its
@@ -567,6 +589,7 @@ impl TelemetrySink for JsonlSink {
 pub fn validate_jsonl(text: &str) -> Result<usize, String> {
     let mut count = 0usize;
     let mut last_slot: Option<usize> = None;
+    let mut last_sampler: Option<SamplerCounters> = None;
     for (line_no, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -627,6 +650,22 @@ pub fn validate_jsonl(text: &str) -> Result<usize, String> {
                     latency.p99_s
                 ));
             }
+        }
+        if let Some(sampler) = &record.sampler {
+            // The counters are cumulative over the run, so within one export
+            // they may never decrease.
+            if let Some(last) = &last_sampler {
+                if sampler.rebuilds < last.rebuilds || sampler.overlay_hits < last.overlay_hits {
+                    return Err(format!(
+                        "line {}: sampler counters went backwards \
+                         ({:?} after {:?})",
+                        line_no + 1,
+                        sampler,
+                        last
+                    ));
+                }
+            }
+            last_sampler = Some(*sampler);
         }
         count += 1;
     }
@@ -834,6 +873,7 @@ mod tests {
                 observe_s: 0.004,
             },
             latency: None,
+            sampler: None,
         }
     }
 
@@ -915,6 +955,40 @@ mod tests {
         let bad = serde_json::to_string(&record).unwrap();
         let err = validate_jsonl(&bad).unwrap_err();
         assert!(err.contains("latency"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn validate_jsonl_checks_sampler_monotonicity() {
+        let mut first = record_for_slot(0);
+        first.sampler = Some(SamplerCounters {
+            rebuilds: 5,
+            overlay_hits: 100,
+        });
+        let mut second = record_for_slot(1);
+        second.sampler = Some(SamplerCounters {
+            rebuilds: 6,
+            overlay_hits: 140,
+        });
+        let good = format!(
+            "{}\n{}",
+            serde_json::to_string(&first).unwrap(),
+            serde_json::to_string(&second).unwrap()
+        );
+        assert_eq!(validate_jsonl(&good), Ok(2));
+
+        // Cumulative counters running backwards mean the export mixes runs
+        // (or a producer is resetting mid-stream) — rejected.
+        second.sampler = Some(SamplerCounters {
+            rebuilds: 4,
+            overlay_hits: 140,
+        });
+        let bad = format!(
+            "{}\n{}",
+            serde_json::to_string(&first).unwrap(),
+            serde_json::to_string(&second).unwrap()
+        );
+        let err = validate_jsonl(&bad).unwrap_err();
+        assert!(err.contains("sampler"), "unexpected error: {err}");
     }
 
     #[test]

@@ -42,6 +42,7 @@ fn build(sessions: usize, slots: usize, threads: usize) -> smartexp3::scenarios:
             cadences: vec![1, 2, 4, 8],
             burst_period: (slots / 4).max(2),
             horizon_slots: slots,
+            ..DutyCycleConfig::default()
         },
     )
     .expect("valid scenario")
